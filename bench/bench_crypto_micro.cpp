@@ -1,0 +1,175 @@
+// E8 — microbenchmarks of the real software substrate on the host:
+// the full primitive set OMA DRM 2 mandates (§2.4.5), protocol-level
+// composites (KEM wrap/unwrap, full consumption path), and the BigInt
+// kernels under RSA.
+#include <benchmark/benchmark.h>
+
+#include "bigint/montgomery.h"
+#include "common/random.h"
+#include "crypto/aes_wrap.h"
+#include "crypto/hmac.h"
+#include "crypto/kdf2.h"
+#include "crypto/modes.h"
+#include "crypto/sha1.h"
+#include "rsa/kem.h"
+#include "rsa/pss.h"
+
+namespace {
+
+using namespace omadrm;  // NOLINT
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  DeterministicRng rng(1);
+  Bytes key = rng.bytes(16), iv = rng.bytes(16);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes ct = crypto::aes_cbc_encrypt(key, iv, data);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(1 << 10)->Arg(30 << 10)->Arg(1 << 20);
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  DeterministicRng rng(2);
+  Bytes key = rng.bytes(16), iv = rng.bytes(16);
+  Bytes ct = crypto::aes_cbc_encrypt(
+      key, iv, rng.bytes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    Bytes pt = crypto::aes_cbc_decrypt(key, iv, ct);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCbcDecrypt)->Arg(1 << 10)->Arg(30 << 10)->Arg(1 << 20);
+
+void BM_AesKeyWrap(benchmark::State& state) {
+  DeterministicRng rng(3);
+  Bytes kek = rng.bytes(16);
+  Bytes data = rng.bytes(32);  // K_MAC || K_REK
+  for (auto _ : state) {
+    Bytes wrapped = crypto::aes_wrap(kek, data);
+    benchmark::DoNotOptimize(wrapped);
+  }
+}
+BENCHMARK(BM_AesKeyWrap);
+
+void BM_AesKeyUnwrap(benchmark::State& state) {
+  DeterministicRng rng(4);
+  Bytes kek = rng.bytes(16);
+  Bytes wrapped = crypto::aes_wrap(kek, rng.bytes(32));
+  for (auto _ : state) {
+    auto out = crypto::aes_unwrap(kek, wrapped);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_AesKeyUnwrap);
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  DeterministicRng rng(5);
+  Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes d = crypto::Sha1::hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(30 << 10)->Arg(3670016);
+
+void BM_HmacRoPayload(benchmark::State& state) {
+  // HMAC over a typical Rights Object MAC payload (~1 KB).
+  DeterministicRng rng(6);
+  Bytes key = rng.bytes(16);
+  Bytes payload = rng.bytes(1100);
+  for (auto _ : state) {
+    Bytes tag = crypto::HmacSha1::mac(key, payload);
+    benchmark::DoNotOptimize(tag);
+  }
+}
+BENCHMARK(BM_HmacRoPayload);
+
+void BM_Kdf2(benchmark::State& state) {
+  DeterministicRng rng(7);
+  Bytes z = rng.bytes(128);
+  for (auto _ : state) {
+    Bytes kek = crypto::kdf2_sha1(z, 16);
+    benchmark::DoNotOptimize(kek);
+  }
+}
+BENCHMARK(BM_Kdf2);
+
+void BM_PssSign1024(benchmark::State& state) {
+  DeterministicRng rng(8);
+  rsa::PrivateKey key = rsa::generate_key(1024, rng);
+  Bytes msg = rng.bytes(1500);
+  for (auto _ : state) {
+    Bytes sig = rsa::pss_sign(key, msg, rng);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_PssSign1024);
+
+void BM_PssVerify1024(benchmark::State& state) {
+  DeterministicRng rng(9);
+  rsa::PrivateKey key = rsa::generate_key(1024, rng);
+  Bytes msg = rng.bytes(1500);
+  Bytes sig = rsa::pss_sign(key, msg, rng);
+  for (auto _ : state) {
+    bool ok = rsa::pss_verify(key.public_key(), msg, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_PssVerify1024);
+
+void BM_KemWrapKeys(benchmark::State& state) {
+  DeterministicRng rng(10);
+  rsa::PrivateKey key = rsa::generate_key(1024, rng);
+  Bytes material = rng.bytes(32);
+  for (auto _ : state) {
+    Bytes c = rsa::kem_wrap_keys(key.public_key(), material, rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_KemWrapKeys);
+
+void BM_KemUnwrapKeys(benchmark::State& state) {
+  DeterministicRng rng(11);
+  rsa::PrivateKey key = rsa::generate_key(1024, rng);
+  Bytes c = rsa::kem_wrap_keys(key.public_key(), rng.bytes(32), rng);
+  for (auto _ : state) {
+    auto out = rsa::kem_unwrap_keys(key, c);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_KemUnwrapKeys);
+
+void BM_MontgomeryMul1024(benchmark::State& state) {
+  DeterministicRng rng(12);
+  bigint::BigInt m = bigint::BigInt::random_bits(1024, rng);
+  if (m.is_even()) m = m + bigint::BigInt(1);
+  bigint::MontgomeryCtx ctx(m);
+  bigint::BigInt a = ctx.to_mont(bigint::BigInt::random_below(m, rng));
+  bigint::BigInt b = ctx.to_mont(bigint::BigInt::random_below(m, rng));
+  for (auto _ : state) {
+    bigint::BigInt c = ctx.mont_mul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MontgomeryMul1024);
+
+void BM_RsaKeygen1024(benchmark::State& state) {
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    DeterministicRng rng(seed++);
+    rsa::PrivateKey key = rsa::generate_key(1024, rng);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_RsaKeygen1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E4 — Figure 7: Ringtone use case, total execution time under the three
+// architecture variants (SW / SW+HW / HW) at 200 MHz.
+//
+// Reproduction target (paper's log-scale bar labels): 900 / 620 / 12 ms.
+// The paper's discussion point: "In the Ringtone use case, the significant
+// step occurs when providing PKI hardware support", and the SW/HW column
+// (~620 ms) is the "roughly 600 ms" of pure-software PKI work.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "model/report.h"
+#include "model/usecase.h"
+
+namespace {
+
+using namespace omadrm::model;  // NOLINT
+
+void print_reproduction() {
+  std::printf(
+      "=== Figure 7 — Ringtone (30 KB DCF, 25 accesses), 200 MHz ===\n\n");
+  VariantMs model = run_variants(UseCaseSpec::ringtone());
+  std::printf("%s", format_comparison("SW    (all software)",
+                                      kPaperFig7Ringtone.sw, model.sw, "ms")
+                        .c_str());
+  std::printf("%s", format_comparison("SW/HW (AES+SHA-1 macros)",
+                                      kPaperFig7Ringtone.swhw, model.swhw,
+                                      "ms")
+                        .c_str());
+  std::printf("%s", format_comparison("HW    (all macros)",
+                                      kPaperFig7Ringtone.hw, model.hw, "ms")
+                        .c_str());
+
+  // §4's PKI claim, measured from the executed SW run.
+  UseCaseReport sw_run =
+      run_use_case(UseCaseSpec::ringtone(), ArchitectureProfile::pure_software());
+  double pki_ms = sw_run.ledger.profile().cycles_to_ms(
+      sw_run.ledger.pki_cycles());
+  std::printf("%s", format_comparison("PKI total in software (§4)",
+                                      kPaperPkiSoftwareMs, pki_ms, "ms")
+                        .c_str());
+  std::printf(
+      "\nShape check: SW -> SW/HW speedup %.2fx (modest), SW/HW -> HW\n"
+      "speedup %.1fx (the PKI step dominates).\n\n",
+      model.sw / model.swhw, model.swhw / model.hw);
+}
+
+void run_variant_benchmark(benchmark::State& state,
+                           const ArchitectureProfile& profile) {
+  UseCaseSpec spec = UseCaseSpec::ringtone();
+  double modeled_ms = 0;
+  for (auto _ : state) {
+    UseCaseReport r = run_use_case(spec, profile);
+    modeled_ms = r.total_ms();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["modeled_ms_at_200MHz"] = modeled_ms;
+}
+
+void BM_Ringtone_SW(benchmark::State& state) {
+  run_variant_benchmark(state, ArchitectureProfile::pure_software());
+}
+BENCHMARK(BM_Ringtone_SW)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Ringtone_SWHW(benchmark::State& state) {
+  run_variant_benchmark(state, ArchitectureProfile::symmetric_hardware());
+}
+BENCHMARK(BM_Ringtone_SWHW)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Ringtone_HW(benchmark::State& state) {
+  run_variant_benchmark(state, ArchitectureProfile::full_hardware());
+}
+BENCHMARK(BM_Ringtone_HW)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

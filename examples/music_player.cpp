@@ -1,0 +1,58 @@
+// Music Player scenario (paper §4, Figure 6) as a runnable application.
+//
+// Executes the full protocol on a 3.5 MB track with a metered terminal and
+// prints the per-phase, per-algorithm cycle breakdown for each of the three
+// architecture variants — the data behind Figures 5 and 6.
+//
+// Build & run:  ./build/examples/music_player
+#include <cstdio>
+
+#include "model/report.h"
+#include "model/usecase.h"
+
+using namespace omadrm::model;  // NOLINT
+
+namespace {
+
+void print_phase_breakdown(const UseCaseReport& report) {
+  const CycleLedger& l = report.ledger;
+  std::printf("  %-14s %12s %10s\n", "phase", "cycles", "ms@200MHz");
+  for (std::size_t p = 0; p < 4; ++p) {
+    Phase phase = static_cast<Phase>(p);
+    std::printf("  %-14s %12.3e %10.2f\n", to_string(phase),
+                l.cycles_by_phase(phase), l.ms(phase));
+  }
+  std::printf("  %-14s %12.3e %10.2f\n", "TOTAL", l.total_cycles(),
+              l.total_ms());
+}
+
+}  // namespace
+
+int main() {
+  UseCaseSpec spec = UseCaseSpec::music_player();
+  std::printf(
+      "Music Player use case: %zu-byte DCF, %zu playbacks\n"
+      "(register -> acquire -> install -> play x%zu, real crypto, metered "
+      "terminal)\n\n",
+      spec.content_bytes, spec.playbacks, spec.playbacks);
+
+  std::size_t count = 0;
+  const ArchitectureProfile* variants =
+      ArchitectureProfile::paper_variants(&count);
+  double sw_ms = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    UseCaseReport report = run_use_case(spec, variants[i]);
+    if (i == 0) sw_ms = report.total_ms();
+    std::printf("=== variant %s ===\n", variants[i].name.c_str());
+    print_phase_breakdown(report);
+    std::printf("\n%s", format_share_table(report).c_str());
+    std::printf("  speedup vs pure software: %.1fx\n\n",
+                sw_ms / report.total_ms());
+  }
+
+  std::printf(
+      "Paper reference (Figure 6): SW 7730 ms, SW/HW 800 ms, HW 190 ms.\n"
+      "Dedicated AES/SHA-1 macros pay for themselves on large content: the\n"
+      "per-play DCF hash + CBC decryption dominates everything else.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart — the complete OMA DRM 2 happy path in one page:
+// set up a CA, a Content Issuer, and a Rights Issuer; package a track;
+// register a device, acquire + install a license, and play the content.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "agent/drm_agent.h"
+#include "ci/content_issuer.h"
+#include "pki/authority.h"
+#include "provider/provider.h"
+#include "ri/rights_issuer.h"
+
+using namespace omadrm;  // NOLINT
+
+int main() {
+  // Deterministic randomness: same keys, nonces, and content every run.
+  DeterministicRng rng(2005);
+  provider::CryptoProvider& crypto = provider::plain_provider();
+  const std::uint64_t now = 1100000000;
+  const pki::Validity validity{now - 86400, now + 365 * 86400};
+
+  // 1. Trust anchor (the CMLA role) and the two network-side actors.
+  pki::CertificationAuthority ca("CMLA Root CA", 1024, validity, rng);
+  ci::ContentIssuer content_issuer("content.example", crypto, rng);
+  ri::RightsIssuer ri("ri.example", "http://ri.example/roap", ca, validity,
+                      crypto, rng);
+
+  // 2. The Content Issuer packages a track into a DCF (AES-128-CBC under a
+  //    fresh K_CEK) and escrows the key for license sales.
+  Bytes track = to_bytes("[ synthetic mp3 bitstream ... ]");
+  dcf::Headers headers;
+  headers.content_type = "audio/mpeg";
+  headers.content_id = "cid:demo-track@content.example";
+  headers.rights_issuer_url = ri.url();
+  headers.textual = {{"Title", "Demo Track"}};
+  dcf::Dcf dcf = content_issuer.package(headers, track);
+  std::printf("packaged DCF: %zu bytes, content-id %s\n",
+              dcf.serialize().size(), dcf.headers().content_id.c_str());
+
+  // 3. The RI lists a 3-play license for it.
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:demo-track";
+  offer.content_id = headers.content_id;
+  offer.dcf_hash = dcf.hash();
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  play.constraint.count = 3;
+  offer.permissions = {play};
+  offer.kcek = *content_issuer.kcek_for(headers.content_id);
+  ri.add_offer(offer);
+
+  // 4. A terminal: DRM Agent with a CA-issued device certificate.
+  agent::DrmAgent device("device-01", ca.root_certificate(), crypto, rng);
+  device.provision(ca.issue("device-01", device.public_key(), validity, rng));
+
+  // 5. Registration (4-pass ROAP), acquisition, installation.
+  if (device.register_with(ri, now) != agent::AgentStatus::kOk) {
+    std::printf("registration failed\n");
+    return 1;
+  }
+  std::printf("registered with %s\n", ri.ri_id().c_str());
+
+  agent::AcquireResult acq = device.acquire_ro(ri, offer.ro_id, now);
+  if (acq.status != agent::AgentStatus::kOk) {
+    std::printf("acquisition failed\n");
+    return 1;
+  }
+  std::printf("acquired RO %s (%zu-byte wrapped key material)\n",
+              acq.ro->rights.ro_id.c_str(), acq.ro->wrapped_keys.size());
+
+  if (device.install_ro(*acq.ro, now) != agent::AgentStatus::kOk) {
+    std::printf("installation failed\n");
+    return 1;
+  }
+  std::printf("installed RO; plays remaining: %u\n",
+              *device.remaining_count(offer.ro_id, rel::PermissionType::kPlay));
+
+  // 6. Consume until the count constraint denies.
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    agent::ConsumeResult r =
+        device.consume(dcf, rel::PermissionType::kPlay, now + attempt * 60);
+    if (r.status == agent::AgentStatus::kOk) {
+      std::printf("play %d: ok (%zu bytes) — remaining %u\n", attempt,
+                  r.content.size(),
+                  *device.remaining_count(offer.ro_id,
+                                          rel::PermissionType::kPlay));
+    } else {
+      std::printf("play %d: denied (%s / %s)\n", attempt,
+                  agent::to_string(r.status), rel::to_string(r.decision));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ringtone scenario (paper §4, Figure 7) as a runnable application.
+//
+// A 30 KB polyphonic ringtone protected by DRM: every incoming call makes
+// the DRM Agent run the full §2.4.4 consumption check (the file cannot be
+// cached in clear — "secure memory is extremely costly in mobile
+// terminals"). Simulates a day of 25 calls under a count-limited license
+// and prints the cost ledger per architecture variant.
+//
+// Build & run:  ./build/examples/ringtone_service
+#include <cstdio>
+
+#include "agent/drm_agent.h"
+#include "ci/content_issuer.h"
+#include "model/metered.h"
+#include "model/report.h"
+#include "pki/authority.h"
+#include "ri/rights_issuer.h"
+
+using namespace omadrm;         // NOLINT
+using namespace omadrm::model;  // NOLINT
+
+int main() {
+  const std::uint64_t now = 1100000000;
+  const pki::Validity validity{now - 86400, now + 365 * 86400};
+  constexpr std::size_t kCalls = 25;
+
+  // Show the modeled Figure-7 numbers first.
+  std::printf("Ringtone use case: 30 KB DCF, %zu incoming calls\n\n", kCalls);
+  VariantMs v = run_variants(UseCaseSpec::ringtone());
+  std::printf("modeled totals at 200 MHz: SW %.0f ms | SW/HW %.0f ms | HW %.0f ms\n",
+              v.sw, v.swhw, v.hw);
+  std::printf("paper (Figure 7):          SW 900 ms  | SW/HW 620 ms  | HW 12 ms\n\n");
+
+  // Now run the service interactively-ish: a metered terminal receiving
+  // calls until the 20-play license runs dry.
+  DeterministicRng rng(7);
+  CycleLedger ledger(ArchitectureProfile::symmetric_hardware());
+  MeteredCryptoProvider terminal(ledger);
+  provider::CryptoProvider& network = provider::plain_provider();
+
+  pki::CertificationAuthority ca("CMLA Root CA", 1024, validity, rng);
+  ci::ContentIssuer content_issuer("tones.example", network, rng);
+  ri::RightsIssuer ri("ri.tones.example", "http://ri.tones.example/roap", ca,
+                      validity, network, rng);
+
+  Bytes tone = rng.bytes(30 * 1024);
+  dcf::Headers headers;
+  headers.content_type = "audio/midi";
+  headers.content_id = "cid:crazy-frog@tones.example";
+  headers.rights_issuer_url = ri.url();
+  dcf::Dcf dcf = content_issuer.package(headers, tone);
+
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:crazy-frog-20";
+  offer.content_id = headers.content_id;
+  offer.dcf_hash = dcf.hash();
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  play.constraint.count = 20;  // the user bought a 20-ring license
+  offer.permissions = {play};
+  offer.kcek = *content_issuer.kcek_for(headers.content_id);
+  ri.add_offer(offer);
+
+  agent::DrmAgent phone("phone-01", ca.root_certificate(), terminal, rng);
+  phone.provision(ca.issue("phone-01", phone.public_key(), validity, rng));
+
+  {
+    CycleLedger::PhaseScope s(ledger, Phase::kRegistration);
+    if (phone.register_with(ri, now) != agent::AgentStatus::kOk) return 1;
+  }
+  agent::AcquireResult acq;
+  {
+    CycleLedger::PhaseScope s(ledger, Phase::kAcquisition);
+    acq = phone.acquire_ro(ri, offer.ro_id, now);
+    if (acq.status != agent::AgentStatus::kOk) return 1;
+  }
+  {
+    CycleLedger::PhaseScope s(ledger, Phase::kInstallation);
+    if (phone.install_ro(*acq.ro, now) != agent::AgentStatus::kOk) return 1;
+  }
+
+  std::size_t rang = 0;
+  {
+    CycleLedger::PhaseScope s(ledger, Phase::kConsumption);
+    for (std::size_t call = 1; call <= kCalls; ++call) {
+      agent::ConsumeResult r =
+          phone.consume(dcf, rel::PermissionType::kPlay, now + call * 3600);
+      if (r.status == agent::AgentStatus::kOk) {
+        ++rang;
+      } else {
+        std::printf("call %2zu: silent — license exhausted (%s)\n", call,
+                    rel::to_string(r.decision));
+      }
+    }
+  }
+  std::printf("\nphone rang %zu/%zu times (20-ring license)\n\n", rang,
+              kCalls);
+
+  std::printf("terminal cycle ledger (SW/HW variant):\n");
+  for (std::size_t p = 0; p < 4; ++p) {
+    Phase phase = static_cast<Phase>(p);
+    std::printf("  %-14s %10.2f ms\n", to_string(phase), ledger.ms(phase));
+  }
+  std::printf("  %-14s %10.2f ms\n", "TOTAL", ledger.total_ms());
+  std::printf(
+      "\nNote the paper's point: even with symmetric macros, the ~%.0f ms of\n"
+      "software PKI in the one-time phases dwarfs the per-ring cost.\n",
+      ledger.profile().cycles_to_ms(ledger.pki_cycles()));
+  return 0;
+}

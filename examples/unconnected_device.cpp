@@ -1,0 +1,112 @@
+// Unconnected Devices (paper §2.3): "devices that cannot directly connect
+// to the RI (the so-called 'Unconnected Devices' like mobile mp3 players)".
+//
+// A portable player with no network runs the complete ROAP — registration,
+// domain join, RO acquisition — with every message relayed as an opaque
+// XML document through a phone. The phone uses the Rights Issuer's
+// wire-level entry point (`handle_wire`), so it never interprets the
+// relayed traffic; all trust decisions happen on the player via the
+// two-phase build_*/process_* agent API.
+//
+// Build & run:  ./build/examples/unconnected_device
+#include <cstdio>
+
+#include "agent/drm_agent.h"
+#include "ci/content_issuer.h"
+#include "pki/authority.h"
+#include "provider/provider.h"
+#include "ri/rights_issuer.h"
+
+using namespace omadrm;  // NOLINT
+
+namespace {
+
+/// The phone's role: carry bytes to the RI and back. In a real deployment
+/// this is Bluetooth/USB on one side and HTTP on the other.
+std::string relay_via_phone(ri::RightsIssuer& ri, const std::string& request,
+                            std::uint64_t now) {
+  std::printf("  [phone] relaying %4zu bytes to RI, ", request.size());
+  std::string response = ri.handle_wire(request, now);
+  std::printf("returning %4zu bytes\n", response.size());
+  return response;
+}
+
+}  // namespace
+
+int main() {
+  DeterministicRng rng(404);
+  provider::CryptoProvider& crypto = provider::plain_provider();
+  const std::uint64_t now = 1100000000;
+  const pki::Validity validity{now - 86400, now + 365 * 86400};
+
+  pki::CertificationAuthority ca("CMLA Root CA", 1024, validity, rng);
+  ci::ContentIssuer content_issuer("content.example", crypto, rng);
+  ri::RightsIssuer ri("ri.example", "http://ri.example/roap", ca, validity,
+                      crypto, rng);
+  ri.create_domain("domain:pocket");
+
+  Bytes album = rng.bytes(64 * 1024);
+  dcf::Headers headers;
+  headers.content_type = "audio/mpeg";
+  headers.content_id = "cid:album@content.example";
+  headers.rights_issuer_url = ri.url();
+  dcf::Dcf dcf = content_issuer.package(headers, album);
+
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:album-pocket";
+  offer.content_id = headers.content_id;
+  offer.dcf_hash = dcf.hash();
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  offer.permissions = {play};
+  offer.kcek = *content_issuer.kcek_for(headers.content_id);
+  offer.domain_ro = true;
+  offer.domain_id = "domain:pocket";
+  ri.add_offer(offer);
+
+  // The unconnected player. It owns a CMLA certificate like any device —
+  // certification does not require connectivity.
+  agent::DrmAgent player("mp3-player-01", ca.root_certificate(), crypto, rng);
+  player.provision(
+      ca.issue("mp3-player-01", player.public_key(), validity, rng));
+
+  std::printf("== relayed registration (4-pass) ==\n");
+  roap::DeviceHello hello = player.build_device_hello();
+  roap::RiHello ri_hello = roap::RiHello::from_xml(
+      xml::parse(relay_via_phone(ri, hello.to_xml().serialize(), now)));
+  roap::RegistrationRequest reg_req =
+      player.build_registration_request(ri_hello);
+  roap::RegistrationResponse reg_resp = roap::RegistrationResponse::from_xml(
+      xml::parse(relay_via_phone(ri, reg_req.to_xml().serialize(), now)));
+  agent::AgentStatus status =
+      player.process_registration_response(reg_resp, now);
+  std::printf("  player: registration %s\n\n", agent::to_string(status));
+  if (status != agent::AgentStatus::kOk) return 1;
+
+  std::printf("== relayed domain join ==\n");
+  roap::JoinDomainRequest join_req =
+      player.build_join_domain_request(ri.ri_id(), "domain:pocket");
+  roap::JoinDomainResponse join_resp = roap::JoinDomainResponse::from_xml(
+      xml::parse(relay_via_phone(ri, join_req.to_xml().serialize(), now)));
+  status = player.process_join_domain_response(join_resp);
+  std::printf("  player: join %s (generation %u)\n\n", agent::to_string(status),
+              *player.domain_generation("domain:pocket"));
+  if (status != agent::AgentStatus::kOk) return 1;
+
+  std::printf("== relayed RO acquisition (2-pass) ==\n");
+  roap::RoRequest ro_req =
+      player.build_ro_request(ri.ri_id(), "ro:album-pocket");
+  roap::RoResponse ro_resp = roap::RoResponse::from_xml(
+      xml::parse(relay_via_phone(ri, ro_req.to_xml().serialize(), now)));
+  agent::AcquireResult acq = player.process_ro_response(ro_resp);
+  std::printf("  player: acquisition %s\n\n", agent::to_string(acq.status));
+  if (acq.status != agent::AgentStatus::kOk) return 1;
+
+  if (player.install_ro(*acq.ro, now) != agent::AgentStatus::kOk) return 1;
+  agent::ConsumeResult play_result =
+      player.consume(dcf, rel::PermissionType::kPlay, now);
+  std::printf("player installs and plays: %s (%zu bytes decrypted)\n",
+              agent::to_string(play_result.status),
+              play_result.content.size());
+  return play_result.status == agent::AgentStatus::kOk ? 0 : 1;
+}

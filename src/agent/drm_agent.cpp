@@ -1,0 +1,708 @@
+#include "agent/drm_agent.h"
+
+#include "common/base64.h"
+#include "common/error.h"
+
+namespace omadrm::agent {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+using roap::Status;
+
+const char* to_string(AgentStatus s) {
+  switch (s) {
+    case AgentStatus::kOk: return "ok";
+    case AgentStatus::kNotProvisioned: return "not-provisioned";
+    case AgentStatus::kNoRiContext: return "no-ri-context";
+    case AgentStatus::kRiContextExpired: return "ri-context-expired";
+    case AgentStatus::kRiAborted: return "ri-aborted";
+    case AgentStatus::kNonceMismatch: return "nonce-mismatch";
+    case AgentStatus::kSignatureInvalid: return "signature-invalid";
+    case AgentStatus::kCertificateInvalid: return "certificate-invalid";
+    case AgentStatus::kOcspInvalid: return "ocsp-invalid";
+    case AgentStatus::kCertificateRevoked: return "certificate-revoked";
+    case AgentStatus::kUnwrapFailed: return "unwrap-failed";
+    case AgentStatus::kMacMismatch: return "mac-mismatch";
+    case AgentStatus::kRoSignatureInvalid: return "ro-signature-invalid";
+    case AgentStatus::kNoDomainKey: return "no-domain-key";
+    case AgentStatus::kNotInstalled: return "not-installed";
+    case AgentStatus::kDcfHashMismatch: return "dcf-hash-mismatch";
+    case AgentStatus::kPermissionDenied: return "permission-denied";
+  }
+  return "?";
+}
+
+DrmAgent::DrmAgent(std::string device_id, pki::Certificate trust_root,
+                   provider::CryptoProvider& crypto, Rng& rng,
+                   std::size_t key_bits)
+    : device_id_(std::move(device_id)),
+      trust_root_(std::move(trust_root)),
+      crypto_(crypto),
+      rng_(rng),
+      key_(rsa::generate_key(key_bits, rng)),
+      kdev_(rng.bytes(16)) {}
+
+void DrmAgent::provision(pki::Certificate device_certificate) {
+  if (!(device_certificate.subject_key().n == key_.n)) {
+    throw Error(ErrorKind::kProtocol,
+                "agent: certificate does not match device key");
+  }
+  certificate_ = std::move(device_certificate);
+  certificate_der_ = certificate_.to_der();
+}
+
+const pki::Certificate& DrmAgent::certificate() const {
+  if (certificate_der_.empty()) {
+    throw Error(ErrorKind::kState, "agent: not provisioned");
+  }
+  return certificate_;
+}
+
+bool DrmAgent::has_ri_context(const std::string& ri_id) const {
+  return ri_contexts_.count(ri_id) > 0;
+}
+
+const RiContext* DrmAgent::ri_context(const std::string& ri_id) const {
+  auto it = ri_contexts_.find(ri_id);
+  return it == ri_contexts_.end() ? nullptr : &it->second;
+}
+
+bool DrmAgent::verify_certificate_metered(const pki::Certificate& cert,
+                                          std::uint64_t now) {
+  if (cert.issuer_cn() != trust_root_.subject_cn()) return false;
+  if (now < cert.validity().not_before) return false;
+  if (now > cert.validity().not_after) return false;
+  return crypto_.pss_verify(trust_root_.subject_key(), cert.tbs_der(),
+                            cert.signature());
+}
+
+AgentStatus DrmAgent::verify_ocsp_metered(const pki::OcspResponse& ocsp,
+                                          const bigint::BigInt& expected_serial,
+                                          ByteView expected_nonce,
+                                          std::uint64_t now) {
+  if (!(ocsp.serial() == expected_serial)) return AgentStatus::kOcspInvalid;
+  if (!ct_equal(ocsp.nonce(), expected_nonce)) {
+    return AgentStatus::kOcspInvalid;
+  }
+  if (ocsp.produced_at() > now || now - ocsp.produced_at() > kMaxOcspAge) {
+    return AgentStatus::kOcspInvalid;
+  }
+  // Our profile has the CA sign OCSP responses with the root key.
+  if (!crypto_.pss_verify(trust_root_.subject_key(), ocsp.tbs_der(),
+                          ocsp.signature())) {
+    return AgentStatus::kOcspInvalid;
+  }
+  if (ocsp.status() == pki::OcspCertStatus::kRevoked) {
+    return AgentStatus::kCertificateRevoked;
+  }
+  if (ocsp.status() != pki::OcspCertStatus::kGood) {
+    return AgentStatus::kOcspInvalid;
+  }
+  return AgentStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: Registration (4-pass ROAP)
+// ---------------------------------------------------------------------------
+
+roap::DeviceHello DrmAgent::build_device_hello() {
+  if (!is_provisioned()) {
+    throw Error(ErrorKind::kState, "agent: not provisioned");
+  }
+  // Pass 1: capability advertisement (no cryptography, paper §2.4.1).
+  roap::DeviceHello hello;
+  hello.device_id = device_id_;
+  hello.algorithms = {"SHA-1", "HMAC-SHA1", "AES-128-CBC", "AES-WRAP",
+                      "RSA-1024", "RSA-PSS", "KDF2"};
+  hello.device_nonce = rng_.bytes(roap::kNonceLen);
+  pending_registration_ = PendingRegistration{};
+  pending_registration_->device_nonce = hello.device_nonce;
+  return hello;
+}
+
+roap::RegistrationRequest DrmAgent::build_registration_request(
+    const roap::RiHello& ri_hello) {
+  if (!pending_registration_) {
+    throw Error(ErrorKind::kProtocol, "agent: no DeviceHello in flight");
+  }
+  // Pass 3: signed RegistrationRequest carrying our certificate.
+  roap::RegistrationRequest request;
+  request.session_id = ri_hello.session_id;
+  request.device_id = device_id_;
+  request.device_nonce = pending_registration_->device_nonce;
+  request.ri_nonce = ri_hello.ri_nonce;
+  request.certificate_der = certificate_der_;
+  request.ocsp_nonce = rng_.bytes(roap::kNonceLen);
+  request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
+  pending_registration_->session_id = request.session_id;
+  pending_registration_->ocsp_nonce = request.ocsp_nonce;
+  return request;
+}
+
+AgentStatus DrmAgent::register_with(ri::RightsIssuer& ri, std::uint64_t now) {
+  if (!is_provisioned()) return AgentStatus::kNotProvisioned;
+  roap::DeviceHello hello = build_device_hello();
+  roap::RiHello ri_hello = ri.handle_device_hello(hello);
+  if (ri_hello.status != Status::kSuccess) return AgentStatus::kRiAborted;
+  roap::RegistrationRequest request = build_registration_request(ri_hello);
+  roap::RegistrationResponse response =
+      ri.handle_registration_request(request, now);
+  return process_registration_response(response, now);
+}
+
+AgentStatus DrmAgent::process_registration_response(
+    const roap::RegistrationResponse& response, std::uint64_t now) {
+  if (!pending_registration_) return AgentStatus::kNonceMismatch;
+  PendingRegistration pending = *pending_registration_;
+  pending_registration_.reset();
+
+  if (response.status != Status::kSuccess) return AgentStatus::kRiAborted;
+  if (response.session_id != pending.session_id) {
+    return AgentStatus::kNonceMismatch;
+  }
+
+  // Verify the RI certificate against our trust root.
+  pki::Certificate ri_cert;
+  try {
+    ri_cert = pki::Certificate::from_der(response.ri_certificate_der);
+  } catch (const Error&) {
+    return AgentStatus::kCertificateInvalid;
+  }
+  if (!verify_certificate_metered(ri_cert, now)) {
+    return AgentStatus::kCertificateInvalid;
+  }
+
+  // Verify the stapled OCSP response for the RI certificate.
+  pki::OcspResponse ocsp;
+  try {
+    ocsp = pki::OcspResponse::from_der(response.ocsp_response_der);
+  } catch (const Error&) {
+    return AgentStatus::kOcspInvalid;
+  }
+  AgentStatus ocsp_status =
+      verify_ocsp_metered(ocsp, ri_cert.serial(), pending.ocsp_nonce, now);
+  if (ocsp_status != AgentStatus::kOk) return ocsp_status;
+
+  // Verify the message signature with the (now trusted) RI key.
+  if (!crypto_.pss_verify(ri_cert.subject_key(), response.payload(),
+                          response.signature)) {
+    return AgentStatus::kSignatureInvalid;
+  }
+
+  RiContext ctx;
+  ctx.ri_id = response.ri_id;
+  ctx.ri_url = response.ri_url;
+  ctx.ri_certificate = ri_cert;
+  ctx.established_at = now;
+  ri_contexts_[ctx.ri_id] = std::move(ctx);
+  return AgentStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: Acquisition
+// ---------------------------------------------------------------------------
+
+roap::RoRequest DrmAgent::build_ro_request(const std::string& ri_id,
+                                           const std::string& ro_id) {
+  if (!ri_contexts_.count(ri_id)) {
+    throw Error(ErrorKind::kProtocol, "agent: no RI context for " + ri_id);
+  }
+  roap::RoRequest request;
+  request.device_id = device_id_;
+  request.ri_id = ri_id;
+  request.ro_id = ro_id;
+  request.device_nonce = rng_.bytes(roap::kNonceLen);
+  request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
+  pending_ro_nonce_ = request.device_nonce;
+  return request;
+}
+
+AcquireResult DrmAgent::process_ro_response(const roap::RoResponse& response) {
+  AcquireResult out;
+  if (!pending_ro_nonce_) {
+    out.status = AgentStatus::kNonceMismatch;
+    return out;
+  }
+  Bytes expected_nonce = *pending_ro_nonce_;
+  pending_ro_nonce_.reset();
+
+  auto ctx = ri_contexts_.find(response.ri_id);
+  if (ctx == ri_contexts_.end()) {
+    out.status = AgentStatus::kNoRiContext;
+    return out;
+  }
+  if (response.status != Status::kSuccess) {
+    out.status = AgentStatus::kRiAborted;
+    return out;
+  }
+  if (!ct_equal(response.device_nonce, expected_nonce)) {
+    out.status = AgentStatus::kNonceMismatch;
+    return out;
+  }
+  if (!crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+                          response.payload(), response.signature)) {
+    out.status = AgentStatus::kSignatureInvalid;
+    return out;
+  }
+  if (response.ros.empty()) {
+    out.status = AgentStatus::kRiAborted;
+    return out;
+  }
+  out.status = AgentStatus::kOk;
+  out.ro = response.ros.front();
+  return out;
+}
+
+AcquireResult DrmAgent::acquire_ro(ri::RightsIssuer& ri,
+                                   const std::string& ro_id,
+                                   std::uint64_t now) {
+  AcquireResult out;
+  // "Existence, integrity and validity [of the RI Context] must be
+  // verified prior to any future interaction with the RI" (§2.4.1).
+  auto ctx = ri_contexts_.find(ri.ri_id());
+  if (ctx == ri_contexts_.end()) {
+    out.status = AgentStatus::kNoRiContext;
+    return out;
+  }
+  if (now > ctx->second.ri_certificate.validity().not_after) {
+    out.status = AgentStatus::kRiContextExpired;
+    return out;
+  }
+  roap::RoRequest request = build_ro_request(ri.ri_id(), ro_id);
+  return process_ro_response(ri.handle_ro_request(request, now));
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: Installation (paper §2.4.3 / Figure 3)
+// ---------------------------------------------------------------------------
+
+AgentStatus DrmAgent::install_ro(const roap::ProtectedRo& ro,
+                                 std::uint64_t now) {
+  (void)now;
+  // Unwrap K_MAC || K_REK.
+  Bytes kmac_krek;
+  if (ro.is_domain_ro) {
+    auto dk = domain_keys_.find(ro.domain_id);
+    if (dk == domain_keys_.end()) return AgentStatus::kNoDomainKey;
+    // A key of the wrong generation cannot unwrap this RO; require a
+    // re-join instead of burning an unwrap that is guaranteed to fail.
+    if (dk->second.second != ro.domain_generation) {
+      return AgentStatus::kNoDomainKey;
+    }
+    auto unwrapped = crypto_.aes_unwrap(dk->second.first, ro.wrapped_keys);
+    if (!unwrapped) return AgentStatus::kUnwrapFailed;
+    kmac_krek = std::move(*unwrapped);
+  } else {
+    const std::size_t k = key_.byte_length();
+    if (ro.wrapped_keys.size() < k + 24) return AgentStatus::kUnwrapFailed;
+    // C1 -> RSADP -> Z -> KDF2 -> KEK (one RSA private-key operation).
+    Bytes kek = crypto_.kem_decapsulate(
+        key_, ByteView(ro.wrapped_keys).subspan(0, k));
+    auto unwrapped =
+        crypto_.aes_unwrap(kek, ByteView(ro.wrapped_keys).subspan(k));
+    if (!unwrapped) return AgentStatus::kUnwrapFailed;
+    kmac_krek = std::move(*unwrapped);
+  }
+  if (kmac_krek.size() != 32) return AgentStatus::kUnwrapFailed;
+  ByteView kmac = ByteView(kmac_krek).subspan(0, 16);
+
+  // RO integrity & authenticity (key-confirmation MAC).
+  if (!crypto_.hmac_verify(kmac, ro.mac_payload(), ro.mac)) {
+    return AgentStatus::kMacMismatch;
+  }
+
+  // RO signature: mandatory for Domain ROs, verified when present.
+  if (ro.is_domain_ro || !ro.signature.empty()) {
+    auto ctx = ri_contexts_.find(ro.ri_id);
+    if (ctx == ri_contexts_.end()) return AgentStatus::kNoRiContext;
+    if (ro.signature.empty() ||
+        !crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+                            ro.signed_payload(), ro.signature)) {
+      return AgentStatus::kRoSignatureInvalid;
+    }
+  }
+
+  // Replace the PKI protection with the device key: C2dev (Figure 3).
+  Bytes c2dev = crypto_.aes_wrap(kdev_, kmac_krek);
+
+  const std::string& ro_id = ro.rights.ro_id;
+  installed_.erase(ro_id);
+  installed_.emplace(ro_id, InstalledRo(ro, std::move(c2dev)));
+  auto& index = by_content_[ro.rights.content_id];
+  bool known = false;
+  for (const auto& id : index) known |= (id == ro_id);
+  if (!known) index.push_back(ro_id);
+  return AgentStatus::kOk;
+}
+
+const InstalledRo* DrmAgent::installed_ro(const std::string& ro_id) const {
+  auto it = installed_.find(ro_id);
+  return it == installed_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: Consumption (paper §2.4.4 — every access)
+// ---------------------------------------------------------------------------
+
+ConsumeResult DrmAgent::consume(const dcf::Dcf& dcf,
+                                rel::PermissionType permission,
+                                std::uint64_t now,
+                                std::uint64_t duration_secs) {
+  ConsumeResult out;
+  auto index = by_content_.find(dcf.headers().content_id);
+  if (index == by_content_.end() || index->second.empty()) {
+    out.status = AgentStatus::kNotInstalled;
+    return out;
+  }
+
+  for (const std::string& ro_id : index->second) {
+    InstalledRo& inst = installed_.at(ro_id);
+    out.ro_id = ro_id;
+
+    // Step 1: decrypt C2dev with K_DEV.
+    auto kmac_krek = crypto_.aes_unwrap(kdev_, inst.c2dev);
+    if (!kmac_krek || kmac_krek->size() != 32) {
+      out.status = AgentStatus::kUnwrapFailed;
+      return out;
+    }
+    ByteView kmac = ByteView(*kmac_krek).subspan(0, 16);
+    ByteView krek = ByteView(*kmac_krek).subspan(16, 16);
+
+    // Step 2: verify RO integrity via its MAC.
+    if (!crypto_.hmac_verify(kmac, inst.ro.mac_payload(), inst.ro.mac)) {
+      out.status = AgentStatus::kMacMismatch;
+      return out;
+    }
+
+    // Step 3: verify DCF integrity against the hash in the RO.
+    Bytes dcf_hash = crypto_.sha1(dcf.serialize());
+    if (!ct_equal(dcf_hash, inst.ro.rights.dcf_hash)) {
+      out.status = AgentStatus::kDcfHashMismatch;
+      return out;
+    }
+
+    // REL constraint evaluation; try the next RO for this content when
+    // this one denies (multiple ROs per DCF are legal, paper §2.4.3).
+    rel::Decision decision =
+        inst.enforcer.check_and_consume(permission, now, duration_secs);
+    out.decision = decision;
+    if (decision != rel::Decision::kGranted) {
+      out.status = AgentStatus::kPermissionDenied;
+      continue;
+    }
+
+    // Unlock the chain: K_REK -> K_CEK -> content.
+    auto kcek = crypto_.aes_unwrap(krek, inst.ro.enc_kcek);
+    if (!kcek) {
+      out.status = AgentStatus::kUnwrapFailed;
+      return out;
+    }
+    Bytes content =
+        crypto_.aes_cbc_decrypt(*kcek, dcf.iv(), dcf.encrypted_payload());
+    if (content.size() != dcf.plaintext_size()) {
+      out.status = AgentStatus::kDcfHashMismatch;
+      return out;
+    }
+    out.status = AgentStatus::kOk;
+    out.content = std::move(content);
+    return out;
+  }
+  return out;  // last denial
+}
+
+// ---------------------------------------------------------------------------
+// Domains
+// ---------------------------------------------------------------------------
+
+roap::JoinDomainRequest DrmAgent::build_join_domain_request(
+    const std::string& ri_id, const std::string& domain_id) {
+  if (!ri_contexts_.count(ri_id)) {
+    throw Error(ErrorKind::kProtocol, "agent: no RI context for " + ri_id);
+  }
+  roap::JoinDomainRequest request;
+  request.device_id = device_id_;
+  request.ri_id = ri_id;
+  request.domain_id = domain_id;
+  request.device_nonce = rng_.bytes(roap::kNonceLen);
+  request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
+  pending_join_nonce_ = request.device_nonce;
+  join_ri_id_ = ri_id;
+  return request;
+}
+
+AgentStatus DrmAgent::process_join_domain_response(
+    const roap::JoinDomainResponse& response) {
+  if (!pending_join_nonce_) return AgentStatus::kNonceMismatch;
+  pending_join_nonce_.reset();
+  auto ctx = ri_contexts_.find(join_ri_id_);
+  if (ctx == ri_contexts_.end()) return AgentStatus::kNoRiContext;
+
+  if (response.status != Status::kSuccess) return AgentStatus::kRiAborted;
+  if (!crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+                          response.payload(), response.signature)) {
+    return AgentStatus::kSignatureInvalid;
+  }
+
+  const std::size_t k = key_.byte_length();
+  if (response.wrapped_domain_key.size() < k + 24) {
+    return AgentStatus::kUnwrapFailed;
+  }
+  Bytes kek = crypto_.kem_decapsulate(
+      key_, ByteView(response.wrapped_domain_key).subspan(0, k));
+  auto domain_key =
+      crypto_.aes_unwrap(kek, ByteView(response.wrapped_domain_key).subspan(k));
+  if (!domain_key || domain_key->size() != 16) {
+    return AgentStatus::kUnwrapFailed;
+  }
+  domain_keys_[response.domain_id] = {std::move(*domain_key),
+                                      response.generation};
+  return AgentStatus::kOk;
+}
+
+AgentStatus DrmAgent::join_domain(ri::RightsIssuer& ri,
+                                  const std::string& domain_id,
+                                  std::uint64_t now) {
+  if (!ri_contexts_.count(ri.ri_id())) return AgentStatus::kNoRiContext;
+  roap::JoinDomainRequest request =
+      build_join_domain_request(ri.ri_id(), domain_id);
+  return process_join_domain_response(ri.handle_join_domain(request, now));
+}
+
+AgentStatus DrmAgent::leave_domain(ri::RightsIssuer& ri,
+                                   const std::string& domain_id,
+                                   std::uint64_t now) {
+  auto ctx = ri_contexts_.find(ri.ri_id());
+  if (ctx == ri_contexts_.end()) return AgentStatus::kNoRiContext;
+
+  roap::LeaveDomainRequest request;
+  request.device_id = device_id_;
+  request.ri_id = ri.ri_id();
+  request.domain_id = domain_id;
+  request.device_nonce = rng_.bytes(roap::kNonceLen);
+  request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
+
+  roap::LeaveDomainResponse response = ri.handle_leave_domain(request, now);
+  if (response.status != Status::kSuccess) return AgentStatus::kRiAborted;
+  if (!ct_equal(response.device_nonce, request.device_nonce)) {
+    return AgentStatus::kNonceMismatch;
+  }
+  if (!crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+                          response.payload(), response.signature)) {
+    return AgentStatus::kSignatureInvalid;
+  }
+
+  // Compliance: discard K_D and uninstall this domain's Rights Objects.
+  domain_keys_.erase(domain_id);
+  for (auto it = installed_.begin(); it != installed_.end();) {
+    if (it->second.ro.is_domain_ro && it->second.ro.domain_id == domain_id) {
+      auto& index = by_content_[it->second.ro.rights.content_id];
+      std::erase(index, it->first);
+      it = installed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return AgentStatus::kOk;
+}
+
+AcquireResult DrmAgent::handle_trigger(
+    ri::RightsIssuer& ri, const roap::RoAcquisitionTrigger& trigger,
+    std::uint64_t now) {
+  AcquireResult out;
+  if (trigger.ri_id != ri.ri_id()) {
+    out.status = AgentStatus::kNoRiContext;
+    return out;
+  }
+  if (!trigger.domain_id.empty() && !has_domain_key(trigger.domain_id)) {
+    AgentStatus join = join_domain(ri, trigger.domain_id, now);
+    if (join != AgentStatus::kOk) {
+      out.status = join;
+      return out;
+    }
+  }
+  return acquire_ro(ri, trigger.ro_id, now);
+}
+
+bool DrmAgent::has_domain_key(const std::string& domain_id) const {
+  return domain_keys_.count(domain_id) > 0;
+}
+
+std::optional<std::uint32_t> DrmAgent::domain_generation(
+    const std::string& domain_id) const {
+  auto it = domain_keys_.find(domain_id);
+  if (it == domain_keys_.end()) return std::nullopt;
+  return it->second.second;
+}
+
+std::optional<std::uint32_t> DrmAgent::remaining_count(
+    const std::string& ro_id, rel::PermissionType permission) const {
+  auto it = installed_.find(ro_id);
+  if (it == installed_.end()) return std::nullopt;
+  return it->second.enforcer.remaining_count(permission);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (secure-storage image)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr rel::PermissionType kAllPermissions[] = {
+    rel::PermissionType::kPlay, rel::PermissionType::kDisplay,
+    rel::PermissionType::kExecute, rel::PermissionType::kPrint,
+    rel::PermissionType::kExport};
+
+std::uint64_t parse_u64_attr(const xml::Element& e, const std::string& key) {
+  const std::string& s = e.require_attr(key);
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw Error(ErrorKind::kFormat, "agent state: bad number " + s);
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+Bytes DrmAgent::export_state() const {
+  xml::Element root("agent-state");
+  root.set_attr("device-id", device_id_);
+
+  // Identity: RSA private key (hex bignums) + K_DEV + certificate.
+  xml::Element key("device-key");
+  key.set_attr("n", key_.n.to_hex());
+  key.set_attr("e", key_.e.to_hex());
+  key.set_attr("d", key_.d.to_hex());
+  if (key_.has_crt) {
+    key.set_attr("p", key_.p.to_hex());
+    key.set_attr("q", key_.q.to_hex());
+    key.set_attr("dp", key_.dp.to_hex());
+    key.set_attr("dq", key_.dq.to_hex());
+    key.set_attr("qinv", key_.qinv.to_hex());
+  }
+  root.add_child(std::move(key));
+  root.add_text_child("kdev", base64_encode(kdev_));
+  if (!certificate_der_.empty()) {
+    root.add_text_child("certificate", base64_encode(certificate_der_));
+  }
+
+  for (const auto& [id, ctx] : ri_contexts_) {
+    xml::Element e("ri-context");
+    e.set_attr("id", ctx.ri_id);
+    e.set_attr("url", ctx.ri_url);
+    e.set_attr("established", std::to_string(ctx.established_at));
+    e.add_text_child("certificate",
+                     base64_encode(ctx.ri_certificate.to_der()));
+    root.add_child(std::move(e));
+  }
+
+  for (const auto& [id, entry] : domain_keys_) {
+    xml::Element e("domain-key");
+    e.set_attr("id", id);
+    e.set_attr("generation", std::to_string(entry.second));
+    e.set_text(base64_encode(entry.first));
+    root.add_child(std::move(e));
+  }
+
+  for (const auto& [ro_id, inst] : installed_) {
+    xml::Element e("installed-ro");
+    e.add_child(inst.ro.to_xml());
+    e.add_text_child("c2dev", base64_encode(inst.c2dev));
+    for (rel::PermissionType p : kAllPermissions) {
+      rel::RightsEnforcer::State s = inst.enforcer.state(p);
+      if (s == rel::RightsEnforcer::State{}) continue;
+      xml::Element st("state");
+      st.set_attr("permission", rel::to_string(p));
+      st.set_attr("used", std::to_string(s.used));
+      if (s.first_use) {
+        st.set_attr("first-use", std::to_string(*s.first_use));
+      }
+      st.set_attr("accumulated", std::to_string(s.accumulated));
+      e.add_child(std::move(st));
+    }
+    root.add_child(std::move(e));
+  }
+
+  return to_bytes(root.serialize());
+}
+
+void DrmAgent::import_state(ByteView blob) {
+  xml::Element root = xml::parse(omadrm::to_string(blob));
+  if (root.name() != "agent-state") {
+    throw Error(ErrorKind::kFormat, "agent state: wrong root element");
+  }
+
+  device_id_ = root.require_attr("device-id");
+
+  const xml::Element& key = root.require_child("device-key");
+  key_.n = bigint::BigInt("0x" + key.require_attr("n"));
+  key_.e = bigint::BigInt("0x" + key.require_attr("e"));
+  key_.d = bigint::BigInt("0x" + key.require_attr("d"));
+  key_.has_crt = key.attr("p") != nullptr;
+  if (key_.has_crt) {
+    key_.p = bigint::BigInt("0x" + key.require_attr("p"));
+    key_.q = bigint::BigInt("0x" + key.require_attr("q"));
+    key_.dp = bigint::BigInt("0x" + key.require_attr("dp"));
+    key_.dq = bigint::BigInt("0x" + key.require_attr("dq"));
+    key_.qinv = bigint::BigInt("0x" + key.require_attr("qinv"));
+  }
+  kdev_ = base64_decode(root.child_text("kdev"));
+  if (const xml::Element* cert = root.child("certificate")) {
+    certificate_der_ = base64_decode(cert->text());
+    certificate_ = pki::Certificate::from_der(certificate_der_);
+  } else {
+    certificate_der_.clear();
+  }
+
+  ri_contexts_.clear();
+  domain_keys_.clear();
+  installed_.clear();
+  by_content_.clear();
+
+  for (const xml::Element& e : root.children()) {
+    if (e.name() == "ri-context") {
+      RiContext ctx;
+      ctx.ri_id = e.require_attr("id");
+      ctx.ri_url = e.require_attr("url");
+      ctx.established_at = parse_u64_attr(e, "established");
+      ctx.ri_certificate = pki::Certificate::from_der(
+          base64_decode(e.child_text("certificate")));
+      ri_contexts_[ctx.ri_id] = std::move(ctx);
+    } else if (e.name() == "domain-key") {
+      domain_keys_[e.require_attr("id")] = {
+          base64_decode(e.text()),
+          static_cast<std::uint32_t>(parse_u64_attr(e, "generation"))};
+    } else if (e.name() == "installed-ro") {
+      roap::ProtectedRo ro =
+          roap::ProtectedRo::from_xml(e.require_child("roap:protectedRO"));
+      Bytes c2dev = base64_decode(e.child_text("c2dev"));
+      const std::string ro_id = ro.rights.ro_id;
+      const std::string content_id = ro.rights.content_id;
+      auto [it, inserted] =
+          installed_.emplace(ro_id, InstalledRo(std::move(ro),
+                                                std::move(c2dev)));
+      if (!inserted) {
+        throw Error(ErrorKind::kFormat, "agent state: duplicate RO");
+      }
+      for (const xml::Element* st : e.children_named("state")) {
+        auto p = rel::permission_from_string(st->require_attr("permission"));
+        if (!p) {
+          throw Error(ErrorKind::kFormat, "agent state: bad permission");
+        }
+        rel::RightsEnforcer::State s;
+        s.used =
+            static_cast<std::uint32_t>(parse_u64_attr(*st, "used"));
+        if (st->attr("first-use")) {
+          s.first_use = parse_u64_attr(*st, "first-use");
+        }
+        s.accumulated = parse_u64_attr(*st, "accumulated");
+        it->second.enforcer.restore_state(*p, s);
+      }
+      by_content_[content_id].push_back(ro_id);
+    }
+  }
+}
+
+}  // namespace omadrm::agent

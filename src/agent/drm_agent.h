@@ -1,0 +1,225 @@
+// DRM Agent — the trusted logical entity in the user's terminal
+// (paper §2.1) and the component whose cryptographic workload the paper
+// models. All four consumption-process phases are implemented:
+//
+//   Registration  (§2.4.1): 4-pass ROAP, RI certificate + OCSP + message
+//                 signature verification, RI Context persistence.
+//   Acquisition   (§2.4.2): signed RORequest / verified ROResponse.
+//   Installation  (§2.4.3): RSADP(C1) → KDF2 → AES-UNWRAP(C2) →
+//                 MAC check → re-wrap under the device key K_DEV (C2dev),
+//                 replacing the PKI protection with a symmetric one.
+//   Consumption   (§2.4.4): per access — unwrap C2dev, verify the RO MAC,
+//                 verify the DCF hash, then decrypt the content.
+//
+// Every cryptographic operation goes through the injected CryptoProvider,
+// which is how the cycle-cost model observes exactly the terminal-side
+// work the paper charges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dcf/dcf.h"
+#include "pki/authority.h"
+#include "provider/provider.h"
+#include "rel/rights.h"
+#include "ri/rights_issuer.h"
+#include "roap/messages.h"
+
+namespace omadrm::agent {
+
+enum class AgentStatus : std::uint8_t {
+  kOk,
+  kNotProvisioned,       // no device certificate installed yet
+  kNoRiContext,          // interaction attempted before registration
+  kRiContextExpired,     // RI certificate no longer valid
+  kRiAborted,            // RI returned a non-success ROAP status
+  kNonceMismatch,        // response not bound to our request
+  kSignatureInvalid,     // ROAP message signature failed
+  kCertificateInvalid,   // RI certificate failed validation
+  kOcspInvalid,          // stapled OCSP response failed validation
+  kCertificateRevoked,   // OCSP reports the RI certificate revoked
+  kUnwrapFailed,         // AES-UNWRAP integrity failure (wrong key / tamper)
+  kMacMismatch,          // Rights Object MAC check failed
+  kRoSignatureInvalid,   // RO signature missing/invalid (domain ROs)
+  kNoDomainKey,          // domain RO but device has no K_D
+  kNotInstalled,         // no installed RO for the content
+  kDcfHashMismatch,      // DCF integrity check failed
+  kPermissionDenied,     // REL constraint evaluation denied the access
+};
+
+const char* to_string(AgentStatus s);
+
+/// The trusted-relationship record the agent persists after registration
+/// (paper: "the DRM Agent saves information on the relationship with this
+/// specific RI in the RI Context").
+struct RiContext {
+  std::string ri_id;
+  std::string ri_url;
+  pki::Certificate ri_certificate;
+  std::uint64_t established_at = 0;
+};
+
+/// An installed Rights Object: the delivered RO plus the device-bound
+/// re-wrapped keys and the stateful constraint enforcer.
+struct InstalledRo {
+  roap::ProtectedRo ro;
+  Bytes c2dev;  // AES-WRAP(K_DEV, K_MAC || K_REK)
+  rel::RightsEnforcer enforcer;
+
+  InstalledRo(roap::ProtectedRo protected_ro, Bytes c2dev_bytes)
+      : ro(std::move(protected_ro)),
+        c2dev(std::move(c2dev_bytes)),
+        enforcer(ro.rights) {}
+};
+
+/// Result of a consumption attempt.
+struct ConsumeResult {
+  AgentStatus status = AgentStatus::kNotInstalled;
+  rel::Decision decision = rel::Decision::kNoSuchPermission;
+  Bytes content;  // plaintext on success
+  std::string ro_id;  // the RO that granted (or last denied) access
+};
+
+/// Result of RO acquisition.
+struct AcquireResult {
+  AgentStatus status = AgentStatus::kNoRiContext;
+  std::optional<roap::ProtectedRo> ro;
+};
+
+class DrmAgent {
+ public:
+  /// Creates an agent with a fresh RSA key pair and device key K_DEV.
+  /// `trust_root` is the baked-in CA root certificate.
+  DrmAgent(std::string device_id, pki::Certificate trust_root,
+           provider::CryptoProvider& crypto, Rng& rng,
+           std::size_t key_bits = 1024);
+
+  const std::string& device_id() const { return device_id_; }
+  rsa::PublicKey public_key() const { return key_.public_key(); }
+
+  /// Installs the certificate a CA issued over public_key().
+  void provision(pki::Certificate device_certificate);
+  bool is_provisioned() const { return !certificate_der_.empty(); }
+  const pki::Certificate& certificate() const;
+
+  // -- Phase 1: Registration ------------------------------------------------
+  AgentStatus register_with(ri::RightsIssuer& ri, std::uint64_t now);
+  bool has_ri_context(const std::string& ri_id) const;
+  const RiContext* ri_context(const std::string& ri_id) const;
+
+  // Transport-agnostic two-phase API. `register_with` / `acquire_ro` /
+  // `join_domain` drive an in-process RightsIssuer directly; these
+  // build/process halves let the messages travel over *any* channel —
+  // in particular via another device acting as proxy, which is how the
+  // standard's "Unconnected Devices" (portable players that cannot reach
+  // the RI, paper §2.3) participate. Each build_* records the pending
+  // nonces; the matching process_* consumes them.
+  roap::DeviceHello build_device_hello();
+  roap::RegistrationRequest build_registration_request(
+      const roap::RiHello& ri_hello);
+  AgentStatus process_registration_response(
+      const roap::RegistrationResponse& response, std::uint64_t now);
+
+  roap::RoRequest build_ro_request(const std::string& ri_id,
+                                   const std::string& ro_id);
+  AcquireResult process_ro_response(const roap::RoResponse& response);
+
+  roap::JoinDomainRequest build_join_domain_request(
+      const std::string& ri_id, const std::string& domain_id);
+  AgentStatus process_join_domain_response(
+      const roap::JoinDomainResponse& response);
+
+  // -- Phase 2: Acquisition ---------------------------------------------------
+  AcquireResult acquire_ro(ri::RightsIssuer& ri, const std::string& ro_id,
+                           std::uint64_t now);
+
+  // -- Phase 3: Installation -------------------------------------------------
+  AgentStatus install_ro(const roap::ProtectedRo& ro, std::uint64_t now);
+  const InstalledRo* installed_ro(const std::string& ro_id) const;
+  std::size_t installed_count() const { return installed_.size(); }
+
+  // -- Phase 4: Consumption ---------------------------------------------------
+  ConsumeResult consume(const dcf::Dcf& dcf, rel::PermissionType permission,
+                        std::uint64_t now, std::uint64_t duration_secs = 0);
+
+  /// Reacts to an RO-acquisition trigger pushed by the RI: joins the
+  /// advertised domain first when needed, then acquires the RO. The
+  /// trigger itself is untrusted — every security property comes from the
+  /// triggered ROAP exchange.
+  AcquireResult handle_trigger(ri::RightsIssuer& ri,
+                               const roap::RoAcquisitionTrigger& trigger,
+                               std::uint64_t now);
+
+  // -- Domains ---------------------------------------------------------------
+  AgentStatus join_domain(ri::RightsIssuer& ri, const std::string& domain_id,
+                          std::uint64_t now);
+  /// Leaves a domain: discards K_D and uninstalls that domain's ROs.
+  AgentStatus leave_domain(ri::RightsIssuer& ri, const std::string& domain_id,
+                           std::uint64_t now);
+  bool has_domain_key(const std::string& domain_id) const;
+  /// Generation of the held domain key (nullopt if not a member).
+  std::optional<std::uint32_t> domain_generation(
+      const std::string& domain_id) const;
+
+  // -- Persistence -------------------------------------------------------------
+  /// Serializes the agent's full persistent state — device RSA key, K_DEV,
+  /// certificate, RI contexts, installed ROs (with consumption state), and
+  /// domain keys — into an opaque blob. The OMA standard leaves storage to
+  /// the CA's robustness rules; this models the secure-storage image a
+  /// real terminal keeps across power cycles (it contains key material and
+  /// MUST live in protected memory).
+  Bytes export_state() const;
+  /// Restores a blob produced by export_state(), replacing this agent's
+  /// identity and state (a reboot of the same physical device). Throws
+  /// omadrm::Error(kFormat) on malformed input.
+  void import_state(ByteView blob);
+
+  /// Remaining uses for a count-constrained permission of an installed RO.
+  std::optional<std::uint32_t> remaining_count(
+      const std::string& ro_id, rel::PermissionType permission) const;
+
+ private:
+  /// Certificate validation through the metered provider (field checks +
+  /// one RSAVP1), so the cost model sees the RSA public-key operation the
+  /// paper charges for certificate verification.
+  bool verify_certificate_metered(const pki::Certificate& cert,
+                                  std::uint64_t now);
+  AgentStatus verify_ocsp_metered(const pki::OcspResponse& ocsp,
+                                  const bigint::BigInt& expected_serial,
+                                  ByteView expected_nonce, std::uint64_t now);
+
+  std::string device_id_;
+  pki::Certificate trust_root_;
+  provider::CryptoProvider& crypto_;
+  Rng& rng_;
+  rsa::PrivateKey key_;
+  Bytes kdev_;  // device-generated key replacing PKI protection at install
+  Bytes certificate_der_;
+  pki::Certificate certificate_;
+
+  std::map<std::string, RiContext> ri_contexts_;        // by ri_id
+  std::map<std::string, InstalledRo> installed_;        // by ro_id
+  std::map<std::string, std::vector<std::string>> by_content_;  // cid -> ro ids
+  std::map<std::string, std::pair<Bytes, std::uint32_t>> domain_keys_;
+
+  // Pending two-phase exchanges (nonce bookkeeping).
+  struct PendingRegistration {
+    std::string session_id;
+    Bytes device_nonce;
+    Bytes ocsp_nonce;
+  };
+  std::optional<PendingRegistration> pending_registration_;
+  std::optional<Bytes> pending_ro_nonce_;
+  std::optional<Bytes> pending_join_nonce_;
+  std::string join_ri_id_;
+};
+
+/// Maximum accepted OCSP response age (seconds).
+inline constexpr std::uint64_t kMaxOcspAge = 7 * 24 * 3600;
+
+}  // namespace omadrm::agent

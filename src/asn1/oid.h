@@ -1,0 +1,17 @@
+// Object identifiers used by the PKI substrate.
+#pragma once
+
+namespace omadrm::asn1::oid {
+
+// PKCS#1 RSASSA-PSS signature algorithm.
+inline constexpr const char* kRsassaPss = "1.2.840.113549.1.1.10";
+// rsaEncryption (used for SubjectPublicKeyInfo).
+inline constexpr const char* kRsaEncryption = "1.2.840.113549.1.1.1";
+// SHA-1.
+inline constexpr const char* kSha1 = "1.3.14.3.2.26";
+// id-pkix-ocsp-basic.
+inline constexpr const char* kOcspBasic = "1.3.6.1.5.5.7.48.1.1";
+// X.520 commonName attribute.
+inline constexpr const char* kCommonName = "2.5.4.3";
+
+}  // namespace omadrm::asn1::oid

@@ -1,0 +1,121 @@
+#include "bigint/montgomery.h"
+
+#include "common/error.h"
+
+namespace omadrm::bigint {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+namespace {
+
+// -m^-1 mod 2^32 via Newton iteration (doubles correct bits each step).
+std::uint32_t neg_inverse_u32(std::uint32_t m0) {
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2 - m0 * inv;
+  }
+  return static_cast<std::uint32_t>(0u - inv);
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigInt& m) : m_(m) {
+  if (m.is_zero() || m.is_negative() || m.is_even()) {
+    throw Error(ErrorKind::kCrypto, "Montgomery modulus must be odd positive");
+  }
+  n_ = m.limbs().size();
+  m_prime_ = neg_inverse_u32(m.limbs()[0]);
+  // R^2 mod m where R = 2^(32 n).
+  BigInt r = BigInt(std::uint64_t{1}) << (32 * n_);
+  r2_ = (r * r).mod(m_);
+}
+
+// Coarsely Integrated Operand Scanning (CIOS) Montgomery multiplication.
+// Computes a * b * R^-1 mod m for operands already reduced mod m.
+MontgomeryCtx::Limbs MontgomeryCtx::cios(const Limbs& a,
+                                         const Limbs& b) const {
+  const Limbs& m = m_.limbs();
+  Limbs t(n_ + 2, 0);
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t ai = i < a.size() ? a[i] : 0;
+
+    // t += ai * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::uint64_t bj = j < b.size() ? b[j] : 0;
+      const std::uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    {
+      const std::uint64_t cur = t[n_] + carry;
+      t[n_] = static_cast<std::uint32_t>(cur);
+      t[n_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+    }
+
+    // u = t[0] * m' mod 2^32 ; t = (t + u * m) >> 32
+    const std::uint64_t u = static_cast<std::uint32_t>(t[0] * m_prime_);
+    std::uint64_t cur = t[0] + u * m[0];
+    carry = cur >> 32;
+    for (std::size_t j = 1; j < n_; ++j) {
+      cur = t[j] + u * m[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[n_] + carry;
+    t[n_ - 1] = static_cast<std::uint32_t>(cur);
+    t[n_] = t[n_ + 1] + static_cast<std::uint32_t>(cur >> 32);
+    t[n_ + 1] = 0;
+  }
+
+  t.resize(n_ + 1);
+  BigInt res = BigInt::from_limbs(std::move(t));
+  // At most one final subtraction is needed: result < 2m.
+  if (!(res < m_)) res = res - m_;
+  return res.limbs();
+}
+
+BigInt MontgomeryCtx::mont_mul(const BigInt& a, const BigInt& b) const {
+  return BigInt::from_limbs(cios(a.limbs(), b.limbs()));
+}
+
+BigInt MontgomeryCtx::to_mont(const BigInt& a) const {
+  return BigInt::from_limbs(cios(a.limbs(), r2_.limbs()));
+}
+
+BigInt MontgomeryCtx::from_mont(const BigInt& a) const {
+  Limbs one{1};
+  return BigInt::from_limbs(cios(a.limbs(), one));
+}
+
+BigInt MontgomeryCtx::mod_exp(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_zero()) return BigInt(std::uint64_t{1}).mod(m_);
+
+  // Fixed 4-bit window: precompute base^0..base^15 in Montgomery form.
+  constexpr std::size_t kWindow = 4;
+  BigInt mont_one = to_mont(BigInt(std::uint64_t{1}));
+  std::vector<BigInt> table(std::size_t{1} << kWindow);
+  table[0] = mont_one;
+  table[1] = to_mont(base);
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    table[i] = mont_mul(table[i - 1], table[1]);
+  }
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + kWindow - 1) / kWindow;
+  BigInt acc = mont_one;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (std::size_t s = 0; s < kWindow; ++s) acc = mont_mul(acc, acc);
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < kWindow; ++b) {
+      const std::size_t bit_pos = w * kWindow + (kWindow - 1 - b);
+      idx = (idx << 1) | (bit_pos < bits && exp.bit(bit_pos) ? 1u : 0u);
+    }
+    if (idx != 0) acc = mont_mul(acc, table[idx]);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace omadrm::bigint

@@ -1,0 +1,33 @@
+#include "ci/content_issuer.h"
+
+#include "common/error.h"
+
+namespace omadrm::ci {
+
+ContentIssuer::ContentIssuer(std::string name,
+                             provider::CryptoProvider& crypto, Rng& rng)
+    : name_(std::move(name)), crypto_(crypto), rng_(rng) {}
+
+dcf::Dcf ContentIssuer::package(dcf::Headers headers, ByteView content) {
+  if (headers.content_id.empty()) {
+    throw Error(ErrorKind::kProtocol, "ci: content id required");
+  }
+  if (escrow_.count(headers.content_id)) {
+    throw Error(ErrorKind::kProtocol,
+                "ci: content id already packaged: " + headers.content_id);
+  }
+  Bytes kcek = rng_.bytes(16);
+  Bytes iv = rng_.bytes(16);
+  Bytes payload = crypto_.aes_cbc_encrypt(kcek, iv, content);
+  dcf::Dcf out(std::move(headers), std::move(iv), std::move(payload),
+               content.size());
+  escrow_.emplace(out.headers().content_id, std::move(kcek));
+  return out;
+}
+
+const Bytes* ContentIssuer::kcek_for(const std::string& content_id) const {
+  auto it = escrow_.find(content_id);
+  return it == escrow_.end() ? nullptr : &it->second;
+}
+
+}  // namespace omadrm::ci

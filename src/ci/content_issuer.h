@@ -1,0 +1,37 @@
+// Content Issuer — owns digital content, packages it into DCFs, and
+// escrows the Content Encryption Keys so Rights Issuers it has a business
+// agreement with can mint licenses (paper Figure 1, "Any protocol" edge).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "dcf/dcf.h"
+#include "provider/provider.h"
+
+namespace omadrm::ci {
+
+class ContentIssuer {
+ public:
+  ContentIssuer(std::string name, provider::CryptoProvider& crypto, Rng& rng);
+
+  /// Encrypts `content` under a fresh K_CEK and wraps it in a DCF. The
+  /// K_CEK is retained in the escrow keyed by content id.
+  dcf::Dcf package(dcf::Headers headers, ByteView content);
+
+  /// K_CEK lookup for license negotiation with a Rights Issuer;
+  /// nullptr when this issuer never packaged that content id.
+  const Bytes* kcek_for(const std::string& content_id) const;
+
+  const std::string& name() const { return name_; }
+  std::size_t packaged_count() const { return escrow_.size(); }
+
+ private:
+  std::string name_;
+  provider::CryptoProvider& crypto_;
+  Rng& rng_;
+  std::map<std::string, Bytes> escrow_;  // content id -> K_CEK
+};
+
+}  // namespace omadrm::ci

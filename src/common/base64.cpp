@@ -1,0 +1,93 @@
+#include "common/base64.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace omadrm {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> make_reverse_table() {
+  std::array<int, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = i;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string base64_encode(ByteView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      data[i + 2];
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view text) {
+  static const std::array<int, 256> kReverse = make_reverse_table();
+  if (text.size() % 4 != 0) {
+    throw Error(ErrorKind::kFormat, "base64 length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t n = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the final group.
+        if (i + 4 != text.size() || j < 2) {
+          throw Error(ErrorKind::kFormat, "base64 misplaced padding");
+        }
+        ++pad;
+        n <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        throw Error(ErrorKind::kFormat, "base64 data after padding");
+      }
+      int v = kReverse[static_cast<unsigned char>(c)];
+      if (v < 0) {
+        throw Error(ErrorKind::kFormat, "base64 invalid character");
+      }
+      n = (n << 6) | static_cast<std::uint32_t>(v);
+    }
+    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  }
+  return out;
+}
+
+}  // namespace omadrm

@@ -1,0 +1,21 @@
+// RFC 4648 base64 (standard alphabet, '=' padding).
+//
+// Used for embedding binary material (wrapped keys, signatures, hashes)
+// inside XML documents, as the OMA DRM 2 schemas do.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace omadrm {
+
+/// Encodes bytes to base64 with padding.
+std::string base64_encode(ByteView data);
+
+/// Decodes base64; accepts only canonical input (correct padding, no
+/// whitespace). Throws omadrm::Error(kFormat) on invalid input.
+Bytes base64_decode(std::string_view text);
+
+}  // namespace omadrm

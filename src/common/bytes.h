@@ -1,0 +1,49 @@
+// Byte-buffer primitives shared by every layer of the stack.
+//
+// The whole library works on `Bytes` (a std::vector<uint8_t>) for owned
+// buffers and `ByteView` (std::span<const uint8_t>) for borrowed ones.
+// Helper functions here are deliberately small and allocation-explicit so
+// higher layers can reason about copies.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omadrm {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Concatenates any number of byte views into a freshly allocated buffer.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Returns bytes [offset, offset+len) of `v`. Throws omadrm::Error on
+/// out-of-range access (never silently truncates).
+Bytes slice(ByteView v, std::size_t offset, std::size_t len);
+
+/// XORs `b` into `a` element-wise; the views must have equal length.
+Bytes xor_bytes(ByteView a, ByteView b);
+
+/// Interprets a string's characters as bytes (no encoding conversion).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as a std::string (no validation).
+std::string to_string(ByteView v);
+
+/// Constant-time equality: runtime depends only on the lengths, not the
+/// contents. Use for MAC / hash / key comparisons.
+bool ct_equal(ByteView a, ByteView b);
+
+/// Big-endian store of a 32/64-bit integer into 4/8 bytes.
+void store_be32(std::uint32_t v, std::uint8_t* out);
+void store_be64(std::uint64_t v, std::uint8_t* out);
+
+/// Big-endian load of 4/8 bytes.
+std::uint32_t load_be32(const std::uint8_t* p);
+std::uint64_t load_be64(const std::uint8_t* p);
+
+}  // namespace omadrm

@@ -1,0 +1,51 @@
+// Library-wide exception type.
+//
+// Exceptions are reserved for *contract violations and malformed input*
+// (bad lengths, unparseable encodings, protocol misuse). Security checks
+// that can legitimately fail at runtime — signature / MAC / hash / cert
+// verification, permission evaluation — return typed results instead; a
+// failed check is an expected outcome, not an exceptional one.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace omadrm {
+
+enum class ErrorKind {
+  kRange,     // out-of-range access, length mismatch
+  kFormat,    // malformed serialized data (DER, XML, DCF, ROAP, ...)
+  kCrypto,    // cryptographic contract violation (bad key size, ...)
+  kProtocol,  // ROAP / DRM state machine misuse
+  kState,     // object used before initialization or after invalidation
+  kNotFound,  // lookup failure for a required entity
+};
+
+/// Converts an ErrorKind to a stable human-readable tag ("format", ...).
+const char* to_string(ErrorKind kind);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+        kind_(kind) {}
+
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+inline const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kRange: return "range";
+    case ErrorKind::kFormat: return "format";
+    case ErrorKind::kCrypto: return "crypto";
+    case ErrorKind::kProtocol: return "protocol";
+    case ErrorKind::kState: return "state";
+    case ErrorKind::kNotFound: return "not-found";
+  }
+  return "unknown";
+}
+
+}  // namespace omadrm

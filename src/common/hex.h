@@ -1,0 +1,18 @@
+// Lowercase hexadecimal encoding / decoding.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace omadrm {
+
+/// Encodes bytes as lowercase hex ("deadbeef").
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (case-insensitive, even length, no separators).
+/// Throws omadrm::Error(kFormat) on invalid input.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace omadrm

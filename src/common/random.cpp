@@ -1,0 +1,67 @@
+#include "common/random.h"
+
+#include "common/error.h"
+
+namespace omadrm {
+
+Bytes Rng::bytes(std::size_t len) {
+  Bytes out(len);
+  if (len > 0) fill(out.data(), len);
+  return out;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw Error(ErrorKind::kRange, "uniform(0)");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+DeterministicRng::DeterministicRng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : state_) s = splitmix64(x);
+}
+
+std::uint64_t DeterministicRng::next_u64() {
+  std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void DeterministicRng::fill(std::uint8_t* out, std::size_t len) {
+  std::size_t i = 0;
+  while (i < len) {
+    std::uint64_t v = next_u64();
+    for (int b = 0; b < 8 && i < len; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+}
+
+}  // namespace omadrm

@@ -1,0 +1,50 @@
+// Deterministic random source.
+//
+// Everything random in the stack — RSA key generation, nonces, symmetric
+// keys, synthetic content — flows through this interface so that every
+// test, example, and benchmark run is reproducible bit-for-bit from a seed
+// (mirroring the paper's deterministic Java PC model).
+//
+// The default implementation is xoshiro256** seeded via splitmix64. That is
+// a *simulation* RNG: statistically excellent and fully deterministic, but
+// not a CSPRNG — which is exactly what a reproducibility-first model wants.
+// A production port would swap in a hardware TRNG behind the same interface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace omadrm {
+
+/// Abstract random source; all consumers take `Rng&`.
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::uint8_t* out, std::size_t len) = 0;
+
+  /// Convenience: returns `len` random bytes.
+  Bytes bytes(std::size_t len);
+
+  /// Uniform draw in [0, bound). `bound` must be non-zero.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Raw 64-bit draw.
+  virtual std::uint64_t next_u64() = 0;
+};
+
+/// xoshiro256** — deterministic, seedable, fast.
+class DeterministicRng final : public Rng {
+ public:
+  explicit DeterministicRng(std::uint64_t seed);
+
+  void fill(std::uint8_t* out, std::size_t len) override;
+  std::uint64_t next_u64() override;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace omadrm

@@ -1,0 +1,45 @@
+// AES block cipher (FIPS 197), key sizes 128/192/256.
+//
+// OMA DRM 2 mandates AES-128 in two roles: AES-CBC for content
+// encryption (see modes.h) and AES-WRAP for key wrapping (see aes_wrap.h).
+// The implementation is the classic 32-bit T-table form; the tables are
+// derived programmatically from the GF(2^8) field arithmetic at startup,
+// so there are no hand-typed constants to mistype (FIPS-197 known-answer
+// tests pin the behaviour).
+//
+// Note: T-table AES is not constant-time with respect to cache timing.
+// That is acceptable here — this library is a performance-model
+// reproduction, not a hardened production build (see DESIGN.md §7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace omadrm::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes; throws omadrm::Error(kCrypto)
+  /// otherwise.
+  explicit Aes(ByteView key);
+
+  int rounds() const { return rounds_; }
+
+  /// Single-block ECB operations; `in` and `out` may alias.
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+
+ private:
+  int rounds_;
+  // 4 * (rounds + 1) round-key words, max 60 for AES-256.
+  std::array<std::uint32_t, 60> ek_{};
+  std::array<std::uint32_t, 60> dk_{};
+};
+
+}  // namespace omadrm::crypto

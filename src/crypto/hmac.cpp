@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace omadrm::crypto {
+
+HmacSha1::HmacSha1(ByteView key) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > Sha1::kBlockSize) {
+    k = Sha1::hash(k);
+  }
+  k.resize(Sha1::kBlockSize, 0);
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    ipad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  reset();
+}
+
+void HmacSha1::reset() {
+  inner_.reset();
+  inner_.update(ByteView(ipad_key_.data(), ipad_key_.size()));
+}
+
+void HmacSha1::update(ByteView data) { inner_.update(data); }
+
+Bytes HmacSha1::finish() {
+  Bytes inner_digest = inner_.finish();
+  Sha1 outer;
+  outer.update(ByteView(opad_key_.data(), opad_key_.size()));
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes HmacSha1::mac(ByteView key, ByteView data) {
+  HmacSha1 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+bool HmacSha1::verify(ByteView key, ByteView data, ByteView expected_tag) {
+  Bytes tag = mac(key, data);
+  return ct_equal(tag, expected_tag);
+}
+
+}  // namespace omadrm::crypto

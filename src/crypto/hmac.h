@@ -1,0 +1,33 @@
+// HMAC-SHA1 (RFC 2104) — the MAC algorithm OMA DRM 2 uses to
+// integrity-protect Rights Objects with K_MAC.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha1.h"
+
+namespace omadrm::crypto {
+
+class HmacSha1 {
+ public:
+  static constexpr std::size_t kDigestSize = Sha1::kDigestSize;
+
+  /// Keys longer than the SHA-1 block size are hashed first, per RFC 2104.
+  explicit HmacSha1(ByteView key);
+
+  void update(ByteView data);
+  Bytes finish();
+  void reset();
+
+  /// One-shot convenience.
+  static Bytes mac(ByteView key, ByteView data);
+
+  /// Constant-time verification of an expected tag.
+  static bool verify(ByteView key, ByteView data, ByteView expected_tag);
+
+ private:
+  std::array<std::uint8_t, Sha1::kBlockSize> ipad_key_;
+  std::array<std::uint8_t, Sha1::kBlockSize> opad_key_;
+  Sha1 inner_;
+};
+
+}  // namespace omadrm::crypto

@@ -1,0 +1,17 @@
+// KDF2 (ISO/IEC 18033-2, as profiled by the OMA DRM 2 specification) over
+// SHA-1. Derives the key-encryption key KEK from the RSA-KEM shared secret
+// Z during Rights Object installation (paper Figure 3).
+//
+//   KDF2(Z, L) = T(1) || T(2) || ...  truncated to L bytes,
+//   T(i) = SHA-1(Z || I2OSP(i, 4)),  counter starting at 1.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace omadrm::crypto {
+
+/// Derives `out_len` bytes from secret `z` with optional `other_info`
+/// appended after the counter (OMA DRM 2 uses empty other_info).
+Bytes kdf2_sha1(ByteView z, std::size_t out_len, ByteView other_info = {});
+
+}  // namespace omadrm::crypto

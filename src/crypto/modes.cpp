@@ -1,0 +1,78 @@
+#include "crypto/modes.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace omadrm::crypto {
+
+Bytes pkcs7_pad(ByteView data, std::size_t block_size) {
+  if (block_size == 0 || block_size > 255) {
+    throw Error(ErrorKind::kRange, "pkcs7 block size out of range");
+  }
+  std::size_t pad = block_size - data.size() % block_size;
+  Bytes out(data.begin(), data.end());
+  out.insert(out.end(), pad, static_cast<std::uint8_t>(pad));
+  return out;
+}
+
+Bytes pkcs7_unpad(ByteView data, std::size_t block_size) {
+  if (data.empty() || data.size() % block_size != 0) {
+    throw Error(ErrorKind::kFormat, "pkcs7: bad padded length");
+  }
+  std::uint8_t pad = data.back();
+  if (pad == 0 || pad > block_size) {
+    throw Error(ErrorKind::kFormat, "pkcs7: bad padding byte");
+  }
+  for (std::size_t i = data.size() - pad; i < data.size(); ++i) {
+    if (data[i] != pad) {
+      throw Error(ErrorKind::kFormat, "pkcs7: inconsistent padding");
+    }
+  }
+  return Bytes(data.begin(),
+               data.begin() + static_cast<std::ptrdiff_t>(data.size() - pad));
+}
+
+Bytes aes_cbc_encrypt(ByteView key, ByteView iv, ByteView plaintext) {
+  if (iv.size() != Aes::kBlockSize) {
+    throw Error(ErrorKind::kCrypto, "CBC IV must be 16 bytes");
+  }
+  Aes aes(key);
+  Bytes padded = pkcs7_pad(plaintext, Aes::kBlockSize);
+  Bytes out(padded.size());
+  std::uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (std::size_t off = 0; off < padded.size(); off += Aes::kBlockSize) {
+    std::uint8_t block[Aes::kBlockSize];
+    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
+      block[i] = padded[off + i] ^ chain[i];
+    }
+    aes.encrypt_block(block, out.data() + off);
+    std::memcpy(chain, out.data() + off, Aes::kBlockSize);
+  }
+  return out;
+}
+
+Bytes aes_cbc_decrypt(ByteView key, ByteView iv, ByteView ciphertext) {
+  if (iv.size() != Aes::kBlockSize) {
+    throw Error(ErrorKind::kCrypto, "CBC IV must be 16 bytes");
+  }
+  if (ciphertext.empty() || ciphertext.size() % Aes::kBlockSize != 0) {
+    throw Error(ErrorKind::kFormat, "CBC ciphertext length invalid");
+  }
+  Aes aes(key);
+  Bytes padded(ciphertext.size());
+  std::uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (std::size_t off = 0; off < ciphertext.size(); off += Aes::kBlockSize) {
+    std::uint8_t block[Aes::kBlockSize];
+    aes.decrypt_block(ciphertext.data() + off, block);
+    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
+      padded[off + i] = block[i] ^ chain[i];
+    }
+    std::memcpy(chain, ciphertext.data() + off, Aes::kBlockSize);
+  }
+  return pkcs7_unpad(padded, Aes::kBlockSize);
+}
+
+}  // namespace omadrm::crypto

@@ -1,0 +1,26 @@
+// AES-CBC with PKCS#7 padding — OMA DRM 2's content encryption mode
+// (AES_128_CBC in the DCF specification).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace omadrm::crypto {
+
+/// Encrypts `plaintext` under `key` with the 16-byte `iv`. PKCS#7 padding
+/// is always applied (so ciphertext is plaintext rounded up to the next
+/// block, +16 when already aligned).
+Bytes aes_cbc_encrypt(ByteView key, ByteView iv, ByteView plaintext);
+
+/// Decrypts and strips PKCS#7 padding. Throws omadrm::Error(kFormat) on an
+/// invalid ciphertext length or inconsistent padding. Padding failure is an
+/// exception (not a soft result) because the DRM agent verifies the RO MAC
+/// and the DCF hash *before* decrypting, so reaching bad padding means a
+/// broken caller rather than an untrusted-input condition.
+Bytes aes_cbc_decrypt(ByteView key, ByteView iv, ByteView ciphertext);
+
+/// PKCS#7 helpers exposed for tests.
+Bytes pkcs7_pad(ByteView data, std::size_t block_size);
+Bytes pkcs7_unpad(ByteView data, std::size_t block_size);
+
+}  // namespace omadrm::crypto

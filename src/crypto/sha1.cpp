@@ -1,0 +1,126 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace omadrm::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t v, int s) {
+  return (v << s) | (v >> (32 - s));
+}
+
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  buffer_len_ = 0;
+  total_len_ = 0;
+  finished_ = false;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = load_be32(block + 4 * i);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(ByteView data) {
+  if (finished_) {
+    throw Error(ErrorKind::kState, "Sha1::update after finish");
+  }
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    std::size_t take = std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Bytes Sha1::finish() {
+  if (finished_) {
+    throw Error(ErrorKind::kState, "Sha1::finish called twice");
+  }
+  finished_ = true;
+
+  std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad[kBlockSize * 2] = {0x80};
+  // Pad to 56 mod 64, then append the 64-bit big-endian length.
+  std::size_t pad_len =
+      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  finished_ = false;  // allow the padding updates
+  std::uint64_t saved_total = total_len_;
+  update(ByteView(pad, pad_len));
+  std::uint8_t len_bytes[8];
+  store_be64(bit_len, len_bytes);
+  update(ByteView(len_bytes, 8));
+  total_len_ = saved_total;
+  finished_ = true;
+
+  Bytes digest(kDigestSize);
+  for (int i = 0; i < 5; ++i) {
+    store_be32(state_[static_cast<std::size_t>(i)],
+               digest.data() + 4 * i);
+  }
+  return digest;
+}
+
+Bytes Sha1::hash(ByteView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace omadrm::crypto

@@ -1,0 +1,45 @@
+// SHA-1 (FIPS 180-1) — the hash function mandated by OMA DRM 2 for DCF
+// integrity, signatures (via EMSA-PSS), HMAC, and KDF2.
+//
+// Streaming interface so multi-megabyte DCFs can be hashed without
+// buffering; a one-shot helper covers the common case.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace omadrm::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1();
+
+  /// Absorbs more input.
+  void update(ByteView data);
+
+  /// Finalizes and returns the 20-byte digest. The object must be reset()
+  /// before reuse.
+  Bytes finish();
+
+  /// Returns the object to its initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Bytes hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace omadrm::crypto

@@ -1,0 +1,174 @@
+#include "dcf/dcf.h"
+
+#include "common/error.h"
+#include "crypto/modes.h"
+#include "crypto/sha1.h"
+
+namespace omadrm::dcf {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'D', 'C', 'F'};
+constexpr std::uint8_t kVersion = 2;
+
+void put_u16(Bytes& out, std::size_t v) {
+  if (v > 0xffff) throw Error(ErrorKind::kRange, "dcf: field too long");
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u16(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) |
+                                                 data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = load_be32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = load_be64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  std::string str() {
+    std::uint16_t len = u16();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  Bytes raw(std::size_t len) {
+    need(len);
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return b;
+  }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw Error(ErrorKind::kFormat, "dcf: truncated container");
+    }
+  }
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Dcf::Dcf(Headers headers, Bytes iv, Bytes encrypted_payload,
+         std::uint64_t plaintext_size)
+    : headers_(std::move(headers)),
+      iv_(std::move(iv)),
+      payload_(std::move(encrypted_payload)),
+      plaintext_size_(plaintext_size) {
+  if (iv_.size() != 16) {
+    throw Error(ErrorKind::kCrypto, "dcf: IV must be 16 bytes");
+  }
+}
+
+Bytes Dcf::serialize() const {
+  Bytes out;
+  out.reserve(64 + payload_.size());
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  put_string(out, headers_.content_type);
+  put_string(out, headers_.content_id);
+  put_string(out, headers_.rights_issuer_url);
+  put_u16(out, headers_.textual.size());
+  for (const auto& [k, v] : headers_.textual) {
+    put_string(out, k);
+    put_string(out, v);
+  }
+  out.insert(out.end(), iv_.begin(), iv_.end());
+  std::uint8_t sz[8];
+  store_be64(plaintext_size_, sz);
+  out.insert(out.end(), sz, sz + 8);
+  if (payload_.size() > 0xffffffffull) {
+    throw Error(ErrorKind::kRange, "dcf: payload too large");
+  }
+  std::uint8_t psz[4];
+  store_be32(static_cast<std::uint32_t>(payload_.size()), psz);
+  out.insert(out.end(), psz, psz + 4);
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+Dcf Dcf::parse(ByteView data) {
+  Reader r(data);
+  Bytes magic = r.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw Error(ErrorKind::kFormat, "dcf: bad magic");
+  }
+  if (r.u8() != kVersion) {
+    throw Error(ErrorKind::kFormat, "dcf: unsupported version");
+  }
+  Dcf out;
+  out.headers_.content_type = r.str();
+  out.headers_.content_id = r.str();
+  out.headers_.rights_issuer_url = r.str();
+  std::uint16_t n_headers = r.u16();
+  for (std::uint16_t i = 0; i < n_headers; ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    out.headers_.textual.emplace_back(std::move(k), std::move(v));
+  }
+  out.iv_ = r.raw(16);
+  out.plaintext_size_ = r.u64();
+  std::uint32_t payload_len = r.u32();
+  out.payload_ = r.raw(payload_len);
+  if (!r.at_end()) {
+    throw Error(ErrorKind::kFormat, "dcf: trailing bytes");
+  }
+  return out;
+}
+
+Bytes Dcf::hash() const { return crypto::Sha1::hash(serialize()); }
+
+bool Dcf::operator==(const Dcf& other) const {
+  return headers_ == other.headers_ && iv_ == other.iv_ &&
+         payload_ == other.payload_ &&
+         plaintext_size_ == other.plaintext_size_;
+}
+
+Dcf make_dcf(Headers headers, ByteView plaintext, ByteView kcek,
+             ByteView iv) {
+  Bytes payload = crypto::aes_cbc_encrypt(kcek, iv, plaintext);
+  return Dcf(std::move(headers), Bytes(iv.begin(), iv.end()),
+             std::move(payload), plaintext.size());
+}
+
+Bytes decrypt_dcf(const Dcf& dcf, ByteView kcek) {
+  Bytes plain = crypto::aes_cbc_decrypt(kcek, dcf.iv(),
+                                        dcf.encrypted_payload());
+  if (plain.size() != dcf.plaintext_size()) {
+    throw Error(ErrorKind::kFormat, "dcf: plaintext size mismatch");
+  }
+  return plain;
+}
+
+}  // namespace omadrm::dcf

@@ -1,0 +1,117 @@
+#include "model/analytic.h"
+
+#include "model/metered.h"
+
+namespace omadrm::model {
+
+namespace {
+
+/// 128-bit blocks charged for a PSS sign/verify over `msg_bytes`.
+std::size_t pss_hash_blocks(std::size_t msg_bytes) {
+  return blocks128(msg_bytes) + kPssOverheadBlocks128;
+}
+
+/// AES block-cipher invocations for RFC 3394 over an n*8-byte payload.
+std::size_t wrap_blocks(std::size_t payload_bytes) {
+  return 6 * (payload_bytes / 8);
+}
+std::size_t unwrap_blocks(std::size_t wrapped_bytes) {
+  return 6 * (wrapped_bytes / 8 - 1);
+}
+
+}  // namespace
+
+UseCaseReport analytic_use_case(const UseCaseSpec& spec,
+                                const ArchitectureProfile& profile,
+                                const AnalyticParams& p) {
+  CycleLedger ledger(profile);
+  const std::size_t kdf_blocks =
+      MeteredCryptoProvider::kdf2_blocks128(p.rsa_modulus_bytes, 16);
+
+  // C2 wraps K_MAC||K_REK (32 bytes -> 40 wrapped); enc_kcek wraps K_CEK
+  // (16 bytes -> 24 wrapped); C2dev re-wraps K_MAC||K_REK.
+  const std::size_t c2_wrapped = 40;
+  const std::size_t kcek_wrapped = 24;
+
+  // -- Registration: 1 private + 3 public RSA ops (DESIGN.md §4) ----------
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kRegistration);
+    // Sign RegistrationRequest.
+    ledger.charge(Algorithm::kSha1, 1, pss_hash_blocks(p.reg_request_bytes));
+    ledger.charge(Algorithm::kRsaPrivate, 1, 1);
+    // Verify RI certificate (TBS hash + RSAVP1).
+    ledger.charge(Algorithm::kSha1, 1, pss_hash_blocks(p.cert_tbs_bytes));
+    ledger.charge(Algorithm::kRsaPublic, 1, 1);
+    // Verify stapled OCSP response.
+    ledger.charge(Algorithm::kSha1, 1, pss_hash_blocks(p.ocsp_tbs_bytes));
+    ledger.charge(Algorithm::kRsaPublic, 1, 1);
+    // Verify RegistrationResponse signature.
+    ledger.charge(Algorithm::kSha1, 1, pss_hash_blocks(p.reg_response_bytes));
+    ledger.charge(Algorithm::kRsaPublic, 1, 1);
+
+    if (spec.domain_ro) {
+      // JoinDomain: sign request, verify response, unwrap the domain key.
+      ledger.charge(Algorithm::kSha1, 1, pss_hash_blocks(p.ro_request_bytes));
+      ledger.charge(Algorithm::kRsaPrivate, 1, 1);
+      ledger.charge(Algorithm::kSha1, 1,
+                    pss_hash_blocks(p.join_response_bytes));
+      ledger.charge(Algorithm::kRsaPublic, 1, 1);
+      ledger.charge(Algorithm::kRsaPrivate, 1, 1);  // RSADP on C1
+      ledger.charge(Algorithm::kSha1, 1, kdf_blocks);
+      ledger.charge(Algorithm::kAesDecrypt, 1, unwrap_blocks(kcek_wrapped));
+    }
+  }
+
+  // -- Acquisition: 1 private + 1 public ------------------------------------
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kAcquisition);
+    ledger.charge(Algorithm::kSha1, 1, pss_hash_blocks(p.ro_request_bytes));
+    ledger.charge(Algorithm::kRsaPrivate, 1, 1);
+    ledger.charge(Algorithm::kSha1, 1, pss_hash_blocks(p.ro_response_bytes));
+    ledger.charge(Algorithm::kRsaPublic, 1, 1);
+  }
+
+  // -- Installation ----------------------------------------------------------
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kInstallation);
+    if (spec.domain_ro) {
+      // Domain RO: symmetric unwrap with K_D plus the mandatory RO
+      // signature verification.
+      ledger.charge(Algorithm::kAesDecrypt, 1, unwrap_blocks(c2_wrapped));
+      ledger.charge(Algorithm::kSha1, 1,
+                    pss_hash_blocks(p.mac_payload_bytes + 20));
+      ledger.charge(Algorithm::kRsaPublic, 1, 1);
+    } else {
+      // RSADP(C1) -> KDF2 -> AES-UNWRAP(C2)  (Figure 3).
+      ledger.charge(Algorithm::kRsaPrivate, 1, 1);
+      ledger.charge(Algorithm::kSha1, 1, kdf_blocks);
+      ledger.charge(Algorithm::kAesDecrypt, 1, unwrap_blocks(c2_wrapped));
+    }
+    // RO integrity check.
+    ledger.charge(Algorithm::kHmacSha1, 1, blocks128(p.mac_payload_bytes));
+    // Re-wrap K_MAC||K_REK under K_DEV -> C2dev.
+    ledger.charge(Algorithm::kAesEncrypt, 1, wrap_blocks(32));
+  }
+
+  // -- Consumption: the §2.4.4 steps, once per access ------------------------
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kConsumption);
+    const std::size_t padded_payload = (spec.content_bytes / 16 + 1) * 16;
+    const std::size_t dcf_bytes = p.dcf_overhead_bytes + padded_payload;
+    for (std::size_t i = 0; i < spec.playbacks; ++i) {
+      // 1. Decrypt C2dev with K_DEV.
+      ledger.charge(Algorithm::kAesDecrypt, 1, unwrap_blocks(c2_wrapped));
+      // 2. Verify RO integrity (MAC).
+      ledger.charge(Algorithm::kHmacSha1, 1, blocks128(p.mac_payload_bytes));
+      // 3. Verify DCF integrity (hash over the full container).
+      ledger.charge(Algorithm::kSha1, 1, blocks128(dcf_bytes));
+      // 4. Unlock K_CEK and decrypt the content.
+      ledger.charge(Algorithm::kAesDecrypt, 1, unwrap_blocks(kcek_wrapped));
+      ledger.charge(Algorithm::kAesDecrypt, 1, padded_payload / 16);
+    }
+  }
+
+  return UseCaseReport{spec.name, ledger};
+}
+
+}  // namespace omadrm::model

@@ -1,0 +1,42 @@
+// Closed-form analytic model.
+//
+// Independently recomputes the use-case cost from the per-phase operation
+// list of DESIGN.md §4 — no protocol execution, just arithmetic over the
+// Table-1 cost functions. This is the form the paper itself used ("build a
+// model"), and it is what the parameter-sweep benchmarks iterate over
+// (thousands of evaluations per second, versus one full protocol run per
+// evaluation for the executed model). A test pins analytic == executed
+// within a small tolerance, so sweeps are trustworthy.
+#pragma once
+
+#include "model/ledger.h"
+#include "model/usecase.h"
+
+namespace omadrm::model {
+
+/// Nominal sizes of hashed/MACed byte strings, calibrated against the
+/// serialized messages our stack actually produces. Only SHA-1/HMAC costs
+/// over small messages depend on them; RSA op counts and content-sized
+/// work are exact, so modest deviations are negligible (see test_model).
+// Values measured from our serialized messages with examples/roap_inspector
+// (RSA-1024 identities, one RO per response, a ~550-byte rights document).
+struct AnalyticParams {
+  std::size_t reg_request_bytes = 1100;   // RegistrationRequest XML
+  std::size_t reg_response_bytes = 1300;  // RegistrationResponse XML
+  std::size_t cert_tbs_bytes = 290;       // RI certificate TBS DER
+  std::size_t ocsp_tbs_bytes = 165;       // OCSP ResponseData DER
+  std::size_t ro_request_bytes = 400;     // RoRequest XML
+  std::size_t ro_response_bytes = 1160;   // RoResponse XML (incl. RO)
+  std::size_t mac_payload_bytes = 550;    // RO MAC-protected bytes
+  std::size_t join_response_bytes = 460;  // JoinDomainResponse XML
+  std::size_t dcf_overhead_bytes = 150;   // DCF container minus payload
+  std::size_t rsa_modulus_bytes = 128;    // RSA-1024
+};
+
+/// Evaluates the closed-form model; the report's ledger carries the same
+/// (phase, algorithm) attribution as an executed run.
+UseCaseReport analytic_use_case(const UseCaseSpec& spec,
+                                const ArchitectureProfile& profile,
+                                const AnalyticParams& params = {});
+
+}  // namespace omadrm::model

@@ -1,0 +1,41 @@
+#include "model/arch.h"
+
+#include <array>
+
+namespace omadrm::model {
+
+ArchitectureProfile ArchitectureProfile::pure_software() {
+  ArchitectureProfile p;
+  p.name = "SW";
+  for (auto& e : p.engines) e = Engine::kSoftware;
+  return p;
+}
+
+ArchitectureProfile ArchitectureProfile::symmetric_hardware() {
+  ArchitectureProfile p;
+  p.name = "SW/HW";
+  for (auto& e : p.engines) e = Engine::kSoftware;
+  p.set_engine(Algorithm::kAesEncrypt, Engine::kHardware);
+  p.set_engine(Algorithm::kAesDecrypt, Engine::kHardware);
+  p.set_engine(Algorithm::kSha1, Engine::kHardware);
+  // "AES and SHA-1 (and thus also HMAC SHA-1) are provided by hardware".
+  p.set_engine(Algorithm::kHmacSha1, Engine::kHardware);
+  return p;
+}
+
+ArchitectureProfile ArchitectureProfile::full_hardware() {
+  ArchitectureProfile p;
+  p.name = "HW";
+  for (auto& e : p.engines) e = Engine::kHardware;
+  return p;
+}
+
+const ArchitectureProfile* ArchitectureProfile::paper_variants(
+    std::size_t* count) {
+  static const std::array<ArchitectureProfile, 3> kVariants = {
+      pure_software(), symmetric_hardware(), full_hardware()};
+  if (count) *count = kVariants.size();
+  return kVariants.data();
+}
+
+}  // namespace omadrm::model

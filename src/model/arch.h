@@ -1,0 +1,52 @@
+// Architecture profiles — the paper's three terminal variants (§3):
+//
+//   SW     pure software: every algorithm on the general-purpose core.
+//   SW/HW  AES and SHA-1 (and therefore HMAC-SHA1) as dedicated hardware
+//          macros, RSA in software.
+//   HW     dedicated modules for every algorithm.
+//
+// All variants clock at 200 MHz, as the paper assumes. Custom profiles
+// (arbitrary per-algorithm engine assignment, other clocks, edited cost
+// tables) support the ablation benchmarks.
+#pragma once
+
+#include <string>
+
+#include "model/cost_table.h"
+
+namespace omadrm::model {
+
+struct ArchitectureProfile {
+  std::string name = "custom";
+  Engine engines[kAlgorithmCount] = {};
+  double clock_hz = 200e6;
+  CostTable table = CostTable::paper_table1();
+
+  Engine engine(Algorithm a) const {
+    return engines[static_cast<std::size_t>(a)];
+  }
+  void set_engine(Algorithm a, Engine e) {
+    engines[static_cast<std::size_t>(a)] = e;
+  }
+
+  /// Cycles for `ops` operations totalling `blocks` 128-bit blocks
+  /// (for RSA, blocks = number of 1024-bit exponentiations).
+  double cycles(Algorithm a, std::size_t ops, std::size_t blocks) const {
+    const AlgoCost& c = table.cost(a, engine(a));
+    return c.fixed_cycles * static_cast<double>(ops) +
+           c.cycles_per_block * static_cast<double>(blocks);
+  }
+
+  double cycles_to_ms(double cycles) const {
+    return cycles / clock_hz * 1000.0;
+  }
+
+  static ArchitectureProfile pure_software();
+  static ArchitectureProfile symmetric_hardware();
+  static ArchitectureProfile full_hardware();
+
+  /// All three paper variants, in Figure 6/7 order (SW, SW/HW, HW).
+  static const ArchitectureProfile* paper_variants(std::size_t* count);
+};
+
+}  // namespace omadrm::model

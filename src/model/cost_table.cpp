@@ -1,0 +1,37 @@
+#include "model/cost_table.h"
+
+namespace omadrm::model {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAesEncrypt: return "AES Encryption";
+    case Algorithm::kAesDecrypt: return "AES Decryption";
+    case Algorithm::kSha1: return "SHA-1";
+    case Algorithm::kHmacSha1: return "HMAC SHA-1";
+    case Algorithm::kRsaPublic: return "RSA 1024 Public Key Op";
+    case Algorithm::kRsaPrivate: return "RSA 1024 Private Key Op";
+  }
+  return "?";
+}
+
+const char* to_string(Engine e) {
+  return e == Engine::kSoftware ? "SW" : "HW";
+}
+
+CostTable CostTable::paper_table1() {
+  CostTable t;
+  auto set = [&t](Algorithm a, AlgoCost sw, AlgoCost hw) {
+    t.software[static_cast<std::size_t>(a)] = sw;
+    t.hardware[static_cast<std::size_t>(a)] = hw;
+  };
+  //                              --- software ---      --- hardware ---
+  set(Algorithm::kAesEncrypt, {360, 830}, {0, 10});
+  set(Algorithm::kAesDecrypt, {950, 830}, {10, 10});
+  set(Algorithm::kSha1, {0, 400}, {0, 20});
+  set(Algorithm::kHmacSha1, {1200, 400}, {240, 20});
+  set(Algorithm::kRsaPublic, {0, 2160000}, {0, 10000});
+  set(Algorithm::kRsaPrivate, {0, 37740000}, {0, 260000});
+  return t;
+}
+
+}  // namespace omadrm::model

@@ -1,0 +1,75 @@
+// Table 1 of the paper: per-algorithm execution costs, in clock cycles,
+// for a software implementation (ARM9-class core) and dedicated hardware
+// macros (<200 MHz designs).
+//
+// Cost structure is `fixed + per_block * blocks`, where a *block* is the
+// paper's normalization unit of 128 bits for the symmetric algorithms and
+// one 1024-bit modular exponentiation for RSA. The fixed offsets are key
+// scheduling (AES) and the fixed-length outer/inner hashing (HMAC),
+// exactly as the paper's footnote explains.
+//
+// Sources (as cited by the paper): AES/SHA-1 hardware from Bertoni et al.
+// 2004; RSA hardware from McIvor et al. 2003; RSA software from Gupta et
+// al. 2002; symmetric software from the authors' internal measurements.
+//
+// Note on the RSA private-key software figure: the paper prints
+// "3,774,0000" (sic). We resolve the typo to 37,740,000 cycles — the value
+// consistent with the paper's own statement that PKI operations total
+// "roughly 600 ms" at 200 MHz and with Figures 6/7 (see DESIGN.md §3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace omadrm::model {
+
+/// The six algorithm rows of Table 1.
+enum class Algorithm : std::uint8_t {
+  kAesEncrypt = 0,
+  kAesDecrypt = 1,
+  kSha1 = 2,
+  kHmacSha1 = 3,
+  kRsaPublic = 4,
+  kRsaPrivate = 5,
+};
+
+inline constexpr std::size_t kAlgorithmCount = 6;
+
+const char* to_string(Algorithm a);
+
+/// Where an algorithm executes.
+enum class Engine : std::uint8_t {
+  kSoftware = 0,
+  kHardware = 1,
+};
+
+inline constexpr std::size_t kEngineCount = 2;
+
+const char* to_string(Engine e);
+
+/// Cost of one algorithm on one engine.
+struct AlgoCost {
+  double fixed_cycles = 0;      // charged once per operation
+  double cycles_per_block = 0;  // charged per 128-bit block / RSA op
+};
+
+struct CostTable {
+  AlgoCost software[kAlgorithmCount];
+  AlgoCost hardware[kAlgorithmCount];
+
+  const AlgoCost& cost(Algorithm a, Engine e) const {
+    return e == Engine::kSoftware
+               ? software[static_cast<std::size_t>(a)]
+               : hardware[static_cast<std::size_t>(a)];
+  }
+
+  /// The paper's Table 1, verbatim (with the RSA typo resolved).
+  static CostTable paper_table1();
+};
+
+/// 128-bit blocks covering `bytes` (the paper's normalization unit).
+constexpr std::size_t blocks128(std::size_t bytes) {
+  return (bytes + 15) / 16;
+}
+
+}  // namespace omadrm::model

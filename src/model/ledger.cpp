@@ -1,0 +1,107 @@
+#include "model/ledger.h"
+
+namespace omadrm::model {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kRegistration: return "Registration";
+    case Phase::kAcquisition: return "Acquisition";
+    case Phase::kInstallation: return "Installation";
+    case Phase::kConsumption: return "Consumption";
+    case Phase::kOther: return "Other";
+  }
+  return "?";
+}
+
+CycleLedger::CycleLedger(ArchitectureProfile profile)
+    : profile_(std::move(profile)) {}
+
+void CycleLedger::charge(Algorithm a, std::size_t ops, std::size_t blocks) {
+  const auto p = static_cast<std::size_t>(phase_);
+  const auto i = static_cast<std::size_t>(a);
+  cycles_[p][i] += profile_.cycles(a, ops, blocks);
+  ops_[p][i] += ops;
+  blocks_[p][i] += blocks;
+}
+
+double CycleLedger::cycles(Phase p, Algorithm a) const {
+  return cycles_[static_cast<std::size_t>(p)][static_cast<std::size_t>(a)];
+}
+
+double CycleLedger::cycles_by_phase(Phase p) const {
+  double sum = 0;
+  for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+    sum += cycles_[static_cast<std::size_t>(p)][i];
+  }
+  return sum;
+}
+
+double CycleLedger::cycles_by_algorithm(Algorithm a) const {
+  double sum = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    sum += cycles_[p][static_cast<std::size_t>(a)];
+  }
+  return sum;
+}
+
+double CycleLedger::cycles_by_engine(Engine e) const {
+  double sum = 0;
+  for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+    if (profile_.engine(static_cast<Algorithm>(i)) == e) {
+      sum += cycles_by_algorithm(static_cast<Algorithm>(i));
+    }
+  }
+  return sum;
+}
+
+double CycleLedger::total_cycles() const {
+  double sum = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+      sum += cycles_[p][i];
+    }
+  }
+  return sum;
+}
+
+std::uint64_t CycleLedger::ops(Phase p, Algorithm a) const {
+  return ops_[static_cast<std::size_t>(p)][static_cast<std::size_t>(a)];
+}
+
+std::uint64_t CycleLedger::ops_by_algorithm(Algorithm a) const {
+  std::uint64_t sum = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    sum += ops_[p][static_cast<std::size_t>(a)];
+  }
+  return sum;
+}
+
+std::uint64_t CycleLedger::blocks_by_algorithm(Algorithm a) const {
+  std::uint64_t sum = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    sum += blocks_[p][static_cast<std::size_t>(a)];
+  }
+  return sum;
+}
+
+double CycleLedger::pki_cycles() const {
+  return cycles_by_algorithm(Algorithm::kRsaPublic) +
+         cycles_by_algorithm(Algorithm::kRsaPrivate);
+}
+
+double CycleLedger::symmetric_cycles() const {
+  return total_cycles() - pki_cycles();
+}
+
+void CycleLedger::reset() {
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+      cycles_[p][i] = 0;
+      ops_[p][i] = 0;
+      blocks_[p][i] = 0;
+    }
+  }
+  phase_ = Phase::kOther;
+}
+
+}  // namespace omadrm::model

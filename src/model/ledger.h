@@ -1,0 +1,87 @@
+// CycleLedger — the accounting core of the reproduction.
+//
+// Every metered cryptographic operation is charged here, attributed to
+// (phase, algorithm, engine). The four phases are the paper's §2.4
+// decomposition of the consumption process; figures 5/6/7 are different
+// aggregations of this ledger.
+#pragma once
+
+#include <cstdint>
+
+#include "model/arch.h"
+
+namespace omadrm::model {
+
+/// The paper's four consumption-process phases, plus a catch-all.
+enum class Phase : std::uint8_t {
+  kRegistration = 0,
+  kAcquisition = 1,
+  kInstallation = 2,
+  kConsumption = 3,
+  kOther = 4,
+};
+
+inline constexpr std::size_t kPhaseCount = 5;
+
+const char* to_string(Phase p);
+
+class CycleLedger {
+ public:
+  explicit CycleLedger(ArchitectureProfile profile);
+
+  const ArchitectureProfile& profile() const { return profile_; }
+
+  void set_phase(Phase p) { phase_ = p; }
+  Phase phase() const { return phase_; }
+
+  /// Charges `ops` operations of `a` totalling `blocks` 128-bit blocks
+  /// (RSA: blocks = number of 1024-bit exponentiations) to the current
+  /// phase, at the cost the profile assigns.
+  void charge(Algorithm a, std::size_t ops, std::size_t blocks);
+
+  // -- aggregations ---------------------------------------------------------
+  double cycles(Phase p, Algorithm a) const;
+  double cycles_by_phase(Phase p) const;
+  double cycles_by_algorithm(Algorithm a) const;
+  double cycles_by_engine(Engine e) const;
+  double total_cycles() const;
+
+  std::uint64_t ops(Phase p, Algorithm a) const;
+  std::uint64_t ops_by_algorithm(Algorithm a) const;
+  std::uint64_t blocks_by_algorithm(Algorithm a) const;
+
+  /// Milliseconds at the profile's clock.
+  double ms(Phase p) const { return profile_.cycles_to_ms(cycles_by_phase(p)); }
+  double total_ms() const { return profile_.cycles_to_ms(total_cycles()); }
+
+  /// PKI = RSA public + private; symmetric = everything else.
+  double pki_cycles() const;
+  double symmetric_cycles() const;
+
+  void reset();
+
+  /// RAII phase switcher.
+  class PhaseScope {
+   public:
+    PhaseScope(CycleLedger& ledger, Phase p)
+        : ledger_(ledger), saved_(ledger.phase()) {
+      ledger_.set_phase(p);
+    }
+    ~PhaseScope() { ledger_.set_phase(saved_); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    CycleLedger& ledger_;
+    Phase saved_;
+  };
+
+ private:
+  ArchitectureProfile profile_;
+  Phase phase_ = Phase::kOther;
+  double cycles_[kPhaseCount][kAlgorithmCount] = {};
+  std::uint64_t ops_[kPhaseCount][kAlgorithmCount] = {};
+  std::uint64_t blocks_[kPhaseCount][kAlgorithmCount] = {};
+};
+
+}  // namespace omadrm::model

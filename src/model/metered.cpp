@@ -1,0 +1,93 @@
+#include "model/metered.h"
+
+namespace omadrm::model {
+
+namespace {
+using Base = provider::PlainCryptoProvider;
+}
+
+std::size_t MeteredCryptoProvider::kdf2_blocks128(std::size_t z_len,
+                                                  std::size_t out_len) {
+  const std::size_t rounds = (out_len + 19) / 20;  // SHA-1 digests
+  return rounds * blocks128(z_len + 4);            // Z || counter per round
+}
+
+Bytes MeteredCryptoProvider::sha1(ByteView data) {
+  ledger_.charge(Algorithm::kSha1, 1, blocks128(data.size()));
+  return Base::sha1(data);
+}
+
+Bytes MeteredCryptoProvider::hmac_sha1(ByteView key, ByteView data) {
+  ledger_.charge(Algorithm::kHmacSha1, 1, blocks128(data.size()));
+  return Base::hmac_sha1(key, data);
+}
+
+bool MeteredCryptoProvider::hmac_verify(ByteView key, ByteView data,
+                                        ByteView tag) {
+  ledger_.charge(Algorithm::kHmacSha1, 1, blocks128(data.size()));
+  return Base::hmac_verify(key, data, tag);
+}
+
+Bytes MeteredCryptoProvider::aes_cbc_encrypt(ByteView key, ByteView iv,
+                                             ByteView plaintext) {
+  // PKCS#7 always adds one block when aligned.
+  ledger_.charge(Algorithm::kAesEncrypt, 1, plaintext.size() / 16 + 1);
+  return Base::aes_cbc_encrypt(key, iv, plaintext);
+}
+
+Bytes MeteredCryptoProvider::aes_cbc_decrypt(ByteView key, ByteView iv,
+                                             ByteView ciphertext) {
+  ledger_.charge(Algorithm::kAesDecrypt, 1, ciphertext.size() / 16);
+  return Base::aes_cbc_decrypt(key, iv, ciphertext);
+}
+
+Bytes MeteredCryptoProvider::aes_wrap(ByteView kek, ByteView key_data) {
+  // RFC 3394: 6 * n block-cipher calls for n 64-bit halves.
+  ledger_.charge(Algorithm::kAesEncrypt, 1, 6 * (key_data.size() / 8));
+  return Base::aes_wrap(kek, key_data);
+}
+
+std::optional<Bytes> MeteredCryptoProvider::aes_unwrap(ByteView kek,
+                                                       ByteView wrapped) {
+  ledger_.charge(Algorithm::kAesDecrypt, 1, 6 * (wrapped.size() / 8 - 1));
+  return Base::aes_unwrap(kek, wrapped);
+}
+
+Bytes MeteredCryptoProvider::kdf2(ByteView z, std::size_t out_len) {
+  ledger_.charge(Algorithm::kSha1, 1, kdf2_blocks128(z.size(), out_len));
+  return Base::kdf2(z, out_len);
+}
+
+Bytes MeteredCryptoProvider::pss_sign(const rsa::PrivateKey& key,
+                                      ByteView message, Rng& rng) {
+  ledger_.charge(Algorithm::kSha1, 1,
+                 blocks128(message.size()) + kPssOverheadBlocks128);
+  ledger_.charge(Algorithm::kRsaPrivate, 1, 1);
+  return Base::pss_sign(key, message, rng);
+}
+
+bool MeteredCryptoProvider::pss_verify(const rsa::PublicKey& key,
+                                       ByteView message, ByteView signature) {
+  ledger_.charge(Algorithm::kSha1, 1,
+                 blocks128(message.size()) + kPssOverheadBlocks128);
+  ledger_.charge(Algorithm::kRsaPublic, 1, 1);
+  return Base::pss_verify(key, message, signature);
+}
+
+rsa::KemEncapsulation MeteredCryptoProvider::kem_encapsulate(
+    const rsa::PublicKey& key, Rng& rng) {
+  ledger_.charge(Algorithm::kRsaPublic, 1, 1);
+  ledger_.charge(Algorithm::kSha1, 1,
+                 kdf2_blocks128(key.byte_length(), rsa::kKekLen));
+  return Base::kem_encapsulate(key, rng);
+}
+
+Bytes MeteredCryptoProvider::kem_decapsulate(const rsa::PrivateKey& key,
+                                             ByteView c1) {
+  ledger_.charge(Algorithm::kRsaPrivate, 1, 1);
+  ledger_.charge(Algorithm::kSha1, 1,
+                 kdf2_blocks128(key.byte_length(), rsa::kKekLen));
+  return Base::kem_decapsulate(key, c1);
+}
+
+}  // namespace omadrm::model

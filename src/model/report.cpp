@@ -1,0 +1,50 @@
+#include "model/report.h"
+
+#include <cstdio>
+
+#include "model/analytic.h"
+
+namespace omadrm::model {
+
+VariantMs run_variants(const UseCaseSpec& spec, bool analytic) {
+  std::size_t count = 0;
+  const ArchitectureProfile* variants =
+      ArchitectureProfile::paper_variants(&count);
+  double ms[3] = {};
+  for (std::size_t i = 0; i < count && i < 3; ++i) {
+    UseCaseReport r = analytic ? analytic_use_case(spec, variants[i])
+                               : run_use_case(spec, variants[i]);
+    ms[i] = r.total_ms();
+  }
+  return VariantMs{ms[0], ms[1], ms[2]};
+}
+
+std::string format_share_table(const UseCaseReport& report) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-28s %10s %8s\n", "algorithm",
+                "cycles", "share");
+  out += line;
+  for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+    Algorithm a = static_cast<Algorithm>(i);
+    std::snprintf(line, sizeof line, "%-28s %10.3e %7.2f%%\n", to_string(a),
+                  report.ledger.cycles_by_algorithm(a),
+                  report.share(a) * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+std::string format_comparison(const std::string& label, double paper_value,
+                              double model_value, const char* unit) {
+  char line[200];
+  double dev = paper_value != 0
+                   ? (model_value - paper_value) / paper_value * 100.0
+                   : 0.0;
+  std::snprintf(line, sizeof line,
+                "%-34s paper %9.1f %-3s  model %9.1f %-3s  dev %+6.1f%%\n",
+                label.c_str(), paper_value, unit, model_value, unit, dev);
+  return line;
+}
+
+}  // namespace omadrm::model

@@ -1,0 +1,37 @@
+// Paper reference values and report formatting shared by the benchmark
+// harnesses (one binary per table/figure, see bench/).
+#pragma once
+
+#include <string>
+
+#include "model/usecase.h"
+
+namespace omadrm::model {
+
+/// A figure-6/7 style result: milliseconds per architecture variant.
+struct VariantMs {
+  double sw = 0;
+  double swhw = 0;
+  double hw = 0;
+};
+
+/// Values read from the paper's figures (log-scale bar charts, so these
+/// are the printed data labels).
+inline constexpr VariantMs kPaperFig6MusicPlayer{7730, 800, 190};
+inline constexpr VariantMs kPaperFig7Ringtone{900, 620, 12};
+
+/// §4: "Given that they total to roughly 600ms" — PKI software cost.
+inline constexpr double kPaperPkiSoftwareMs = 600;
+
+/// Runs (or analytically evaluates) a use case under the three paper
+/// variants and returns the milliseconds triple.
+VariantMs run_variants(const UseCaseSpec& spec, bool analytic = false);
+
+/// Formats a percentage breakdown per algorithm (Figure 5's quantity).
+std::string format_share_table(const UseCaseReport& report);
+
+/// Formats an aligned paper-vs-model comparison row.
+std::string format_comparison(const std::string& label, double paper_value,
+                              double model_value, const char* unit);
+
+}  // namespace omadrm::model

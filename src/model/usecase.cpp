@@ -1,0 +1,132 @@
+#include "model/usecase.h"
+
+#include "agent/drm_agent.h"
+#include "ci/content_issuer.h"
+#include "common/error.h"
+#include "model/metered.h"
+#include "pki/authority.h"
+#include "provider/provider.h"
+#include "ri/rights_issuer.h"
+
+namespace omadrm::model {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+UseCaseSpec UseCaseSpec::music_player() {
+  UseCaseSpec s;
+  s.name = "Music Player";
+  s.content_bytes = static_cast<std::size_t>(3.5 * 1024 * 1024);  // 3.5 MB
+  s.playbacks = 5;
+  return s;
+}
+
+UseCaseSpec UseCaseSpec::ringtone() {
+  UseCaseSpec s;
+  s.name = "Ringtone";
+  s.content_bytes = 30 * 1024;  // 30 KB
+  s.playbacks = 25;
+  return s;
+}
+
+namespace {
+
+void ensure(bool ok, const char* step) {
+  if (!ok) {
+    throw Error(ErrorKind::kState,
+                std::string("use case: step failed: ") + step);
+  }
+}
+
+}  // namespace
+
+UseCaseReport run_use_case(const UseCaseSpec& spec,
+                           const ArchitectureProfile& profile) {
+  DeterministicRng rng(spec.seed);
+  provider::CryptoProvider& network_side = provider::plain_provider();
+
+  CycleLedger ledger(profile);
+  MeteredCryptoProvider terminal_crypto(ledger);
+
+  // A plausible "now": the paper was written in late 2004.
+  const std::uint64_t now = 1100000000;
+  const pki::Validity validity{now - 86400, now + 365 * 86400};
+
+  // Ecosystem setup (not part of any metered phase).
+  pki::CertificationAuthority ca("CMLA Root CA", 1024, validity, rng);
+  ci::ContentIssuer content_issuer("content.example", network_side, rng);
+  ri::RightsIssuer ri("ri.example", "http://ri.example/roap", ca, validity,
+                      network_side, rng);
+
+  Bytes content = rng.bytes(spec.content_bytes);
+  dcf::Headers headers;
+  headers.content_type = "audio/mpeg";
+  headers.content_id = "cid:" + spec.name + "@content.example";
+  headers.rights_issuer_url = ri.url();
+  headers.textual = {{"Title", spec.name}, {"Author", "Example Artist"}};
+  dcf::Dcf dcf = content_issuer.package(headers, content);
+
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:" + spec.name;
+  offer.content_id = headers.content_id;
+  offer.dcf_hash = dcf.hash();
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  if (spec.play_count_limit > 0) {
+    play.constraint.count = spec.play_count_limit;
+  }
+  offer.permissions = {play};
+  offer.kcek = *content_issuer.kcek_for(headers.content_id);
+  if (spec.domain_ro) {
+    offer.domain_ro = true;
+    offer.domain_id = "domain:home";
+    ri.create_domain(offer.domain_id);
+  }
+  ri.add_offer(offer);
+
+  agent::DrmAgent device("device-01", ca.root_certificate(), terminal_crypto,
+                         rng);
+  device.provision(ca.issue("device-01", device.public_key(), validity, rng));
+
+  // -- Phase 1: Registration (+ domain join when applicable) ----------------
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kRegistration);
+    ensure(device.register_with(ri, now) == agent::AgentStatus::kOk,
+           "registration");
+    if (spec.domain_ro) {
+      ensure(device.join_domain(ri, offer.domain_id, now) ==
+                 agent::AgentStatus::kOk,
+             "join domain");
+    }
+  }
+
+  // -- Phase 2: Acquisition ---------------------------------------------------
+  agent::AcquireResult acquired;
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kAcquisition);
+    acquired = device.acquire_ro(ri, offer.ro_id, now);
+    ensure(acquired.status == agent::AgentStatus::kOk, "acquisition");
+  }
+
+  // -- Phase 3: Installation --------------------------------------------------
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kInstallation);
+    ensure(device.install_ro(*acquired.ro, now) == agent::AgentStatus::kOk,
+           "installation");
+  }
+
+  // -- Phase 4: Consumption ---------------------------------------------------
+  {
+    CycleLedger::PhaseScope phase(ledger, Phase::kConsumption);
+    for (std::size_t i = 0; i < spec.playbacks; ++i) {
+      agent::ConsumeResult r = device.consume(
+          dcf, rel::PermissionType::kPlay, now + 60 * (i + 1));
+      ensure(r.status == agent::AgentStatus::kOk, "consumption");
+      ensure(r.content == content, "content round-trip");
+    }
+  }
+
+  return UseCaseReport{spec.name, ledger};
+}
+
+}  // namespace omadrm::model

@@ -1,0 +1,56 @@
+// Use-case runner — executes the paper's two end-user scenarios (§4)
+// against the real protocol stack with a metered terminal.
+//
+//   Music Player: 3.5 MB DCF; register, acquire, install, listen 5 times.
+//   Ringtone:     30 KB DCF; register, acquire, install, 25 incoming calls.
+//
+// The run builds a complete ecosystem (CA, Content Issuer, Rights Issuer,
+// DRM Agent), executes every ROAP pass and consumption step with real
+// cryptography on real (synthetic, size-accurate) content, and returns the
+// cycle ledger of the terminal side. The network-side actors use the
+// unmetered provider — the paper models terminal performance only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/ledger.h"
+
+namespace omadrm::model {
+
+struct UseCaseSpec {
+  std::string name;
+  std::size_t content_bytes = 0;
+  std::size_t playbacks = 0;
+  /// Mint a Domain RO (adds the mandatory RO signature verification and
+  /// the domain-join pass) — the paper's use cases set this to false.
+  bool domain_ro = false;
+  /// REL play-count limit; 0 = unconstrained.
+  std::uint32_t play_count_limit = 0;
+  std::uint64_t seed = 42;
+
+  /// The paper's §4 scenarios.
+  static UseCaseSpec music_player();
+  static UseCaseSpec ringtone();
+};
+
+struct UseCaseReport {
+  std::string name;
+  CycleLedger ledger;
+
+  double total_ms() const { return ledger.total_ms(); }
+  double total_cycles() const { return ledger.total_cycles(); }
+  /// Share of total processing time spent in `a` (Figure 5's quantity).
+  double share(Algorithm a) const {
+    double t = ledger.total_cycles();
+    return t > 0 ? ledger.cycles_by_algorithm(a) / t : 0.0;
+  }
+};
+
+/// Executes `spec` under `profile`; throws omadrm::Error(kState) if any
+/// protocol step fails (they cannot, unless the stack itself regresses —
+/// the integration tests pin that).
+UseCaseReport run_use_case(const UseCaseSpec& spec,
+                           const ArchitectureProfile& profile);
+
+}  // namespace omadrm::model

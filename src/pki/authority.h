@@ -1,0 +1,55 @@
+// Certification Authority — the trust anchor of the OMA DRM 2 ecosystem
+// (the role CMLA plays in the paper's Figure 1). Issues certificates to
+// Rights Issuers and DRM Agents, maintains a revocation list, and acts as
+// the OCSP responder.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "pki/certificate.h"
+#include "pki/ocsp.h"
+
+namespace omadrm::pki {
+
+class CertificationAuthority {
+ public:
+  /// Creates a CA with a fresh self-signed root certificate.
+  CertificationAuthority(std::string cn, std::size_t key_bits,
+                         const Validity& validity, Rng& rng);
+
+  const Certificate& root_certificate() const { return root_cert_; }
+  const std::string& cn() const { return cn_; }
+  rsa::PublicKey public_key() const { return key_.public_key(); }
+
+  /// Issues a certificate over `subject_key` with a fresh serial.
+  Certificate issue(const std::string& subject_cn,
+                    const rsa::PublicKey& subject_key,
+                    const Validity& validity, Rng& rng);
+
+  /// Marks a serial as revoked; subsequent OCSP responses report it.
+  void revoke(const bigint::BigInt& serial);
+  bool is_revoked(const bigint::BigInt& serial) const;
+
+  /// Responds to an OCSP request at time `now`. Serials this CA never
+  /// issued report kUnknown.
+  OcspResponse ocsp_respond(const OcspRequest& request, std::uint64_t now,
+                            Rng& rng);
+
+ private:
+  std::string cn_;
+  rsa::PrivateKey key_;
+  Certificate root_cert_;
+  std::uint64_t next_serial_ = 2;  // serial 1 is the root itself
+  std::set<std::string> issued_;   // serial decimal strings
+  std::set<std::string> revoked_;
+};
+
+/// Validates a leaf certificate against a trusted root at time `now`,
+/// checking both the leaf signature/validity and the root's self-signature.
+CertStatus validate_against_root(const Certificate& leaf,
+                                 const Certificate& trusted_root,
+                                 std::uint64_t now);
+
+}  // namespace omadrm::pki

@@ -1,0 +1,82 @@
+// X.509-profile certificates over the DER substrate.
+//
+// OMA DRM 2 trust is rooted in a PKI: the Certification Authority (the
+// paper names CMLA as the first one) issues certificates to Rights Issuers
+// and DRM Agents. We implement a focused X.509 profile: version 3 skeleton
+// with serial, single-CN issuer/subject names, UTCTime validity, an RSA
+// SubjectPublicKeyInfo, and an RSASSA-PSS signature over the DER-encoded
+// TBS (to-be-signed) structure. That exercises the same terminal-side
+// cryptographic work (SHA-1 over the TBS + RSAVP1) that the paper's cost
+// model charges for certificate verification.
+#pragma once
+
+#include <string>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "rsa/rsa.h"
+
+namespace omadrm::pki {
+
+/// Validity window in Unix seconds (inclusive bounds).
+struct Validity {
+  std::uint64_t not_before = 0;
+  std::uint64_t not_after = 0;
+};
+
+class Certificate {
+ public:
+  Certificate() = default;
+  Certificate(bigint::BigInt serial, std::string issuer_cn,
+              std::string subject_cn, Validity validity,
+              rsa::PublicKey subject_key);
+
+  const bigint::BigInt& serial() const { return serial_; }
+  const std::string& issuer_cn() const { return issuer_cn_; }
+  const std::string& subject_cn() const { return subject_cn_; }
+  const Validity& validity() const { return validity_; }
+  const rsa::PublicKey& subject_key() const { return subject_key_; }
+  const Bytes& signature() const { return signature_; }
+
+  bool is_self_signed() const { return issuer_cn_ == subject_cn_; }
+
+  /// DER of the TBSCertificate — the exact bytes that get signed/verified.
+  Bytes tbs_der() const;
+
+  /// Full certificate DER: SEQUENCE { tbs, sigAlg, signature }.
+  Bytes to_der() const;
+  static Certificate from_der(ByteView der);
+
+  /// Attaches a signature produced by the issuer over tbs_der().
+  void set_signature(Bytes signature) { signature_ = std::move(signature); }
+
+ private:
+  bigint::BigInt serial_;
+  std::string issuer_cn_;
+  std::string subject_cn_;
+  Validity validity_;
+  rsa::PublicKey subject_key_;
+  Bytes signature_;
+};
+
+/// Outcome of a single-certificate verification.
+enum class CertStatus {
+  kValid,
+  kBadSignature,
+  kNotYetValid,
+  kExpired,
+  kIssuerMismatch,
+};
+
+const char* to_string(CertStatus s);
+
+/// Verifies `cert` against the issuer public key at time `now`.
+/// `expected_issuer_cn` guards against signature-valid-but-wrong-issuer
+/// confusion when multiple CAs are in play.
+CertStatus verify_certificate(const Certificate& cert,
+                              const rsa::PublicKey& issuer_key,
+                              const std::string& expected_issuer_cn,
+                              std::uint64_t now);
+
+}  // namespace omadrm::pki

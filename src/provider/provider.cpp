@@ -1,0 +1,73 @@
+#include "provider/provider.h"
+
+#include "crypto/aes_wrap.h"
+#include "crypto/hmac.h"
+#include "crypto/kdf2.h"
+#include "crypto/modes.h"
+#include "crypto/sha1.h"
+#include "rsa/pss.h"
+
+namespace omadrm::provider {
+
+Bytes PlainCryptoProvider::sha1(ByteView data) {
+  return crypto::Sha1::hash(data);
+}
+
+Bytes PlainCryptoProvider::hmac_sha1(ByteView key, ByteView data) {
+  return crypto::HmacSha1::mac(key, data);
+}
+
+bool PlainCryptoProvider::hmac_verify(ByteView key, ByteView data,
+                                      ByteView tag) {
+  return crypto::HmacSha1::verify(key, data, tag);
+}
+
+Bytes PlainCryptoProvider::aes_cbc_encrypt(ByteView key, ByteView iv,
+                                           ByteView plaintext) {
+  return crypto::aes_cbc_encrypt(key, iv, plaintext);
+}
+
+Bytes PlainCryptoProvider::aes_cbc_decrypt(ByteView key, ByteView iv,
+                                           ByteView ciphertext) {
+  return crypto::aes_cbc_decrypt(key, iv, ciphertext);
+}
+
+Bytes PlainCryptoProvider::aes_wrap(ByteView kek, ByteView key_data) {
+  return crypto::aes_wrap(kek, key_data);
+}
+
+std::optional<Bytes> PlainCryptoProvider::aes_unwrap(ByteView kek,
+                                                     ByteView wrapped) {
+  return crypto::aes_unwrap(kek, wrapped);
+}
+
+Bytes PlainCryptoProvider::kdf2(ByteView z, std::size_t out_len) {
+  return crypto::kdf2_sha1(z, out_len);
+}
+
+Bytes PlainCryptoProvider::pss_sign(const rsa::PrivateKey& key,
+                                    ByteView message, Rng& rng) {
+  return rsa::pss_sign(key, message, rng);
+}
+
+bool PlainCryptoProvider::pss_verify(const rsa::PublicKey& key,
+                                     ByteView message, ByteView signature) {
+  return rsa::pss_verify(key, message, signature);
+}
+
+rsa::KemEncapsulation PlainCryptoProvider::kem_encapsulate(
+    const rsa::PublicKey& key, Rng& rng) {
+  return rsa::kem_encapsulate(key, rng);
+}
+
+Bytes PlainCryptoProvider::kem_decapsulate(const rsa::PrivateKey& key,
+                                           ByteView c1) {
+  return rsa::kem_decapsulate(key, c1);
+}
+
+PlainCryptoProvider& plain_provider() {
+  static PlainCryptoProvider instance;
+  return instance;
+}
+
+}  // namespace omadrm::provider

@@ -1,0 +1,75 @@
+// CryptoProvider — the seam between the DRM protocol stack and the
+// cryptographic substrate.
+//
+// Every cryptographic operation the Rights Issuer, Content Issuer, or DRM
+// Agent performs goes through this interface. That is what makes the
+// paper's experiment possible in code: the terminal (DRM Agent) is handed
+// a *metered* provider (model/metered.h) that executes the real algorithms
+// AND charges their cost to a cycle ledger under the selected architecture
+// profile, while the network-side actors use the plain provider. Tests
+// also hook this seam for fault injection.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "rsa/kem.h"
+#include "rsa/rsa.h"
+
+namespace omadrm::provider {
+
+class CryptoProvider {
+ public:
+  virtual ~CryptoProvider() = default;
+
+  // -- hash / MAC ---------------------------------------------------------
+  virtual Bytes sha1(ByteView data) = 0;
+  virtual Bytes hmac_sha1(ByteView key, ByteView data) = 0;
+  virtual bool hmac_verify(ByteView key, ByteView data, ByteView tag) = 0;
+
+  // -- symmetric ----------------------------------------------------------
+  virtual Bytes aes_cbc_encrypt(ByteView key, ByteView iv,
+                                ByteView plaintext) = 0;
+  virtual Bytes aes_cbc_decrypt(ByteView key, ByteView iv,
+                                ByteView ciphertext) = 0;
+  virtual Bytes aes_wrap(ByteView kek, ByteView key_data) = 0;
+  virtual std::optional<Bytes> aes_unwrap(ByteView kek, ByteView wrapped) = 0;
+  virtual Bytes kdf2(ByteView z, std::size_t out_len) = 0;
+
+  // -- PKI ----------------------------------------------------------------
+  virtual Bytes pss_sign(const rsa::PrivateKey& key, ByteView message,
+                         Rng& rng) = 0;
+  virtual bool pss_verify(const rsa::PublicKey& key, ByteView message,
+                          ByteView signature) = 0;
+  virtual rsa::KemEncapsulation kem_encapsulate(const rsa::PublicKey& key,
+                                                Rng& rng) = 0;
+  virtual Bytes kem_decapsulate(const rsa::PrivateKey& key, ByteView c1) = 0;
+};
+
+/// Forwards directly to the substrate with no accounting.
+class PlainCryptoProvider : public CryptoProvider {
+ public:
+  Bytes sha1(ByteView data) override;
+  Bytes hmac_sha1(ByteView key, ByteView data) override;
+  bool hmac_verify(ByteView key, ByteView data, ByteView tag) override;
+  Bytes aes_cbc_encrypt(ByteView key, ByteView iv,
+                        ByteView plaintext) override;
+  Bytes aes_cbc_decrypt(ByteView key, ByteView iv,
+                        ByteView ciphertext) override;
+  Bytes aes_wrap(ByteView kek, ByteView key_data) override;
+  std::optional<Bytes> aes_unwrap(ByteView kek, ByteView wrapped) override;
+  Bytes kdf2(ByteView z, std::size_t out_len) override;
+  Bytes pss_sign(const rsa::PrivateKey& key, ByteView message,
+                 Rng& rng) override;
+  bool pss_verify(const rsa::PublicKey& key, ByteView message,
+                  ByteView signature) override;
+  rsa::KemEncapsulation kem_encapsulate(const rsa::PublicKey& key,
+                                        Rng& rng) override;
+  Bytes kem_decapsulate(const rsa::PrivateKey& key, ByteView c1) override;
+};
+
+/// Process-wide stateless plain provider (safe to share).
+PlainCryptoProvider& plain_provider();
+
+}  // namespace omadrm::provider

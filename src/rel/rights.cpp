@@ -1,0 +1,202 @@
+#include "rel/rights.h"
+
+#include "common/base64.h"
+#include "common/error.h"
+
+namespace omadrm::rel {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+const char* to_string(PermissionType p) {
+  switch (p) {
+    case PermissionType::kPlay: return "play";
+    case PermissionType::kDisplay: return "display";
+    case PermissionType::kExecute: return "execute";
+    case PermissionType::kPrint: return "print";
+    case PermissionType::kExport: return "export";
+  }
+  return "?";
+}
+
+std::optional<PermissionType> permission_from_string(const std::string& s) {
+  if (s == "play") return PermissionType::kPlay;
+  if (s == "display") return PermissionType::kDisplay;
+  if (s == "execute") return PermissionType::kExecute;
+  if (s == "print") return PermissionType::kPrint;
+  if (s == "export") return PermissionType::kExport;
+  return std::nullopt;
+}
+
+const char* to_string(Decision d) {
+  switch (d) {
+    case Decision::kGranted: return "granted";
+    case Decision::kNoSuchPermission: return "no-such-permission";
+    case Decision::kCountExhausted: return "count-exhausted";
+    case Decision::kNotYetValid: return "not-yet-valid";
+    case Decision::kExpired: return "expired";
+    case Decision::kIntervalElapsed: return "interval-elapsed";
+    case Decision::kAccumulatedExhausted: return "accumulated-exhausted";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s) {
+  if (s.empty()) throw Error(ErrorKind::kFormat, "rel: empty number");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw Error(ErrorKind::kFormat, "rel: invalid number '" + s + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+xml::Element Constraint::to_xml() const {
+  xml::Element e("o-dd:constraint");
+  if (count) e.add_text_child("o-dd:count", std::to_string(*count));
+  if (not_before || not_after) {
+    xml::Element dt("o-dd:datetime");
+    if (not_before) dt.add_text_child("o-dd:start", std::to_string(*not_before));
+    if (not_after) dt.add_text_child("o-dd:end", std::to_string(*not_after));
+    e.add_child(std::move(dt));
+  }
+  if (interval_secs) {
+    e.add_text_child("o-dd:interval", std::to_string(*interval_secs));
+  }
+  if (accumulated_secs) {
+    e.add_text_child("o-dd:accumulated", std::to_string(*accumulated_secs));
+  }
+  return e;
+}
+
+Constraint Constraint::from_xml(const xml::Element& e) {
+  Constraint c;
+  if (const auto* n = e.child("o-dd:count")) {
+    std::uint64_t v = parse_u64(n->text());
+    if (v > 0xffffffffull) {
+      throw Error(ErrorKind::kFormat, "rel: count too large");
+    }
+    c.count = static_cast<std::uint32_t>(v);
+  }
+  if (const auto* dt = e.child("o-dd:datetime")) {
+    if (const auto* s = dt->child("o-dd:start")) c.not_before = parse_u64(s->text());
+    if (const auto* en = dt->child("o-dd:end")) c.not_after = parse_u64(en->text());
+  }
+  if (const auto* iv = e.child("o-dd:interval")) {
+    c.interval_secs = parse_u64(iv->text());
+  }
+  if (const auto* ac = e.child("o-dd:accumulated")) {
+    c.accumulated_secs = parse_u64(ac->text());
+  }
+  return c;
+}
+
+xml::Element Permission::to_xml() const {
+  xml::Element e(std::string("o-dd:") + to_string(type));
+  if (!constraint.is_unconstrained()) {
+    e.add_child(constraint.to_xml());
+  }
+  return e;
+}
+
+Permission Permission::from_xml(const xml::Element& e) {
+  std::string name = e.name();
+  constexpr std::string_view kPrefix = "o-dd:";
+  if (name.rfind(kPrefix, 0) == 0) name = name.substr(kPrefix.size());
+  auto type = permission_from_string(name);
+  if (!type) {
+    throw Error(ErrorKind::kFormat, "rel: unknown permission '" + name + "'");
+  }
+  Permission p;
+  p.type = *type;
+  if (const auto* c = e.child("o-dd:constraint")) {
+    p.constraint = Constraint::from_xml(*c);
+  }
+  return p;
+}
+
+const Permission* Rights::find(PermissionType type) const {
+  for (const auto& p : permissions) {
+    if (p.type == type) return &p;
+  }
+  return nullptr;
+}
+
+xml::Element Rights::to_xml() const {
+  xml::Element root("o-ex:rights");
+  root.set_attr("o-ex:id", ro_id);
+
+  xml::Element& agreement = root.add_child(xml::Element("o-ex:agreement"));
+  xml::Element& asset = agreement.add_child(xml::Element("o-ex:asset"));
+  asset.add_text_child("o-ex:context", content_id);
+  asset.add_text_child("ds:DigestValue", base64_encode(dcf_hash));
+
+  xml::Element& perm_el = agreement.add_child(xml::Element("o-ex:permission"));
+  for (const auto& p : permissions) {
+    perm_el.add_child(p.to_xml());
+  }
+  return root;
+}
+
+Rights Rights::from_xml(const xml::Element& e) {
+  if (e.name() != "o-ex:rights") {
+    throw Error(ErrorKind::kFormat, "rel: root must be <o-ex:rights>");
+  }
+  Rights r;
+  r.ro_id = e.require_attr("o-ex:id");
+  const xml::Element& agreement = e.require_child("o-ex:agreement");
+  const xml::Element& asset = agreement.require_child("o-ex:asset");
+  r.content_id = asset.child_text("o-ex:context");
+  r.dcf_hash = base64_decode(asset.child_text("ds:DigestValue"));
+  const xml::Element& perms = agreement.require_child("o-ex:permission");
+  for (const auto& p : perms.children()) {
+    r.permissions.push_back(Permission::from_xml(p));
+  }
+  return r;
+}
+
+RightsEnforcer::RightsEnforcer(Rights rights) : rights_(std::move(rights)) {}
+
+Decision RightsEnforcer::check_and_consume(PermissionType type,
+                                           std::uint64_t now,
+                                           std::uint64_t duration_secs) {
+  const Permission* perm = rights_.find(type);
+  if (!perm) return Decision::kNoSuchPermission;
+  State& st = state_[static_cast<std::size_t>(type)];
+  const Constraint& c = perm->constraint;
+
+  if (c.not_before && now < *c.not_before) return Decision::kNotYetValid;
+  if (c.not_after && now > *c.not_after) return Decision::kExpired;
+  if (c.interval_secs && st.first_use &&
+      now > *st.first_use + *c.interval_secs) {
+    return Decision::kIntervalElapsed;
+  }
+  if (c.count && st.used >= *c.count) return Decision::kCountExhausted;
+  if (c.accumulated_secs &&
+      st.accumulated + duration_secs > *c.accumulated_secs) {
+    return Decision::kAccumulatedExhausted;
+  }
+
+  // Grant: consume budgets.
+  ++st.used;
+  if (!st.first_use) st.first_use = now;
+  st.accumulated += duration_secs;
+  return Decision::kGranted;
+}
+
+std::optional<std::uint32_t> RightsEnforcer::remaining_count(
+    PermissionType type) const {
+  const Permission* perm = rights_.find(type);
+  if (!perm || !perm->constraint.count) return std::nullopt;
+  const State& st = state_[static_cast<std::size_t>(type)];
+  std::uint32_t total = *perm->constraint.count;
+  return st.used >= total ? 0 : total - st.used;
+}
+
+}  // namespace omadrm::rel

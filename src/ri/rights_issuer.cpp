@@ -1,0 +1,344 @@
+#include "ri/rights_issuer.h"
+
+#include "common/error.h"
+
+namespace omadrm::ri {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+using roap::Status;
+
+RightsIssuer::RightsIssuer(std::string ri_id, std::string url,
+                           pki::CertificationAuthority& ca,
+                           const pki::Validity& validity,
+                           provider::CryptoProvider& crypto, Rng& rng)
+    : ri_id_(std::move(ri_id)),
+      url_(std::move(url)),
+      ca_(ca),
+      crypto_(crypto),
+      rng_(rng),
+      key_(rsa::generate_key(1024, rng)) {
+  cert_ = ca_.issue(ri_id_, key_.public_key(), validity, rng_);
+}
+
+void RightsIssuer::add_offer(LicenseOffer offer) {
+  if (offer.ro_id.empty() || offer.content_id.empty()) {
+    throw Error(ErrorKind::kProtocol, "ri: offer needs ro_id + content_id");
+  }
+  if (offer.kcek.size() != 16) {
+    throw Error(ErrorKind::kCrypto, "ri: K_CEK must be 16 bytes");
+  }
+  if (offer.domain_ro && offer.domain_id.empty()) {
+    throw Error(ErrorKind::kProtocol, "ri: domain offer needs domain_id");
+  }
+  if (!offers_.emplace(offer.ro_id, std::move(offer)).second) {
+    throw Error(ErrorKind::kProtocol, "ri: duplicate ro_id");
+  }
+}
+
+bool RightsIssuer::has_offer(const std::string& ro_id) const {
+  return offers_.count(ro_id) > 0;
+}
+
+void RightsIssuer::create_domain(const std::string& domain_id,
+                                 std::size_t max_members) {
+  if (domains_.count(domain_id)) return;
+  Domain d;
+  d.domain_id = domain_id;
+  d.key = rng_.bytes(16);
+  d.generation = 1;
+  d.max_members = max_members;
+  domains_.emplace(domain_id, std::move(d));
+}
+
+const Domain* RightsIssuer::domain(const std::string& domain_id) const {
+  auto it = domains_.find(domain_id);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+void RightsIssuer::upgrade_domain(const std::string& domain_id) {
+  auto it = domains_.find(domain_id);
+  if (it == domains_.end()) {
+    throw Error(ErrorKind::kNotFound, "ri: no such domain: " + domain_id);
+  }
+  Domain& d = it->second;
+  d.key = rng_.bytes(16);
+  ++d.generation;
+  // Every member must re-join to pick up the new generation's key.
+  d.members.clear();
+}
+
+roap::RoAcquisitionTrigger RightsIssuer::make_trigger(
+    const std::string& ro_id) const {
+  auto it = offers_.find(ro_id);
+  if (it == offers_.end()) {
+    throw Error(ErrorKind::kNotFound, "ri: no such offer: " + ro_id);
+  }
+  roap::RoAcquisitionTrigger t;
+  t.ri_id = ri_id_;
+  t.ri_url = url_;
+  t.ro_id = ro_id;
+  t.content_id = it->second.content_id;
+  t.domain_id = it->second.domain_ro ? it->second.domain_id : "";
+  return t;
+}
+
+bool RightsIssuer::is_registered(const std::string& device_id) const {
+  return devices_.count(device_id) > 0;
+}
+
+roap::RiHello RightsIssuer::handle_device_hello(
+    const roap::DeviceHello& hello) {
+  roap::RiHello out;
+  out.ri_id = ri_id_;
+  out.session_id = ri_id_ + "-session-" + std::to_string(next_session_++);
+  // Capability negotiation: the standard's mandatory suite always wins
+  // unless the device advertises nothing (paper §2.4.1).
+  out.algorithms = {"SHA-1", "HMAC-SHA1", "AES-128-CBC", "AES-WRAP",
+                    "RSA-1024", "RSA-PSS", "KDF2"};
+  out.ri_nonce = rng_.bytes(roap::kNonceLen);
+  sessions_[out.session_id] = out.ri_nonce;
+  (void)hello;
+  return out;
+}
+
+roap::RegistrationResponse RightsIssuer::handle_registration_request(
+    const roap::RegistrationRequest& request, std::uint64_t now) {
+  roap::RegistrationResponse out;
+  out.session_id = request.session_id;
+  out.ri_id = ri_id_;
+  out.ri_url = url_;
+
+  auto session = sessions_.find(request.session_id);
+  if (session == sessions_.end() ||
+      !ct_equal(session->second, request.ri_nonce)) {
+    out.status = Status::kAbort;
+    return out;
+  }
+
+  // Verify the device certificate chain and the message signature.
+  pki::Certificate device_cert;
+  try {
+    device_cert = pki::Certificate::from_der(request.certificate_der);
+  } catch (const Error&) {
+    out.status = Status::kAbort;
+    return out;
+  }
+  if (pki::validate_against_root(device_cert, ca_.root_certificate(), now) !=
+      pki::CertStatus::kValid) {
+    out.status = Status::kAbort;
+    return out;
+  }
+  if (ca_.is_revoked(device_cert.serial())) {
+    out.status = Status::kAbort;
+    return out;
+  }
+  if (!crypto_.pss_verify(device_cert.subject_key(), request.payload(),
+                          request.signature)) {
+    out.status = Status::kSignatureInvalid;
+    return out;
+  }
+
+  devices_[request.device_id] = device_cert;
+  sessions_.erase(session);
+
+  // Staple a fresh OCSP response for our own certificate, bound to the
+  // nonce the device supplied.
+  pki::OcspRequest ocsp_req{cert_.serial(), request.ocsp_nonce};
+  pki::OcspResponse ocsp = ca_.ocsp_respond(ocsp_req, now, rng_);
+
+  out.status = Status::kSuccess;
+  out.ri_certificate_der = cert_.to_der();
+  out.ocsp_response_der = ocsp.to_der();
+  out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
+  return out;
+}
+
+roap::ProtectedRo RightsIssuer::build_protected_ro(
+    const LicenseOffer& offer, const rsa::PublicKey& device_key) {
+  roap::ProtectedRo ro;
+  ro.rights.ro_id = offer.ro_id;
+  ro.rights.content_id = offer.content_id;
+  ro.rights.dcf_hash = offer.dcf_hash;
+  ro.rights.permissions = offer.permissions;
+  ro.ri_id = ri_id_;
+
+  // Fresh rights keys per issued RO (Figure 3).
+  Bytes kmac = rng_.bytes(16);
+  Bytes krek = rng_.bytes(16);
+  Bytes kmac_krek = concat({kmac, krek});
+
+  // Two-layer chain: K_CEK under K_REK, K_MAC||K_REK under the transport.
+  ro.enc_kcek = crypto_.aes_wrap(krek, offer.kcek);
+
+  if (offer.domain_ro) {
+    const Domain& d = domains_.at(offer.domain_id);
+    ro.is_domain_ro = true;
+    ro.domain_id = offer.domain_id;
+    ro.domain_generation = d.generation;
+    ro.wrapped_keys = crypto_.aes_wrap(d.key, kmac_krek);
+  } else {
+    rsa::KemEncapsulation enc = crypto_.kem_encapsulate(device_key, rng_);
+    Bytes c2 = crypto_.aes_wrap(enc.kek, kmac_krek);
+    ro.wrapped_keys = concat({enc.c1, c2});
+  }
+
+  ro.mac = crypto_.hmac_sha1(kmac, ro.mac_payload());
+
+  // RI signature: mandatory for Domain ROs, optional for Device ROs.
+  if (offer.domain_ro || sign_device_ros_) {
+    ro.signature = crypto_.pss_sign(key_, ro.signed_payload(), rng_);
+  }
+  return ro;
+}
+
+roap::RoResponse RightsIssuer::handle_ro_request(
+    const roap::RoRequest& request, std::uint64_t now) {
+  (void)now;
+  roap::RoResponse out;
+  out.device_id = request.device_id;
+  out.ri_id = ri_id_;
+  out.device_nonce = request.device_nonce;
+
+  auto device = devices_.find(request.device_id);
+  if (device == devices_.end()) {
+    out.status = Status::kNotRegistered;
+    return out;
+  }
+  if (!crypto_.pss_verify(device->second.subject_key(), request.payload(),
+                          request.signature)) {
+    out.status = Status::kSignatureInvalid;
+    return out;
+  }
+  auto offer = offers_.find(request.ro_id);
+  if (offer == offers_.end()) {
+    out.status = Status::kUnknownRoId;
+    return out;
+  }
+  if (offer->second.domain_ro) {
+    // Domain ROs are only handed to current members of the domain.
+    const Domain* d = domain(offer->second.domain_id);
+    bool member = false;
+    if (d) {
+      for (const auto& m : d->members) member |= (m == request.device_id);
+    }
+    if (!member) {
+      out.status = Status::kAccessDenied;
+      return out;
+    }
+  }
+
+  out.status = Status::kSuccess;
+  out.ros.push_back(
+      build_protected_ro(offer->second, device->second.subject_key()));
+  out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
+  return out;
+}
+
+roap::JoinDomainResponse RightsIssuer::handle_join_domain(
+    const roap::JoinDomainRequest& request, std::uint64_t now) {
+  (void)now;
+  roap::JoinDomainResponse out;
+  out.domain_id = request.domain_id;
+
+  auto device = devices_.find(request.device_id);
+  if (device == devices_.end()) {
+    out.status = Status::kNotRegistered;
+    return out;
+  }
+  if (!crypto_.pss_verify(device->second.subject_key(), request.payload(),
+                          request.signature)) {
+    out.status = Status::kSignatureInvalid;
+    return out;
+  }
+  auto it = domains_.find(request.domain_id);
+  if (it == domains_.end()) {
+    out.status = Status::kAccessDenied;
+    return out;
+  }
+  Domain& d = it->second;
+  bool already_member = false;
+  for (const auto& m : d.members) already_member |= (m == request.device_id);
+  if (!already_member) {
+    if (d.members.size() >= d.max_members) {
+      out.status = Status::kAccessDenied;
+      return out;
+    }
+    d.members.push_back(request.device_id);
+  }
+
+  out.status = Status::kSuccess;
+  out.generation = d.generation;
+  // Transport K_D to the device with the same RSA-KEM chain as RO keys.
+  rsa::KemEncapsulation enc =
+      crypto_.kem_encapsulate(device->second.subject_key(), rng_);
+  Bytes c2 = crypto_.aes_wrap(enc.kek, d.key);
+  out.wrapped_domain_key = concat({enc.c1, c2});
+  out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
+  return out;
+}
+
+roap::LeaveDomainResponse RightsIssuer::handle_leave_domain(
+    const roap::LeaveDomainRequest& request, std::uint64_t now) {
+  (void)now;
+  roap::LeaveDomainResponse out;
+  out.domain_id = request.domain_id;
+  out.device_nonce = request.device_nonce;
+
+  auto device = devices_.find(request.device_id);
+  if (device == devices_.end()) {
+    out.status = Status::kNotRegistered;
+    return out;
+  }
+  if (!crypto_.pss_verify(device->second.subject_key(), request.payload(),
+                          request.signature)) {
+    out.status = Status::kSignatureInvalid;
+    return out;
+  }
+  auto it = domains_.find(request.domain_id);
+  if (it == domains_.end()) {
+    out.status = Status::kAccessDenied;
+    return out;
+  }
+  auto& members = it->second.members;
+  std::erase(members, request.device_id);
+
+  out.status = Status::kSuccess;
+  out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
+  return out;
+}
+
+std::string RightsIssuer::handle_wire(const std::string& request_xml,
+                                      std::uint64_t now) {
+  xml::Element doc = xml::parse(request_xml);
+  const std::string& root = doc.name();
+  if (root == "roap:deviceHello") {
+    return handle_device_hello(roap::DeviceHello::from_xml(doc))
+        .to_xml()
+        .serialize();
+  }
+  if (root == "roap:registrationRequest") {
+    return handle_registration_request(
+               roap::RegistrationRequest::from_xml(doc), now)
+        .to_xml()
+        .serialize();
+  }
+  if (root == "roap:roRequest") {
+    return handle_ro_request(roap::RoRequest::from_xml(doc), now)
+        .to_xml()
+        .serialize();
+  }
+  if (root == "roap:joinDomainRequest") {
+    return handle_join_domain(roap::JoinDomainRequest::from_xml(doc), now)
+        .to_xml()
+        .serialize();
+  }
+  if (root == "roap:leaveDomainRequest") {
+    return handle_leave_domain(roap::LeaveDomainRequest::from_xml(doc), now)
+        .to_xml()
+        .serialize();
+  }
+  throw Error(ErrorKind::kFormat, "ri: unknown ROAP message <" + root + ">");
+}
+
+}  // namespace omadrm::ri

@@ -1,0 +1,465 @@
+#include "roap/messages.h"
+
+#include "common/base64.h"
+#include "common/error.h"
+
+namespace omadrm::roap {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+using xml::Element;
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "Success";
+    case Status::kAbort: return "Abort";
+    case Status::kNotRegistered: return "NotRegistered";
+    case Status::kSignatureInvalid: return "SignatureInvalid";
+    case Status::kUnknownRoId: return "UnknownRoId";
+    case Status::kAccessDenied: return "AccessDenied";
+  }
+  return "Abort";
+}
+
+Status status_from_string(const std::string& s) {
+  if (s == "Success") return Status::kSuccess;
+  if (s == "Abort") return Status::kAbort;
+  if (s == "NotRegistered") return Status::kNotRegistered;
+  if (s == "SignatureInvalid") return Status::kSignatureInvalid;
+  if (s == "UnknownRoId") return Status::kUnknownRoId;
+  if (s == "AccessDenied") return Status::kAccessDenied;
+  throw Error(ErrorKind::kFormat, "roap: unknown status '" + s + "'");
+}
+
+namespace {
+
+void add_b64(Element& parent, const std::string& name, ByteView data) {
+  parent.add_text_child(name, base64_encode(data));
+}
+
+Bytes get_b64(const Element& e, const std::string& name) {
+  return base64_decode(e.child_text(name));
+}
+
+Bytes get_b64_optional(const Element& e, const std::string& name) {
+  const Element* c = e.child(name);
+  return c ? base64_decode(c->text()) : Bytes{};
+}
+
+void add_algorithms(Element& parent, const std::vector<std::string>& algs) {
+  Element& list = parent.add_child(Element("roap:supportedAlgorithms"));
+  for (const auto& a : algs) list.add_text_child("roap:algorithm", a);
+}
+
+std::vector<std::string> get_algorithms(const Element& e) {
+  std::vector<std::string> out;
+  if (const Element* list = e.child("roap:supportedAlgorithms")) {
+    for (const Element* a : list->children_named("roap:algorithm")) {
+      out.push_back(a->text());
+    }
+  }
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& s) {
+  std::uint64_t v = 0;
+  if (s.empty()) throw Error(ErrorKind::kFormat, "roap: empty number");
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw Error(ErrorKind::kFormat, "roap: bad number '" + s + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 0xffffffffull) {
+      throw Error(ErrorKind::kFormat, "roap: number overflow");
+    }
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Serializes a message element minus any <roap:signature> child — the
+/// canonical byte string that gets signed / verified.
+Bytes unsigned_payload(Element e) {
+  auto& kids = e.children();
+  std::erase_if(kids, [](const Element& c) {
+    return c.name() == "roap:signature";
+  });
+  return to_bytes(e.serialize());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProtectedRo
+// ---------------------------------------------------------------------------
+
+Bytes ProtectedRo::mac_payload() const {
+  Bytes rights_bytes = to_bytes(rights.serialize());
+  Bytes id_bytes = to_bytes(
+      ri_id + "|" +
+      (is_domain_ro ? domain_id + "#" + std::to_string(domain_generation)
+                    : ""));
+  return concat({rights_bytes, wrapped_keys, enc_kcek, id_bytes});
+}
+
+Bytes ProtectedRo::signed_payload() const {
+  return concat({mac_payload(), mac});
+}
+
+Element ProtectedRo::to_xml() const {
+  Element e("roap:protectedRO");
+  e.add_child(rights.to_xml());
+  add_b64(e, "roap:encKey", wrapped_keys);
+  add_b64(e, "roap:encCEK", enc_kcek);
+  add_b64(e, "roap:mac", mac);
+  e.add_text_child("roap:riID", ri_id);
+  if (is_domain_ro) {
+    e.add_text_child("roap:domainID", domain_id);
+    e.add_text_child("roap:domainGeneration",
+                     std::to_string(domain_generation));
+  }
+  if (!signature.empty()) {
+    add_b64(e, "roap:signature", signature);
+  }
+  return e;
+}
+
+ProtectedRo ProtectedRo::from_xml(const Element& e) {
+  if (e.name() != "roap:protectedRO") {
+    throw Error(ErrorKind::kFormat, "roap: expected <roap:protectedRO>");
+  }
+  ProtectedRo out;
+  out.rights = rel::Rights::from_xml(e.require_child("o-ex:rights"));
+  out.wrapped_keys = get_b64(e, "roap:encKey");
+  out.enc_kcek = get_b64(e, "roap:encCEK");
+  out.mac = get_b64(e, "roap:mac");
+  out.ri_id = e.child_text("roap:riID");
+  if (const Element* d = e.child("roap:domainID")) {
+    out.is_domain_ro = true;
+    out.domain_id = d->text();
+    if (const Element* g = e.child("roap:domainGeneration")) {
+      out.domain_generation = parse_u32(g->text());
+    }
+  }
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DeviceHello / RiHello
+// ---------------------------------------------------------------------------
+
+Element DeviceHello::to_xml() const {
+  Element e("roap:deviceHello");
+  e.add_text_child("roap:deviceID", device_id);
+  add_algorithms(e, algorithms);
+  add_b64(e, "roap:nonce", device_nonce);
+  return e;
+}
+
+DeviceHello DeviceHello::from_xml(const Element& e) {
+  if (e.name() != "roap:deviceHello") {
+    throw Error(ErrorKind::kFormat, "roap: expected <roap:deviceHello>");
+  }
+  DeviceHello out;
+  out.device_id = e.child_text("roap:deviceID");
+  out.algorithms = get_algorithms(e);
+  out.device_nonce = get_b64(e, "roap:nonce");
+  return out;
+}
+
+Element RiHello::to_xml() const {
+  Element e("roap:riHello");
+  e.set_attr("status", to_string(status));
+  e.add_text_child("roap:riID", ri_id);
+  e.add_text_child("roap:sessionID", session_id);
+  add_algorithms(e, algorithms);
+  add_b64(e, "roap:nonce", ri_nonce);
+  return e;
+}
+
+RiHello RiHello::from_xml(const Element& e) {
+  if (e.name() != "roap:riHello") {
+    throw Error(ErrorKind::kFormat, "roap: expected <roap:riHello>");
+  }
+  RiHello out;
+  out.status = status_from_string(e.require_attr("status"));
+  out.ri_id = e.child_text("roap:riID");
+  out.session_id = e.child_text("roap:sessionID");
+  out.algorithms = get_algorithms(e);
+  out.ri_nonce = get_b64(e, "roap:nonce");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RegistrationRequest / RegistrationResponse
+// ---------------------------------------------------------------------------
+
+Element RegistrationRequest::to_xml() const {
+  Element e("roap:registrationRequest");
+  e.add_text_child("roap:sessionID", session_id);
+  e.add_text_child("roap:deviceID", device_id);
+  add_b64(e, "roap:deviceNonce", device_nonce);
+  add_b64(e, "roap:riNonce", ri_nonce);
+  add_b64(e, "roap:certificate", certificate_der);
+  add_b64(e, "roap:ocspNonce", ocsp_nonce);
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes RegistrationRequest::payload() const { return unsigned_payload(to_xml()); }
+
+RegistrationRequest RegistrationRequest::from_xml(const Element& e) {
+  if (e.name() != "roap:registrationRequest") {
+    throw Error(ErrorKind::kFormat,
+                "roap: expected <roap:registrationRequest>");
+  }
+  RegistrationRequest out;
+  out.session_id = e.child_text("roap:sessionID");
+  out.device_id = e.child_text("roap:deviceID");
+  out.device_nonce = get_b64(e, "roap:deviceNonce");
+  out.ri_nonce = get_b64(e, "roap:riNonce");
+  out.certificate_der = get_b64(e, "roap:certificate");
+  out.ocsp_nonce = get_b64(e, "roap:ocspNonce");
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+Element RegistrationResponse::to_xml() const {
+  Element e("roap:registrationResponse");
+  e.set_attr("status", to_string(status));
+  e.add_text_child("roap:sessionID", session_id);
+  e.add_text_child("roap:riID", ri_id);
+  e.add_text_child("roap:riURL", ri_url);
+  add_b64(e, "roap:certificate", ri_certificate_der);
+  add_b64(e, "roap:ocspResponse", ocsp_response_der);
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes RegistrationResponse::payload() const {
+  return unsigned_payload(to_xml());
+}
+
+RegistrationResponse RegistrationResponse::from_xml(const Element& e) {
+  if (e.name() != "roap:registrationResponse") {
+    throw Error(ErrorKind::kFormat,
+                "roap: expected <roap:registrationResponse>");
+  }
+  RegistrationResponse out;
+  out.status = status_from_string(e.require_attr("status"));
+  out.session_id = e.child_text("roap:sessionID");
+  out.ri_id = e.child_text("roap:riID");
+  out.ri_url = e.child_text("roap:riURL");
+  out.ri_certificate_der = get_b64(e, "roap:certificate");
+  out.ocsp_response_der = get_b64(e, "roap:ocspResponse");
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RoRequest / RoResponse
+// ---------------------------------------------------------------------------
+
+Element RoRequest::to_xml() const {
+  Element e("roap:roRequest");
+  e.add_text_child("roap:deviceID", device_id);
+  e.add_text_child("roap:riID", ri_id);
+  e.add_text_child("roap:roID", ro_id);
+  if (!domain_id.empty()) e.add_text_child("roap:domainID", domain_id);
+  add_b64(e, "roap:deviceNonce", device_nonce);
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes RoRequest::payload() const { return unsigned_payload(to_xml()); }
+
+RoRequest RoRequest::from_xml(const Element& e) {
+  if (e.name() != "roap:roRequest") {
+    throw Error(ErrorKind::kFormat, "roap: expected <roap:roRequest>");
+  }
+  RoRequest out;
+  out.device_id = e.child_text("roap:deviceID");
+  out.ri_id = e.child_text("roap:riID");
+  out.ro_id = e.child_text("roap:roID");
+  if (const Element* d = e.child("roap:domainID")) out.domain_id = d->text();
+  out.device_nonce = get_b64(e, "roap:deviceNonce");
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+Element RoResponse::to_xml() const {
+  Element e("roap:roResponse");
+  e.set_attr("status", to_string(status));
+  e.add_text_child("roap:deviceID", device_id);
+  e.add_text_child("roap:riID", ri_id);
+  add_b64(e, "roap:deviceNonce", device_nonce);
+  for (const auto& ro : ros) {
+    e.add_child(ro.to_xml());
+  }
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes RoResponse::payload() const { return unsigned_payload(to_xml()); }
+
+RoResponse RoResponse::from_xml(const Element& e) {
+  if (e.name() != "roap:roResponse") {
+    throw Error(ErrorKind::kFormat, "roap: expected <roap:roResponse>");
+  }
+  RoResponse out;
+  out.status = status_from_string(e.require_attr("status"));
+  out.device_id = e.child_text("roap:deviceID");
+  out.ri_id = e.child_text("roap:riID");
+  out.device_nonce = get_b64(e, "roap:deviceNonce");
+  for (const Element* ro : e.children_named("roap:protectedRO")) {
+    out.ros.push_back(ProtectedRo::from_xml(*ro));
+  }
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JoinDomainRequest / JoinDomainResponse
+// ---------------------------------------------------------------------------
+
+Element JoinDomainRequest::to_xml() const {
+  Element e("roap:joinDomainRequest");
+  e.add_text_child("roap:deviceID", device_id);
+  e.add_text_child("roap:riID", ri_id);
+  e.add_text_child("roap:domainID", domain_id);
+  add_b64(e, "roap:deviceNonce", device_nonce);
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes JoinDomainRequest::payload() const { return unsigned_payload(to_xml()); }
+
+JoinDomainRequest JoinDomainRequest::from_xml(const Element& e) {
+  if (e.name() != "roap:joinDomainRequest") {
+    throw Error(ErrorKind::kFormat,
+                "roap: expected <roap:joinDomainRequest>");
+  }
+  JoinDomainRequest out;
+  out.device_id = e.child_text("roap:deviceID");
+  out.ri_id = e.child_text("roap:riID");
+  out.domain_id = e.child_text("roap:domainID");
+  out.device_nonce = get_b64(e, "roap:deviceNonce");
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+Element JoinDomainResponse::to_xml() const {
+  Element e("roap:joinDomainResponse");
+  e.set_attr("status", to_string(status));
+  e.add_text_child("roap:domainID", domain_id);
+  e.add_text_child("roap:generation", std::to_string(generation));
+  add_b64(e, "roap:domainKey", wrapped_domain_key);
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes JoinDomainResponse::payload() const {
+  return unsigned_payload(to_xml());
+}
+
+JoinDomainResponse JoinDomainResponse::from_xml(const Element& e) {
+  if (e.name() != "roap:joinDomainResponse") {
+    throw Error(ErrorKind::kFormat,
+                "roap: expected <roap:joinDomainResponse>");
+  }
+  JoinDomainResponse out;
+  out.status = status_from_string(e.require_attr("status"));
+  out.domain_id = e.child_text("roap:domainID");
+  out.generation = parse_u32(e.child_text("roap:generation"));
+  out.wrapped_domain_key = get_b64(e, "roap:domainKey");
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LeaveDomainRequest / LeaveDomainResponse
+// ---------------------------------------------------------------------------
+
+Element LeaveDomainRequest::to_xml() const {
+  Element e("roap:leaveDomainRequest");
+  e.add_text_child("roap:deviceID", device_id);
+  e.add_text_child("roap:riID", ri_id);
+  e.add_text_child("roap:domainID", domain_id);
+  add_b64(e, "roap:deviceNonce", device_nonce);
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes LeaveDomainRequest::payload() const {
+  return unsigned_payload(to_xml());
+}
+
+LeaveDomainRequest LeaveDomainRequest::from_xml(const Element& e) {
+  if (e.name() != "roap:leaveDomainRequest") {
+    throw Error(ErrorKind::kFormat,
+                "roap: expected <roap:leaveDomainRequest>");
+  }
+  LeaveDomainRequest out;
+  out.device_id = e.child_text("roap:deviceID");
+  out.ri_id = e.child_text("roap:riID");
+  out.domain_id = e.child_text("roap:domainID");
+  out.device_nonce = get_b64(e, "roap:deviceNonce");
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+Element LeaveDomainResponse::to_xml() const {
+  Element e("roap:leaveDomainResponse");
+  e.set_attr("status", to_string(status));
+  e.add_text_child("roap:domainID", domain_id);
+  add_b64(e, "roap:deviceNonce", device_nonce);
+  if (!signature.empty()) add_b64(e, "roap:signature", signature);
+  return e;
+}
+
+Bytes LeaveDomainResponse::payload() const {
+  return unsigned_payload(to_xml());
+}
+
+LeaveDomainResponse LeaveDomainResponse::from_xml(const Element& e) {
+  if (e.name() != "roap:leaveDomainResponse") {
+    throw Error(ErrorKind::kFormat,
+                "roap: expected <roap:leaveDomainResponse>");
+  }
+  LeaveDomainResponse out;
+  out.status = status_from_string(e.require_attr("status"));
+  out.domain_id = e.child_text("roap:domainID");
+  out.device_nonce = get_b64(e, "roap:deviceNonce");
+  out.signature = get_b64_optional(e, "roap:signature");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RoAcquisitionTrigger
+// ---------------------------------------------------------------------------
+
+Element RoAcquisitionTrigger::to_xml() const {
+  Element e("roap:roAcquisitionTrigger");
+  e.add_text_child("roap:riID", ri_id);
+  e.add_text_child("roap:riURL", ri_url);
+  e.add_text_child("roap:roID", ro_id);
+  e.add_text_child("roap:contentID", content_id);
+  if (!domain_id.empty()) e.add_text_child("roap:domainID", domain_id);
+  return e;
+}
+
+RoAcquisitionTrigger RoAcquisitionTrigger::from_xml(const Element& e) {
+  if (e.name() != "roap:roAcquisitionTrigger") {
+    throw Error(ErrorKind::kFormat,
+                "roap: expected <roap:roAcquisitionTrigger>");
+  }
+  RoAcquisitionTrigger out;
+  out.ri_id = e.child_text("roap:riID");
+  out.ri_url = e.child_text("roap:riURL");
+  out.ro_id = e.child_text("roap:roID");
+  out.content_id = e.child_text("roap:contentID");
+  if (const Element* d = e.child("roap:domainID")) out.domain_id = d->text();
+  return out;
+}
+
+}  // namespace omadrm::roap

@@ -1,0 +1,49 @@
+#include "rsa/kem.h"
+
+#include "common/error.h"
+#include "crypto/aes_wrap.h"
+#include "crypto/kdf2.h"
+
+namespace omadrm::rsa {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+KemEncapsulation kem_encapsulate(const PublicKey& key, Rng& rng) {
+  const std::size_t k = key.byte_length();
+  BigInt z = BigInt::random_below(key.n, rng);
+  KemEncapsulation out;
+  out.c1 = i2osp(rsaep(key, z), k);
+  out.kek = crypto::kdf2_sha1(i2osp(z, k), kKekLen);
+  return out;
+}
+
+Bytes kem_decapsulate(const PrivateKey& key, ByteView c1) {
+  const std::size_t k = key.byte_length();
+  if (c1.size() != k) {
+    throw Error(ErrorKind::kCrypto, "kem: C1 length != key length");
+  }
+  BigInt c = os2ip(c1);
+  if (!(c < key.n)) {
+    throw Error(ErrorKind::kCrypto, "kem: C1 out of range");
+  }
+  BigInt z = rsadp(key, c);
+  return crypto::kdf2_sha1(i2osp(z, k), kKekLen);
+}
+
+Bytes kem_wrap_keys(const PublicKey& key, ByteView key_material, Rng& rng) {
+  KemEncapsulation enc = kem_encapsulate(key, rng);
+  Bytes c2 = crypto::aes_wrap(enc.kek, key_material);
+  return concat({enc.c1, c2});
+}
+
+std::optional<Bytes> kem_unwrap_keys(const PrivateKey& key, ByteView c) {
+  const std::size_t k = key.byte_length();
+  if (c.size() < k + 24) {
+    throw Error(ErrorKind::kCrypto, "kem: C too short");
+  }
+  Bytes kek = kem_decapsulate(key, c.subspan(0, k));
+  return crypto::aes_unwrap(kek, c.subspan(k));
+}
+
+}  // namespace omadrm::rsa

@@ -1,0 +1,132 @@
+#include "rsa/pss.h"
+
+#include "common/error.h"
+#include "crypto/sha1.h"
+
+namespace omadrm::rsa {
+
+using crypto::Sha1;
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+namespace {
+constexpr std::size_t kHashLen = Sha1::kDigestSize;
+}
+
+Bytes mgf1_sha1(ByteView seed, std::size_t mask_len) {
+  Bytes mask;
+  mask.reserve(mask_len);
+  std::uint32_t counter = 0;
+  while (mask.size() < mask_len) {
+    Sha1 h;
+    h.update(seed);
+    std::uint8_t c[4];
+    store_be32(counter++, c);
+    h.update(ByteView(c, 4));
+    Bytes block = h.finish();
+    std::size_t take = std::min(block.size(), mask_len - mask.size());
+    mask.insert(mask.end(), block.begin(),
+                block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return mask;
+}
+
+Bytes emsa_pss_encode(ByteView message, std::size_t em_bits, Rng& rng) {
+  const std::size_t em_len = (em_bits + 7) / 8;
+  if (em_len < kHashLen + kPssSaltLen + 2) {
+    throw Error(ErrorKind::kCrypto, "pss: key too small for encoding");
+  }
+  Bytes m_hash = Sha1::hash(message);
+  Bytes salt = rng.bytes(kPssSaltLen);
+
+  // M' = 8 zero bytes || mHash || salt
+  Bytes m_prime(8, 0);
+  m_prime.insert(m_prime.end(), m_hash.begin(), m_hash.end());
+  m_prime.insert(m_prime.end(), salt.begin(), salt.end());
+  Bytes h = Sha1::hash(m_prime);
+
+  // DB = PS || 0x01 || salt
+  const std::size_t db_len = em_len - kHashLen - 1;
+  Bytes db(db_len - kPssSaltLen - 1, 0);
+  db.push_back(0x01);
+  db.insert(db.end(), salt.begin(), salt.end());
+
+  Bytes mask = mgf1_sha1(h, db_len);
+  Bytes masked_db = xor_bytes(db, mask);
+  // Clear the leftmost 8*emLen - emBits bits.
+  const std::size_t excess_bits = 8 * em_len - em_bits;
+  if (excess_bits > 0) {
+    masked_db[0] &= static_cast<std::uint8_t>(0xff >> excess_bits);
+  }
+
+  Bytes em;
+  em.reserve(em_len);
+  em.insert(em.end(), masked_db.begin(), masked_db.end());
+  em.insert(em.end(), h.begin(), h.end());
+  em.push_back(0xbc);
+  return em;
+}
+
+bool emsa_pss_verify(ByteView message, ByteView em, std::size_t em_bits) {
+  const std::size_t em_len = (em_bits + 7) / 8;
+  if (em.size() != em_len) return false;
+  if (em_len < kHashLen + kPssSaltLen + 2) return false;
+  if (em.back() != 0xbc) return false;
+
+  const std::size_t db_len = em_len - kHashLen - 1;
+  ByteView masked_db = em.subspan(0, db_len);
+  ByteView h = em.subspan(db_len, kHashLen);
+
+  const std::size_t excess_bits = 8 * em_len - em_bits;
+  if (excess_bits > 0 &&
+      (masked_db[0] & ~static_cast<std::uint8_t>(0xff >> excess_bits)) != 0) {
+    return false;
+  }
+
+  Bytes mask = mgf1_sha1(h, db_len);
+  Bytes db = xor_bytes(masked_db, mask);
+  if (excess_bits > 0) {
+    db[0] &= static_cast<std::uint8_t>(0xff >> excess_bits);
+  }
+
+  // DB must be zeros, then 0x01, then the salt.
+  const std::size_t ps_len = db_len - kPssSaltLen - 1;
+  for (std::size_t i = 0; i < ps_len; ++i) {
+    if (db[i] != 0) return false;
+  }
+  if (db[ps_len] != 0x01) return false;
+  ByteView salt = ByteView(db).subspan(ps_len + 1, kPssSaltLen);
+
+  Bytes m_hash = Sha1::hash(message);
+  Bytes m_prime(8, 0);
+  m_prime.insert(m_prime.end(), m_hash.begin(), m_hash.end());
+  m_prime.insert(m_prime.end(), salt.begin(), salt.end());
+  Bytes h2 = Sha1::hash(m_prime);
+  return ct_equal(h, h2);
+}
+
+Bytes pss_sign(const PrivateKey& key, ByteView message, Rng& rng) {
+  const std::size_t mod_bits = key.n.bit_length();
+  Bytes em = emsa_pss_encode(message, mod_bits - 1, rng);
+  BigInt m = os2ip(em);
+  BigInt s = rsasp1(key, m);
+  return i2osp(s, key.byte_length());
+}
+
+bool pss_verify(const PublicKey& key, ByteView message, ByteView signature) {
+  if (signature.size() != key.byte_length()) return false;
+  BigInt s = os2ip(signature);
+  if (!(s < key.n)) return false;
+  BigInt m = rsavp1(key, s);
+  const std::size_t mod_bits = key.n.bit_length();
+  const std::size_t em_len = (mod_bits - 1 + 7) / 8;
+  Bytes em;
+  try {
+    em = i2osp(m, em_len);
+  } catch (const Error&) {
+    return false;
+  }
+  return emsa_pss_verify(message, em, mod_bits - 1);
+}
+
+}  // namespace omadrm::rsa

@@ -1,0 +1,34 @@
+// RSASSA-PSS (PKCS#1 v2.1 §8.1) with SHA-1 and MGF1-SHA1 — the signature
+// scheme OMA DRM 2 mandates for ROAP messages and Rights Object signatures
+// ("RSA-PSSA" in the paper's algorithm list, using RSASP1/RSAVP1).
+//
+// The paper approximates EMSA-PSS as "just one hash function over the
+// message code"; we implement the real encoding (hash, salt, MGF1 mask,
+// 0xbc trailer) — the cost model still charges it as hash + RSA primitive,
+// matching the paper's accounting.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "rsa/rsa.h"
+
+namespace omadrm::rsa {
+
+inline constexpr std::size_t kPssSaltLen = 20;  // == SHA-1 digest size
+
+/// MGF1 mask generation over SHA-1 (PKCS#1 v2.1 §B.2.1).
+Bytes mgf1_sha1(ByteView seed, std::size_t mask_len);
+
+/// EMSA-PSS-ENCODE of `message` for a key of `em_bits` (= modBits - 1).
+Bytes emsa_pss_encode(ByteView message, std::size_t em_bits, Rng& rng);
+
+/// EMSA-PSS-VERIFY; true iff `em` is a consistent encoding of `message`.
+bool emsa_pss_verify(ByteView message, ByteView em, std::size_t em_bits);
+
+/// RSASSA-PSS-SIGN: returns a signature of exactly key-length bytes.
+Bytes pss_sign(const PrivateKey& key, ByteView message, Rng& rng);
+
+/// RSASSA-PSS-VERIFY: true iff `signature` is valid for `message`.
+bool pss_verify(const PublicKey& key, ByteView message, ByteView signature);
+
+}  // namespace omadrm::rsa

@@ -1,0 +1,372 @@
+#include "xml/xml.h"
+
+#include "common/error.h"
+
+namespace omadrm::xml {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+void Element::set_attr(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  attrs_.emplace_back(key, value);
+}
+
+const std::string* Element::attr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string& Element::require_attr(const std::string& key) const {
+  const std::string* v = attr(key);
+  if (!v) {
+    throw Error(ErrorKind::kFormat,
+                "xml: missing attribute '" + key + "' on <" + name_ + ">");
+  }
+  return *v;
+}
+
+Element& Element::add_child(Element child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+Element& Element::add_text_child(const std::string& name,
+                                 const std::string& text) {
+  Element e(name);
+  e.set_text(text);
+  return add_child(std::move(e));
+}
+
+const Element* Element::child(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+const Element& Element::require_child(const std::string& name) const {
+  const Element* c = child(name);
+  if (!c) {
+    throw Error(ErrorKind::kFormat,
+                "xml: missing child <" + name + "> in <" + name_ + ">");
+  }
+  return *c;
+}
+
+std::vector<const Element*> Element::children_named(
+    const std::string& name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c.name() == name) out.push_back(&c);
+  }
+  return out;
+}
+
+const std::string& Element::child_text(const std::string& name) const {
+  return require_child(name).text();
+}
+
+bool Element::operator==(const Element& other) const {
+  return name_ == other.name_ && text_ == other.text_ &&
+         attrs_ == other.attrs_ && children_ == other.children_;
+}
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attr(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void Element::serialize_into(std::string& out, int depth, bool pretty) const {
+  auto indent = [&]() {
+    if (pretty) out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  };
+  indent();
+  out.push_back('<');
+  out += name_;
+  for (const auto& [k, v] : attrs_) {
+    out.push_back(' ');
+    out += k;
+    out += "=\"";
+    out += escape_attr(v);
+    out.push_back('"');
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    if (pretty) out.push_back('\n');
+    return;
+  }
+  out.push_back('>');
+  if (!text_.empty()) {
+    out += escape_text(text_);
+  }
+  if (!children_.empty()) {
+    if (pretty) out.push_back('\n');
+    for (const auto& c : children_) {
+      c.serialize_into(out, depth + 1, pretty);
+    }
+    indent();
+  }
+  out += "</";
+  out += name_;
+  out.push_back('>');
+  if (pretty) out.push_back('\n');
+}
+
+std::string Element::serialize(bool pretty) const {
+  std::string out;
+  serialize_into(out, 0, pretty);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  Element parse_document() {
+    skip_misc();
+    Element root = parse_element();
+    skip_misc();
+    if (pos_ != doc_.size()) {
+      fail("content after document root");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error(ErrorKind::kFormat,
+                "xml: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  bool eof() const { return pos_ >= doc_.size(); }
+  char peek() const {
+    if (eof()) fail("unexpected end of document");
+    return doc_[pos_];
+  }
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  bool consume(std::string_view token) {
+    if (doc_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view token, const char* what) {
+    if (!consume(token)) fail(std::string("expected ") + what);
+  }
+  static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+  static bool is_name_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  }
+  static bool is_name_char(char c) {
+    return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  void skip_space() {
+    while (!eof() && is_space(doc_[pos_])) ++pos_;
+  }
+
+  // Whitespace, comments, processing instructions between markup.
+  void skip_misc() {
+    for (;;) {
+      skip_space();
+      if (consume("<!--")) {
+        std::size_t end = doc_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else if (consume("<?")) {
+        std::size_t end = doc_.find("?>", pos_);
+        if (end == std::string_view::npos) fail("unterminated PI");
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("invalid name start");
+    std::size_t start = pos_;
+    while (!eof() && is_name_char(doc_[pos_])) ++pos_;
+    return std::string(doc_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entity() {
+    // Called after '&'.
+    if (consume("amp;")) return "&";
+    if (consume("lt;")) return "<";
+    if (consume("gt;")) return ">";
+    if (consume("quot;")) return "\"";
+    if (consume("apos;")) return "'";
+    if (consume("#")) {
+      int base = consume("x") ? 16 : 10;
+      std::uint32_t code = 0;
+      bool any = false;
+      while (!eof() && peek() != ';') {
+        char c = take();
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else fail("bad character reference");
+        code = code * static_cast<std::uint32_t>(base) +
+               static_cast<std::uint32_t>(digit);
+        any = true;
+        if (code > 0x10ffff) fail("character reference out of range");
+      }
+      expect(";", "';' after character reference");
+      if (!any) fail("empty character reference");
+      // UTF-8 encode.
+      std::string out;
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else {
+        out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      }
+      return out;
+    }
+    fail("unknown entity");
+  }
+
+  std::string parse_attr_value() {
+    char quote = take();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    std::string out;
+    for (;;) {
+      char c = take();
+      if (c == quote) break;
+      if (c == '<') fail("'<' in attribute value");
+      if (c == '&') {
+        out += decode_entity();
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Element parse_element() {
+    expect("<", "'<'");
+    Element e(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_space();
+      if (consume("/>")) return e;
+      if (consume(">")) break;
+      std::string key = parse_name();
+      skip_space();
+      expect("=", "'=' after attribute name");
+      skip_space();
+      if (e.attr(key)) fail("duplicate attribute '" + key + "'");
+      e.set_attr(key, parse_attr_value());
+    }
+    // Content.
+    std::string text;
+    for (;;) {
+      if (eof()) fail("unterminated element <" + e.name() + ">");
+      if (consume("<!--")) {
+        std::size_t end = doc_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (consume("</")) {
+        std::string closing = parse_name();
+        if (closing != e.name()) {
+          fail("mismatched closing tag </" + closing + "> for <" + e.name() +
+               ">");
+        }
+        skip_space();
+        expect(">", "'>' after closing tag");
+        // Whitespace-only text around child elements is formatting, not
+        // content; drop it so pretty-printed documents round-trip.
+        if (!e.children().empty() &&
+            text.find_first_not_of(" \t\r\n") == std::string::npos) {
+          text.clear();
+        }
+        e.set_text(std::move(text));
+        return e;
+      }
+      if (peek() == '<') {
+        if (doc_.substr(pos_, 2) == "<!") fail("DTD/CDATA unsupported");
+        e.add_child(parse_element());
+        continue;
+      }
+      char c = take();
+      if (c == '&') {
+        text += decode_entity();
+      } else {
+        text.push_back(c);
+      }
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Element parse(std::string_view doc) { return Parser(doc).parse_document(); }
+
+}  // namespace omadrm::xml

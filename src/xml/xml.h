@@ -1,0 +1,84 @@
+// Small XML DOM: parser and serializer.
+//
+// OMA DRM 2 carries Rights Objects (REL) and ROAP messages as XML. The
+// paper explicitly excludes XML parsing overhead from its cycle model
+// ("these components cannot easily be accelerated by dedicated hardware
+// cells"), but the protocol stack still needs a real parser to produce
+// and consume the documents — this is it. Supported: elements, attributes
+// (single- or double-quoted), character data with the five predefined
+// entities plus decimal/hex character references, comments, processing
+// instructions, and self-closing tags. Not supported (rejected cleanly):
+// DTDs, CDATA sections, namespaces beyond literal prefixed names.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace omadrm::xml {
+
+class Element {
+ public:
+  Element() = default;
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Concatenated character data directly inside this element.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // -- attributes ---------------------------------------------------------
+  void set_attr(const std::string& key, const std::string& value);
+  /// nullptr when absent.
+  const std::string* attr(const std::string& key) const;
+  /// Throws omadrm::Error(kFormat) when absent.
+  const std::string& require_attr(const std::string& key) const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // -- children -----------------------------------------------------------
+  /// Appends a child and returns a reference to the stored copy.
+  Element& add_child(Element child);
+  /// Convenience: appends `<name>text</name>`.
+  Element& add_text_child(const std::string& name, const std::string& text);
+
+  const std::vector<Element>& children() const { return children_; }
+  std::vector<Element>& children() { return children_; }
+
+  /// First child with the given name; nullptr when absent.
+  const Element* child(const std::string& name) const;
+  /// Throws omadrm::Error(kFormat) when absent.
+  const Element& require_child(const std::string& name) const;
+  /// All children with the given name.
+  std::vector<const Element*> children_named(const std::string& name) const;
+  /// Text of a required child (shorthand for require_child(name).text()).
+  const std::string& child_text(const std::string& name) const;
+
+  /// Serializes to a document string. `pretty` adds two-space indentation.
+  std::string serialize(bool pretty = false) const;
+
+  bool operator==(const Element& other) const;
+
+ private:
+  void serialize_into(std::string& out, int depth, bool pretty) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<Element> children_;
+};
+
+/// Parses a document; returns the root element.
+/// Throws omadrm::Error(kFormat) on malformed input.
+Element parse(std::string_view doc);
+
+/// Escapes character data (& < >) / attribute values (also " ').
+std::string escape_text(std::string_view raw);
+std::string escape_attr(std::string_view raw);
+
+}  // namespace omadrm::xml

@@ -1,0 +1,384 @@
+// Extended DRM Agent behaviours: acquisition triggers, domain key
+// generations (leave / upgrade / re-join), and secure-storage persistence
+// across simulated reboots.
+#include <gtest/gtest.h>
+
+#include "agent/drm_agent.h"
+#include "ci/content_issuer.h"
+#include "common/error.h"
+#include "common/random.h"
+#include "pki/authority.h"
+#include "provider/provider.h"
+#include "ri/rights_issuer.h"
+
+namespace omadrm {
+namespace {
+
+using agent::AgentStatus;
+using agent::DrmAgent;
+
+constexpr std::uint64_t kNow = 1100000000;
+const pki::Validity kValidity{kNow - 86400, kNow + 365 * 86400};
+
+class AgentExtended : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<DeterministicRng>(0xA9E);
+    ca_ = std::make_unique<pki::CertificationAuthority>("CMLA Root", 1024,
+                                                        kValidity, *rng_);
+    ci_ = std::make_unique<ci::ContentIssuer>(
+        "content.example", provider::plain_provider(), *rng_);
+    ri_ = std::make_unique<ri::RightsIssuer>(
+        "ri.example", "http://ri.example/roap", *ca_, kValidity,
+        provider::plain_provider(), *rng_);
+    device_ = std::make_unique<DrmAgent>("device-01", ca_->root_certificate(),
+                                         provider::plain_provider(), *rng_);
+    device_->provision(
+        ca_->issue("device-01", device_->public_key(), kValidity, *rng_));
+  }
+
+  dcf::Dcf setup_content(const std::string& tag, std::size_t size,
+                         std::uint32_t count_limit = 0,
+                         bool domain_ro = false) {
+    content_ = rng_->bytes(size);
+    dcf::Headers h;
+    h.content_type = "audio/mpeg";
+    h.content_id = "cid:" + tag + "@content.example";
+    h.rights_issuer_url = ri_->url();
+    dcf::Dcf dcf = ci_->package(h, content_);
+
+    ri::LicenseOffer offer;
+    offer.ro_id = "ro:" + tag;
+    offer.content_id = h.content_id;
+    offer.dcf_hash = dcf.hash();
+    rel::Permission play;
+    play.type = rel::PermissionType::kPlay;
+    if (count_limit > 0) play.constraint.count = count_limit;
+    offer.permissions = {play};
+    offer.kcek = *ci_->kcek_for(h.content_id);
+    if (domain_ro) {
+      offer.domain_ro = true;
+      offer.domain_id = "domain:home";
+      ri_->create_domain(offer.domain_id);
+    }
+    ri_->add_offer(offer);
+    return dcf;
+  }
+
+  std::unique_ptr<DeterministicRng> rng_;
+  std::unique_ptr<pki::CertificationAuthority> ca_;
+  std::unique_ptr<ci::ContentIssuer> ci_;
+  std::unique_ptr<ri::RightsIssuer> ri_;
+  std::unique_ptr<DrmAgent> device_;
+  Bytes content_;
+};
+
+// ---------------------------------------------------------------------------
+// Triggers
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentExtended, TriggerDrivesDeviceRoAcquisition) {
+  dcf::Dcf dcf = setup_content("trig", 2000);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+
+  roap::RoAcquisitionTrigger trigger = ri_->make_trigger("ro:trig");
+  EXPECT_EQ(trigger.content_id, dcf.headers().content_id);
+  EXPECT_TRUE(trigger.domain_id.empty());
+
+  agent::AcquireResult acq = device_->handle_trigger(*ri_, trigger, kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(AgentExtended, TriggerAutoJoinsDomain) {
+  dcf::Dcf dcf = setup_content("trigdom", 2000, 0, /*domain_ro=*/true);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  EXPECT_FALSE(device_->has_domain_key("domain:home"));
+
+  roap::RoAcquisitionTrigger trigger = ri_->make_trigger("ro:trigdom");
+  EXPECT_EQ(trigger.domain_id, "domain:home");
+  agent::AcquireResult acq = device_->handle_trigger(*ri_, trigger, kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  EXPECT_TRUE(device_->has_domain_key("domain:home"));
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(AgentExtended, TriggerFromUnknownRiRejected) {
+  setup_content("trigri", 100);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  roap::RoAcquisitionTrigger trigger = ri_->make_trigger("ro:trigri");
+  trigger.ri_id = "rogue.example";
+  EXPECT_EQ(device_->handle_trigger(*ri_, trigger, kNow).status,
+            AgentStatus::kNoRiContext);
+}
+
+TEST_F(AgentExtended, TriggerForUnknownOfferThrowsAtRi) {
+  EXPECT_THROW(ri_->make_trigger("ro:none"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Domain lifecycle: leave, upgrade, re-join
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentExtended, LeaveDomainRemovesKeyAndDomainRos) {
+  dcf::Dcf dcf = setup_content("leave", 1500, 0, /*domain_ro=*/true);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:leave", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+
+  ASSERT_EQ(device_->leave_domain(*ri_, "domain:home", kNow),
+            AgentStatus::kOk);
+  EXPECT_FALSE(device_->has_domain_key("domain:home"));
+  EXPECT_EQ(device_->installed_count(), 0u);
+  EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kNotInstalled);
+  // The RI no longer counts us as a member.
+  agent::AcquireResult again = device_->acquire_ro(*ri_, "ro:leave", kNow);
+  EXPECT_EQ(again.status, AgentStatus::kRiAborted);
+}
+
+TEST_F(AgentExtended, LeaveKeepsDeviceRosAndOtherDomains) {
+  dcf::Dcf dev_dcf = setup_content("keepdev", 800);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  agent::AcquireResult dev_acq = device_->acquire_ro(*ri_, "ro:keepdev", kNow);
+  ASSERT_EQ(dev_acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*dev_acq.ro, kNow), AgentStatus::kOk);
+
+  ri_->create_domain("domain:other");
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:other", kNow),
+            AgentStatus::kOk);
+  ri_->create_domain("domain:gone");
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:gone", kNow), AgentStatus::kOk);
+
+  ASSERT_EQ(device_->leave_domain(*ri_, "domain:gone", kNow),
+            AgentStatus::kOk);
+  EXPECT_TRUE(device_->has_domain_key("domain:other"));
+  EXPECT_FALSE(device_->has_domain_key("domain:gone"));
+  EXPECT_EQ(device_->installed_count(), 1u);  // the device RO remains
+  EXPECT_EQ(device_->consume(dev_dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(AgentExtended, LeaveWithoutContextOrMembership) {
+  EXPECT_EQ(device_->leave_domain(*ri_, "domain:home", kNow),
+            AgentStatus::kNoRiContext);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->leave_domain(*ri_, "domain:nonexistent", kNow),
+            AgentStatus::kRiAborted);
+}
+
+TEST_F(AgentExtended, DomainUpgradeForcesRejoin) {
+  dcf::Dcf dcf = setup_content("upgrade", 900, 0, /*domain_ro=*/true);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  EXPECT_EQ(*device_->domain_generation("domain:home"), 1u);
+
+  // The RI rotates the domain key (e.g. a member was compromised).
+  ri_->upgrade_domain("domain:home");
+
+  // A new Domain RO is wrapped under generation 2; our key is stale.
+  // (The RI also cleared membership, so first prove the membership gate.)
+  agent::AcquireResult gated = device_->acquire_ro(*ri_, "ro:upgrade", kNow);
+  EXPECT_EQ(gated.status, AgentStatus::kRiAborted);
+
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  EXPECT_EQ(*device_->domain_generation("domain:home"), 2u);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:upgrade", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  EXPECT_EQ(acq.ro->domain_generation, 2u);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(AgentExtended, StaleGenerationKeyCannotInstallNewRo) {
+  setup_content("stale", 700, 0, /*domain_ro=*/true);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+
+  // A second member acquires an RO *after* the upgrade.
+  DrmAgent second("device-02", ca_->root_certificate(),
+                  provider::plain_provider(), *rng_);
+  second.provision(
+      ca_->issue("device-02", second.public_key(), kValidity, *rng_));
+  ASSERT_EQ(second.register_with(*ri_, kNow), AgentStatus::kOk);
+  ri_->upgrade_domain("domain:home");
+  ASSERT_EQ(second.join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = second.acquire_ro(*ri_, "ro:stale", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+
+  // device-01 still holds the generation-1 key: installation must be
+  // refused with a re-join hint, not a garbage unwrap.
+  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kNoDomainKey);
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Relayed ROAP (Unconnected Devices) and the wire dispatcher
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentExtended, RelayedRoapOverWireDispatcher) {
+  dcf::Dcf dcf = setup_content("relay", 900);
+
+  auto relay = [&](const std::string& req) {
+    return ri_->handle_wire(req, kNow);
+  };
+
+  // Registration, every pass as serialized XML.
+  roap::DeviceHello hello = device_->build_device_hello();
+  roap::RiHello ri_hello = roap::RiHello::from_xml(
+      xml::parse(relay(hello.to_xml().serialize())));
+  roap::RegistrationRequest reg_req =
+      device_->build_registration_request(ri_hello);
+  roap::RegistrationResponse reg_resp = roap::RegistrationResponse::from_xml(
+      xml::parse(relay(reg_req.to_xml().serialize())));
+  ASSERT_EQ(device_->process_registration_response(reg_resp, kNow),
+            AgentStatus::kOk);
+  EXPECT_TRUE(device_->has_ri_context("ri.example"));
+
+  // Acquisition over the wire.
+  roap::RoRequest ro_req = device_->build_ro_request("ri.example", "ro:relay");
+  roap::RoResponse ro_resp = roap::RoResponse::from_xml(
+      xml::parse(relay(ro_req.to_xml().serialize())));
+  agent::AcquireResult acq = device_->process_ro_response(ro_resp);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(AgentExtended, TwoPhaseApiEnforcesOrdering) {
+  setup_content("order", 100);
+  // Response processing without a request in flight is refused.
+  roap::RegistrationResponse stray;
+  stray.status = roap::Status::kSuccess;
+  EXPECT_EQ(device_->process_registration_response(stray, kNow),
+            AgentStatus::kNonceMismatch);
+  roap::RoResponse stray_ro;
+  EXPECT_EQ(device_->process_ro_response(stray_ro).status,
+            AgentStatus::kNonceMismatch);
+  roap::JoinDomainResponse stray_join;
+  EXPECT_EQ(device_->process_join_domain_response(stray_join),
+            AgentStatus::kNonceMismatch);
+  // Request builders require their preconditions.
+  EXPECT_THROW(device_->build_registration_request(roap::RiHello{}), Error);
+  EXPECT_THROW(device_->build_ro_request("ri.example", "ro:order"), Error);
+  EXPECT_THROW(device_->build_join_domain_request("ri.example", "d"), Error);
+}
+
+TEST_F(AgentExtended, ReplayedRoResponseRejected) {
+  dcf::Dcf dcf = setup_content("replay", 300);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  roap::RoRequest req = device_->build_ro_request("ri.example", "ro:replay");
+  roap::RoResponse resp = ri_->handle_ro_request(req, kNow);
+  ASSERT_EQ(device_->process_ro_response(resp).status, AgentStatus::kOk);
+  // Replaying the same (valid) response without a fresh request fails.
+  EXPECT_EQ(device_->process_ro_response(resp).status,
+            AgentStatus::kNonceMismatch);
+  // And it cannot satisfy a *different* request either.
+  device_->build_ro_request("ri.example", "ro:replay");
+  EXPECT_EQ(device_->process_ro_response(resp).status,
+            AgentStatus::kNonceMismatch);
+}
+
+TEST_F(AgentExtended, WireDispatcherRejectsUnknownMessages) {
+  EXPECT_THROW(ri_->handle_wire("<roap:unknownMessage/>", kNow), Error);
+  EXPECT_THROW(ri_->handle_wire("not xml", kNow), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentExtended, StateSurvivesReboot) {
+  dcf::Dcf dcf = setup_content("persist", 1200, /*count_limit=*/3);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:persist", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);  // burn one play
+
+  Bytes image = device_->export_state();
+
+  // "Reboot": a fresh agent object restores the secure-storage image.
+  DrmAgent rebooted("blank", ca_->root_certificate(),
+                    provider::plain_provider(), *rng_, 512);
+  rebooted.import_state(image);
+
+  EXPECT_EQ(rebooted.device_id(), "device-01");
+  EXPECT_TRUE(rebooted.is_provisioned());
+  EXPECT_TRUE(rebooted.has_ri_context("ri.example"));
+  EXPECT_EQ(rebooted.installed_count(), 1u);
+  // Consumption state persisted: 2 of 3 plays left.
+  EXPECT_EQ(*rebooted.remaining_count("ro:persist",
+                                      rel::PermissionType::kPlay),
+            2u);
+
+  // The restored agent can keep consuming with the restored K_DEV...
+  EXPECT_EQ(rebooted.consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+  EXPECT_EQ(rebooted.consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+  EXPECT_EQ(rebooted.consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kPermissionDenied);
+
+  // ...and can still run new ROAP exchanges with its restored RSA key.
+  dcf::Dcf more = setup_content("persist2", 600);
+  agent::AcquireResult acq2 = rebooted.acquire_ro(*ri_, "ro:persist2", kNow);
+  ASSERT_EQ(acq2.status, AgentStatus::kOk);
+  ASSERT_EQ(rebooted.install_ro(*acq2.ro, kNow), AgentStatus::kOk);
+  EXPECT_EQ(rebooted.consume(more, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(AgentExtended, PersistenceCoversDomains) {
+  dcf::Dcf dcf = setup_content("pdom", 800, 0, /*domain_ro=*/true);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:pdom", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+
+  DrmAgent rebooted("blank", ca_->root_certificate(),
+                    provider::plain_provider(), *rng_, 512);
+  rebooted.import_state(device_->export_state());
+  EXPECT_TRUE(rebooted.has_domain_key("domain:home"));
+  EXPECT_EQ(*rebooted.domain_generation("domain:home"), 1u);
+  EXPECT_EQ(rebooted.consume(dcf, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(AgentExtended, ImportRejectsGarbage) {
+  DrmAgent blank("blank", ca_->root_certificate(),
+                 provider::plain_provider(), *rng_, 512);
+  EXPECT_THROW(blank.import_state(to_bytes("not xml at all")), Error);
+  EXPECT_THROW(blank.import_state(to_bytes("<wrong-root/>")), Error);
+}
+
+TEST_F(AgentExtended, ExportImportRoundTripIsStable) {
+  setup_content("stable", 300);
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:stable", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+
+  Bytes image1 = device_->export_state();
+  DrmAgent rebooted("blank", ca_->root_certificate(),
+                    provider::plain_provider(), *rng_, 512);
+  rebooted.import_state(image1);
+  Bytes image2 = rebooted.export_state();
+  EXPECT_EQ(image1, image2);
+}
+
+}  // namespace
+}  // namespace omadrm

@@ -1,0 +1,130 @@
+// Tests for the DCF container format.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "crypto/sha1.h"
+#include "dcf/dcf.h"
+
+namespace omadrm::dcf {
+namespace {
+
+using omadrm::DeterministicRng;
+using omadrm::Error;
+
+Headers sample_headers() {
+  Headers h;
+  h.content_type = "audio/mpeg";
+  h.content_id = "cid:track-1@example.com";
+  h.rights_issuer_url = "http://ri.example.com/roap";
+  h.textual = {{"Title", "Song"}, {"Author", "Artist & Friends"}};
+  return h;
+}
+
+TEST(Dcf, MakeAndDecrypt) {
+  DeterministicRng rng(1);
+  Bytes content = rng.bytes(1000);
+  Bytes kcek = rng.bytes(16);
+  Bytes iv = rng.bytes(16);
+  Dcf d = make_dcf(sample_headers(), content, kcek, iv);
+  EXPECT_EQ(d.plaintext_size(), 1000u);
+  EXPECT_NE(d.encrypted_payload(), content);
+  EXPECT_EQ(decrypt_dcf(d, kcek), content);
+}
+
+TEST(Dcf, SerializeParseRoundTrip) {
+  DeterministicRng rng(2);
+  Bytes content = rng.bytes(333);
+  Dcf d = make_dcf(sample_headers(), content, rng.bytes(16), rng.bytes(16));
+  Bytes wire = d.serialize();
+  Dcf back = Dcf::parse(wire);
+  EXPECT_EQ(back, d);
+  EXPECT_EQ(back.headers().content_type, "audio/mpeg");
+  EXPECT_EQ(back.headers().textual.size(), 2u);
+  EXPECT_EQ(back.serialize(), wire);
+}
+
+TEST(Dcf, EmptyContentSupported) {
+  DeterministicRng rng(3);
+  Dcf d = make_dcf(sample_headers(), Bytes{}, rng.bytes(16), rng.bytes(16));
+  EXPECT_EQ(d.plaintext_size(), 0u);
+  EXPECT_EQ(d.encrypted_payload().size(), 16u);  // one padding block
+  EXPECT_EQ(Dcf::parse(d.serialize()), d);
+}
+
+TEST(Dcf, HashIsStableAndTamperSensitive) {
+  DeterministicRng rng(4);
+  Bytes content = rng.bytes(5000);
+  Dcf d = make_dcf(sample_headers(), content, rng.bytes(16), rng.bytes(16));
+  Bytes h1 = d.hash();
+  EXPECT_EQ(h1.size(), crypto::Sha1::kDigestSize);
+  EXPECT_EQ(d.hash(), h1);
+
+  // Any change to the serialized container changes the hash.
+  Bytes wire = d.serialize();
+  wire[wire.size() / 2] ^= 1;
+  Dcf tampered = Dcf::parse(wire);
+  EXPECT_NE(tampered.hash(), h1);
+}
+
+TEST(Dcf, WrongKeyFailsDecrypt) {
+  DeterministicRng rng(5);
+  Bytes content = rng.bytes(100);
+  Bytes kcek = rng.bytes(16);
+  Dcf d = make_dcf(sample_headers(), content, kcek, rng.bytes(16));
+  Bytes wrong = rng.bytes(16);
+  EXPECT_THROW(
+      {
+        Bytes out = decrypt_dcf(d, wrong);
+        if (out == content) throw Error(ErrorKind::kFormat, "impossible");
+      },
+      Error);
+}
+
+TEST(Dcf, ParseRejectsCorruption) {
+  DeterministicRng rng(6);
+  Dcf d = make_dcf(sample_headers(), rng.bytes(50), rng.bytes(16),
+                   rng.bytes(16));
+  Bytes wire = d.serialize();
+
+  Bytes bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(Dcf::parse(bad_magic), Error);
+
+  Bytes bad_version = wire;
+  bad_version[4] = 9;
+  EXPECT_THROW(Dcf::parse(bad_version), Error);
+
+  Bytes truncated(wire.begin(), wire.end() - 3);
+  EXPECT_THROW(Dcf::parse(truncated), Error);
+
+  Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(Dcf::parse(trailing), Error);
+
+  EXPECT_THROW(Dcf::parse(Bytes{}), Error);
+}
+
+TEST(Dcf, RejectsBadIvLength) {
+  EXPECT_THROW(Dcf(sample_headers(), Bytes(8, 0), Bytes(16, 0), 0), Error);
+}
+
+class DcfSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DcfSizeSweep, RoundTripAcrossSizes) {
+  DeterministicRng rng(GetParam());
+  Bytes content = rng.bytes(GetParam());
+  Bytes kcek = rng.bytes(16);
+  Dcf d = make_dcf(sample_headers(), content, kcek, rng.bytes(16));
+  Dcf back = Dcf::parse(d.serialize());
+  EXPECT_EQ(decrypt_dcf(back, kcek), content);
+  // Ciphertext is plaintext rounded up to the next whole block.
+  EXPECT_EQ(back.encrypted_payload().size(), (GetParam() / 16 + 1) * 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DcfSizeSweep,
+                         ::testing::Values(1, 15, 16, 17, 1024, 30 * 1024,
+                                           100000));
+
+}  // namespace
+}  // namespace omadrm::dcf

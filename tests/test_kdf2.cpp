@@ -1,0 +1,65 @@
+// Tests for the KDF2 key derivation function (structure + properties).
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/random.h"
+#include "crypto/kdf2.h"
+#include "crypto/sha1.h"
+
+namespace omadrm::crypto {
+namespace {
+
+TEST(Kdf2, FirstBlockIsHashOfZAndCounterOne) {
+  // By construction T(1) = SHA-1(Z || 00000001); pin the structure.
+  Bytes z = to_bytes("shared-secret");
+  Bytes expected = Sha1::hash(concat({z, from_hex("00000001")}));
+  EXPECT_EQ(kdf2_sha1(z, 20), expected);
+}
+
+TEST(Kdf2, SecondBlockUsesCounterTwo) {
+  Bytes z = to_bytes("shared-secret");
+  Bytes t1 = Sha1::hash(concat({z, from_hex("00000001")}));
+  Bytes t2 = Sha1::hash(concat({z, from_hex("00000002")}));
+  Bytes out = kdf2_sha1(z, 40);
+  EXPECT_EQ(Bytes(out.begin(), out.begin() + 20), t1);
+  EXPECT_EQ(Bytes(out.begin() + 20, out.end()), t2);
+}
+
+TEST(Kdf2, TruncatesToRequestedLength) {
+  Bytes z = to_bytes("z");
+  for (std::size_t len : {0u, 1u, 16u, 19u, 20u, 21u, 39u, 40u, 100u}) {
+    EXPECT_EQ(kdf2_sha1(z, len).size(), len);
+  }
+}
+
+TEST(Kdf2, PrefixConsistency) {
+  // KDF output for a shorter length is a prefix of the longer output.
+  Bytes z = to_bytes("prefix-check");
+  Bytes long_out = kdf2_sha1(z, 64);
+  for (std::size_t len : {1u, 16u, 20u, 33u, 63u}) {
+    Bytes short_out = kdf2_sha1(z, len);
+    EXPECT_EQ(short_out, Bytes(long_out.begin(),
+                               long_out.begin() +
+                                   static_cast<std::ptrdiff_t>(len)));
+  }
+}
+
+TEST(Kdf2, DifferentSecretsDifferentKeys) {
+  EXPECT_NE(kdf2_sha1(to_bytes("a"), 16), kdf2_sha1(to_bytes("b"), 16));
+}
+
+TEST(Kdf2, OtherInfoChangesOutput) {
+  Bytes z = to_bytes("z");
+  EXPECT_NE(kdf2_sha1(z, 16, to_bytes("ctx1")),
+            kdf2_sha1(z, 16, to_bytes("ctx2")));
+  EXPECT_NE(kdf2_sha1(z, 16), kdf2_sha1(z, 16, to_bytes("ctx")));
+}
+
+TEST(Kdf2, Deterministic) {
+  DeterministicRng rng(5);
+  Bytes z = rng.bytes(128);
+  EXPECT_EQ(kdf2_sha1(z, 16), kdf2_sha1(z, 16));
+}
+
+}  // namespace
+}  // namespace omadrm::crypto

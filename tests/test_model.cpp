@@ -1,0 +1,533 @@
+// Tests for the cycle-cost model: Table 1 values, architecture profiles,
+// ledger accounting, metering correctness, and reproduction of the
+// paper's Figures 5, 6 and 7 (shape and magnitude).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "model/analytic.h"
+#include "model/energy.h"
+#include "model/metered.h"
+#include "model/report.h"
+#include "model/usecase.h"
+
+namespace omadrm::model {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+TEST(CostTable, PaperValuesVerbatim) {
+  CostTable t = CostTable::paper_table1();
+  auto sw = [&](Algorithm a) { return t.cost(a, Engine::kSoftware); };
+  auto hw = [&](Algorithm a) { return t.cost(a, Engine::kHardware); };
+
+  EXPECT_EQ(sw(Algorithm::kAesEncrypt).fixed_cycles, 360);
+  EXPECT_EQ(sw(Algorithm::kAesEncrypt).cycles_per_block, 830);
+  EXPECT_EQ(hw(Algorithm::kAesEncrypt).cycles_per_block, 10);
+
+  EXPECT_EQ(sw(Algorithm::kAesDecrypt).fixed_cycles, 950);
+  EXPECT_EQ(hw(Algorithm::kAesDecrypt).fixed_cycles, 10);
+
+  EXPECT_EQ(sw(Algorithm::kSha1).cycles_per_block, 400);
+  EXPECT_EQ(hw(Algorithm::kSha1).cycles_per_block, 20);
+
+  EXPECT_EQ(sw(Algorithm::kHmacSha1).fixed_cycles, 1200);
+  EXPECT_EQ(hw(Algorithm::kHmacSha1).fixed_cycles, 240);
+
+  EXPECT_EQ(sw(Algorithm::kRsaPublic).cycles_per_block, 2160000);
+  EXPECT_EQ(hw(Algorithm::kRsaPublic).cycles_per_block, 10000);
+  EXPECT_EQ(sw(Algorithm::kRsaPrivate).cycles_per_block, 37740000);
+  EXPECT_EQ(hw(Algorithm::kRsaPrivate).cycles_per_block, 260000);
+}
+
+TEST(CostTable, Blocks128Rounding) {
+  EXPECT_EQ(blocks128(0), 0u);
+  EXPECT_EQ(blocks128(1), 1u);
+  EXPECT_EQ(blocks128(16), 1u);
+  EXPECT_EQ(blocks128(17), 2u);
+  EXPECT_EQ(blocks128(3670016), 229376u);  // the 3.5 MB music file
+}
+
+// ---------------------------------------------------------------------------
+// Architecture profiles
+// ---------------------------------------------------------------------------
+
+TEST(Profiles, PaperVariantsConfiguredCorrectly) {
+  auto sw = ArchitectureProfile::pure_software();
+  auto mixed = ArchitectureProfile::symmetric_hardware();
+  auto hw = ArchitectureProfile::full_hardware();
+
+  for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+    Algorithm a = static_cast<Algorithm>(i);
+    EXPECT_EQ(sw.engine(a), Engine::kSoftware);
+    EXPECT_EQ(hw.engine(a), Engine::kHardware);
+  }
+  // Mixed: symmetric crypto in hardware, PKI in software.
+  EXPECT_EQ(mixed.engine(Algorithm::kAesEncrypt), Engine::kHardware);
+  EXPECT_EQ(mixed.engine(Algorithm::kAesDecrypt), Engine::kHardware);
+  EXPECT_EQ(mixed.engine(Algorithm::kSha1), Engine::kHardware);
+  EXPECT_EQ(mixed.engine(Algorithm::kHmacSha1), Engine::kHardware);
+  EXPECT_EQ(mixed.engine(Algorithm::kRsaPublic), Engine::kSoftware);
+  EXPECT_EQ(mixed.engine(Algorithm::kRsaPrivate), Engine::kSoftware);
+
+  EXPECT_EQ(sw.clock_hz, 200e6);  // the paper's 200 MHz
+}
+
+TEST(Profiles, CycleFormula) {
+  auto p = ArchitectureProfile::pure_software();
+  // One AES encryption op over 10 blocks: 360 + 830*10.
+  EXPECT_DOUBLE_EQ(p.cycles(Algorithm::kAesEncrypt, 1, 10), 8660);
+  // Two RSA private ops.
+  EXPECT_DOUBLE_EQ(p.cycles(Algorithm::kRsaPrivate, 2, 2), 2 * 37740000.0);
+  // ms conversion at 200 MHz.
+  EXPECT_DOUBLE_EQ(p.cycles_to_ms(200e6), 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger
+// ---------------------------------------------------------------------------
+
+TEST(Ledger, PhaseAndAlgorithmAttribution) {
+  CycleLedger ledger(ArchitectureProfile::pure_software());
+  ledger.set_phase(Phase::kRegistration);
+  ledger.charge(Algorithm::kRsaPrivate, 1, 1);
+  {
+    CycleLedger::PhaseScope scope(ledger, Phase::kConsumption);
+    ledger.charge(Algorithm::kSha1, 1, 100);
+  }
+  EXPECT_EQ(ledger.phase(), Phase::kRegistration);  // scope restored
+
+  EXPECT_DOUBLE_EQ(ledger.cycles(Phase::kRegistration, Algorithm::kRsaPrivate),
+                   37740000.0);
+  EXPECT_DOUBLE_EQ(ledger.cycles(Phase::kConsumption, Algorithm::kSha1),
+                   40000.0);
+  EXPECT_DOUBLE_EQ(ledger.cycles(Phase::kConsumption, Algorithm::kRsaPrivate),
+                   0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_cycles(), 37780000.0);
+  EXPECT_EQ(ledger.ops_by_algorithm(Algorithm::kRsaPrivate), 1u);
+  EXPECT_EQ(ledger.blocks_by_algorithm(Algorithm::kSha1), 100u);
+  EXPECT_DOUBLE_EQ(ledger.pki_cycles(), 37740000.0);
+  EXPECT_DOUBLE_EQ(ledger.symmetric_cycles(), 40000.0);
+
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total_cycles(), 0.0);
+}
+
+TEST(Ledger, EngineAttributionFollowsProfile) {
+  CycleLedger ledger(ArchitectureProfile::symmetric_hardware());
+  ledger.set_phase(Phase::kConsumption);
+  ledger.charge(Algorithm::kSha1, 1, 10);        // hardware in this profile
+  ledger.charge(Algorithm::kRsaPublic, 1, 1);    // software
+  EXPECT_DOUBLE_EQ(ledger.cycles_by_engine(Engine::kHardware), 200.0);
+  EXPECT_DOUBLE_EQ(ledger.cycles_by_engine(Engine::kSoftware), 2160000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Metered provider: each call charges exactly the documented rule.
+// ---------------------------------------------------------------------------
+
+class MeteredFixture : public ::testing::Test {
+ protected:
+  MeteredFixture()
+      : ledger_(ArchitectureProfile::pure_software()), provider_(ledger_) {
+    ledger_.set_phase(Phase::kOther);
+  }
+  CycleLedger ledger_;
+  MeteredCryptoProvider provider_;
+};
+
+TEST_F(MeteredFixture, Sha1ChargesPerBlock) {
+  provider_.sha1(Bytes(160, 0));  // 10 blocks
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kSha1), 4000.0);
+  EXPECT_EQ(ledger_.ops_by_algorithm(Algorithm::kSha1), 1u);
+}
+
+TEST_F(MeteredFixture, HmacChargesFixedPlusBlocks) {
+  provider_.hmac_sha1(Bytes(16, 1), Bytes(32, 0));  // 2 blocks
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kHmacSha1),
+                   1200 + 2 * 400.0);
+}
+
+TEST_F(MeteredFixture, CbcChargesPaddedBlocks) {
+  DeterministicRng rng(1);
+  Bytes key = rng.bytes(16), iv = rng.bytes(16);
+  Bytes ct = provider_.aes_cbc_encrypt(key, iv, Bytes(32, 0));  // 3 blocks out
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kAesEncrypt),
+                   360 + 3 * 830.0);
+  provider_.aes_cbc_decrypt(key, iv, ct);
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kAesDecrypt),
+                   950 + 3 * 830.0);
+}
+
+TEST_F(MeteredFixture, WrapChargesSixPerHalfBlock) {
+  DeterministicRng rng(2);
+  Bytes kek = rng.bytes(16);
+  Bytes wrapped = provider_.aes_wrap(kek, Bytes(32, 7));  // n=4 -> 24 blocks
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kAesEncrypt),
+                   360 + 24 * 830.0);
+  provider_.aes_unwrap(kek, wrapped);  // 40 bytes -> n=4 -> 24 blocks
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kAesDecrypt),
+                   950 + 24 * 830.0);
+}
+
+TEST_F(MeteredFixture, KdfChargesShaBlocks) {
+  provider_.kdf2(Bytes(128, 3), 16);  // 1 round of SHA1(132 bytes) = 9 blocks
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kSha1),
+                   9 * 400.0);
+  EXPECT_EQ(MeteredCryptoProvider::kdf2_blocks128(128, 16), 9u);
+  EXPECT_EQ(MeteredCryptoProvider::kdf2_blocks128(128, 40), 18u);
+}
+
+TEST_F(MeteredFixture, PssChargesHashPlusRsa) {
+  DeterministicRng rng(3);
+  rsa::PrivateKey key = rsa::generate_key(512, rng);
+  Bytes msg(160, 5);  // 10 blocks
+  Bytes sig = provider_.pss_sign(key, msg, rng);
+  EXPECT_EQ(ledger_.ops_by_algorithm(Algorithm::kRsaPrivate), 1u);
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kSha1),
+                   (10 + kPssOverheadBlocks128) * 400.0);
+  EXPECT_TRUE(provider_.pss_verify(key.public_key(), msg, sig));
+  EXPECT_EQ(ledger_.ops_by_algorithm(Algorithm::kRsaPublic), 1u);
+}
+
+TEST_F(MeteredFixture, KemChargesRsaPlusKdf) {
+  DeterministicRng rng(4);
+  rsa::PrivateKey key = rsa::generate_key(1024, rng);
+  rsa::KemEncapsulation enc =
+      provider_.kem_encapsulate(key.public_key(), rng);
+  EXPECT_EQ(ledger_.ops_by_algorithm(Algorithm::kRsaPublic), 1u);
+  Bytes kek = provider_.kem_decapsulate(key, enc.c1);
+  EXPECT_EQ(ledger_.ops_by_algorithm(Algorithm::kRsaPrivate), 1u);
+  EXPECT_EQ(kek, enc.kek);
+  // KDF hashing charged on both sides.
+  EXPECT_DOUBLE_EQ(ledger_.cycles_by_algorithm(Algorithm::kSha1),
+                   2 * 9 * 400.0);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's experiments.
+// ---------------------------------------------------------------------------
+
+double rel_dev(double model, double paper) {
+  return std::abs(model - paper) / paper;
+}
+
+class ExecutedUseCases : public ::testing::Test {
+ protected:
+  // Full protocol executions are expensive (real RSA keygen + megabytes of
+  // real AES/SHA-1); run each spec x variant once and share.
+  static void SetUpTestSuite() {
+    music_ = new VariantMs(run_variants(UseCaseSpec::music_player()));
+    ringtone_ = new VariantMs(run_variants(UseCaseSpec::ringtone()));
+  }
+  static void TearDownTestSuite() {
+    delete music_;
+    delete ringtone_;
+    music_ = nullptr;
+    ringtone_ = nullptr;
+  }
+  static VariantMs music() { return *music_; }
+  static VariantMs ringtone() { return *ringtone_; }
+
+ private:
+  static VariantMs* music_;
+  static VariantMs* ringtone_;
+};
+
+VariantMs* ExecutedUseCases::music_ = nullptr;
+VariantMs* ExecutedUseCases::ringtone_ = nullptr;
+
+TEST_F(ExecutedUseCases, Figure6MusicPlayerMagnitudes) {
+  // Paper: SW 7730 ms, SW/HW 800 ms, HW 190 ms (log-scale chart labels).
+  EXPECT_LT(rel_dev(music().sw, kPaperFig6MusicPlayer.sw), 0.10) << music().sw;
+  EXPECT_LT(rel_dev(music().swhw, kPaperFig6MusicPlayer.swhw), 0.15)
+      << music().swhw;
+  EXPECT_LT(rel_dev(music().hw, kPaperFig6MusicPlayer.hw), 0.15)
+      << music().hw;
+}
+
+TEST_F(ExecutedUseCases, Figure7RingtoneMagnitudes) {
+  // Paper: SW 900 ms, SW/HW 620 ms, HW 12 ms.
+  EXPECT_LT(rel_dev(ringtone().sw, kPaperFig7Ringtone.sw), 0.10)
+      << ringtone().sw;
+  EXPECT_LT(rel_dev(ringtone().swhw, kPaperFig7Ringtone.swhw), 0.10)
+      << ringtone().swhw;
+  EXPECT_LT(rel_dev(ringtone().hw, kPaperFig7Ringtone.hw), 0.30)
+      << ringtone().hw;
+}
+
+TEST_F(ExecutedUseCases, Figure6ShapeSymmetricHardwareCutsToTenth) {
+  // §4: "total processing time can be cut to almost a tenth ... by
+  // realizing AES and SHA-1 as dedicated hardware macros".
+  EXPECT_GT(music().sw / music().swhw, 8.0);
+  EXPECT_LT(music().sw / music().swhw, 12.0);
+  // Ordering: SW > SW/HW > HW in both use cases.
+  EXPECT_GT(music().sw, music().swhw);
+  EXPECT_GT(music().swhw, music().hw);
+  EXPECT_GT(ringtone().sw, ringtone().swhw);
+  EXPECT_GT(ringtone().swhw, ringtone().hw);
+}
+
+TEST_F(ExecutedUseCases, Figure7ShapePkiHardwareIsTheBigStep) {
+  // In the Ringtone case the significant step is PKI hardware support:
+  // SW -> SW/HW is a modest gain, SW/HW -> HW is dramatic.
+  double symmetric_gain = ringtone().sw / ringtone().swhw;
+  double pki_gain = ringtone().swhw / ringtone().hw;
+  EXPECT_LT(symmetric_gain, 2.0);
+  EXPECT_GT(pki_gain, 20.0);
+}
+
+TEST(UseCaseModel, Figure5RelativeImportanceShapes) {
+  // Figure 5 (software profile): AES + SHA-1 dominate the Music Player
+  // case; the PKI private-key operation dominates the Ringtone case.
+  // The analytic model is exact enough for shares.
+  auto sw = ArchitectureProfile::pure_software();
+  UseCaseReport music = analytic_use_case(UseCaseSpec::music_player(), sw);
+  UseCaseReport ring = analytic_use_case(UseCaseSpec::ringtone(), sw);
+
+  double music_symmetric = music.share(Algorithm::kAesDecrypt) +
+                           music.share(Algorithm::kSha1) +
+                           music.share(Algorithm::kAesEncrypt) +
+                           music.share(Algorithm::kHmacSha1);
+  double music_pki = music.share(Algorithm::kRsaPublic) +
+                     music.share(Algorithm::kRsaPrivate);
+  EXPECT_GT(music_symmetric, 0.85);
+  EXPECT_LT(music_pki, 0.15);
+
+  double ring_pki = ring.share(Algorithm::kRsaPublic) +
+                    ring.share(Algorithm::kRsaPrivate);
+  EXPECT_GT(ring_pki, 0.60);
+  EXPECT_GT(ring.share(Algorithm::kRsaPrivate),
+            ring.share(Algorithm::kRsaPublic));
+  // AES decryption outweighs SHA-1 in the music case (830 vs 400 per
+  // block over the same file, plus the CBC payload).
+  EXPECT_GT(music.share(Algorithm::kAesDecrypt),
+            music.share(Algorithm::kSha1));
+}
+
+TEST(UseCaseModel, PkiSoftwareCostRoughly600Ms) {
+  // §4: PKI operations total "roughly 600ms" in software, independent of
+  // the use case (identical absolute figures for both).
+  auto sw = ArchitectureProfile::pure_software();
+  UseCaseReport music = analytic_use_case(UseCaseSpec::music_player(), sw);
+  UseCaseReport ring = analytic_use_case(UseCaseSpec::ringtone(), sw);
+  double music_pki_ms = sw.cycles_to_ms(music.ledger.pki_cycles());
+  double ring_pki_ms = sw.cycles_to_ms(ring.ledger.pki_cycles());
+  EXPECT_DOUBLE_EQ(music_pki_ms, ring_pki_ms);  // size-independent
+  EXPECT_GT(music_pki_ms, 550.0);
+  EXPECT_LT(music_pki_ms, 660.0);
+}
+
+TEST(UseCaseModel, RsaOpCountsMatchDesignDoc) {
+  // DESIGN.md §4: 3 private + 4 public RSA operations across the one-time
+  // phases, none during consumption.
+  UseCaseReport r = run_use_case(UseCaseSpec::ringtone(),
+                                 ArchitectureProfile::pure_software());
+  const CycleLedger& l = r.ledger;
+  EXPECT_EQ(l.ops(Phase::kRegistration, Algorithm::kRsaPrivate), 1u);
+  EXPECT_EQ(l.ops(Phase::kRegistration, Algorithm::kRsaPublic), 3u);
+  EXPECT_EQ(l.ops(Phase::kAcquisition, Algorithm::kRsaPrivate), 1u);
+  EXPECT_EQ(l.ops(Phase::kAcquisition, Algorithm::kRsaPublic), 1u);
+  EXPECT_EQ(l.ops(Phase::kInstallation, Algorithm::kRsaPrivate), 1u);
+  EXPECT_EQ(l.ops(Phase::kInstallation, Algorithm::kRsaPublic), 0u);
+  EXPECT_EQ(l.ops(Phase::kConsumption, Algorithm::kRsaPrivate), 0u);
+  EXPECT_EQ(l.ops(Phase::kConsumption, Algorithm::kRsaPublic), 0u);
+}
+
+TEST(UseCaseModel, AnalyticMatchesExecuted) {
+  // The closed-form model must agree with the executed protocol within a
+  // small tolerance (nominal vs actual small-message sizes).
+  for (bool domain : {false, true}) {
+    UseCaseSpec spec = UseCaseSpec::ringtone();
+    spec.domain_ro = domain;
+    const ArchitectureProfile profiles[] = {
+        ArchitectureProfile::pure_software(),
+        ArchitectureProfile::symmetric_hardware(),
+        ArchitectureProfile::full_hardware()};
+    for (const auto& profile : profiles) {
+      UseCaseReport executed = run_use_case(spec, profile);
+      UseCaseReport analytic = analytic_use_case(spec, profile);
+      EXPECT_LT(rel_dev(analytic.total_cycles(), executed.total_cycles()),
+                0.02)
+          << profile.name << " domain=" << domain
+          << " analytic=" << analytic.total_cycles()
+          << " executed=" << executed.total_cycles();
+      // RSA op counts agree exactly.
+      for (Algorithm a : {Algorithm::kRsaPublic, Algorithm::kRsaPrivate}) {
+        EXPECT_EQ(analytic.ledger.ops_by_algorithm(a),
+                  executed.ledger.ops_by_algorithm(a))
+            << profile.name << " domain=" << domain << " " << to_string(a);
+      }
+    }
+  }
+}
+
+TEST(UseCaseModel, DomainRoAddsOnePublicOpAtInstall) {
+  auto sw = ArchitectureProfile::pure_software();
+  UseCaseSpec device_spec = UseCaseSpec::ringtone();
+  UseCaseSpec domain_spec = device_spec;
+  domain_spec.domain_ro = true;
+  UseCaseReport device_ro = analytic_use_case(device_spec, sw);
+  UseCaseReport domain_ro = analytic_use_case(domain_spec, sw);
+  // Installation: the domain RO trades the RSADP for a signature verify.
+  EXPECT_EQ(
+      domain_ro.ledger.ops(Phase::kInstallation, Algorithm::kRsaPublic), 1u);
+  EXPECT_EQ(
+      domain_ro.ledger.ops(Phase::kInstallation, Algorithm::kRsaPrivate), 0u);
+  EXPECT_EQ(
+      device_ro.ledger.ops(Phase::kInstallation, Algorithm::kRsaPrivate), 1u);
+}
+
+TEST(UseCaseModel, CountConstraintDoesNotChangeCost) {
+  auto sw = ArchitectureProfile::pure_software();
+  UseCaseSpec spec = UseCaseSpec::ringtone();
+  spec.play_count_limit = 25;
+  UseCaseReport limited = run_use_case(spec, sw);
+  UseCaseReport unlimited =
+      run_use_case(UseCaseSpec::ringtone(), sw);
+  EXPECT_LT(rel_dev(limited.total_cycles(), unlimited.total_cycles()), 0.001);
+}
+
+TEST(Energy, ProportionalToCyclesByDefault) {
+  auto profile = ArchitectureProfile::symmetric_hardware();
+  CycleLedger ledger(profile);
+  ledger.set_phase(Phase::kConsumption);
+  ledger.charge(Algorithm::kSha1, 1, 1000);      // HW
+  ledger.charge(Algorithm::kRsaPrivate, 1, 1);   // SW
+  EnergyModel paper_default;
+  EXPECT_DOUBLE_EQ(paper_default.energy_units(ledger),
+                   ledger.total_cycles());
+  // Hardware-efficiency knob widens the gap (§5's hypothesis).
+  EnergyModel efficient{1.0, 0.2};
+  EXPECT_LT(efficient.energy_units(ledger), ledger.total_cycles());
+  EXPECT_DOUBLE_EQ(efficient.energy_units(ledger),
+                   ledger.cycles_by_engine(Engine::kSoftware) +
+                       0.2 * ledger.cycles_by_engine(Engine::kHardware));
+}
+
+TEST(Profiles, ClockScalingIsLinear) {
+  // The model's ms figures scale inversely with the clock; cycles do not.
+  UseCaseSpec spec = UseCaseSpec::ringtone();
+  ArchitectureProfile p200 = ArchitectureProfile::pure_software();
+  ArchitectureProfile p400 = p200;
+  p400.clock_hz = 400e6;
+  UseCaseReport slow = analytic_use_case(spec, p200);
+  UseCaseReport fast = analytic_use_case(spec, p400);
+  EXPECT_DOUBLE_EQ(slow.total_cycles(), fast.total_cycles());
+  EXPECT_NEAR(slow.total_ms() / fast.total_ms(), 2.0, 1e-9);
+}
+
+TEST(Profiles, CustomCostTableFlowsThrough) {
+  // A designer can evaluate a different RSA implementation by editing the
+  // table; the model must honour it.
+  UseCaseSpec spec = UseCaseSpec::ringtone();
+  ArchitectureProfile base = ArchitectureProfile::pure_software();
+  ArchitectureProfile faster_rsa = base;
+  faster_rsa.table.software[static_cast<std::size_t>(
+      Algorithm::kRsaPrivate)] = {0, 10000000};  // hypothetical faster core
+  double base_ms = analytic_use_case(spec, base).total_ms();
+  double fast_ms = analytic_use_case(spec, faster_rsa).total_ms();
+  // 3 private ops saved (37.74M - 10M) cycles each = 416 ms at 200 MHz.
+  EXPECT_NEAR(base_ms - fast_ms, 3 * (37740000.0 - 10000000.0) / 200e3,
+              1e-6);
+}
+
+TEST(UseCaseModel, PlaybackScalingIsAffine) {
+  // Total cycles = one-time phases + plays * per-access cost: evaluating
+  // at three play counts must be collinear.
+  auto sw = ArchitectureProfile::pure_software();
+  auto at_plays = [&](std::size_t n) {
+    UseCaseSpec spec = UseCaseSpec::ringtone();
+    spec.playbacks = n;
+    return analytic_use_case(spec, sw).total_cycles();
+  };
+  double c1 = at_plays(1), c2 = at_plays(2), c5 = at_plays(5);
+  double per_play = c2 - c1;
+  EXPECT_NEAR(c5, c1 + 4 * per_play, 1.0);
+  EXPECT_GT(per_play, 0);
+}
+
+TEST(UseCaseModel, ContentSizeScalingIsAffinePerPlay) {
+  auto sw = ArchitectureProfile::pure_software();
+  auto at_size = [&](std::size_t kb) {
+    UseCaseSpec spec;
+    spec.name = "scaling";
+    spec.content_bytes = kb * 1024;
+    spec.playbacks = 1;
+    return analytic_use_case(spec, sw).total_cycles();
+  };
+  double c64 = at_size(64), c128 = at_size(128), c256 = at_size(256);
+  // Doubling size doubles the size-dependent part.
+  EXPECT_NEAR(c256 - c128, 2 * (c128 - c64), 2000.0);
+}
+
+TEST(UseCaseModel, ExecutedIsDeterministicAcrossRuns) {
+  UseCaseSpec spec = UseCaseSpec::ringtone();
+  auto sw = ArchitectureProfile::pure_software();
+  UseCaseReport a = run_use_case(spec, sw);
+  UseCaseReport b = run_use_case(spec, sw);
+  EXPECT_DOUBLE_EQ(a.total_cycles(), b.total_cycles());
+  for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+    Algorithm alg = static_cast<Algorithm>(i);
+    EXPECT_EQ(a.ledger.ops_by_algorithm(alg), b.ledger.ops_by_algorithm(alg));
+    EXPECT_EQ(a.ledger.blocks_by_algorithm(alg),
+              b.ledger.blocks_by_algorithm(alg));
+  }
+}
+
+TEST(UseCaseModel, SeedChangesKeysButNotCosts) {
+  // Different seed -> different keys/nonces/content, but the *cost
+  // structure* (op counts, block counts) is identical: the model is
+  // workload-shaped, not value-shaped.
+  UseCaseSpec a_spec = UseCaseSpec::ringtone();
+  UseCaseSpec b_spec = a_spec;
+  b_spec.seed = 777;
+  auto sw = ArchitectureProfile::pure_software();
+  UseCaseReport a = run_use_case(a_spec, sw);
+  UseCaseReport b = run_use_case(b_spec, sw);
+  for (Algorithm alg : {Algorithm::kRsaPublic, Algorithm::kRsaPrivate,
+                        Algorithm::kAesDecrypt}) {
+    EXPECT_EQ(a.ledger.ops_by_algorithm(alg), b.ledger.ops_by_algorithm(alg));
+  }
+  // Block totals may differ by a few (signature/base64 size jitter), but
+  // stay within a fraction of a percent.
+  EXPECT_NEAR(a.total_cycles(), b.total_cycles(),
+              a.total_cycles() * 0.001);
+}
+
+class VariantOrdering
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(VariantOrdering, MoreHardwareNeverSlower) {
+  auto [kb, plays] = GetParam();
+  UseCaseSpec spec;
+  spec.name = "ordering";
+  spec.content_bytes = kb * 1024;
+  spec.playbacks = plays;
+  VariantMs v = run_variants(spec, /*analytic=*/true);
+  EXPECT_GE(v.sw, v.swhw);
+  EXPECT_GE(v.swhw, v.hw);
+  EXPECT_GT(v.hw, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VariantOrdering,
+    ::testing::Combine(::testing::Values(1, 30, 300, 3584),
+                       ::testing::Values(1, 5, 25, 100)));
+
+TEST(Report, FormattersProduceStableText) {
+  auto sw = ArchitectureProfile::pure_software();
+  UseCaseReport r = analytic_use_case(UseCaseSpec::ringtone(), sw);
+  std::string share = format_share_table(r);
+  EXPECT_NE(share.find("RSA 1024 Private Key Op"), std::string::npos);
+  std::string cmp = format_comparison("Fig 7 SW", 900, r.total_ms(), "ms");
+  EXPECT_NE(cmp.find("paper"), std::string::npos);
+  EXPECT_NE(cmp.find("model"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omadrm::model

@@ -1,0 +1,221 @@
+// Tests for the CryptoProvider seam: the plain provider must be
+// bit-identical to the substrate, and a fault-injecting provider proves
+// the DRM Agent reacts to each verification failure with the right status
+// (exercising error paths that byte-tampering cannot always reach
+// deterministically).
+#include <gtest/gtest.h>
+
+#include "agent/drm_agent.h"
+#include "ci/content_issuer.h"
+#include "common/random.h"
+#include "crypto/aes_wrap.h"
+#include "crypto/hmac.h"
+#include "crypto/kdf2.h"
+#include "crypto/modes.h"
+#include "crypto/sha1.h"
+#include "pki/authority.h"
+#include "provider/provider.h"
+#include "ri/rights_issuer.h"
+#include "rsa/pss.h"
+
+namespace omadrm {
+namespace {
+
+using agent::AgentStatus;
+using agent::DrmAgent;
+
+TEST(PlainProvider, MatchesSubstrate) {
+  DeterministicRng rng(1);
+  provider::PlainCryptoProvider p;
+  Bytes key = rng.bytes(16), iv = rng.bytes(16), data = rng.bytes(100);
+
+  EXPECT_EQ(p.sha1(data), crypto::Sha1::hash(data));
+  EXPECT_EQ(p.hmac_sha1(key, data), crypto::HmacSha1::mac(key, data));
+  EXPECT_TRUE(p.hmac_verify(key, data, crypto::HmacSha1::mac(key, data)));
+  EXPECT_EQ(p.aes_cbc_encrypt(key, iv, data),
+            crypto::aes_cbc_encrypt(key, iv, data));
+  Bytes ct = crypto::aes_cbc_encrypt(key, iv, data);
+  EXPECT_EQ(p.aes_cbc_decrypt(key, iv, ct), data);
+  Bytes material = rng.bytes(32);
+  Bytes wrapped = p.aes_wrap(key, material);
+  EXPECT_EQ(wrapped, crypto::aes_wrap(key, material));
+  auto unwrapped = p.aes_unwrap(key, wrapped);
+  ASSERT_TRUE(unwrapped.has_value());
+  EXPECT_EQ(*unwrapped, material);
+  EXPECT_EQ(p.kdf2(data, 24), crypto::kdf2_sha1(data, 24));
+}
+
+TEST(PlainProvider, SharedInstanceIsStable) {
+  provider::PlainCryptoProvider& a = provider::plain_provider();
+  provider::PlainCryptoProvider& b = provider::plain_provider();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(PlainProvider, RsaPathsRoundTrip) {
+  DeterministicRng rng(2);
+  provider::PlainCryptoProvider p;
+  rsa::PrivateKey key = rsa::generate_key(512, rng);
+  Bytes msg = to_bytes("provider message");
+  Bytes sig = p.pss_sign(key, msg, rng);
+  EXPECT_TRUE(p.pss_verify(key.public_key(), msg, sig));
+  EXPECT_TRUE(rsa::pss_verify(key.public_key(), msg, sig));
+
+  rsa::KemEncapsulation enc = p.kem_encapsulate(key.public_key(), rng);
+  EXPECT_EQ(p.kem_decapsulate(key, enc.c1), enc.kek);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: force specific verification primitives to fail and
+// check the agent's reported status.
+// ---------------------------------------------------------------------------
+
+class FaultInjectingProvider final : public provider::PlainCryptoProvider {
+ public:
+  // Countdown switches: 0 = fail the next call, negative = never fail.
+  int fail_pss_verify_at = -1;
+  int fail_hmac_verify_at = -1;
+  bool fail_all_unwraps = false;
+
+  bool pss_verify(const rsa::PublicKey& key, ByteView message,
+                  ByteView signature) override {
+    if (fail_pss_verify_at == 0) {
+      --fail_pss_verify_at;
+      return false;
+    }
+    if (fail_pss_verify_at > 0) --fail_pss_verify_at;
+    return PlainCryptoProvider::pss_verify(key, message, signature);
+  }
+
+  bool hmac_verify(ByteView key, ByteView data, ByteView tag) override {
+    if (fail_hmac_verify_at == 0) {
+      --fail_hmac_verify_at;
+      return false;
+    }
+    if (fail_hmac_verify_at > 0) --fail_hmac_verify_at;
+    return PlainCryptoProvider::hmac_verify(key, data, tag);
+  }
+
+  std::optional<Bytes> aes_unwrap(ByteView kek, ByteView wrapped) override {
+    if (fail_all_unwraps) return std::nullopt;
+    return PlainCryptoProvider::aes_unwrap(kek, wrapped);
+  }
+};
+
+constexpr std::uint64_t kNow = 1100000000;
+const pki::Validity kValidity{kNow - 86400, kNow + 365 * 86400};
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<DeterministicRng>(0xFA17);
+    ca_ = std::make_unique<pki::CertificationAuthority>("CMLA Root", 1024,
+                                                        kValidity, *rng_);
+    ci_ = std::make_unique<ci::ContentIssuer>(
+        "content.example", provider::plain_provider(), *rng_);
+    ri_ = std::make_unique<ri::RightsIssuer>(
+        "ri.example", "http://ri.example/roap", *ca_, kValidity,
+        provider::plain_provider(), *rng_);
+    device_ = std::make_unique<DrmAgent>("device-01", ca_->root_certificate(),
+                                         faulty_, *rng_);
+    device_->provision(
+        ca_->issue("device-01", device_->public_key(), kValidity, *rng_));
+
+    Bytes content = rng_->bytes(1000);
+    dcf::Headers h;
+    h.content_type = "audio/mpeg";
+    h.content_id = "cid:fi@content.example";
+    h.rights_issuer_url = ri_->url();
+    dcf_ = ci_->package(h, content);
+
+    ri::LicenseOffer offer;
+    offer.ro_id = "ro:fi";
+    offer.content_id = h.content_id;
+    offer.dcf_hash = dcf_.hash();
+    rel::Permission play;
+    play.type = rel::PermissionType::kPlay;
+    offer.permissions = {play};
+    offer.kcek = *ci_->kcek_for(h.content_id);
+    ri_->add_offer(offer);
+  }
+
+  FaultInjectingProvider faulty_;
+  std::unique_ptr<DeterministicRng> rng_;
+  std::unique_ptr<pki::CertificationAuthority> ca_;
+  std::unique_ptr<ci::ContentIssuer> ci_;
+  std::unique_ptr<ri::RightsIssuer> ri_;
+  std::unique_ptr<DrmAgent> device_;
+  dcf::Dcf dcf_;
+};
+
+TEST_F(FaultInjection, RegistrationCertCheckFailure) {
+  // Registration performs three terminal-side pss_verify calls, in order:
+  // RI certificate, OCSP response, message signature.
+  faulty_.fail_pss_verify_at = 0;
+  EXPECT_EQ(device_->register_with(*ri_, kNow),
+            AgentStatus::kCertificateInvalid);
+}
+
+TEST_F(FaultInjection, RegistrationOcspCheckFailure) {
+  faulty_.fail_pss_verify_at = 1;
+  EXPECT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOcspInvalid);
+}
+
+TEST_F(FaultInjection, RegistrationSignatureCheckFailure) {
+  faulty_.fail_pss_verify_at = 2;
+  EXPECT_EQ(device_->register_with(*ri_, kNow),
+            AgentStatus::kSignatureInvalid);
+}
+
+TEST_F(FaultInjection, AcquisitionSignatureFailure) {
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  faulty_.fail_pss_verify_at = 0;
+  EXPECT_EQ(device_->acquire_ro(*ri_, "ro:fi", kNow).status,
+            AgentStatus::kSignatureInvalid);
+}
+
+TEST_F(FaultInjection, InstallationMacFailure) {
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:fi", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  faulty_.fail_hmac_verify_at = 0;
+  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kMacMismatch);
+}
+
+TEST_F(FaultInjection, InstallationUnwrapFailure) {
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:fi", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  faulty_.fail_all_unwraps = true;
+  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kUnwrapFailed);
+}
+
+TEST_F(FaultInjection, ConsumptionMacRecheckFailure) {
+  // The paper's §2.4.4: the RO MAC is re-verified on *every* access, so a
+  // storage corruption after installation is still caught.
+  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:fi", kNow);
+  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+
+  ASSERT_EQ(device_->consume(dcf_, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+  faulty_.fail_hmac_verify_at = 0;
+  EXPECT_EQ(device_->consume(dcf_, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kMacMismatch);
+  // Transient fault cleared: consumption works again.
+  EXPECT_EQ(device_->consume(dcf_, rel::PermissionType::kPlay, kNow).status,
+            AgentStatus::kOk);
+}
+
+TEST_F(FaultInjection, RecoveryAfterFailedRegistration) {
+  faulty_.fail_pss_verify_at = 0;
+  ASSERT_EQ(device_->register_with(*ri_, kNow),
+            AgentStatus::kCertificateInvalid);
+  EXPECT_FALSE(device_->has_ri_context("ri.example"));
+  // Next attempt (fault cleared) succeeds from a clean slate.
+  EXPECT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  EXPECT_TRUE(device_->has_ri_context("ri.example"));
+}
+
+}  // namespace
+}  // namespace omadrm

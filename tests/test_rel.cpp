@@ -1,0 +1,203 @@
+// Tests for the Rights Expression Language model and its enforcement.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "rel/rights.h"
+
+namespace omadrm::rel {
+namespace {
+
+using omadrm::Error;
+
+Rights sample_rights() {
+  Rights r;
+  r.ro_id = "ro:sample";
+  r.content_id = "cid:track@example";
+  r.dcf_hash = from_hex("0102030405060708090a0b0c0d0e0f1011121314");
+  Permission play;
+  play.type = PermissionType::kPlay;
+  play.constraint.count = 5;
+  Permission display;
+  display.type = PermissionType::kDisplay;
+  r.permissions = {play, display};
+  return r;
+}
+
+TEST(PermissionNames, RoundTrip) {
+  for (auto p : {PermissionType::kPlay, PermissionType::kDisplay,
+                 PermissionType::kExecute, PermissionType::kPrint,
+                 PermissionType::kExport}) {
+    auto back = permission_from_string(to_string(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(permission_from_string("fly").has_value());
+}
+
+TEST(ConstraintXml, UnconstrainedIsEmpty) {
+  Constraint c;
+  EXPECT_TRUE(c.is_unconstrained());
+  Constraint back = Constraint::from_xml(c.to_xml());
+  EXPECT_EQ(back, c);
+}
+
+TEST(ConstraintXml, AllFieldsRoundTrip) {
+  Constraint c;
+  c.count = 7;
+  c.not_before = 1000;
+  c.not_after = 2000;
+  c.interval_secs = 86400;
+  c.accumulated_secs = 3600;
+  EXPECT_FALSE(c.is_unconstrained());
+  EXPECT_EQ(Constraint::from_xml(c.to_xml()), c);
+}
+
+TEST(RightsXml, RoundTrip) {
+  Rights r = sample_rights();
+  Rights back = Rights::parse(r.serialize());
+  EXPECT_EQ(back, r);
+}
+
+TEST(RightsXml, FindPermission) {
+  Rights r = sample_rights();
+  ASSERT_NE(r.find(PermissionType::kPlay), nullptr);
+  EXPECT_EQ(r.find(PermissionType::kPlay)->constraint.count, 5u);
+  EXPECT_EQ(r.find(PermissionType::kPrint), nullptr);
+}
+
+TEST(RightsXml, RejectsWrongRoot) {
+  EXPECT_THROW(Rights::parse("<wrong/>"), Error);
+}
+
+TEST(RightsXml, RejectsUnknownPermission) {
+  std::string doc =
+      "<o-ex:rights o-ex:id=\"r\"><o-ex:agreement><o-ex:asset>"
+      "<o-ex:context>cid:x</o-ex:context><ds:DigestValue></ds:DigestValue>"
+      "</o-ex:asset><o-ex:permission><o-dd:teleport/></o-ex:permission>"
+      "</o-ex:agreement></o-ex:rights>";
+  EXPECT_THROW(Rights::parse(doc), Error);
+}
+
+TEST(Enforcer, UnconstrainedAlwaysGrants) {
+  Rights r = sample_rights();
+  RightsEnforcer e(r);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(e.check_and_consume(PermissionType::kDisplay, 1000 + i),
+              Decision::kGranted);
+  }
+  EXPECT_FALSE(e.remaining_count(PermissionType::kDisplay).has_value());
+}
+
+TEST(Enforcer, MissingPermissionDenied) {
+  RightsEnforcer e(sample_rights());
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPrint, 0),
+            Decision::kNoSuchPermission);
+}
+
+TEST(Enforcer, CountExhaustion) {
+  RightsEnforcer e(sample_rights());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 100),
+              Decision::kGranted)
+        << "use " << i;
+    EXPECT_EQ(*e.remaining_count(PermissionType::kPlay), 4u - i);
+  }
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 100),
+            Decision::kCountExhausted);
+  EXPECT_EQ(*e.remaining_count(PermissionType::kPlay), 0u);
+}
+
+TEST(Enforcer, DatetimeWindow) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.not_before = 1000;
+  r.permissions[0].constraint.not_after = 2000;
+  RightsEnforcer e(r);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 999),
+            Decision::kNotYetValid);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 1000),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 2000),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 2001),
+            Decision::kExpired);
+}
+
+TEST(Enforcer, IntervalAnchorsAtFirstUse) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.interval_secs = 100;
+  RightsEnforcer e(r);
+  // Before first use the interval is not running.
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 5000),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 5100),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 5101),
+            Decision::kIntervalElapsed);
+}
+
+TEST(Enforcer, AccumulatedTimeBudget) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.accumulated_secs = 600;
+  RightsEnforcer e(r);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 0, 300),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 0, 300),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 0, 1),
+            Decision::kAccumulatedExhausted);
+  // A shorter playback that still fits is fine (budget exactly spent).
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 0, 0),
+            Decision::kGranted);
+}
+
+TEST(Enforcer, DenialDoesNotConsume) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint.count = 2;
+  r.permissions[0].constraint.not_after = 1000;
+  RightsEnforcer e(r);
+  // Expired attempts must not burn the count budget.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 2000),
+              Decision::kExpired);
+  }
+  EXPECT_EQ(*e.remaining_count(PermissionType::kPlay), 2u);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 500),
+            Decision::kGranted);
+}
+
+TEST(Enforcer, IndependentPermissionBudgets) {
+  Rights r = sample_rights();
+  r.permissions[1].constraint.count = 1;
+  RightsEnforcer e(r);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kDisplay, 0),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kDisplay, 0),
+            Decision::kCountExhausted);
+  // Play budget untouched.
+  EXPECT_EQ(*e.remaining_count(PermissionType::kPlay), 5u);
+}
+
+class CountSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CountSweep, ExactlyNGrants) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint.count = GetParam();
+  RightsEnforcer e(r);
+  std::uint32_t grants = 0;
+  for (std::uint32_t i = 0; i < GetParam() + 10; ++i) {
+    if (e.check_and_consume(PermissionType::kPlay, i) == Decision::kGranted) {
+      ++grants;
+    }
+  }
+  EXPECT_EQ(grants, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, CountSweep,
+                         ::testing::Values(1, 2, 5, 25, 100));
+
+}  // namespace
+}  // namespace omadrm::rel

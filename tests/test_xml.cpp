@@ -1,0 +1,143 @@
+// Tests for the XML DOM parser and serializer.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "xml/xml.h"
+
+namespace omadrm::xml {
+namespace {
+
+using omadrm::Error;
+
+TEST(XmlBuild, AttributesAndChildren) {
+  Element root("rights");
+  root.set_attr("id", "ro-1");
+  root.set_attr("version", "2.0");
+  root.add_text_child("asset", "cid:song");
+  EXPECT_EQ(*root.attr("id"), "ro-1");
+  EXPECT_EQ(root.require_attr("version"), "2.0");
+  EXPECT_EQ(root.attr("missing"), nullptr);
+  EXPECT_THROW(root.require_attr("missing"), Error);
+  EXPECT_EQ(root.child_text("asset"), "cid:song");
+  EXPECT_THROW(root.require_child("nope"), Error);
+}
+
+TEST(XmlBuild, SetAttrOverwrites) {
+  Element e("x");
+  e.set_attr("k", "1");
+  e.set_attr("k", "2");
+  EXPECT_EQ(*e.attr("k"), "2");
+  EXPECT_EQ(e.attrs().size(), 1u);
+}
+
+TEST(XmlSerialize, SelfClosingAndNested) {
+  Element root("a");
+  root.add_child(Element("b"));
+  Element c("c");
+  c.set_text("hi");
+  root.add_child(std::move(c));
+  EXPECT_EQ(root.serialize(), "<a><b/><c>hi</c></a>");
+}
+
+TEST(XmlSerialize, EscapesSpecials) {
+  Element e("t");
+  e.set_text("a<b&c>d");
+  e.set_attr("q", "say \"hi\" & 'bye'");
+  std::string s = e.serialize();
+  EXPECT_NE(s.find("a&lt;b&amp;c&gt;d"), std::string::npos);
+  EXPECT_NE(s.find("&quot;hi&quot;"), std::string::npos);
+  Element back = parse(s);
+  EXPECT_EQ(back.text(), "a<b&c>d");
+  EXPECT_EQ(*back.attr("q"), "say \"hi\" & 'bye'");
+}
+
+TEST(XmlParse, BasicDocument) {
+  Element e = parse("<root a=\"1\" b='two'><kid>text</kid><kid2/></root>");
+  EXPECT_EQ(e.name(), "root");
+  EXPECT_EQ(*e.attr("a"), "1");
+  EXPECT_EQ(*e.attr("b"), "two");
+  EXPECT_EQ(e.children().size(), 2u);
+  EXPECT_EQ(e.child_text("kid"), "text");
+}
+
+TEST(XmlParse, DeclarationCommentsAndWhitespace) {
+  Element e = parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- top comment -->\n"
+      "<doc>\n  <!-- inner -->\n  <x>1</x>\n</doc>\n");
+  EXPECT_EQ(e.name(), "doc");
+  EXPECT_EQ(e.children().size(), 1u);
+  EXPECT_EQ(e.text(), "");  // formatting whitespace dropped
+}
+
+TEST(XmlParse, Entities) {
+  Element e = parse("<t>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;</t>");
+  EXPECT_EQ(e.text(), "<tag> & \"x\" 'y'");
+}
+
+TEST(XmlParse, NumericCharacterReferences) {
+  Element e = parse("<t>&#65;&#x42;&#xe9;</t>");
+  EXPECT_EQ(e.text(), "AB\xc3\xa9");  // é in UTF-8
+}
+
+TEST(XmlParse, MixedContentKeepsText) {
+  Element e = parse("<t>hello <b>bold</b> world</t>");
+  EXPECT_EQ(e.children().size(), 1u);
+  EXPECT_EQ(e.text(), "hello  world");
+}
+
+TEST(XmlParse, NamespacePrefixedNames) {
+  Element e = parse("<o-ex:rights o-ex:id=\"r1\"><o-dd:play/></o-ex:rights>");
+  EXPECT_EQ(e.name(), "o-ex:rights");
+  EXPECT_EQ(*e.attr("o-ex:id"), "r1");
+  EXPECT_EQ(e.children()[0].name(), "o-dd:play");
+}
+
+TEST(XmlParse, RejectsMalformed) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("<a>"), Error);
+  EXPECT_THROW(parse("<a></b>"), Error);
+  EXPECT_THROW(parse("<a x=1/>"), Error);          // unquoted attribute
+  EXPECT_THROW(parse("<a x=\"1\" x=\"2\"/>"), Error);  // duplicate attr
+  EXPECT_THROW(parse("<a>&bogus;</a>"), Error);
+  EXPECT_THROW(parse("<a/><b/>"), Error);          // two roots
+  EXPECT_THROW(parse("<a><![CDATA[x]]></a>"), Error);
+  EXPECT_THROW(parse("text only"), Error);
+  EXPECT_THROW(parse("<1bad/>"), Error);
+}
+
+TEST(XmlRoundTrip, StructurePreserved) {
+  Element root("o-ex:rights");
+  root.set_attr("o-ex:id", "ro42");
+  Element& agreement = root.add_child(Element("agreement"));
+  agreement.add_text_child("context", "cid:a&b");
+  Element& perm = agreement.add_child(Element("permission"));
+  perm.add_child(Element("play"));
+
+  Element back = parse(root.serialize());
+  EXPECT_EQ(back, root);
+  // Pretty-printing must round-trip to the same structure too.
+  EXPECT_EQ(parse(root.serialize(true)), root);
+}
+
+TEST(XmlRoundTrip, DeepNesting) {
+  Element root("l0");
+  Element* cur = &root;
+  for (int i = 1; i < 40; ++i) {
+    cur = &cur->add_child(Element("l" + std::to_string(i)));
+  }
+  cur->set_text("deep");
+  Element back = parse(root.serialize());
+  EXPECT_EQ(back, root);
+}
+
+TEST(XmlChildren, NamedLookup) {
+  Element e = parse("<r><x>1</x><y>2</y><x>3</x></r>");
+  auto xs = e.children_named("x");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0]->text(), "1");
+  EXPECT_EQ(xs[1]->text(), "3");
+}
+
+}  // namespace
+}  // namespace omadrm::xml
