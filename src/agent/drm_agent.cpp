@@ -40,7 +40,9 @@ DrmAgent::DrmAgent(std::string device_id, pki::Certificate trust_root,
       crypto_(crypto),
       rng_(rng),
       key_(rsa::generate_key(key_bits, rng)),
-      kdev_(rng.bytes(16)) {}
+      kdev_(rng.bytes(16)),
+      chain_verifier_(trust_root_,
+                      pki::ChainVerifier::metered_verify(crypto)) {}
 
 void DrmAgent::provision(pki::Certificate device_certificate) {
   if (!(device_certificate.subject_key().n == key_.n)) {
@@ -67,13 +69,9 @@ const RiContext* DrmAgent::ri_context(const std::string& ri_id) const {
   return it == ri_contexts_.end() ? nullptr : &it->second;
 }
 
-bool DrmAgent::verify_certificate_metered(const pki::Certificate& cert,
-                                          std::uint64_t now) {
-  if (cert.issuer_cn() != trust_root_.subject_cn()) return false;
-  if (now < cert.validity().not_before) return false;
-  if (now > cert.validity().not_after) return false;
-  return crypto_.pss_verify(trust_root_.subject_key(), cert.tbs_der(),
-                            cert.signature());
+std::shared_ptr<const pki::ChainVerdict> DrmAgent::verify_chain_metered(
+    const std::vector<pki::Certificate>& chain, std::uint64_t now) {
+  return chain_verifier_.verify(chain, now);
 }
 
 AgentStatus DrmAgent::verify_ocsp_metered(const pki::OcspResponse& ocsp,
@@ -161,16 +159,26 @@ AgentStatus DrmAgent::process_registration_response(
     return AgentStatus::kNonceMismatch;
   }
 
-  // Verify the RI certificate against our trust root.
-  pki::Certificate ri_cert;
+  // Verify the RI certificate chain (leaf + any intermediates) against
+  // our trust root, through the verdict cache.
+  std::vector<pki::Certificate> ri_chain;
   try {
-    ri_cert = pki::Certificate::from_der(response.ri_certificate_der);
+    ri_chain.push_back(pki::Certificate::from_der(response.ri_certificate_der));
+    for (const Bytes& der : response.ri_certificate_chain_der) {
+      ri_chain.push_back(pki::Certificate::from_der(der));
+    }
   } catch (const Error&) {
     return AgentStatus::kCertificateInvalid;
   }
-  if (!verify_certificate_metered(ri_cert, now)) {
+  std::shared_ptr<const pki::ChainVerdict> verdict =
+      verify_chain_metered(ri_chain, now);
+  if (verdict->status == pki::CertStatus::kRevoked) {
+    return AgentStatus::kCertificateRevoked;
+  }
+  if (verdict->status != pki::CertStatus::kValid) {
     return AgentStatus::kCertificateInvalid;
   }
+  const pki::Certificate& ri_cert = ri_chain.front();
 
   // Verify the stapled OCSP response for the RI certificate.
   pki::OcspResponse ocsp;
@@ -181,7 +189,13 @@ AgentStatus DrmAgent::process_registration_response(
   }
   AgentStatus ocsp_status =
       verify_ocsp_metered(ocsp, ri_cert.serial(), pending.ocsp_nonce, now);
-  if (ocsp_status != AgentStatus::kOk) return ocsp_status;
+  if (ocsp_status != AgentStatus::kOk) {
+    if (ocsp_status == AgentStatus::kCertificateRevoked) {
+      // A revoked chain must not keep serving cache hits.
+      chain_verifier_.invalidate_serial(ri_cert.serial());
+    }
+    return ocsp_status;
+  }
 
   // Verify the message signature with the (now trusted) RI key.
   if (!crypto_.pss_verify(ri_cert.subject_key(), response.payload(),
@@ -192,7 +206,8 @@ AgentStatus DrmAgent::process_registration_response(
   RiContext ctx;
   ctx.ri_id = response.ri_id;
   ctx.ri_url = response.ri_url;
-  ctx.ri_certificate = ri_cert;
+  ctx.ri_chain = std::move(ri_chain);
+  ctx.verified_chain = std::move(verdict);
   ctx.established_at = now;
   ri_contexts_[ctx.ri_id] = std::move(ctx);
   return AgentStatus::kOk;
@@ -239,7 +254,7 @@ AcquireResult DrmAgent::process_ro_response(const roap::RoResponse& response) {
     out.status = AgentStatus::kNonceMismatch;
     return out;
   }
-  if (!crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+  if (!crypto_.pss_verify(ctx->second.ri_certificate().subject_key(),
                           response.payload(), response.signature)) {
     out.status = AgentStatus::kSignatureInvalid;
     return out;
@@ -258,16 +273,33 @@ AcquireResult DrmAgent::acquire_ro(ri::RightsIssuer& ri,
                                    std::uint64_t now) {
   AcquireResult out;
   // "Existence, integrity and validity [of the RI Context] must be
-  // verified prior to any future interaction with the RI" (§2.4.1).
+  // verified prior to any future interaction with the RI" (§2.4.1). The
+  // full chain walk runs through the verdict cache, so right after
+  // registration this is an O(1) lookup with zero RSA operations — the
+  // amortization the paper's RI-context caching argument calls for.
   auto ctx = ri_contexts_.find(ri.ri_id());
   if (ctx == ri_contexts_.end()) {
     out.status = AgentStatus::kNoRiContext;
     return out;
   }
-  if (now > ctx->second.ri_certificate.validity().not_after) {
-    out.status = AgentStatus::kRiContextExpired;
+  std::shared_ptr<const pki::ChainVerdict> verdict =
+      chain_verifier_.revalidate(ctx->second.verified_chain,
+                                 ctx->second.ri_chain, now);
+  if (verdict->status != pki::CertStatus::kValid) {
+    switch (verdict->status) {
+      case pki::CertStatus::kExpired:
+      case pki::CertStatus::kNotYetValid:
+        out.status = AgentStatus::kRiContextExpired;
+        break;
+      case pki::CertStatus::kRevoked:
+        out.status = AgentStatus::kCertificateRevoked;
+        break;
+      default:
+        out.status = AgentStatus::kCertificateInvalid;
+    }
     return out;
   }
+  ctx->second.verified_chain = std::move(verdict);
   roap::RoRequest request = build_ro_request(ri.ri_id(), ro_id);
   return process_ro_response(ri.handle_ro_request(request, now));
 }
@@ -316,7 +348,7 @@ AgentStatus DrmAgent::install_ro(const roap::ProtectedRo& ro,
     auto ctx = ri_contexts_.find(ro.ri_id);
     if (ctx == ri_contexts_.end()) return AgentStatus::kNoRiContext;
     if (ro.signature.empty() ||
-        !crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+        !crypto_.pss_verify(ctx->second.ri_certificate().subject_key(),
                             ro.signed_payload(), ro.signature)) {
       return AgentStatus::kRoSignatureInvalid;
     }
@@ -438,7 +470,7 @@ AgentStatus DrmAgent::process_join_domain_response(
   if (ctx == ri_contexts_.end()) return AgentStatus::kNoRiContext;
 
   if (response.status != Status::kSuccess) return AgentStatus::kRiAborted;
-  if (!crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+  if (!crypto_.pss_verify(ctx->second.ri_certificate().subject_key(),
                           response.payload(), response.signature)) {
     return AgentStatus::kSignatureInvalid;
   }
@@ -486,7 +518,7 @@ AgentStatus DrmAgent::leave_domain(ri::RightsIssuer& ri,
   if (!ct_equal(response.device_nonce, request.device_nonce)) {
     return AgentStatus::kNonceMismatch;
   }
-  if (!crypto_.pss_verify(ctx->second.ri_certificate.subject_key(),
+  if (!crypto_.pss_verify(ctx->second.ri_certificate().subject_key(),
                           response.payload(), response.signature)) {
     return AgentStatus::kSignatureInvalid;
   }
@@ -594,7 +626,12 @@ Bytes DrmAgent::export_state() const {
     e.set_attr("url", ctx.ri_url);
     e.set_attr("established", std::to_string(ctx.established_at));
     e.add_text_child("certificate",
-                     base64_encode(ctx.ri_certificate.to_der()));
+                     base64_encode(ctx.ri_certificate().to_der()));
+    // Intermediates beyond the leaf (ri_chain[0] is the certificate above).
+    for (std::size_t i = 1; i < ctx.ri_chain.size(); ++i) {
+      e.add_text_child("intermediate",
+                       base64_encode(ctx.ri_chain[i].to_der()));
+    }
     root.add_child(std::move(e));
   }
 
@@ -660,6 +697,9 @@ void DrmAgent::import_state(ByteView blob) {
   domain_keys_.clear();
   installed_.clear();
   by_content_.clear();
+  // Verification verdicts belong to the pre-import identity; the imported
+  // contexts re-verify (and re-populate the cache) on first interaction.
+  chain_verifier_.clear();
 
   for (const xml::Element& e : root.children()) {
     if (e.name() == "ri-context") {
@@ -667,8 +707,12 @@ void DrmAgent::import_state(ByteView blob) {
       ctx.ri_id = e.require_attr("id");
       ctx.ri_url = e.require_attr("url");
       ctx.established_at = parse_u64_attr(e, "established");
-      ctx.ri_certificate = pki::Certificate::from_der(
-          base64_decode(e.child_text("certificate")));
+      ctx.ri_chain.push_back(pki::Certificate::from_der(
+          base64_decode(e.child_text("certificate"))));
+      for (const xml::Element* ic : e.children_named("intermediate")) {
+        ctx.ri_chain.push_back(
+            pki::Certificate::from_der(base64_decode(ic->text())));
+      }
       ri_contexts_[ctx.ri_id] = std::move(ctx);
     } else if (e.name() == "domain-key") {
       domain_keys_[e.require_attr("id")] = {

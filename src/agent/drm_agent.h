@@ -25,6 +25,7 @@
 #include "common/random.h"
 #include "dcf/dcf.h"
 #include "pki/authority.h"
+#include "pki/chain.h"
 #include "provider/provider.h"
 #include "rel/rights.h"
 #include "ri/rights_issuer.h"
@@ -60,7 +61,16 @@ const char* to_string(AgentStatus s);
 struct RiContext {
   std::string ri_id;
   std::string ri_url;
-  pki::Certificate ri_certificate;
+  /// Full RI certificate chain, leaf first; any entries beyond the first
+  /// are intermediate CA certificates. Never empty once established.
+  std::vector<pki::Certificate> ri_chain;
+
+  /// The RI's own (leaf) certificate — the signer of ROAP responses.
+  const pki::Certificate& ri_certificate() const { return ri_chain.front(); }
+  /// Handle to the cached chain verification — the paper's "the Device is
+  /// not required to verify that Rights Issuer's certificate chain again".
+  /// Refreshed on every RI interaction via the agent's ChainVerifier.
+  std::shared_ptr<const pki::ChainVerdict> verified_chain;
   std::uint64_t established_at = 0;
 };
 
@@ -183,12 +193,18 @@ class DrmAgent {
   std::optional<std::uint32_t> remaining_count(
       const std::string& ro_id, rel::PermissionType permission) const;
 
+  /// The RI-chain verification cache. RSA work routed through it is
+  /// metered via this agent's CryptoProvider; cache hits charge nothing.
+  /// Exposed for benchmarks/tests (stats, enable/disable, invalidation).
+  pki::ChainVerifier& chain_verifier() { return chain_verifier_; }
+
  private:
-  /// Certificate validation through the metered provider (field checks +
-  /// one RSAVP1), so the cost model sees the RSA public-key operation the
-  /// paper charges for certificate verification.
-  bool verify_certificate_metered(const pki::Certificate& cert,
-                                  std::uint64_t now);
+  /// Full chain validation (field checks + one metered RSAVP1 per chain
+  /// link) through the verdict cache, so the cost model sees exactly the
+  /// RSA public-key operations the paper charges for certificate
+  /// verification — and sees none of them on a cache hit.
+  std::shared_ptr<const pki::ChainVerdict> verify_chain_metered(
+      const std::vector<pki::Certificate>& chain, std::uint64_t now);
   AgentStatus verify_ocsp_metered(const pki::OcspResponse& ocsp,
                                   const bigint::BigInt& expected_serial,
                                   ByteView expected_nonce, std::uint64_t now);
@@ -201,6 +217,7 @@ class DrmAgent {
   Bytes kdev_;  // device-generated key replacing PKI protection at install
   Bytes certificate_der_;
   pki::Certificate certificate_;
+  pki::ChainVerifier chain_verifier_;
 
   std::map<std::string, RiContext> ri_contexts_;        // by ri_id
   std::map<std::string, InstalledRo> installed_;        // by ro_id

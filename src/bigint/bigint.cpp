@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "bigint/mont_cache.h"
 #include "bigint/montgomery.h"
 #include "common/error.h"
 #include "common/random.h"
@@ -86,24 +87,20 @@ BigInt BigInt::from_bytes_be(ByteView bytes) {
 }
 
 Bytes BigInt::to_bytes_be(std::size_t min_len) const {
-  Bytes raw;
-  raw.reserve(limbs_.size() * 4);
-  for (std::size_t i = limbs_.size(); i-- > 0;) {
+  // Exact-size single allocation: the output is written back-to-front,
+  // least-significant limb first, into a zero-filled buffer.
+  const std::size_t significant = is_zero() ? 1 : (bit_length() + 7) / 8;
+  const std::size_t len = std::max(significant, min_len);
+  Bytes out(len, 0);
+  std::size_t pos = len;
+  for (std::size_t i = 0; i < limbs_.size() && pos > 0; ++i) {
     std::uint32_t limb = limbs_[i];
-    raw.push_back(static_cast<std::uint8_t>(limb >> 24));
-    raw.push_back(static_cast<std::uint8_t>(limb >> 16));
-    raw.push_back(static_cast<std::uint8_t>(limb >> 8));
-    raw.push_back(static_cast<std::uint8_t>(limb));
+    for (int b = 0; b < 4 && pos > 0; ++b) {
+      out[--pos] = static_cast<std::uint8_t>(limb);
+      limb >>= 8;
+    }
   }
-  // Strip leading zeros.
-  std::size_t first = 0;
-  while (first + 1 < raw.size() && raw[first] == 0) ++first;
-  Bytes trimmed(raw.begin() + static_cast<std::ptrdiff_t>(first), raw.end());
-  if (is_zero()) trimmed = {0};
-  if (trimmed.size() >= min_len) return trimmed;
-  Bytes padded(min_len - trimmed.size(), 0);
-  padded.insert(padded.end(), trimmed.begin(), trimmed.end());
-  return padded;
+  return out;
 }
 
 std::string BigInt::to_hex() const {
@@ -412,7 +409,7 @@ DivMod BigInt::divmod(const BigInt& divisor) const {
     BigInt v =
         BigInt::from_limbs(divisor.limbs_) << static_cast<std::size_t>(shift);
     const auto& vn = v.limbs_;
-    std::vector<std::uint32_t> un = u.limbs_;
+    std::vector<std::uint32_t> un = std::move(u.limbs_);
     const std::size_t n = vn.size();
     const std::size_t m = un.size() - n;
     un.push_back(0);  // u has m+n+1 limbs.
@@ -551,14 +548,12 @@ ExtGcd BigInt::ext_gcd(const BigInt& a, const BigInt& b) {
   BigInt old_t, t(std::uint64_t{1});
   while (!r.is_zero()) {
     DivMod dm = old_r.divmod(r);
-    BigInt q = dm.quotient;
-    BigInt tmp = old_r - q * r;
     old_r = std::move(r);
-    r = std::move(tmp);
-    tmp = old_s - q * s;
+    r = std::move(dm.remainder);  // old_r - q * r, straight from the divide
+    BigInt tmp = old_s - dm.quotient * s;
     old_s = std::move(s);
     s = std::move(tmp);
-    tmp = old_t - q * t;
+    tmp = old_t - dm.quotient * t;
     old_t = std::move(t);
     t = std::move(tmp);
   }
@@ -583,8 +578,9 @@ BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp,
   }
   if (m == BigInt(std::uint64_t{1})) return BigInt{};
   if (m.is_odd()) {
-    MontgomeryCtx ctx(m);
-    return ctx.mod_exp(base.mod(m), exp);
+    // Shared context: R^2 mod m and m' are computed once per modulus and
+    // reused across every exponentiation against the same key.
+    return shared_montgomery_ctx(m)->mod_exp(base.mod(m), exp);
   }
   // Generic square-and-multiply for even moduli (rare in practice).
   BigInt result(std::uint64_t{1});

@@ -1,0 +1,120 @@
+#include "bigint/mont_cache.h"
+
+#include <list>
+
+#include "common/error.h"
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace omadrm::bigint {
+
+namespace {
+
+/// Raw little-endian limb bytes of the magnitude — cheap, collision-free
+/// cache key (the modulus sign is irrelevant: Montgomery moduli are
+/// positive by construction).
+std::string modulus_key(const BigInt& m) {
+  const auto& limbs = m.limbs();
+  return std::string(reinterpret_cast<const char*>(limbs.data()),
+                     limbs.size() * sizeof(limbs[0]));
+}
+
+struct MontCache {
+  using Entry = std::pair<std::string, std::shared_ptr<const MontgomeryCtx>>;
+
+  std::mutex mu;
+  bool enabled = true;
+  MontCacheStats stats;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index;
+
+  static MontCache& instance() {
+    static MontCache cache;
+    return cache;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const MontgomeryCtx> shared_montgomery_ctx(const BigInt& m) {
+  // Checked before the lookup: the cache key is sign-blind, and a hit for
+  // |m| must not mask the contract violation for a negative modulus.
+  if (m.is_zero() || m.is_negative() || m.is_even()) {
+    throw omadrm::Error(omadrm::ErrorKind::kCrypto,
+                        "Montgomery modulus must be odd positive");
+  }
+  MontCache& cache = MontCache::instance();
+  const std::string key = modulus_key(m);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.enabled) {
+      auto it = cache.index.find(key);
+      if (it != cache.index.end()) {
+        ++cache.stats.hits;
+        cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+        return it->second->second;
+      }
+    }
+    ++cache.stats.misses;
+  }
+
+  // Build outside the lock: context construction is the expensive part and
+  // must not serialize concurrent verifiers. A racing duplicate insert is
+  // harmless (last one wins; both contexts are equivalent).
+  auto ctx = std::make_shared<const MontgomeryCtx>(m);
+
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!cache.enabled) return ctx;
+  auto it = cache.index.find(key);
+  if (it != cache.index.end()) {
+    cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+    return it->second->second;
+  }
+  cache.lru.emplace_front(key, ctx);
+  cache.index[key] = cache.lru.begin();
+  if (cache.lru.size() > kMontCacheCapacity) {
+    cache.index.erase(cache.lru.back().first);
+    cache.lru.pop_back();
+    ++cache.stats.evictions;
+  }
+  return ctx;
+}
+
+void set_montgomery_cache_enabled(bool enabled) {
+  MontCache& cache = MontCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.enabled = enabled;
+  if (!enabled) {
+    cache.lru.clear();
+    cache.index.clear();
+  }
+}
+
+bool montgomery_cache_enabled() {
+  MontCache& cache = MontCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.enabled;
+}
+
+void clear_montgomery_cache() {
+  MontCache& cache = MontCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.lru.clear();
+  cache.index.clear();
+}
+
+MontCacheStats montgomery_cache_stats() {
+  MontCache& cache = MontCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.stats;
+}
+
+void reset_montgomery_cache_stats() {
+  MontCache& cache = MontCache::instance();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.stats = MontCacheStats{};
+}
+
+}  // namespace omadrm::bigint

@@ -1,0 +1,51 @@
+// Process-wide keyed cache of Montgomery contexts.
+//
+// Building a MontgomeryCtx costs a 2n-by-n-limb division (R^2 mod m) plus
+// the m' inverse — work the paper's cost model charges once per RSA
+// operation when done naively. RSA traffic, however, concentrates on a
+// handful of moduli (the device key, the RI key, the CA key, and their CRT
+// primes), so a small LRU keyed by modulus amortizes the setup to zero on
+// the hot path. This is the software analogue of the paper's
+// "precomputation in the RI context" recommendation.
+//
+// The cache is thread-safe and bounded (kMontCacheCapacity entries, LRU
+// eviction); transient moduli from prime generation churn through without
+// displacing more than a window of live keys. Benchmarks can disable it to
+// measure the uncached baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+
+namespace omadrm::bigint {
+
+/// Maximum number of cached contexts before LRU eviction kicks in.
+inline constexpr std::size_t kMontCacheCapacity = 64;
+
+struct MontCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Returns a shared context for the odd positive modulus `m`, building and
+/// caching one on first use. When the cache is disabled, a fresh context is
+/// built on every call (counted as a miss). Throws Error(kCrypto) for
+/// non-odd moduli, exactly like the MontgomeryCtx constructor.
+std::shared_ptr<const MontgomeryCtx> shared_montgomery_ctx(const BigInt& m);
+
+/// Toggles the cache (enabled by default). Disabling also clears it, so a
+/// benchmark's "uncached" phase never sees stale hits after re-enabling.
+void set_montgomery_cache_enabled(bool enabled);
+bool montgomery_cache_enabled();
+
+/// Drops every cached context (stats are kept).
+void clear_montgomery_cache();
+
+MontCacheStats montgomery_cache_stats();
+void reset_montgomery_cache_stats();
+
+}  // namespace omadrm::bigint

@@ -1,5 +1,7 @@
 #include "bigint/montgomery.h"
 
+#include <utility>
+
 #include "common/error.h"
 
 namespace omadrm::bigint {
@@ -29,12 +31,12 @@ MontgomeryCtx::MontgomeryCtx(const BigInt& m) : m_(m) {
   // R^2 mod m where R = 2^(32 n).
   BigInt r = BigInt(std::uint64_t{1}) << (32 * n_);
   r2_ = (r * r).mod(m_);
+  one_mont_ = to_mont(BigInt(std::uint64_t{1}));
 }
 
 // Coarsely Integrated Operand Scanning (CIOS) Montgomery multiplication.
 // Computes a * b * R^-1 mod m for operands already reduced mod m.
-MontgomeryCtx::Limbs MontgomeryCtx::cios(const Limbs& a,
-                                         const Limbs& b) const {
+BigInt MontgomeryCtx::cios(const Limbs& a, const Limbs& b) const {
   const Limbs& m = m_.limbs();
   Limbs t(n_ + 2, 0);
 
@@ -74,43 +76,77 @@ MontgomeryCtx::Limbs MontgomeryCtx::cios(const Limbs& a,
   BigInt res = BigInt::from_limbs(std::move(t));
   // At most one final subtraction is needed: result < 2m.
   if (!(res < m_)) res = res - m_;
-  return res.limbs();
+  return res;
 }
 
 BigInt MontgomeryCtx::mont_mul(const BigInt& a, const BigInt& b) const {
-  return BigInt::from_limbs(cios(a.limbs(), b.limbs()));
+  return cios(a.limbs(), b.limbs());
 }
 
 BigInt MontgomeryCtx::to_mont(const BigInt& a) const {
-  return BigInt::from_limbs(cios(a.limbs(), r2_.limbs()));
+  return cios(a.limbs(), r2_.limbs());
 }
 
 BigInt MontgomeryCtx::from_mont(const BigInt& a) const {
-  Limbs one{1};
-  return BigInt::from_limbs(cios(a.limbs(), one));
+  static const Limbs kOne{1};
+  return cios(a.limbs(), kOne);
 }
 
 BigInt MontgomeryCtx::mod_exp(const BigInt& base, const BigInt& exp) const {
   if (exp.is_zero()) return BigInt(std::uint64_t{1}).mod(m_);
 
-  // Fixed 4-bit window: precompute base^0..base^15 in Montgomery form.
-  constexpr std::size_t kWindow = 4;
-  BigInt mont_one = to_mont(BigInt(std::uint64_t{1}));
-  std::vector<BigInt> table(std::size_t{1} << kWindow);
-  table[0] = mont_one;
-  table[1] = to_mont(base);
-  for (std::size_t i = 2; i < table.size(); ++i) {
-    table[i] = mont_mul(table[i - 1], table[1]);
+  const std::size_t bits = exp.bit_length();
+  if (bits <= kPlainExpBits) {
+    // Short exponent (RSA public exponents live here): left-to-right
+    // square-and-multiply beats building the window table.
+    BigInt mont_base = to_mont(base);
+    BigInt acc = mont_base;
+    for (std::size_t i = bits - 1; i-- > 0;) {
+      acc = mont_mul(acc, acc);
+      if (exp.bit(i)) acc = mont_mul(acc, mont_base);
+    }
+    return from_mont(acc);
   }
 
+  // Fixed window: one ad-hoc PowerTable per call. Callers exponentiating
+  // a truly fixed base repeatedly should hoist make_power_table instead.
+  return mod_exp_windowed(make_power_table(base).mont_powers_, exp);
+}
+
+PowerTable MontgomeryCtx::make_power_table(const BigInt& base) const {
+  PowerTable out;
+  out.base_ = base;
+  out.modulus_ = m_;
+  out.mont_powers_.resize(std::size_t{1} << kWindowBits);
+  out.mont_powers_[0] = one_mont_;
+  out.mont_powers_[1] = to_mont(base);
+  for (std::size_t i = 2; i < out.mont_powers_.size(); ++i) {
+    out.mont_powers_[i] = mont_mul(out.mont_powers_[i - 1],
+                                   out.mont_powers_[1]);
+  }
+  return out;
+}
+
+BigInt MontgomeryCtx::mod_exp(const PowerTable& table,
+                              const BigInt& exp) const {
+  if (table.empty() || !(table.modulus_ == m_)) {
+    throw Error(ErrorKind::kCrypto,
+                "PowerTable built for a different modulus");
+  }
+  if (exp.is_zero()) return BigInt(std::uint64_t{1}).mod(m_);
+  return mod_exp_windowed(table.mont_powers_, exp);
+}
+
+BigInt MontgomeryCtx::mod_exp_windowed(const std::vector<BigInt>& table,
+                                       const BigInt& exp) const {
   const std::size_t bits = exp.bit_length();
-  const std::size_t windows = (bits + kWindow - 1) / kWindow;
-  BigInt acc = mont_one;
+  const std::size_t windows = (bits + kWindowBits - 1) / kWindowBits;
+  BigInt acc = one_mont_;
   for (std::size_t w = windows; w-- > 0;) {
-    for (std::size_t s = 0; s < kWindow; ++s) acc = mont_mul(acc, acc);
+    for (std::size_t s = 0; s < kWindowBits; ++s) acc = mont_mul(acc, acc);
     std::size_t idx = 0;
-    for (std::size_t b = 0; b < kWindow; ++b) {
-      const std::size_t bit_pos = w * kWindow + (kWindow - 1 - b);
+    for (std::size_t b = 0; b < kWindowBits; ++b) {
+      const std::size_t bit_pos = w * kWindowBits + (kWindowBits - 1 - b);
       idx = (idx << 1) | (bit_pos < bits && exp.bit(bit_pos) ? 1u : 0u);
     }
     if (idx != 0) acc = mont_mul(acc, table[idx]);

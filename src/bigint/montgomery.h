@@ -6,6 +6,10 @@
 // and a fixed 4-bit-window exponentiation. This is what makes real
 // RSA-1024 operations cheap enough to run thousands of times in the test
 // suite and benchmarks.
+//
+// Contexts are expensive to build (R^2 mod m needs a full division) and
+// cheap to reuse; see mont_cache.h for the process-wide keyed cache that
+// amortizes construction across repeated operations on the same modulus.
 #pragma once
 
 #include <cstdint>
@@ -15,13 +19,54 @@
 
 namespace omadrm::bigint {
 
+class MontgomeryCtx;
+
+/// Precomputed fixed-window powers of one base under one modulus.
+///
+/// Exponentiating a *fixed* base repeatedly (e.g. a stored generator, or a
+/// benchmark hammering one operand) rebuilds the same 2^w-entry window
+/// table on every call; capturing it once in a PowerTable removes those
+/// 2^w - 2 Montgomery multiplications per exponentiation. Built by
+/// MontgomeryCtx::make_power_table and only valid with that context.
+class PowerTable {
+ public:
+  PowerTable() = default;
+
+  const BigInt& base() const { return base_; }
+  const BigInt& modulus() const { return modulus_; }
+  bool empty() const { return mont_powers_.empty(); }
+
+ private:
+  friend class MontgomeryCtx;
+
+  BigInt base_;
+  BigInt modulus_;
+  std::vector<BigInt> mont_powers_;  // base^0 .. base^(2^w - 1), Montgomery form
+};
+
 class MontgomeryCtx {
  public:
+  /// Window width of the fixed-window exponentiation.
+  static constexpr std::size_t kWindowBits = 4;
+
+  /// Exponents at or below this bit length skip the window table and use
+  /// plain left-to-right square-and-multiply: for the ubiquitous RSA
+  /// public exponent 65537 (17 bits) that is 16 squarings + 1 multiply
+  /// instead of 14 table multiplies + 20 squarings.
+  static constexpr std::size_t kPlainExpBits = 24;
+
   /// Prepares a context for the odd modulus `m` (throws kCrypto otherwise).
   explicit MontgomeryCtx(const BigInt& m);
 
   /// base^exp mod m. `base` must already be reduced mod m.
   BigInt mod_exp(const BigInt& base, const BigInt& exp) const;
+
+  /// Precomputes the window table for a fixed base (reduced mod m).
+  PowerTable make_power_table(const BigInt& base) const;
+
+  /// table.base()^exp mod m using the precomputed powers. Throws kCrypto
+  /// if the table was built for a different modulus.
+  BigInt mod_exp(const PowerTable& table, const BigInt& exp) const;
 
   /// Montgomery product: a * b * R^-1 mod m, on reduced operands.
   BigInt mont_mul(const BigInt& a, const BigInt& b) const;
@@ -32,16 +77,24 @@ class MontgomeryCtx {
 
   const BigInt& modulus() const { return m_; }
 
+  /// 1 in Montgomery form (R mod m) — the exponentiation identity.
+  const BigInt& mont_one() const { return one_mont_; }
+
  private:
   using Limbs = std::vector<std::uint32_t>;
 
-  // CIOS core on raw limb vectors, both inputs sized to n_ limbs.
-  Limbs cios(const Limbs& a, const Limbs& b) const;
+  // CIOS core on raw limb vectors, both inputs sized to at most n_ limbs.
+  BigInt cios(const Limbs& a, const Limbs& b) const;
+
+  // Shared fixed-window scan over a precomputed powers table.
+  BigInt mod_exp_windowed(const std::vector<BigInt>& table,
+                          const BigInt& exp) const;
 
   BigInt m_;
   std::size_t n_;             // limb count of the modulus
   std::uint32_t m_prime_;     // -m^-1 mod 2^32
   BigInt r2_;                 // R^2 mod m, for to_mont
+  BigInt one_mont_;           // R mod m
 };
 
 }  // namespace omadrm::bigint

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "bigint/montgomery.h"
 #include "common/error.h"
 
 namespace omadrm::bigint {
@@ -15,14 +16,18 @@ constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
     109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
     191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
 
-bool miller_rabin_witness(const BigInt& n, const BigInt& n_minus_1,
-                          const BigInt& d, std::size_t r, const BigInt& a) {
-  BigInt x = BigInt::mod_exp(a, d, n);
-  const BigInt one(std::uint64_t{1});
-  if (x == one || x == n_minus_1) return true;
+// One witness round against the candidate behind `ctx`. Squarings run in
+// the Montgomery domain (one CIOS pass each) instead of multiply + divide;
+// `mont_one` / `mont_n_minus_1` are the comparison targets in that domain.
+bool miller_rabin_witness(const bigint::MontgomeryCtx& ctx,
+                          const BigInt& mont_one,
+                          const BigInt& mont_n_minus_1, const BigInt& d,
+                          std::size_t r, const BigInt& a) {
+  BigInt x = ctx.to_mont(ctx.mod_exp(a, d));
+  if (x == mont_one || x == mont_n_minus_1) return true;
   for (std::size_t i = 1; i < r; ++i) {
-    x = (x * x).mod(n);
-    if (x == n_minus_1) return true;
+    x = ctx.mont_mul(x, x);
+    if (x == mont_n_minus_1) return true;
   }
   return false;  // composite witness found
 }
@@ -49,11 +54,21 @@ bool is_probable_prime(const BigInt& n, Rng& rng, std::size_t rounds) {
     ++r;
   }
 
+  // One context per candidate, built directly: candidate moduli are
+  // throwaway, so going through the shared cache would only churn its LRU.
+  MontgomeryCtx ctx(n);
+  const BigInt& mont_one = ctx.mont_one();
+  BigInt mont_n_minus_1 = ctx.to_mont(n_minus_1);
+
   // Base 2 first (cheap and catches most composites), then random bases.
-  if (!miller_rabin_witness(n, n_minus_1, d, r, two)) return false;
+  if (!miller_rabin_witness(ctx, mont_one, mont_n_minus_1, d, r, two)) {
+    return false;
+  }
   for (std::size_t i = 0; i < rounds; ++i) {
     BigInt a = BigInt::random_below(n - BigInt(std::uint64_t{3}), rng) + two;
-    if (!miller_rabin_witness(n, n_minus_1, d, r, a)) return false;
+    if (!miller_rabin_witness(ctx, mont_one, mont_n_minus_1, d, r, a)) {
+      return false;
+    }
   }
   return true;
 }

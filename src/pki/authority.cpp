@@ -11,18 +11,25 @@ CertificationAuthority::CertificationAuthority(std::string cn,
     : cn_(std::move(cn)), key_(rsa::generate_key(key_bits, rng)) {
   root_cert_ = Certificate(bigint::BigInt(std::uint64_t{1}), cn_, cn_,
                            validity, key_.public_key());
+  root_cert_.set_ca(true);
   root_cert_.set_signature(rsa::pss_sign(key_, root_cert_.tbs_der(), rng));
 }
 
 Certificate CertificationAuthority::issue(const std::string& subject_cn,
                                           const rsa::PublicKey& subject_key,
-                                          const Validity& validity,
-                                          Rng& rng) {
-  bigint::BigInt serial(next_serial_++);
+                                          const Validity& validity, Rng& rng,
+                                          bool ca) {
+  bigint::BigInt serial = allocate_serial();
   Certificate cert(serial, cn_, subject_cn, validity, subject_key);
+  cert.set_ca(ca);
   cert.set_signature(rsa::pss_sign(key_, cert.tbs_der(), rng));
-  issued_.insert(serial.to_dec());
   return cert;
+}
+
+bigint::BigInt CertificationAuthority::allocate_serial() {
+  bigint::BigInt serial(next_serial_++);
+  issued_.insert(serial.to_dec());
+  return serial;
 }
 
 void CertificationAuthority::revoke(const bigint::BigInt& serial) {
@@ -48,6 +55,25 @@ OcspResponse CertificationAuthority::ocsp_respond(const OcspRequest& request,
   OcspResponse resp(request.serial, status, now, request.nonce, cn_);
   resp.set_signature(rsa::pss_sign(key_, resp.tbs_der(), rng));
   return resp;
+}
+
+SubordinateAuthority::SubordinateAuthority(std::string cn,
+                                           std::size_t key_bits,
+                                           CertificationAuthority& parent,
+                                           const Validity& validity, Rng& rng)
+    : cn_(std::move(cn)),
+      parent_(parent),
+      key_(rsa::generate_key(key_bits, rng)) {
+  cert_ = parent_.issue(cn_, key_.public_key(), validity, rng, /*ca=*/true);
+}
+
+Certificate SubordinateAuthority::issue(const std::string& subject_cn,
+                                        const rsa::PublicKey& subject_key,
+                                        const Validity& validity, Rng& rng) {
+  Certificate cert(parent_.allocate_serial(), cn_, subject_cn, validity,
+                   subject_key);
+  cert.set_signature(rsa::pss_sign(key_, cert.tbs_der(), rng));
+  return cert;
 }
 
 CertStatus validate_against_root(const Certificate& leaf,

@@ -110,9 +110,13 @@ Bytes Certificate::tbs_der() const {
 
   Bytes spki = encode_spki(subject_key_);
 
+  Encoder tail;
+  if (is_ca_) tail.write_boolean(true);
+
   Encoder tbs;
-  tbs.write_sequence(concat(
-      {body.bytes(), sig_alg, issuer, validity_seq.bytes(), subject, spki}));
+  tbs.write_sequence(concat({body.bytes(), sig_alg, issuer,
+                             validity_seq.bytes(), subject, spki,
+                             tail.bytes()}));
   return tbs.take();
 }
 
@@ -152,6 +156,7 @@ Certificate Certificate::from_der(ByteView der) {
   }
   out.subject_cn_ = decode_name(tbs);
   out.subject_key_ = decode_spki(tbs);
+  if (!tbs.at_end()) out.is_ca_ = tbs.read_boolean();
 
   {
     Decoder alg = cert.read_sequence();
@@ -174,6 +179,7 @@ const char* to_string(CertStatus s) {
     case CertStatus::kNotYetValid: return "not-yet-valid";
     case CertStatus::kExpired: return "expired";
     case CertStatus::kIssuerMismatch: return "issuer-mismatch";
+    case CertStatus::kRevoked: return "revoked";
   }
   return "unknown";
 }

@@ -39,6 +39,13 @@ class Certificate {
   const rsa::PublicKey& subject_key() const { return subject_key_; }
   const Bytes& signature() const { return signature_; }
 
+  /// CA marker (the profile's basicConstraints analogue): only
+  /// certificates with this bit may act as chain intermediates. Part of
+  /// the signed TBS — set it before signing. Encoded as an optional
+  /// trailing BOOLEAN, so end-entity certificates keep the legacy layout.
+  bool is_ca() const { return is_ca_; }
+  void set_ca(bool ca) { is_ca_ = ca; }
+
   bool is_self_signed() const { return issuer_cn_ == subject_cn_; }
 
   /// DER of the TBSCertificate — the exact bytes that get signed/verified.
@@ -58,6 +65,7 @@ class Certificate {
   Validity validity_;
   rsa::PublicKey subject_key_;
   Bytes signature_;
+  bool is_ca_ = false;
 };
 
 /// Outcome of a single-certificate verification.
@@ -67,6 +75,7 @@ enum class CertStatus {
   kNotYetValid,
   kExpired,
   kIssuerMismatch,
+  kRevoked,  // reported by ChainVerifier's revocation denylist
 };
 
 const char* to_string(CertStatus s);

@@ -1,0 +1,274 @@
+#include "pki/chain.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "crypto/sha1.h"
+#include "provider/provider.h"
+#include "rsa/pss.h"
+
+namespace omadrm::pki {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+ChainVerifier::ChainVerifier(Certificate trust_root, VerifyFn verify)
+    : trust_root_(std::move(trust_root)), verify_fn_(std::move(verify)) {
+  if (!verify_fn_) {
+    verify_fn_ = [](const rsa::PublicKey& key, ByteView message,
+                    ByteView signature) {
+      return rsa::pss_verify(key, message, signature);
+    };
+  }
+  // One-time anchor self-consistency check (what validate_against_root
+  // performed per call). Deliberately unmetered: a terminal validates its
+  // baked-in root at boot, not per ROAP message.
+  root_self_ok_ = rsa::pss_verify(trust_root_.subject_key(),
+                                  trust_root_.tbs_der(),
+                                  trust_root_.signature());
+  trust_root_der_ = trust_root_.to_der();
+}
+
+namespace {
+
+std::string fingerprint_impl(const std::vector<Certificate>& chain,
+                             const Bytes& trust_root_der) {
+  crypto::Sha1 h;
+  auto absorb = [&h](const Bytes& der) {
+    std::uint8_t len[4];
+    store_be32(static_cast<std::uint32_t>(der.size()), len);
+    h.update(ByteView(len, 4));
+    h.update(der);
+  };
+  for (const Certificate& cert : chain) absorb(cert.to_der());
+  absorb(trust_root_der);
+  return to_hex(h.finish());
+}
+
+}  // namespace
+
+std::string ChainVerifier::fingerprint(const std::vector<Certificate>& chain,
+                                       const Certificate& trust_root) {
+  return fingerprint_impl(chain, trust_root.to_der());
+}
+
+ChainVerifier::VerifyFn ChainVerifier::metered_verify(
+    provider::CryptoProvider& provider) {
+  return [provider = &provider](const rsa::PublicKey& key, ByteView message,
+                                ByteView signature) {
+    return provider->pss_verify(key, message, signature);
+  };
+}
+
+std::string ChainVerifier::chain_fingerprint(
+    const std::vector<Certificate>& chain) const {
+  return fingerprint_impl(chain, trust_root_der_);
+}
+
+std::shared_ptr<ChainVerdict> ChainVerifier::verify_full(
+    const std::vector<Certificate>& chain, std::uint64_t now,
+    std::string fp) const {
+  auto verdict = std::make_shared<ChainVerdict>();
+  verdict->fingerprint = std::move(fp);
+  verdict->leaf_subject_cn = chain.front().subject_cn();
+  // The verdict window is the intersection of every link's validity,
+  // trust anchor included — an expired root must not keep vouching.
+  verdict->valid_from = trust_root_.validity().not_before;
+  verdict->valid_until = trust_root_.validity().not_after;
+  verdict->status = CertStatus::kValid;
+
+  if (!root_self_ok_) {
+    verdict->status = CertStatus::kBadSignature;
+    return verdict;
+  }
+  if (now < trust_root_.validity().not_before) {
+    verdict->status = CertStatus::kNotYetValid;
+    return verdict;
+  }
+  if (now > trust_root_.validity().not_after) {
+    verdict->status = CertStatus::kExpired;
+    return verdict;
+  }
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    const Certificate& issuer = i + 1 < chain.size() ? chain[i + 1]
+                                                     : trust_root_;
+    verdict->serials.push_back(cert.serial().to_dec());
+    verdict->valid_from =
+        std::max(verdict->valid_from, cert.validity().not_before);
+    verdict->valid_until =
+        std::min(verdict->valid_until, cert.validity().not_after);
+
+    if (cert.issuer_cn() != issuer.subject_cn()) {
+      verdict->status = CertStatus::kIssuerMismatch;
+      return verdict;
+    }
+    // Only CA-marked certificates may vouch for others: without this an
+    // arbitrary end-entity certificate (e.g. another device's) could be
+    // inserted as a chain link and mint rogue issuers.
+    if (i + 1 < chain.size() && !chain[i + 1].is_ca()) {
+      verdict->status = CertStatus::kIssuerMismatch;
+      return verdict;
+    }
+    if (now < cert.validity().not_before) {
+      verdict->status = CertStatus::kNotYetValid;
+      return verdict;
+    }
+    if (now > cert.validity().not_after) {
+      verdict->status = CertStatus::kExpired;
+      return verdict;
+    }
+    if (!verify_fn_(issuer.subject_key(), cert.tbs_der(),
+                    cert.signature())) {
+      verdict->status = CertStatus::kBadSignature;
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+std::shared_ptr<const ChainVerdict> ChainVerifier::verify(
+    const std::vector<Certificate>& chain, std::uint64_t now) {
+  if (chain.empty()) {
+    throw Error(ErrorKind::kProtocol, "chain verifier: empty chain");
+  }
+  std::string fp = chain_fingerprint(chain);
+
+  std::vector<std::string> serials;
+  serials.reserve(chain.size());
+  for (const Certificate& cert : chain) serials.push_back(cert.serial().to_dec());
+
+  std::uint64_t epoch_observed;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    epoch_observed = epoch_;
+    // Durable revocation: a denylisted serial anywhere in the chain
+    // short-circuits before any RSA work, and the verdict is never
+    // cached (the denylist itself is the persistent record).
+    for (const std::string& serial : serials) {
+      if (revoked_serials_.count(serial)) {
+        auto revoked = std::make_shared<ChainVerdict>();
+        revoked->status = CertStatus::kRevoked;
+        revoked->fingerprint = std::move(fp);
+        revoked->leaf_subject_cn = chain.front().subject_cn();
+        revoked->serials = std::move(serials);
+        // Not a miss: no verification runs (misses count full walks).
+        return revoked;
+      }
+    }
+    if (enabled_) {
+      auto it = cache_.find(fp);
+      if (it != cache_.end()) {
+        if (now >= it->second->valid_from && now <= it->second->valid_until) {
+          ++stats_.hits;
+          // A surviving entry has outlived any invalidation that bumped
+          // the epoch — re-stamp it so handle-based revalidation works
+          // again for its holders.
+          it->second->epoch = epoch_;
+          return it->second;
+        }
+        // The chain aged out of (or has not yet entered) its window; the
+        // stale verdict must not shadow the fresh, failing verification.
+        std::erase(insertion_order_, it->first);
+        cache_.erase(it);
+        ++stats_.invalidations;
+      }
+    }
+    ++stats_.misses;
+  }
+
+  // Full walk outside the lock: the RSA work is the expensive part and may
+  // go through a caller-provided (metered) primitive.
+  std::shared_ptr<ChainVerdict> verdict = verify_full(chain, now, fp);
+
+  if (verdict->status == CertStatus::kValid) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    // An invalidation that raced the (unlocked) walk must win: caching a
+    // verdict computed before the epoch moved could resurrect a chain
+    // that was just revoked.
+    if (enabled_ && epoch_ == epoch_observed) {
+      verdict->epoch = epoch_;
+      if (cache_.emplace(verdict->fingerprint, verdict).second) {
+        insertion_order_.push_back(verdict->fingerprint);
+      }
+      // FIFO bound. The queue mirrors the map exactly (every erase also
+      // purges its queue entry), so the front really is the oldest.
+      while (cache_.size() > kCacheCapacity && !insertion_order_.empty()) {
+        cache_.erase(insertion_order_.front());
+        insertion_order_.pop_front();
+      }
+    }
+  }
+  return verdict;
+}
+
+std::shared_ptr<const ChainVerdict> ChainVerifier::revalidate(
+    const std::shared_ptr<const ChainVerdict>& handle,
+    const std::vector<Certificate>& chain, std::uint64_t now) {
+  if (handle && handle->status == CertStatus::kValid &&
+      now >= handle->valid_from && now <= handle->valid_until) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (enabled_ && handle->epoch == epoch_) {
+      ++stats_.hits;
+      return handle;
+    }
+  }
+  return verify(chain, now);
+}
+
+void ChainVerifier::invalidate_serial(const bigint::BigInt& serial) {
+  const std::string needle = serial.to_dec();
+  std::lock_guard<std::mutex> lock(*mu_);
+  revoked_serials_.insert(needle);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const auto& serials = it->second->serials;
+    if (std::find(serials.begin(), serials.end(), needle) != serials.end()) {
+      std::erase(insertion_order_, it->first);
+      it = cache_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  // Unconditional: also fences any walk currently in flight (it will see
+  // the moved epoch and decline to cache its pre-revocation verdict) and
+  // retires outstanding handles.
+  ++epoch_;
+}
+
+void ChainVerifier::clear() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  cache_.clear();
+  insertion_order_.clear();
+  ++epoch_;
+}
+
+void ChainVerifier::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  enabled_ = enabled;
+  if (!enabled) {
+    cache_.clear();
+    insertion_order_.clear();
+    ++epoch_;
+  }
+}
+
+bool ChainVerifier::enabled() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return enabled_;
+}
+
+ChainCacheStats ChainVerifier::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return stats_;
+}
+
+void ChainVerifier::reset_stats() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  stats_ = ChainCacheStats{};
+}
+
+}  // namespace omadrm::pki

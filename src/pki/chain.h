@@ -1,0 +1,145 @@
+// Certificate-chain verification with a verdict cache.
+//
+// The paper's central cost observation is that RSA public-key operations
+// for certificate-chain verification dominate ROAP processing on embedded
+// hardware, and that the DRM Agent should verify an RI's chain once and
+// then rely on the stored RI Context ("the Device is not required to
+// verify that Rights Issuer's certificate chain again" — OMA DRM 2 via
+// paper §2.4.1). ChainVerifier is that mechanism: a full RSASSA-PSS walk
+// down the chain on first sight, then O(1) lookups keyed by the chain's
+// fingerprint for as long as `now` stays inside the chain's validity
+// window. Revocation invalidates by serial.
+//
+// The RSA verification primitive is injected (VerifyFn) so callers can
+// route it through a metered CryptoProvider — cache hits then charge
+// exactly zero RSA operations to the cycle ledger, which is the effect the
+// paper predicts for RI-context caching.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pki/certificate.h"
+
+namespace omadrm::provider {
+class CryptoProvider;
+}
+
+namespace omadrm::pki {
+
+/// Outcome of a full chain walk. Cached only when status == kValid.
+struct ChainVerdict {
+  CertStatus status = CertStatus::kBadSignature;
+  /// Intersection of every chain certificate's validity window; a cached
+  /// verdict applies only while `now` stays inside it.
+  std::uint64_t valid_from = 0;
+  std::uint64_t valid_until = 0;
+  std::string leaf_subject_cn;
+  std::vector<std::string> serials;  // decimal, leaf-first
+  std::string fingerprint;           // hex SHA-1 over chain DERs + anchor
+  /// Issuing verifier's invalidation epoch at creation time; lets
+  /// revalidate() accept the handle without recomputing the fingerprint.
+  std::uint64_t epoch = 0;
+};
+
+struct ChainCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;          // full verifications performed
+  std::uint64_t invalidations = 0;   // entries dropped (revocation/expiry)
+};
+
+class ChainVerifier {
+ public:
+  using VerifyFn =
+      std::function<bool(const rsa::PublicKey&, ByteView, ByteView)>;
+
+  /// Cached-verdict bound (FIFO eviction): keeps a busy RI's per-device
+  /// cache from growing with the total population ever registered.
+  static constexpr std::size_t kCacheCapacity = 256;
+
+  /// `verify` defaults to the unmetered rsa::pss_verify; agents inject a
+  /// metered provider's pss_verify instead.
+  explicit ChainVerifier(Certificate trust_root, VerifyFn verify = {});
+
+  /// Verifies `chain` (leaf first, each certificate signed by the next,
+  /// the last one signed by the trust root) at time `now`. The trust
+  /// anchor itself is axiomatically trusted and not re-verified. Returns
+  /// a shared verdict; cache hits return the identical object. Throws
+  /// Error(kProtocol) on an empty chain.
+  std::shared_ptr<const ChainVerdict> verify(
+      const std::vector<Certificate>& chain, std::uint64_t now);
+
+  /// O(1) fast path for callers that kept the verdict handle (the agent's
+  /// RI Context does): accepts `handle` without hashing or re-encoding the
+  /// chain when it is still current — same verifier epoch (no intervening
+  /// invalidation/clear/disable) and `now` inside the validity window.
+  /// Falls back to verify(chain, now) otherwise.
+  std::shared_ptr<const ChainVerdict> revalidate(
+      const std::shared_ptr<const ChainVerdict>& handle,
+      const std::vector<Certificate>& chain, std::uint64_t now);
+
+  /// Drops every cached verdict whose chain contains `serial` (e.g. after
+  /// an OCSP response reports it revoked) AND adds the serial to a
+  /// durable denylist: later walks of any chain containing it short-
+  /// circuit to kRevoked instead of re-admitting the chain.
+  void invalidate_serial(const bigint::BigInt& serial);
+
+  /// Drops all cached verdicts.
+  void clear();
+
+  /// Disabling forces a full verification on every call (and clears the
+  /// cache); used by benchmarks to measure the uncached baseline.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  ChainCacheStats stats() const;
+  void reset_stats();
+
+  const Certificate& trust_root() const { return trust_root_; }
+
+  /// Hex SHA-1 binding a chain to its trust anchor (cache key).
+  static std::string fingerprint(const std::vector<Certificate>& chain,
+                                 const Certificate& trust_root);
+
+  /// Builds a VerifyFn routing RSASSA-PSS verification through `provider`
+  /// (typically a metered one, so chain walks charge the cycle ledger and
+  /// cache hits charge nothing). Captures the provider's address only —
+  /// the provider must outlive every verifier using the result, and the
+  /// capture stays valid across moves of the verifier's owner.
+  static VerifyFn metered_verify(provider::CryptoProvider& provider);
+
+ private:
+  /// fingerprint() against the pre-encoded trust-root DER (the anchor is
+  /// immutable for the verifier's lifetime; re-encoding it per call would
+  /// dominate the cache-hit cost).
+  std::string chain_fingerprint(const std::vector<Certificate>& chain) const;
+  std::shared_ptr<ChainVerdict> verify_full(
+      const std::vector<Certificate>& chain, std::uint64_t now,
+      std::string fp) const;
+
+  Certificate trust_root_;
+  Bytes trust_root_der_;  // encoded once at construction
+  VerifyFn verify_fn_;
+
+  // Heap-held so the verifier (and agents embedding it) stays movable.
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  bool enabled_ = true;
+  // Bumped on every invalidation, clear, or disable: conservatively
+  // retires all outstanding verdict handles at once. Cache hits re-stamp
+  // the surviving verdict to the current epoch.
+  std::uint64_t epoch_ = 1;
+  bool root_self_ok_ = false;
+  ChainCacheStats stats_;
+  std::map<std::string, std::shared_ptr<ChainVerdict>> cache_;
+  std::deque<std::string> insertion_order_;  // FIFO eviction queue
+  std::set<std::string> revoked_serials_;    // decimal; durable denylist
+};
+
+}  // namespace omadrm::pki

@@ -11,14 +11,23 @@ using roap::Status;
 RightsIssuer::RightsIssuer(std::string ri_id, std::string url,
                            pki::CertificationAuthority& ca,
                            const pki::Validity& validity,
-                           provider::CryptoProvider& crypto, Rng& rng)
+                           provider::CryptoProvider& crypto, Rng& rng,
+                           pki::SubordinateAuthority* issuing_ca,
+                           std::size_t key_bits)
     : ri_id_(std::move(ri_id)),
       url_(std::move(url)),
       ca_(ca),
       crypto_(crypto),
       rng_(rng),
-      key_(rsa::generate_key(1024, rng)) {
-  cert_ = ca_.issue(ri_id_, key_.public_key(), validity, rng_);
+      key_(rsa::generate_key(key_bits, rng)),
+      device_chain_verifier_(ca.root_certificate(),
+                             pki::ChainVerifier::metered_verify(crypto)) {
+  if (issuing_ca != nullptr) {
+    cert_ = issuing_ca->issue(ri_id_, key_.public_key(), validity, rng_);
+    intermediates_.push_back(issuing_ca->certificate());
+  } else {
+    cert_ = ca_.issue(ri_id_, key_.public_key(), validity, rng_);
+  }
 }
 
 void RightsIssuer::add_offer(LicenseOffer offer) {
@@ -124,12 +133,15 @@ roap::RegistrationResponse RightsIssuer::handle_registration_request(
     out.status = Status::kAbort;
     return out;
   }
-  if (pki::validate_against_root(device_cert, ca_.root_certificate(), now) !=
+  // Chain walk through the verdict cache: a device re-registering (or
+  // retrying under load) costs zero RSA operations here.
+  if (device_chain_verifier_.verify({device_cert}, now)->status !=
       pki::CertStatus::kValid) {
     out.status = Status::kAbort;
     return out;
   }
   if (ca_.is_revoked(device_cert.serial())) {
+    device_chain_verifier_.invalidate_serial(device_cert.serial());
     out.status = Status::kAbort;
     return out;
   }
@@ -137,6 +149,17 @@ roap::RegistrationResponse RightsIssuer::handle_registration_request(
                           request.signature)) {
     out.status = Status::kSignatureInvalid;
     return out;
+  }
+
+  // A revoked issuing intermediate must stop the service: the single
+  // OCSP staple below covers only the RI leaf, so the devices cannot see
+  // intermediate revocation themselves (multi-staple support is a
+  // protocol extension this profile does not carry yet).
+  for (const pki::Certificate& intermediate : intermediates_) {
+    if (ca_.is_revoked(intermediate.serial())) {
+      out.status = Status::kAbort;
+      return out;
+    }
   }
 
   devices_[request.device_id] = device_cert;
@@ -149,6 +172,9 @@ roap::RegistrationResponse RightsIssuer::handle_registration_request(
 
   out.status = Status::kSuccess;
   out.ri_certificate_der = cert_.to_der();
+  for (const pki::Certificate& intermediate : intermediates_) {
+    out.ri_certificate_chain_der.push_back(intermediate.to_der());
+  }
   out.ocsp_response_der = ocsp.to_der();
   out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
   return out;

@@ -18,6 +18,7 @@
 
 #include "common/random.h"
 #include "pki/authority.h"
+#include "pki/chain.h"
 #include "provider/provider.h"
 #include "rel/rights.h"
 #include "roap/messages.h"
@@ -46,15 +47,31 @@ struct Domain {
 
 class RightsIssuer {
  public:
-  /// Creates the RI with a fresh RSA-1024 identity certified by `ca`.
-  /// The CA reference is also used for OCSP stapling at registration time.
+  /// Creates the RI with a fresh RSA identity (`key_bits`, default 1024).
+  /// When `issuing_ca` is null the root `ca` certifies the RI directly;
+  /// otherwise the intermediate signs the RI certificate and registration
+  /// responses carry the full chain (RI -> intermediate -> root). The root
+  /// CA reference is always used for OCSP stapling at registration time.
   RightsIssuer(std::string ri_id, std::string url,
                pki::CertificationAuthority& ca, const pki::Validity& validity,
-               provider::CryptoProvider& crypto, Rng& rng);
+               provider::CryptoProvider& crypto, Rng& rng,
+               pki::SubordinateAuthority* issuing_ca = nullptr,
+               std::size_t key_bits = 1024);
 
   const std::string& ri_id() const { return ri_id_; }
   const std::string& url() const { return url_; }
   const pki::Certificate& certificate() const { return cert_; }
+  /// Intermediate certificates between this RI and the root (may be empty).
+  const std::vector<pki::Certificate>& intermediates() const {
+    return intermediates_;
+  }
+
+  /// Cache of verified device-certificate chains — under heavy
+  /// registration traffic, re-registrations and retries skip the repeated
+  /// RSA verification the same way the agent skips the RI's.
+  pki::ChainVerifier& device_chain_verifier() {
+    return device_chain_verifier_;
+  }
 
   /// Adds a license to the catalog (throws on duplicate ro_id).
   void add_offer(LicenseOffer offer);
@@ -109,6 +126,8 @@ class RightsIssuer {
   Rng& rng_;
   rsa::PrivateKey key_;
   pki::Certificate cert_;
+  std::vector<pki::Certificate> intermediates_;  // leaf-side first
+  pki::ChainVerifier device_chain_verifier_;
   bool sign_device_ros_ = false;
 
   std::map<std::string, Bytes> sessions_;             // session id -> RI nonce

@@ -231,6 +231,9 @@ Element RegistrationResponse::to_xml() const {
   e.add_text_child("roap:riID", ri_id);
   e.add_text_child("roap:riURL", ri_url);
   add_b64(e, "roap:certificate", ri_certificate_der);
+  for (const Bytes& der : ri_certificate_chain_der) {
+    add_b64(e, "roap:chainCertificate", der);
+  }
   add_b64(e, "roap:ocspResponse", ocsp_response_der);
   if (!signature.empty()) add_b64(e, "roap:signature", signature);
   return e;
@@ -251,6 +254,9 @@ RegistrationResponse RegistrationResponse::from_xml(const Element& e) {
   out.ri_id = e.child_text("roap:riID");
   out.ri_url = e.child_text("roap:riURL");
   out.ri_certificate_der = get_b64(e, "roap:certificate");
+  for (const Element* c : e.children_named("roap:chainCertificate")) {
+    out.ri_certificate_chain_der.push_back(base64_decode(c->text()));
+  }
   out.ocsp_response_der = get_b64(e, "roap:ocspResponse");
   out.signature = get_b64_optional(e, "roap:signature");
   return out;

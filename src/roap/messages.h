@@ -117,6 +117,10 @@ struct RegistrationResponse {
   std::string ri_id;
   std::string ri_url;
   Bytes ri_certificate_der;
+  /// Intermediate CA certificates completing the chain from the RI
+  /// certificate up to (but excluding) the device's trust root, closest
+  /// to the leaf first. Empty when the root signed the RI directly.
+  std::vector<Bytes> ri_certificate_chain_der;
   Bytes ocsp_response_der;  // stapled OCSP response for the RI cert
   Bytes signature;
 

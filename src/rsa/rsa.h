@@ -8,10 +8,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "bigint/bigint.h"
 #include "common/bytes.h"
 #include "common/random.h"
+
+namespace omadrm::bigint {
+class MontgomeryCtx;
+}
 
 namespace omadrm::rsa {
 
@@ -26,6 +31,24 @@ struct PublicKey {
   std::size_t bit_length() const { return n.bit_length(); }
 };
 
+/// Holder for a lazily built Montgomery context of a secret CRT prime.
+/// Copying deliberately yields an empty slot: the context is rebuilt on
+/// first use, and never reading the source keeps key copies race-free
+/// against a concurrent private-key operation populating its slots. This
+/// confinement lets PrivateKey keep defaulted copy/move operations.
+struct CrtCtxSlot {
+  mutable std::shared_ptr<const bigint::MontgomeryCtx> ctx;
+
+  CrtCtxSlot() = default;
+  CrtCtxSlot(const CrtCtxSlot&) noexcept {}
+  CrtCtxSlot& operator=(const CrtCtxSlot&) noexcept {
+    ctx.reset();
+    return *this;
+  }
+  CrtCtxSlot(CrtCtxSlot&&) noexcept = default;
+  CrtCtxSlot& operator=(CrtCtxSlot&&) noexcept = default;
+};
+
 struct PrivateKey {
   BigInt n;
   BigInt e;
@@ -33,6 +56,14 @@ struct PrivateKey {
   // CRT components; present for generated keys.
   BigInt p, q, dp, dq, qinv;
   bool has_crt = false;
+
+  // Lazily built Montgomery contexts for the CRT primes, kept on the key
+  // instead of the process-wide modulus cache so the secret primes never
+  // persist in global memory beyond the key's lifetime. rsadp validates
+  // the cached modulus before use, so field-wise key replacement (e.g.
+  // state import) self-heals.
+  CrtCtxSlot crt_ctx_p;
+  CrtCtxSlot crt_ctx_q;
 
   PublicKey public_key() const { return {n, e}; }
   std::size_t byte_length() const { return (n.bit_length() + 7) / 8; }

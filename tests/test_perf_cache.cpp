@@ -1,0 +1,516 @@
+// Tests for the ROAP hot-path caches: Montgomery context cache + power
+// tables (bigint layer), the certificate-chain verdict cache (pki layer),
+// and their wiring into the DRM Agent / Rights Issuer — including the
+// metered-op accounting that shows cache hits cost zero RSA operations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "agent/drm_agent.h"
+#include "bigint/bigint.h"
+#include "bigint/mont_cache.h"
+#include "bigint/montgomery.h"
+#include "common/error.h"
+#include "common/random.h"
+#include "model/arch.h"
+#include "model/ledger.h"
+#include "model/metered.h"
+#include "pki/authority.h"
+#include "pki/chain.h"
+#include "provider/provider.h"
+#include "ri/rights_issuer.h"
+#include "rsa/pss.h"
+#include "rsa/rsa.h"
+
+namespace omadrm {
+namespace {
+
+using bigint::BigInt;
+using bigint::MontgomeryCtx;
+using bigint::PowerTable;
+
+// ---------------------------------------------------------------------------
+// Montgomery / RSA edge cases
+// ---------------------------------------------------------------------------
+
+const BigInt kOddModulus("0xb4c1f68f9a3d2e155f0e3a4d8b92c671");
+
+TEST(MontgomeryEdge, EvenModulusRejected) {
+  EXPECT_THROW(MontgomeryCtx(BigInt(std::uint64_t{100})), Error);
+  EXPECT_THROW(MontgomeryCtx(BigInt{}), Error);
+  EXPECT_THROW(MontgomeryCtx(BigInt(-7)), Error);
+  EXPECT_THROW(bigint::shared_montgomery_ctx(BigInt(std::uint64_t{64})),
+               Error);
+}
+
+TEST(MontgomeryEdge, ExponentZeroIsOne) {
+  MontgomeryCtx ctx(kOddModulus);
+  EXPECT_EQ(ctx.mod_exp(BigInt(std::uint64_t{12345}), BigInt{}),
+            BigInt(std::uint64_t{1}));
+  // 0^0 == 1 by the PKCS#1 convention the generic path follows too.
+  EXPECT_EQ(ctx.mod_exp(BigInt{}, BigInt{}), BigInt(std::uint64_t{1}));
+  // Degenerate modulus 1: everything is congruent to 0.
+  MontgomeryCtx one(BigInt(std::uint64_t{1}));
+  EXPECT_TRUE(one.mod_exp(BigInt{}, BigInt{}).is_zero());
+}
+
+TEST(MontgomeryEdge, BaseZero) {
+  MontgomeryCtx ctx(kOddModulus);
+  EXPECT_TRUE(ctx.mod_exp(BigInt{}, BigInt(std::uint64_t{17})).is_zero());
+  EXPECT_TRUE(
+      ctx.mod_exp(BigInt{}, BigInt("0x10001000100010001")).is_zero());
+}
+
+TEST(MontgomeryEdge, BaseMinusOne) {
+  MontgomeryCtx ctx(kOddModulus);
+  const BigInt minus_one = kOddModulus - BigInt(std::uint64_t{1});
+  // (m-1)^even == 1, (m-1)^odd == m-1 (mod m).
+  EXPECT_EQ(ctx.mod_exp(minus_one, BigInt(std::uint64_t{2})),
+            BigInt(std::uint64_t{1}));
+  EXPECT_EQ(ctx.mod_exp(minus_one, BigInt(std::uint64_t{65537})), minus_one);
+  const BigInt big_even("0x1000000000000000000000000000");
+  EXPECT_EQ(ctx.mod_exp(minus_one, big_even), BigInt(std::uint64_t{1}));
+}
+
+TEST(MontgomeryEdge, ShortAndLongExponentPathsAgree) {
+  // 65537 rides the plain square-and-multiply path, big exponents the
+  // 4-bit window; both must agree with the naive reference.
+  DeterministicRng rng(0x5EED);
+  MontgomeryCtx ctx(kOddModulus);
+  for (int i = 0; i < 10; ++i) {
+    BigInt base = BigInt::random_below(kOddModulus, rng);
+    BigInt short_exp(std::uint64_t{65537});
+    BigInt long_exp = BigInt::random_below(kOddModulus, rng);
+    // Naive reference: square-and-multiply over plain arithmetic.
+    auto reference = [&](const BigInt& b, const BigInt& e) {
+      BigInt result(std::uint64_t{1});
+      for (std::size_t bit = e.bit_length(); bit-- > 0;) {
+        result = (result * result).mod(kOddModulus);
+        if (e.bit(bit)) result = (result * b).mod(kOddModulus);
+      }
+      return result;
+    };
+    EXPECT_EQ(ctx.mod_exp(base, short_exp), reference(base, short_exp));
+    EXPECT_EQ(ctx.mod_exp(base, long_exp), reference(base, long_exp));
+  }
+}
+
+TEST(PowerTableTest, MatchesPlainExponentiation) {
+  DeterministicRng rng(0xAB1E);
+  MontgomeryCtx ctx(kOddModulus);
+  BigInt base = BigInt::random_below(kOddModulus, rng);
+  PowerTable table = ctx.make_power_table(base);
+  EXPECT_EQ(table.base(), base);
+  EXPECT_EQ(table.modulus(), kOddModulus);
+  for (int i = 0; i < 5; ++i) {
+    BigInt exp = BigInt::random_below(kOddModulus, rng);
+    EXPECT_EQ(ctx.mod_exp(table, exp), ctx.mod_exp(base, exp));
+  }
+  EXPECT_EQ(ctx.mod_exp(table, BigInt{}), BigInt(std::uint64_t{1}));
+}
+
+TEST(PowerTableTest, RejectsForeignModulus) {
+  MontgomeryCtx ctx(kOddModulus);
+  MontgomeryCtx other(BigInt(std::uint64_t{0xfffffffb}));
+  PowerTable table = other.make_power_table(BigInt(std::uint64_t{2}));
+  EXPECT_THROW(ctx.mod_exp(table, BigInt(std::uint64_t{3})), Error);
+  EXPECT_THROW(ctx.mod_exp(PowerTable{}, BigInt(std::uint64_t{3})), Error);
+}
+
+TEST(MontCacheTest, HitsAndInvalidation) {
+  bigint::clear_montgomery_cache();
+  bigint::reset_montgomery_cache_stats();
+
+  auto a = bigint::shared_montgomery_ctx(kOddModulus);
+  auto b = bigint::shared_montgomery_ctx(kOddModulus);
+  EXPECT_EQ(a.get(), b.get());  // identical shared context
+  bigint::MontCacheStats stats = bigint::montgomery_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  bigint::clear_montgomery_cache();
+  auto c = bigint::shared_montgomery_ctx(kOddModulus);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(bigint::montgomery_cache_stats().misses, 2u);
+
+  // Disabled: every call builds a fresh context (all misses, no sharing).
+  bigint::set_montgomery_cache_enabled(false);
+  auto d = bigint::shared_montgomery_ctx(kOddModulus);
+  auto e = bigint::shared_montgomery_ctx(kOddModulus);
+  EXPECT_NE(d.get(), e.get());
+  stats = bigint::montgomery_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  bigint::set_montgomery_cache_enabled(true);
+
+  // Old handles stay valid regardless of cache churn.
+  EXPECT_EQ(a->mod_exp(BigInt(std::uint64_t{2}), BigInt(std::uint64_t{10})),
+            BigInt(std::uint64_t{1024}));
+}
+
+TEST(RsaEdge, HostileEvenModulusFailsVerificationGracefully) {
+  // A crafted certificate can carry an even RSA modulus; that must come
+  // back as a failed verification, not as a thrown Montgomery error that
+  // unwinds through the ROAP handlers.
+  rsa::PublicKey evil;
+  evil.n = BigInt(std::uint64_t{1}) << 512;  // even
+  evil.e = BigInt(std::uint64_t{65537});
+  Bytes message{1, 2, 3};
+  Bytes signature(evil.byte_length(), 0x42);
+  EXPECT_FALSE(rsa::pss_verify(evil, message, signature));
+}
+
+TEST(RsaCrt, CrtAndPlainPathsAgree) {
+  DeterministicRng rng(0xC47);
+  rsa::PrivateKey key = rsa::generate_key(512, rng);
+  ASSERT_TRUE(key.has_crt);
+  rsa::PrivateKey plain = key;
+  plain.has_crt = false;
+
+  BigInt c = BigInt::random_below(key.n, rng);
+  EXPECT_EQ(rsa::rsadp(key, c), rsa::rsadp(plain, c));
+  EXPECT_EQ(rsa::rsasp1(key, c), rsa::rsasp1(plain, c));
+  // Round trip through the public primitive.
+  EXPECT_EQ(rsa::rsaep(key.public_key(), rsa::rsadp(key, c)), c);
+}
+
+// ---------------------------------------------------------------------------
+// Chain verifier
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kNow = 1100000000;
+const pki::Validity kValidity{kNow - 86400, kNow + 365 * 86400};
+
+class ChainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<DeterministicRng>(0xCAFE);
+    ca_ = std::make_unique<pki::CertificationAuthority>("Root", 512,
+                                                        kValidity, *rng_);
+    ica_ = std::make_unique<pki::SubordinateAuthority>("Mid", 512, *ca_,
+                                                       kValidity, *rng_);
+    leaf_key_ = rsa::generate_key(512, *rng_);
+    leaf_ = ica_->issue("leaf", leaf_key_.public_key(), kValidity, *rng_);
+    chain_ = {leaf_, ica_->certificate()};
+  }
+
+  std::unique_ptr<DeterministicRng> rng_;
+  std::unique_ptr<pki::CertificationAuthority> ca_;
+  std::unique_ptr<pki::SubordinateAuthority> ica_;
+  rsa::PrivateKey leaf_key_;
+  pki::Certificate leaf_;
+  std::vector<pki::Certificate> chain_;
+};
+
+TEST_F(ChainFixture, CacheHitReturnsIdenticalVerdict) {
+  pki::ChainVerifier verifier(ca_->root_certificate());
+  auto first = verifier.verify(chain_, kNow);
+  ASSERT_EQ(first->status, pki::CertStatus::kValid);
+  EXPECT_EQ(first->serials.size(), 2u);
+  EXPECT_EQ(first->leaf_subject_cn, "leaf");
+
+  auto second = verifier.verify(chain_, kNow + 1000);
+  EXPECT_EQ(first.get(), second.get());  // the very same verdict object
+  EXPECT_EQ(verifier.stats().hits, 1u);
+  EXPECT_EQ(verifier.stats().misses, 1u);
+}
+
+TEST_F(ChainFixture, RevalidateUsesHandleWithoutHashing) {
+  pki::ChainVerifier verifier(ca_->root_certificate());
+  auto handle = verifier.verify(chain_, kNow);
+  auto again = verifier.revalidate(handle, chain_, kNow + 5);
+  EXPECT_EQ(handle.get(), again.get());
+  EXPECT_EQ(verifier.stats().hits, 1u);
+
+  // A null handle falls back to the fingerprint lookup.
+  auto from_cache = verifier.revalidate(nullptr, chain_, kNow);
+  EXPECT_EQ(from_cache.get(), handle.get());
+  EXPECT_EQ(verifier.stats().hits, 2u);
+}
+
+TEST_F(ChainFixture, ExpiredChainIsNotServedFromCache) {
+  pki::ChainVerifier verifier(ca_->root_certificate());
+  auto valid = verifier.verify(chain_, kNow);
+  ASSERT_EQ(valid->status, pki::CertStatus::kValid);
+
+  const std::uint64_t after_expiry = kValidity.not_after + 10;
+  auto expired = verifier.verify(chain_, after_expiry);
+  EXPECT_EQ(expired->status, pki::CertStatus::kExpired);
+  EXPECT_GE(verifier.stats().invalidations, 1u);  // stale entry dropped
+
+  // The stale handle is rejected by revalidate as well.
+  auto handle_result = verifier.revalidate(valid, chain_, after_expiry);
+  EXPECT_EQ(handle_result->status, pki::CertStatus::kExpired);
+
+  // Failure verdicts are never cached.
+  verifier.reset_stats();
+  verifier.verify(chain_, after_expiry);
+  verifier.verify(chain_, after_expiry);
+  EXPECT_EQ(verifier.stats().hits, 0u);
+}
+
+TEST_F(ChainFixture, RevocationInvalidatesCachedVerdict) {
+  pki::ChainVerifier verifier(ca_->root_certificate());
+  auto handle = verifier.verify(chain_, kNow);
+  ASSERT_EQ(handle->status, pki::CertStatus::kValid);
+
+  verifier.invalidate_serial(leaf_.serial());
+  EXPECT_EQ(verifier.stats().invalidations, 1u);
+
+  // Revocation is durable: the cached verdict, outstanding handles, AND
+  // any future walk of a chain containing the serial are all rejected.
+  auto after = verifier.revalidate(handle, chain_, kNow);
+  EXPECT_EQ(after->status, pki::CertStatus::kRevoked);
+  auto again = verifier.verify(chain_, kNow);
+  EXPECT_EQ(again->status, pki::CertStatus::kRevoked);
+  EXPECT_EQ(verifier.stats().hits, 0u);
+
+  // A sibling chain under the same (unrevoked) intermediate still works.
+  rsa::PrivateKey k2 = rsa::generate_key(512, *rng_);
+  pki::Certificate leaf2 = ica_->issue("leaf-ok", k2.public_key(), kValidity,
+                                       *rng_);
+  EXPECT_EQ(verifier.verify({leaf2, ica_->certificate()}, kNow)->status,
+            pki::CertStatus::kValid);
+}
+
+TEST_F(ChainFixture, TamperedAndMismatchedChains) {
+  pki::ChainVerifier verifier(ca_->root_certificate());
+
+  pki::Certificate tampered = leaf_;
+  Bytes bad_sig = tampered.signature();
+  bad_sig[0] ^= 0x01;
+  tampered.set_signature(bad_sig);
+  EXPECT_EQ(verifier.verify({tampered, ica_->certificate()}, kNow)->status,
+            pki::CertStatus::kBadSignature);
+
+  // Leaf presented without its intermediate: issuer CN doesn't match root.
+  EXPECT_EQ(verifier.verify({leaf_}, kNow)->status,
+            pki::CertStatus::kIssuerMismatch);
+
+  EXPECT_THROW(verifier.verify({}, kNow), Error);
+}
+
+TEST_F(ChainFixture, NonCaIntermediateRejected) {
+  // A root-issued *end-entity* certificate (e.g. another device's) must
+  // not be able to vouch for a rogue RI as a chain intermediate.
+  EXPECT_TRUE(ica_->certificate().is_ca());
+  rsa::PrivateKey rogue_key = rsa::generate_key(512, *rng_);
+  pki::Certificate rogue_issuer =
+      ca_->issue("rogue-device", rogue_key.public_key(), kValidity, *rng_);
+  EXPECT_FALSE(rogue_issuer.is_ca());
+
+  rsa::PrivateKey fake_ri_key = rsa::generate_key(512, *rng_);
+  pki::Certificate fake_ri(BigInt(std::uint64_t{999999}), "rogue-device",
+                           "fake-ri", kValidity, fake_ri_key.public_key());
+  fake_ri.set_signature(rsa::pss_sign(rogue_key, fake_ri.tbs_der(), *rng_));
+
+  pki::ChainVerifier verifier(ca_->root_certificate());
+  EXPECT_EQ(verifier.verify({fake_ri, rogue_issuer}, kNow)->status,
+            pki::CertStatus::kIssuerMismatch);
+}
+
+TEST_F(ChainFixture, ExpiredRootRejectsOtherwiseValidChain) {
+  DeterministicRng rng2(0x711);
+  const pki::Validity short_root{kNow - 86400, kNow + 100};
+  pki::CertificationAuthority shortca("ShortRoot", 512, short_root, rng2);
+  rsa::PrivateKey lk = rsa::generate_key(512, rng2);
+  pki::Certificate leaf = shortca.issue("leaf2", lk.public_key(), kValidity,
+                                        rng2);
+
+  pki::ChainVerifier verifier(shortca.root_certificate());
+  EXPECT_EQ(verifier.verify({leaf}, kNow)->status, pki::CertStatus::kValid);
+  // The leaf is still inside its own window, but the anchor is not: a
+  // dead root must not keep vouching (and the cached verdict's window is
+  // the intersection, so this is a recompute, not a stale hit).
+  EXPECT_EQ(verifier.verify({leaf}, kNow + 200)->status,
+            pki::CertStatus::kExpired);
+}
+
+TEST_F(ChainFixture, EpochRestampKeepsHandlesAlive) {
+  pki::ChainVerifier verifier(ca_->root_certificate());
+  auto handle = verifier.verify(chain_, kNow);
+
+  // A second chain under the same intermediate, then revoke only it:
+  // the epoch bump retires all handles, but our entry survives the map.
+  rsa::PrivateKey k2 = rsa::generate_key(512, *rng_);
+  pki::Certificate leaf2 = ica_->issue("leaf2", k2.public_key(), kValidity,
+                                       *rng_);
+  verifier.verify({leaf2, ica_->certificate()}, kNow);
+  verifier.invalidate_serial(leaf2.serial());
+
+  // Stale-epoch handle falls back to the map hit, which re-stamps the
+  // surviving verdict…
+  auto r1 = verifier.revalidate(handle, chain_, kNow);
+  EXPECT_EQ(r1.get(), handle.get());
+  // …so the next revalidation rides the O(1) handle path again.
+  auto r2 = verifier.revalidate(r1, chain_, kNow);
+  EXPECT_EQ(r2.get(), handle.get());
+  pki::ChainCacheStats s = verifier.stats();
+  EXPECT_EQ(s.misses, 2u);  // only the two initial walks
+  EXPECT_EQ(s.hits, 2u);
+}
+
+TEST_F(ChainFixture, DisabledVerifierNeverCaches) {
+  pki::ChainVerifier verifier(ca_->root_certificate());
+  verifier.set_enabled(false);
+  auto a = verifier.verify(chain_, kNow);
+  auto b = verifier.verify(chain_, kNow);
+  EXPECT_EQ(a->status, pki::CertStatus::kValid);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(verifier.stats().hits, 0u);
+  EXPECT_EQ(verifier.stats().misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Agent / RI wiring: chains through ROAP, metered op accounting
+// ---------------------------------------------------------------------------
+
+TEST(CachedRoap, IntermediateChainFlowsThroughRegistration) {
+  DeterministicRng rng(0x11A);
+  pki::CertificationAuthority ca("Root", 512, kValidity, rng);
+  pki::SubordinateAuthority ica("Mid", 512, ca, kValidity, rng);
+  provider::PlainCryptoProvider& plain = provider::plain_provider();
+  ri::RightsIssuer ri("ri:x", "http://ri/roap", ca, kValidity, plain, rng,
+                      &ica, 512);
+  agent::DrmAgent device("dev:x", ca.root_certificate(), plain, rng, 512);
+  device.provision(ca.issue("dev:x", device.public_key(), kValidity, rng));
+
+  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+  const agent::RiContext* ctx = device.ri_context("ri:x");
+  ASSERT_NE(ctx, nullptr);
+  ASSERT_EQ(ctx->ri_chain.size(), 2u);  // RI leaf + intermediate
+  EXPECT_EQ(ctx->ri_chain[1].subject_cn(), "Mid");
+  ASSERT_NE(ctx->verified_chain, nullptr);
+  EXPECT_EQ(ctx->verified_chain->status, pki::CertStatus::kValid);
+
+  // Registration verified the 2-link chain once (a miss); nothing has hit
+  // the cache yet.
+  EXPECT_EQ(device.chain_verifier().stats().misses, 1u);
+
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:x";
+  offer.content_id = "cid:x";
+  offer.dcf_hash = Bytes(20, 1);
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  offer.permissions = {play};
+  offer.kcek = rng.bytes(16);
+  ri.add_offer(offer);
+
+  agent::AcquireResult acq = device.acquire_ro(ri, "ro:x", kNow + 60);
+  EXPECT_EQ(acq.status, agent::AgentStatus::kOk);
+  // Context revalidation rode the verdict handle: a hit, no second walk.
+  EXPECT_EQ(device.chain_verifier().stats().hits, 1u);
+  EXPECT_EQ(device.chain_verifier().stats().misses, 1u);
+
+  // Acquisition after the RI certificate expires: the cached verdict ages
+  // out and the context is reported expired.
+  agent::AcquireResult late =
+      device.acquire_ro(ri, "ro:x", kValidity.not_after + 100);
+  EXPECT_EQ(late.status, agent::AgentStatus::kRiContextExpired);
+}
+
+TEST(CachedRoap, MeteredAcquisitionChargesNoChainRsa) {
+  DeterministicRng rng(0x22B);
+  model::CycleLedger ledger(model::ArchitectureProfile::pure_software());
+  model::MeteredCryptoProvider metered(ledger);
+  pki::CertificationAuthority ca("Root", 512, kValidity, rng);
+  pki::SubordinateAuthority ica("Mid", 512, ca, kValidity, rng);
+  ri::RightsIssuer ri("ri:m", "http://ri/roap", ca, kValidity,
+                      provider::plain_provider(), rng, &ica, 512);
+  agent::DrmAgent device("dev:m", ca.root_certificate(), metered, rng, 512);
+  device.provision(ca.issue("dev:m", device.public_key(), kValidity, rng));
+
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:m";
+  offer.content_id = "cid:m";
+  offer.dcf_hash = Bytes(20, 2);
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  offer.permissions = {play};
+  offer.kcek = rng.bytes(16);
+  ri.add_offer(offer);
+
+  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+  // Registration with a 2-link chain: 2 chain RSAVP1 + OCSP + message.
+  EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPublic), 4u);
+  const std::uint64_t reg_private =
+      ledger.ops_by_algorithm(model::Algorithm::kRsaPrivate);
+
+  ASSERT_EQ(device.acquire_ro(ri, "ro:m", kNow + 5).status,
+            agent::AgentStatus::kOk);
+  // The cached acquisition charges exactly one public (response signature)
+  // and one private (request signature) op — the chain walk was free.
+  EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPublic), 5u);
+  EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPrivate),
+            reg_private + 1);
+
+  // With the verdict cache disabled the same exchange re-walks the chain:
+  // two extra RSAVP1 ops per acquisition.
+  device.chain_verifier().set_enabled(false);
+  ASSERT_EQ(device.acquire_ro(ri, "ro:m", kNow + 10).status,
+            agent::AgentStatus::kOk);
+  EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPublic), 8u);
+  device.chain_verifier().set_enabled(true);
+}
+
+TEST(CachedRoap, RevokedRiInvalidatesAgentCache) {
+  DeterministicRng rng(0x33C);
+  pki::CertificationAuthority ca("Root", 512, kValidity, rng);
+  provider::PlainCryptoProvider& plain = provider::plain_provider();
+  ri::RightsIssuer ri("ri:r", "http://ri/roap", ca, kValidity, plain, rng,
+                      nullptr, 512);
+  agent::DrmAgent device("dev:r", ca.root_certificate(), plain, rng, 512);
+  device.provision(ca.issue("dev:r", device.public_key(), kValidity, rng));
+
+  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+
+  ca.revoke(ri.certificate().serial());
+  agent::DrmAgent second("dev:r2", ca.root_certificate(), plain, rng, 512);
+  second.provision(ca.issue("dev:r2", second.public_key(), kValidity, rng));
+  EXPECT_EQ(second.register_with(ri, kNow),
+            agent::AgentStatus::kCertificateRevoked);
+  // The revoked chain verdict was cached during the attempt, then
+  // invalidated when the OCSP staple reported the revocation.
+  EXPECT_EQ(second.chain_verifier().stats().invalidations, 1u);
+}
+
+TEST(CachedRoap, PersistedContextKeepsChain) {
+  DeterministicRng rng(0x44D);
+  pki::CertificationAuthority ca("Root", 512, kValidity, rng);
+  pki::SubordinateAuthority ica("Mid", 512, ca, kValidity, rng);
+  provider::PlainCryptoProvider& plain = provider::plain_provider();
+  ri::RightsIssuer ri("ri:p", "http://ri/roap", ca, kValidity, plain, rng,
+                      &ica, 512);
+  agent::DrmAgent device("dev:p", ca.root_certificate(), plain, rng, 512);
+  device.provision(ca.issue("dev:p", device.public_key(), kValidity, rng));
+  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+
+  Bytes blob = device.export_state();
+  agent::DrmAgent rebooted("dev:tmp", ca.root_certificate(), plain, rng, 512);
+  rebooted.import_state(blob);
+
+  const agent::RiContext* ctx = rebooted.ri_context("ri:p");
+  ASSERT_NE(ctx, nullptr);
+  ASSERT_EQ(ctx->ri_chain.size(), 2u);
+  EXPECT_EQ(ctx->ri_chain[1].subject_cn(), "Mid");
+
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:p";
+  offer.content_id = "cid:p";
+  offer.dcf_hash = Bytes(20, 3);
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  offer.permissions = {play};
+  offer.kcek = rng.bytes(16);
+  ri.add_offer(offer);
+
+  // The imported context re-verifies (miss) and then serves hits.
+  EXPECT_EQ(rebooted.acquire_ro(ri, "ro:p", kNow + 1).status,
+            agent::AgentStatus::kOk);
+  EXPECT_EQ(rebooted.acquire_ro(ri, "ro:p", kNow + 2).status,
+            agent::AgentStatus::kOk);
+  EXPECT_GE(rebooted.chain_verifier().stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace omadrm
