@@ -13,6 +13,7 @@
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/transport.h"
 
 using namespace omadrm;  // NOLINT
 
@@ -65,9 +66,10 @@ int main() {
   agent::DrmAgent phone = make_device("phone-01", ca, validity, rng);
   agent::DrmAgent player = make_device("mp3-player-01", ca, validity, rng);
 
+  roap::InProcessTransport transport(ri, now);
   for (agent::DrmAgent* d : {&phone, &player}) {
-    if (d->register_with(ri, now) != agent::AgentStatus::kOk) return 1;
-    if (d->join_domain(ri, "domain:family", now) != agent::AgentStatus::kOk) {
+    if (!d->register_with(transport, now).ok()) return 1;
+    if (!d->join_domain(transport, ri.ri_id(), "domain:family", now).ok()) {
       return 1;
     }
     std::printf("%s joined domain:family (has K_D: %s)\n",
@@ -76,15 +78,15 @@ int main() {
   }
 
   // Only the phone acquires the Domain RO from the RI...
-  agent::AcquireResult acq = phone.acquire_ro(ri, offer.ro_id, now);
-  if (acq.status != agent::AgentStatus::kOk) return 1;
+  auto acq = phone.acquire_ro(transport, ri.ri_id(), offer.ro_id, now);
+  if (!acq.ok()) return 1;
   std::printf("\nphone acquired %s (domain RO, RI-signed: %s)\n",
-              acq.ro->rights.ro_id.c_str(),
-              acq.ro->signature.empty() ? "no" : "yes");
+              acq->rights.ro_id.c_str(),
+              acq->signature.empty() ? "no" : "yes");
 
   // ...and hands the RO file to the player out-of-band (e.g. USB). Both
   // install and play it with their copy of K_D.
-  std::string ro_file = acq.ro->to_xml().serialize();
+  std::string ro_file = acq->to_xml().serialize();
   std::printf("RO transferred out-of-band as a %zu-byte XML file\n\n",
               ro_file.size());
 
@@ -100,7 +102,7 @@ int main() {
 
   // A stranger's device (registered, but not a domain member) cannot.
   agent::DrmAgent stranger = make_device("stranger-01", ca, validity, rng);
-  if (stranger.register_with(ri, now) != agent::AgentStatus::kOk) return 1;
+  if (!stranger.register_with(transport, now).ok()) return 1;
   roap::ProtectedRo ro = roap::ProtectedRo::from_xml(xml::parse(ro_file));
   agent::AgentStatus status = stranger.install_ro(ro, now);
   std::printf("\nstranger-01 (not in the domain): install -> %s\n",

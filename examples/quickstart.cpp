@@ -10,6 +10,7 @@
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/transport.h"
 
 using namespace omadrm;  // NOLINT
 
@@ -54,22 +55,25 @@ int main() {
   agent::DrmAgent device("device-01", ca.root_certificate(), crypto, rng);
   device.provision(ca.issue("device-01", device.public_key(), validity, rng));
 
-  // 5. Registration (4-pass ROAP), acquisition, installation.
-  if (device.register_with(ri, now) != agent::AgentStatus::kOk) {
+  // 5. Registration (4-pass ROAP), acquisition, installation. The agent
+  //    talks to the RI only through a Transport carrying serialized ROAP
+  //    envelopes; here that is the in-process loopback adapter.
+  roap::InProcessTransport transport(ri, now);
+  if (!device.register_with(transport, now).ok()) {
     std::printf("registration failed\n");
     return 1;
   }
   std::printf("registered with %s\n", ri.ri_id().c_str());
 
-  agent::AcquireResult acq = device.acquire_ro(ri, offer.ro_id, now);
-  if (acq.status != agent::AgentStatus::kOk) {
-    std::printf("acquisition failed\n");
+  auto acq = device.acquire_ro(transport, ri.ri_id(), offer.ro_id, now);
+  if (!acq.ok()) {
+    std::printf("acquisition failed: %s\n", acq.describe().c_str());
     return 1;
   }
   std::printf("acquired RO %s (%zu-byte wrapped key material)\n",
-              acq.ro->rights.ro_id.c_str(), acq.ro->wrapped_keys.size());
+              acq->rights.ro_id.c_str(), acq->wrapped_keys.size());
 
-  if (device.install_ro(*acq.ro, now) != agent::AgentStatus::kOk) {
+  if (device.install_ro(*acq, now) != agent::AgentStatus::kOk) {
     std::printf("installation failed\n");
     return 1;
   }

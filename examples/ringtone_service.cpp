@@ -15,6 +15,7 @@
 #include "model/report.h"
 #include "pki/authority.h"
 #include "ri/rights_issuer.h"
+#include "roap/transport.h"
 
 using namespace omadrm;         // NOLINT
 using namespace omadrm::model;  // NOLINT
@@ -63,20 +64,21 @@ int main() {
 
   agent::DrmAgent phone("phone-01", ca.root_certificate(), terminal, rng);
   phone.provision(ca.issue("phone-01", phone.public_key(), validity, rng));
+  roap::InProcessTransport transport(ri, now);
 
   {
     CycleLedger::PhaseScope s(ledger, Phase::kRegistration);
-    if (phone.register_with(ri, now) != agent::AgentStatus::kOk) return 1;
+    if (!phone.register_with(transport, now).ok()) return 1;
   }
-  agent::AcquireResult acq;
+  Result<roap::ProtectedRo> acq(StatusCode::kNoRiContext);
   {
     CycleLedger::PhaseScope s(ledger, Phase::kAcquisition);
-    acq = phone.acquire_ro(ri, offer.ro_id, now);
-    if (acq.status != agent::AgentStatus::kOk) return 1;
+    acq = phone.acquire_ro(transport, ri.ri_id(), offer.ro_id, now);
+    if (!acq.ok()) return 1;
   }
   {
     CycleLedger::PhaseScope s(ledger, Phase::kInstallation);
-    if (phone.install_ro(*acq.ro, now) != agent::AgentStatus::kOk) return 1;
+    if (phone.install_ro(*acq, now) != agent::AgentStatus::kOk) return 1;
   }
 
   std::size_t rang = 0;

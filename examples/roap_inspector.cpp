@@ -5,8 +5,9 @@
 // about eg the ROAP message file sizes" — the inputs to the hash costs in
 // the cycle model. This tool regenerates that information from our stack:
 // it drives the protocol by hand (constructing and signing each message
-// explicitly rather than through DrmAgent) and prints every document with
-// its serialized size, so the analytic model's nominal sizes (see
+// explicitly rather than through DrmAgent), pushes each one through the
+// Rights Issuer's uniform envelope dispatch, and prints every document
+// with its serialized size, so the analytic model's nominal sizes (see
 // model/analytic.h) can be checked against reality.
 //
 // Usage: ./build/examples/roap_inspector [--dump]   (--dump prints the XML)
@@ -18,6 +19,7 @@
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/envelope.h"
 #include "roap/messages.h"
 #include "rsa/pss.h"
 
@@ -32,6 +34,14 @@ void show(const char* direction, const char* name, const xml::Element& doc) {
   std::printf("%-4s %-28s %6zu bytes\n", direction, name, wire.size());
   if (g_dump) {
     std::printf("%s\n", doc.serialize(true).c_str());
+  }
+}
+
+void show(const char* direction, const roap::Envelope& env) {
+  std::printf("%-4s %-28s %6zu bytes\n", direction,
+              roap::to_string(env.type()), env.size());
+  if (g_dump) {
+    std::printf("%s\n", xml::parse(env.wire()).serialize(true).c_str());
   }
 }
 
@@ -81,10 +91,12 @@ int main(int argc, char** argv) {
   hello.algorithms = {"SHA-1", "HMAC-SHA1", "AES-128-CBC", "AES-WRAP",
                       "RSA-1024", "RSA-PSS", "KDF2"};
   hello.device_nonce = rng.bytes(roap::kNonceLen);
-  show("->", "DeviceHello", hello.to_xml());
+  roap::Envelope hello_env = roap::Envelope::wrap(hello);
+  show("->", hello_env);
 
-  roap::RiHello ri_hello = ri.handle_device_hello(hello);
-  show("<-", "RIHello", ri_hello.to_xml());
+  roap::Envelope ri_hello_env = ri.handle(hello_env, now);
+  show("<-", ri_hello_env);
+  roap::RiHello ri_hello = ri_hello_env.open<roap::RiHello>();
 
   roap::RegistrationRequest reg_req;
   reg_req.session_id = ri_hello.session_id;
@@ -94,13 +106,15 @@ int main(int argc, char** argv) {
   reg_req.certificate_der = device_cert.to_der();
   reg_req.ocsp_nonce = rng.bytes(roap::kNonceLen);
   reg_req.signature = rsa::pss_sign(device_key, reg_req.payload(), rng);
-  show("->", "RegistrationRequest", reg_req.to_xml());
+  roap::Envelope reg_req_env = roap::Envelope::wrap(reg_req);
+  show("->", reg_req_env);
   std::printf("     (device certificate DER: %zu bytes, signature: %zu bytes)\n",
               reg_req.certificate_der.size(), reg_req.signature.size());
 
+  roap::Envelope reg_resp_env = ri.handle(reg_req_env, now);
+  show("<-", reg_resp_env);
   roap::RegistrationResponse reg_resp =
-      ri.handle_registration_request(reg_req, now);
-  show("<-", "RegistrationResponse", reg_resp.to_xml());
+      reg_resp_env.open<roap::RegistrationResponse>();
   std::printf("     (RI certificate: %zu bytes, OCSP response: %zu bytes)\n",
               reg_resp.ri_certificate_der.size(),
               reg_resp.ocsp_response_der.size());
@@ -112,10 +126,12 @@ int main(int argc, char** argv) {
   ro_req.ro_id = offer.ro_id;
   ro_req.device_nonce = rng.bytes(roap::kNonceLen);
   ro_req.signature = rsa::pss_sign(device_key, ro_req.payload(), rng);
-  show("->", "RORequest", ro_req.to_xml());
+  roap::Envelope ro_req_env = roap::Envelope::wrap(ro_req);
+  show("->", ro_req_env);
 
-  roap::RoResponse ro_resp = ri.handle_ro_request(ro_req, now);
-  show("<-", "ROResponse", ro_resp.to_xml());
+  roap::Envelope ro_resp_env = ri.handle(ro_req_env, now);
+  show("<-", ro_resp_env);
+  roap::RoResponse ro_resp = ro_resp_env.open<roap::RoResponse>();
   if (!ro_resp.ros.empty()) {
     const roap::ProtectedRo& ro = ro_resp.ros.front();
     show("  ", "  protectedRO (within)", ro.to_xml());

@@ -3,19 +3,21 @@
 //
 // A portable player with no network runs the complete ROAP — registration,
 // domain join, RO acquisition — with every message relayed as an opaque
-// XML document through a phone. The phone uses the Rights Issuer's
-// wire-level entry point (`handle_wire`), so it never interprets the
+// serialized envelope through a phone. The phone uses the Rights Issuer's
+// raw wire entry point (`handle_wire`), so it never interprets the
 // relayed traffic; all trust decisions happen on the player via the
-// two-phase build_*/process_* agent API.
+// per-pass halves of the agent's session state machines.
 //
 // Build & run:  ./build/examples/unconnected_device
 #include <cstdio>
 
 #include "agent/drm_agent.h"
+#include "agent/sessions.h"
 #include "ci/content_issuer.h"
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/envelope.h"
 
 using namespace omadrm;  // NOLINT
 
@@ -23,12 +25,13 @@ namespace {
 
 /// The phone's role: carry bytes to the RI and back. In a real deployment
 /// this is Bluetooth/USB on one side and HTTP on the other.
-std::string relay_via_phone(ri::RightsIssuer& ri, const std::string& request,
-                            std::uint64_t now) {
+roap::Envelope relay_via_phone(ri::RightsIssuer& ri,
+                               const roap::Envelope& request,
+                               std::uint64_t now) {
   std::printf("  [phone] relaying %4zu bytes to RI, ", request.size());
-  std::string response = ri.handle_wire(request, now);
+  std::string response = ri.handle_wire(request.wire(), now);
   std::printf("returning %4zu bytes\n", response.size());
-  return response;
+  return roap::Envelope::from_wire(response);
 }
 
 }  // namespace
@@ -71,38 +74,36 @@ int main() {
       ca.issue("mp3-player-01", player.public_key(), validity, rng));
 
   std::printf("== relayed registration (4-pass) ==\n");
-  roap::DeviceHello hello = player.build_device_hello();
-  roap::RiHello ri_hello = roap::RiHello::from_xml(
-      xml::parse(relay_via_phone(ri, hello.to_xml().serialize(), now)));
-  roap::RegistrationRequest reg_req =
-      player.build_registration_request(ri_hello);
-  roap::RegistrationResponse reg_resp = roap::RegistrationResponse::from_xml(
-      xml::parse(relay_via_phone(ri, reg_req.to_xml().serialize(), now)));
-  agent::AgentStatus status =
-      player.process_registration_response(reg_resp, now);
-  std::printf("  player: registration %s\n\n", agent::to_string(status));
-  if (status != agent::AgentStatus::kOk) return 1;
+  agent::RegistrationSession reg(player, now);
+  auto hello = reg.hello();
+  if (!hello.ok()) return 1;
+  auto reg_req = reg.request(relay_via_phone(ri, *hello, now));
+  if (!reg_req.ok()) return 1;
+  Result<> status = reg.conclude(relay_via_phone(ri, *reg_req, now));
+  std::printf("  player: registration %s\n\n", status.describe().c_str());
+  if (!status.ok()) return 1;
 
   std::printf("== relayed domain join ==\n");
-  roap::JoinDomainRequest join_req =
-      player.build_join_domain_request(ri.ri_id(), "domain:pocket");
-  roap::JoinDomainResponse join_resp = roap::JoinDomainResponse::from_xml(
-      xml::parse(relay_via_phone(ri, join_req.to_xml().serialize(), now)));
-  status = player.process_join_domain_response(join_resp);
-  std::printf("  player: join %s (generation %u)\n\n", agent::to_string(status),
+  agent::DomainSession join(player, agent::DomainSession::Kind::kJoin,
+                            ri.ri_id(), "domain:pocket", now);
+  auto join_req = join.request();
+  if (!join_req.ok()) return 1;
+  status = join.conclude(relay_via_phone(ri, *join_req, now));
+  std::printf("  player: join %s\n", status.describe().c_str());
+  if (!status.ok()) return 1;
+  std::printf("  player: holds K_D generation %u\n\n",
               *player.domain_generation("domain:pocket"));
-  if (status != agent::AgentStatus::kOk) return 1;
 
   std::printf("== relayed RO acquisition (2-pass) ==\n");
-  roap::RoRequest ro_req =
-      player.build_ro_request(ri.ri_id(), "ro:album-pocket");
-  roap::RoResponse ro_resp = roap::RoResponse::from_xml(
-      xml::parse(relay_via_phone(ri, ro_req.to_xml().serialize(), now)));
-  agent::AcquireResult acq = player.process_ro_response(ro_resp);
-  std::printf("  player: acquisition %s\n\n", agent::to_string(acq.status));
-  if (acq.status != agent::AgentStatus::kOk) return 1;
+  agent::AcquisitionSession acquire(player, ri.ri_id(), "ro:album-pocket",
+                                    now);
+  auto ro_req = acquire.request();
+  if (!ro_req.ok()) return 1;
+  auto acq = acquire.conclude(relay_via_phone(ri, *ro_req, now));
+  std::printf("  player: acquisition %s\n\n", acq.describe().c_str());
+  if (!acq.ok()) return 1;
 
-  if (player.install_ro(*acq.ro, now) != agent::AgentStatus::kOk) return 1;
+  if (player.install_ro(*acq, now) != agent::AgentStatus::kOk) return 1;
   agent::ConsumeResult play_result =
       player.consume(dcf, rel::PermissionType::kPlay, now);
   std::printf("player installs and plays: %s (%zu bytes decrypted)\n",

@@ -1,5 +1,6 @@
 #include "agent/drm_agent.h"
 
+#include "agent/sessions.h"
 #include "common/base64.h"
 #include "common/error.h"
 
@@ -8,29 +9,6 @@ namespace omadrm::agent {
 using omadrm::Error;
 using omadrm::ErrorKind;
 using roap::Status;
-
-const char* to_string(AgentStatus s) {
-  switch (s) {
-    case AgentStatus::kOk: return "ok";
-    case AgentStatus::kNotProvisioned: return "not-provisioned";
-    case AgentStatus::kNoRiContext: return "no-ri-context";
-    case AgentStatus::kRiContextExpired: return "ri-context-expired";
-    case AgentStatus::kRiAborted: return "ri-aborted";
-    case AgentStatus::kNonceMismatch: return "nonce-mismatch";
-    case AgentStatus::kSignatureInvalid: return "signature-invalid";
-    case AgentStatus::kCertificateInvalid: return "certificate-invalid";
-    case AgentStatus::kOcspInvalid: return "ocsp-invalid";
-    case AgentStatus::kCertificateRevoked: return "certificate-revoked";
-    case AgentStatus::kUnwrapFailed: return "unwrap-failed";
-    case AgentStatus::kMacMismatch: return "mac-mismatch";
-    case AgentStatus::kRoSignatureInvalid: return "ro-signature-invalid";
-    case AgentStatus::kNoDomainKey: return "no-domain-key";
-    case AgentStatus::kNotInstalled: return "not-installed";
-    case AgentStatus::kDcfHashMismatch: return "dcf-hash-mismatch";
-    case AgentStatus::kPermissionDenied: return "permission-denied";
-  }
-  return "?";
-}
 
 DrmAgent::DrmAgent(std::string device_id, pki::Certificate trust_root,
                    provider::CryptoProvider& crypto, Rng& rng,
@@ -99,11 +77,33 @@ AgentStatus DrmAgent::verify_ocsp_metered(const pki::OcspResponse& ocsp,
   return AgentStatus::kOk;
 }
 
+Result<> DrmAgent::revalidate_context(RiContext& ctx, std::uint64_t now) {
+  std::shared_ptr<const pki::ChainVerdict> verdict =
+      chain_verifier_.revalidate(ctx.verified_chain, ctx.ri_chain, now);
+  if (verdict->status != pki::CertStatus::kValid) {
+    switch (verdict->status) {
+      case pki::CertStatus::kExpired:
+      case pki::CertStatus::kNotYetValid:
+        return Result<>(AgentStatus::kRiContextExpired,
+                        "RI certificate chain outside validity for " +
+                            ctx.ri_id);
+      case pki::CertStatus::kRevoked:
+        return Result<>(AgentStatus::kCertificateRevoked,
+                        "RI certificate revoked for " + ctx.ri_id);
+      default:
+        return Result<>(AgentStatus::kCertificateInvalid,
+                        "RI certificate chain invalid for " + ctx.ri_id);
+    }
+  }
+  ctx.verified_chain = std::move(verdict);
+  return Result<>();
+}
+
 // ---------------------------------------------------------------------------
 // Phase 1: Registration (4-pass ROAP)
 // ---------------------------------------------------------------------------
 
-roap::DeviceHello DrmAgent::build_device_hello() {
+roap::DeviceHello DrmAgent::make_device_hello(PendingRegistration& pending) {
   if (!is_provisioned()) {
     throw Error(ErrorKind::kState, "agent: not provisioned");
   }
@@ -113,50 +113,45 @@ roap::DeviceHello DrmAgent::build_device_hello() {
   hello.algorithms = {"SHA-1", "HMAC-SHA1", "AES-128-CBC", "AES-WRAP",
                       "RSA-1024", "RSA-PSS", "KDF2"};
   hello.device_nonce = rng_.bytes(roap::kNonceLen);
-  pending_registration_ = PendingRegistration{};
-  pending_registration_->device_nonce = hello.device_nonce;
+  pending.device_nonce = hello.device_nonce;
   return hello;
 }
 
-roap::RegistrationRequest DrmAgent::build_registration_request(
-    const roap::RiHello& ri_hello) {
-  if (!pending_registration_) {
-    throw Error(ErrorKind::kProtocol, "agent: no DeviceHello in flight");
-  }
+roap::RegistrationRequest DrmAgent::make_registration_request(
+    const roap::RiHello& ri_hello, PendingRegistration& pending) {
   // Pass 3: signed RegistrationRequest carrying our certificate.
   roap::RegistrationRequest request;
   request.session_id = ri_hello.session_id;
   request.device_id = device_id_;
-  request.device_nonce = pending_registration_->device_nonce;
+  request.device_nonce = pending.device_nonce;
   request.ri_nonce = ri_hello.ri_nonce;
   request.certificate_der = certificate_der_;
   request.ocsp_nonce = rng_.bytes(roap::kNonceLen);
   request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
-  pending_registration_->session_id = request.session_id;
-  pending_registration_->ocsp_nonce = request.ocsp_nonce;
+  pending.session_id = request.session_id;
+  pending.ocsp_nonce = request.ocsp_nonce;
   return request;
 }
 
-AgentStatus DrmAgent::register_with(ri::RightsIssuer& ri, std::uint64_t now) {
-  if (!is_provisioned()) return AgentStatus::kNotProvisioned;
-  roap::DeviceHello hello = build_device_hello();
-  roap::RiHello ri_hello = ri.handle_device_hello(hello);
-  if (ri_hello.status != Status::kSuccess) return AgentStatus::kRiAborted;
-  roap::RegistrationRequest request = build_registration_request(ri_hello);
-  roap::RegistrationResponse response =
-      ri.handle_registration_request(request, now);
-  return process_registration_response(response, now);
+Result<> DrmAgent::register_with(roap::Transport& transport,
+                                 std::uint64_t now) {
+  return RegistrationSession(*this, now).run(transport);
 }
 
-AgentStatus DrmAgent::process_registration_response(
-    const roap::RegistrationResponse& response, std::uint64_t now) {
-  if (!pending_registration_) return AgentStatus::kNonceMismatch;
-  PendingRegistration pending = *pending_registration_;
-  pending_registration_.reset();
-
-  if (response.status != Status::kSuccess) return AgentStatus::kRiAborted;
+Result<> DrmAgent::accept_registration_response(
+    const roap::RegistrationResponse& response,
+    const PendingRegistration& pending, std::uint64_t now) {
+  if (response.status != Status::kSuccess) {
+    return Result<>(roap::status_code(response.status),
+                    std::string("RI reported ") +
+                        roap::to_string(response.status) +
+                        " in RegistrationResponse");
+  }
   if (response.session_id != pending.session_id) {
-    return AgentStatus::kNonceMismatch;
+    return Result<>(AgentStatus::kNonceMismatch,
+                    "RegistrationResponse for session '" +
+                        response.session_id + "', ours is '" +
+                        pending.session_id + "'");
   }
 
   // Verify the RI certificate chain (leaf + any intermediates) against
@@ -167,16 +162,19 @@ AgentStatus DrmAgent::process_registration_response(
     for (const Bytes& der : response.ri_certificate_chain_der) {
       ri_chain.push_back(pki::Certificate::from_der(der));
     }
-  } catch (const Error&) {
-    return AgentStatus::kCertificateInvalid;
+  } catch (const Error& e) {
+    return Result<>(AgentStatus::kCertificateInvalid,
+                    std::string("RI certificate unparseable: ") + e.what());
   }
   std::shared_ptr<const pki::ChainVerdict> verdict =
       verify_chain_metered(ri_chain, now);
   if (verdict->status == pki::CertStatus::kRevoked) {
-    return AgentStatus::kCertificateRevoked;
+    return Result<>(AgentStatus::kCertificateRevoked,
+                    "RI certificate chain revoked");
   }
   if (verdict->status != pki::CertStatus::kValid) {
-    return AgentStatus::kCertificateInvalid;
+    return Result<>(AgentStatus::kCertificateInvalid,
+                    "RI certificate chain failed validation");
   }
   const pki::Certificate& ri_cert = ri_chain.front();
 
@@ -184,8 +182,9 @@ AgentStatus DrmAgent::process_registration_response(
   pki::OcspResponse ocsp;
   try {
     ocsp = pki::OcspResponse::from_der(response.ocsp_response_der);
-  } catch (const Error&) {
-    return AgentStatus::kOcspInvalid;
+  } catch (const Error& e) {
+    return Result<>(AgentStatus::kOcspInvalid,
+                    std::string("stapled OCSP unparseable: ") + e.what());
   }
   AgentStatus ocsp_status =
       verify_ocsp_metered(ocsp, ri_cert.serial(), pending.ocsp_nonce, now);
@@ -194,13 +193,14 @@ AgentStatus DrmAgent::process_registration_response(
       // A revoked chain must not keep serving cache hits.
       chain_verifier_.invalidate_serial(ri_cert.serial());
     }
-    return ocsp_status;
+    return Result<>(ocsp_status, "stapled OCSP response rejected");
   }
 
   // Verify the message signature with the (now trusted) RI key.
   if (!crypto_.pss_verify(ri_cert.subject_key(), response.payload(),
                           response.signature)) {
-    return AgentStatus::kSignatureInvalid;
+    return Result<>(AgentStatus::kSignatureInvalid,
+                    "RegistrationResponse signature rejected");
   }
 
   RiContext ctx;
@@ -210,98 +210,76 @@ AgentStatus DrmAgent::process_registration_response(
   ctx.verified_chain = std::move(verdict);
   ctx.established_at = now;
   ri_contexts_[ctx.ri_id] = std::move(ctx);
-  return AgentStatus::kOk;
+  return Result<>();
 }
 
 // ---------------------------------------------------------------------------
 // Phase 2: Acquisition
 // ---------------------------------------------------------------------------
 
-roap::RoRequest DrmAgent::build_ro_request(const std::string& ri_id,
-                                           const std::string& ro_id) {
-  if (!ri_contexts_.count(ri_id)) {
-    throw Error(ErrorKind::kProtocol, "agent: no RI context for " + ri_id);
-  }
+roap::RoRequest DrmAgent::make_ro_request(const std::string& ri_id,
+                                          const std::string& ro_id,
+                                          Bytes& device_nonce) {
   roap::RoRequest request;
   request.device_id = device_id_;
   request.ri_id = ri_id;
   request.ro_id = ro_id;
   request.device_nonce = rng_.bytes(roap::kNonceLen);
   request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
-  pending_ro_nonce_ = request.device_nonce;
+  device_nonce = request.device_nonce;
   return request;
 }
 
-AcquireResult DrmAgent::process_ro_response(const roap::RoResponse& response) {
-  AcquireResult out;
-  if (!pending_ro_nonce_) {
-    out.status = AgentStatus::kNonceMismatch;
-    return out;
+Result<roap::ProtectedRo> DrmAgent::accept_ro_response(
+    const roap::RoResponse& response, const std::string& ri_id,
+    ByteView expected_nonce, std::uint64_t now) {
+  // Bind the response to the session's requested RI before trusting any
+  // field in it — a valid response from a *different* RI context must
+  // not satisfy this exchange.
+  if (response.ri_id != ri_id) {
+    return Result<roap::ProtectedRo>(
+        AgentStatus::kNonceMismatch,
+        "ROResponse from '" + response.ri_id + "', session is with '" +
+            ri_id + "'");
   }
-  Bytes expected_nonce = *pending_ro_nonce_;
-  pending_ro_nonce_.reset();
-
-  auto ctx = ri_contexts_.find(response.ri_id);
+  auto ctx = ri_contexts_.find(ri_id);
   if (ctx == ri_contexts_.end()) {
-    out.status = AgentStatus::kNoRiContext;
-    return out;
+    return Result<roap::ProtectedRo>(AgentStatus::kNoRiContext,
+                                     "no RI context for " + ri_id);
   }
+  // Verify the context again at the moment of use — O(1) on the cached
+  // verdict, a full chain walk when the caches are cold/disabled.
+  Result<> valid = revalidate_context(ctx->second, now);
+  if (!valid.ok()) return propagate<roap::ProtectedRo>(valid);
+
   if (response.status != Status::kSuccess) {
-    out.status = AgentStatus::kRiAborted;
-    return out;
+    return Result<roap::ProtectedRo>(
+        roap::status_code(response.status),
+        std::string("RI reported ") + roap::to_string(response.status) +
+            " in ROResponse");
   }
   if (!ct_equal(response.device_nonce, expected_nonce)) {
-    out.status = AgentStatus::kNonceMismatch;
-    return out;
+    return Result<roap::ProtectedRo>(
+        AgentStatus::kNonceMismatch,
+        "ROResponse not bound to our request nonce");
   }
   if (!crypto_.pss_verify(ctx->second.ri_certificate().subject_key(),
                           response.payload(), response.signature)) {
-    out.status = AgentStatus::kSignatureInvalid;
-    return out;
+    return Result<roap::ProtectedRo>(AgentStatus::kSignatureInvalid,
+                                     "ROResponse signature rejected");
   }
   if (response.ros.empty()) {
-    out.status = AgentStatus::kRiAborted;
-    return out;
+    return Result<roap::ProtectedRo>(AgentStatus::kRiAborted,
+                                     "ROResponse carried no RO");
   }
-  out.status = AgentStatus::kOk;
-  out.ro = response.ros.front();
-  return out;
+  return Result<roap::ProtectedRo>(response.ros.front());
 }
 
-AcquireResult DrmAgent::acquire_ro(ri::RightsIssuer& ri,
-                                   const std::string& ro_id,
-                                   std::uint64_t now) {
-  AcquireResult out;
-  // "Existence, integrity and validity [of the RI Context] must be
-  // verified prior to any future interaction with the RI" (§2.4.1). The
-  // full chain walk runs through the verdict cache, so right after
-  // registration this is an O(1) lookup with zero RSA operations — the
-  // amortization the paper's RI-context caching argument calls for.
-  auto ctx = ri_contexts_.find(ri.ri_id());
-  if (ctx == ri_contexts_.end()) {
-    out.status = AgentStatus::kNoRiContext;
-    return out;
-  }
-  std::shared_ptr<const pki::ChainVerdict> verdict =
-      chain_verifier_.revalidate(ctx->second.verified_chain,
-                                 ctx->second.ri_chain, now);
-  if (verdict->status != pki::CertStatus::kValid) {
-    switch (verdict->status) {
-      case pki::CertStatus::kExpired:
-      case pki::CertStatus::kNotYetValid:
-        out.status = AgentStatus::kRiContextExpired;
-        break;
-      case pki::CertStatus::kRevoked:
-        out.status = AgentStatus::kCertificateRevoked;
-        break;
-      default:
-        out.status = AgentStatus::kCertificateInvalid;
-    }
-    return out;
-  }
-  ctx->second.verified_chain = std::move(verdict);
-  roap::RoRequest request = build_ro_request(ri.ri_id(), ro_id);
-  return process_ro_response(ri.handle_ro_request(request, now));
+Result<roap::ProtectedRo> DrmAgent::acquire_ro(roap::Transport& transport,
+                                               const std::string& ri_id,
+                                               const std::string& ro_id,
+                                               std::uint64_t now) {
+  return AcquisitionSession(*this, ri_id, ro_id, now).run(transport);
 }
 
 // ---------------------------------------------------------------------------
@@ -446,81 +424,102 @@ ConsumeResult DrmAgent::consume(const dcf::Dcf& dcf,
 // Domains
 // ---------------------------------------------------------------------------
 
-roap::JoinDomainRequest DrmAgent::build_join_domain_request(
-    const std::string& ri_id, const std::string& domain_id) {
-  if (!ri_contexts_.count(ri_id)) {
-    throw Error(ErrorKind::kProtocol, "agent: no RI context for " + ri_id);
-  }
+roap::JoinDomainRequest DrmAgent::make_join_domain_request(
+    const std::string& ri_id, const std::string& domain_id,
+    Bytes& device_nonce) {
   roap::JoinDomainRequest request;
   request.device_id = device_id_;
   request.ri_id = ri_id;
   request.domain_id = domain_id;
   request.device_nonce = rng_.bytes(roap::kNonceLen);
   request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
-  pending_join_nonce_ = request.device_nonce;
-  join_ri_id_ = ri_id;
+  device_nonce = request.device_nonce;
   return request;
 }
 
-AgentStatus DrmAgent::process_join_domain_response(
-    const roap::JoinDomainResponse& response) {
-  if (!pending_join_nonce_) return AgentStatus::kNonceMismatch;
-  pending_join_nonce_.reset();
-  auto ctx = ri_contexts_.find(join_ri_id_);
-  if (ctx == ri_contexts_.end()) return AgentStatus::kNoRiContext;
-
-  if (response.status != Status::kSuccess) return AgentStatus::kRiAborted;
+Result<> DrmAgent::accept_join_domain_response(
+    const roap::JoinDomainResponse& response, const std::string& ri_id,
+    const std::string& domain_id, ByteView expected_nonce) {
+  auto ctx = ri_contexts_.find(ri_id);
+  if (ctx == ri_contexts_.end()) {
+    return Result<>(AgentStatus::kNoRiContext, "no RI context for " + ri_id);
+  }
+  if (response.status != Status::kSuccess) {
+    return Result<>(roap::status_code(response.status),
+                    std::string("RI reported ") +
+                        roap::to_string(response.status) +
+                        " in JoinDomainResponse");
+  }
+  // Bind the response to this session: the echoed nonce proves freshness
+  // (a replayed join cannot re-key the device) and the domain id proves
+  // it answers *this* join, not an older one for another domain.
+  if (!ct_equal(response.device_nonce, expected_nonce)) {
+    return Result<>(AgentStatus::kNonceMismatch,
+                    "JoinDomainResponse not bound to our request nonce");
+  }
+  if (response.domain_id != domain_id) {
+    return Result<>(AgentStatus::kNonceMismatch,
+                    "JoinDomainResponse for domain '" + response.domain_id +
+                        "', requested '" + domain_id + "'");
+  }
   if (!crypto_.pss_verify(ctx->second.ri_certificate().subject_key(),
                           response.payload(), response.signature)) {
-    return AgentStatus::kSignatureInvalid;
+    return Result<>(AgentStatus::kSignatureInvalid,
+                    "JoinDomainResponse signature rejected");
   }
 
   const std::size_t k = key_.byte_length();
   if (response.wrapped_domain_key.size() < k + 24) {
-    return AgentStatus::kUnwrapFailed;
+    return Result<>(AgentStatus::kUnwrapFailed,
+                    "wrapped domain key too short");
   }
   Bytes kek = crypto_.kem_decapsulate(
       key_, ByteView(response.wrapped_domain_key).subspan(0, k));
   auto domain_key =
       crypto_.aes_unwrap(kek, ByteView(response.wrapped_domain_key).subspan(k));
   if (!domain_key || domain_key->size() != 16) {
-    return AgentStatus::kUnwrapFailed;
+    return Result<>(AgentStatus::kUnwrapFailed,
+                    "domain key failed AES-UNWRAP integrity check");
   }
   domain_keys_[response.domain_id] = {std::move(*domain_key),
                                       response.generation};
-  return AgentStatus::kOk;
+  return Result<>();
 }
 
-AgentStatus DrmAgent::join_domain(ri::RightsIssuer& ri,
-                                  const std::string& domain_id,
-                                  std::uint64_t now) {
-  if (!ri_contexts_.count(ri.ri_id())) return AgentStatus::kNoRiContext;
-  roap::JoinDomainRequest request =
-      build_join_domain_request(ri.ri_id(), domain_id);
-  return process_join_domain_response(ri.handle_join_domain(request, now));
-}
-
-AgentStatus DrmAgent::leave_domain(ri::RightsIssuer& ri,
-                                   const std::string& domain_id,
-                                   std::uint64_t now) {
-  auto ctx = ri_contexts_.find(ri.ri_id());
-  if (ctx == ri_contexts_.end()) return AgentStatus::kNoRiContext;
-
+roap::LeaveDomainRequest DrmAgent::make_leave_domain_request(
+    const std::string& ri_id, const std::string& domain_id,
+    Bytes& device_nonce) {
   roap::LeaveDomainRequest request;
   request.device_id = device_id_;
-  request.ri_id = ri.ri_id();
+  request.ri_id = ri_id;
   request.domain_id = domain_id;
   request.device_nonce = rng_.bytes(roap::kNonceLen);
   request.signature = crypto_.pss_sign(key_, request.payload(), rng_);
+  device_nonce = request.device_nonce;
+  return request;
+}
 
-  roap::LeaveDomainResponse response = ri.handle_leave_domain(request, now);
-  if (response.status != Status::kSuccess) return AgentStatus::kRiAborted;
-  if (!ct_equal(response.device_nonce, request.device_nonce)) {
-    return AgentStatus::kNonceMismatch;
+Result<> DrmAgent::accept_leave_domain_response(
+    const roap::LeaveDomainResponse& response, const std::string& ri_id,
+    const std::string& domain_id, ByteView expected_nonce) {
+  auto ctx = ri_contexts_.find(ri_id);
+  if (ctx == ri_contexts_.end()) {
+    return Result<>(AgentStatus::kNoRiContext, "no RI context for " + ri_id);
+  }
+  if (response.status != Status::kSuccess) {
+    return Result<>(roap::status_code(response.status),
+                    std::string("RI reported ") +
+                        roap::to_string(response.status) +
+                        " in LeaveDomainResponse");
+  }
+  if (!ct_equal(response.device_nonce, expected_nonce)) {
+    return Result<>(AgentStatus::kNonceMismatch,
+                    "LeaveDomainResponse not bound to our request nonce");
   }
   if (!crypto_.pss_verify(ctx->second.ri_certificate().subject_key(),
                           response.payload(), response.signature)) {
-    return AgentStatus::kSignatureInvalid;
+    return Result<>(AgentStatus::kSignatureInvalid,
+                    "LeaveDomainResponse signature rejected");
   }
 
   // Compliance: discard K_D and uninstall this domain's Rights Objects.
@@ -534,25 +533,36 @@ AgentStatus DrmAgent::leave_domain(ri::RightsIssuer& ri,
       ++it;
     }
   }
-  return AgentStatus::kOk;
+  return Result<>();
 }
 
-AcquireResult DrmAgent::handle_trigger(
-    ri::RightsIssuer& ri, const roap::RoAcquisitionTrigger& trigger,
+Result<> DrmAgent::join_domain(roap::Transport& transport,
+                               const std::string& ri_id,
+                               const std::string& domain_id,
+                               std::uint64_t now) {
+  return DomainSession(*this, DomainSession::Kind::kJoin, ri_id, domain_id,
+                       now)
+      .run(transport);
+}
+
+Result<> DrmAgent::leave_domain(roap::Transport& transport,
+                                const std::string& ri_id,
+                                const std::string& domain_id,
+                                std::uint64_t now) {
+  return DomainSession(*this, DomainSession::Kind::kLeave, ri_id, domain_id,
+                       now)
+      .run(transport);
+}
+
+Result<roap::ProtectedRo> DrmAgent::handle_trigger(
+    roap::Transport& transport, const roap::RoAcquisitionTrigger& trigger,
     std::uint64_t now) {
-  AcquireResult out;
-  if (trigger.ri_id != ri.ri_id()) {
-    out.status = AgentStatus::kNoRiContext;
-    return out;
-  }
   if (!trigger.domain_id.empty() && !has_domain_key(trigger.domain_id)) {
-    AgentStatus join = join_domain(ri, trigger.domain_id, now);
-    if (join != AgentStatus::kOk) {
-      out.status = join;
-      return out;
-    }
+    Result<> join = join_domain(transport, trigger.ri_id, trigger.domain_id,
+                                now);
+    if (!join.ok()) return propagate<roap::ProtectedRo>(join);
   }
-  return acquire_ro(ri, trigger.ro_id, now);
+  return acquire_ro(transport, trigger.ri_id, trigger.ro_id, now);
 }
 
 bool DrmAgent::has_domain_key(const std::string& domain_id) const {

@@ -11,6 +11,14 @@
 //   Consumption   (§2.4.4): per access — unwrap C2dev, verify the RO MAC,
 //                 verify the DCF hash, then decrypt the content.
 //
+// The agent never talks to a Rights Issuer object. Every ROAP exchange
+// flows through a roap::Transport as serialized roap::Envelope documents;
+// the per-protocol state machines live in agent/sessions.h
+// (RegistrationSession / AcquisitionSession / DomainSession), which own
+// the pending nonces for exactly one handshake each. The conveniences
+// below (`register_with`, `acquire_ro`, ...) are thin wrappers that run
+// one session to completion over a transport.
+//
 // Every cryptographic operation goes through the injected CryptoProvider,
 // which is how the cycle-cost model observes exactly the terminal-side
 // work the paper charges.
@@ -23,37 +31,24 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
 #include "dcf/dcf.h"
 #include "pki/authority.h"
 #include "pki/chain.h"
 #include "provider/provider.h"
 #include "rel/rights.h"
-#include "ri/rights_issuer.h"
+#include "roap/envelope.h"
 #include "roap/messages.h"
+#include "roap/transport.h"
 
 namespace omadrm::agent {
 
-enum class AgentStatus : std::uint8_t {
-  kOk,
-  kNotProvisioned,       // no device certificate installed yet
-  kNoRiContext,          // interaction attempted before registration
-  kRiContextExpired,     // RI certificate no longer valid
-  kRiAborted,            // RI returned a non-success ROAP status
-  kNonceMismatch,        // response not bound to our request
-  kSignatureInvalid,     // ROAP message signature failed
-  kCertificateInvalid,   // RI certificate failed validation
-  kOcspInvalid,          // stapled OCSP response failed validation
-  kCertificateRevoked,   // OCSP reports the RI certificate revoked
-  kUnwrapFailed,         // AES-UNWRAP integrity failure (wrong key / tamper)
-  kMacMismatch,          // Rights Object MAC check failed
-  kRoSignatureInvalid,   // RO signature missing/invalid (domain ROs)
-  kNoDomainKey,          // domain RO but device has no K_D
-  kNotInstalled,         // no installed RO for the content
-  kDcfHashMismatch,      // DCF integrity check failed
-  kPermissionDenied,     // REL constraint evaluation denied the access
-};
-
-const char* to_string(AgentStatus s);
+/// The agent's outcome codes are the unified stack-wide code space; the
+/// historical name is kept so call sites read naturally
+/// (AgentStatus::kMacMismatch). See common/status.h.
+using AgentStatus = omadrm::StatusCode;
+using omadrm::to_string;
 
 /// The trusted-relationship record the agent persists after registration
 /// (paper: "the DRM Agent saves information on the relationship with this
@@ -95,11 +90,9 @@ struct ConsumeResult {
   std::string ro_id;  // the RO that granted (or last denied) access
 };
 
-/// Result of RO acquisition.
-struct AcquireResult {
-  AgentStatus status = AgentStatus::kNoRiContext;
-  std::optional<roap::ProtectedRo> ro;
-};
+class RegistrationSession;
+class AcquisitionSession;
+class DomainSession;
 
 class DrmAgent {
  public:
@@ -118,35 +111,19 @@ class DrmAgent {
   const pki::Certificate& certificate() const;
 
   // -- Phase 1: Registration ------------------------------------------------
-  AgentStatus register_with(ri::RightsIssuer& ri, std::uint64_t now);
+  /// Runs one 4-pass registration over the transport (a thin wrapper
+  /// around RegistrationSession).
+  Result<> register_with(roap::Transport& transport, std::uint64_t now);
   bool has_ri_context(const std::string& ri_id) const;
   const RiContext* ri_context(const std::string& ri_id) const;
 
-  // Transport-agnostic two-phase API. `register_with` / `acquire_ro` /
-  // `join_domain` drive an in-process RightsIssuer directly; these
-  // build/process halves let the messages travel over *any* channel —
-  // in particular via another device acting as proxy, which is how the
-  // standard's "Unconnected Devices" (portable players that cannot reach
-  // the RI, paper §2.3) participate. Each build_* records the pending
-  // nonces; the matching process_* consumes them.
-  roap::DeviceHello build_device_hello();
-  roap::RegistrationRequest build_registration_request(
-      const roap::RiHello& ri_hello);
-  AgentStatus process_registration_response(
-      const roap::RegistrationResponse& response, std::uint64_t now);
-
-  roap::RoRequest build_ro_request(const std::string& ri_id,
-                                   const std::string& ro_id);
-  AcquireResult process_ro_response(const roap::RoResponse& response);
-
-  roap::JoinDomainRequest build_join_domain_request(
-      const std::string& ri_id, const std::string& domain_id);
-  AgentStatus process_join_domain_response(
-      const roap::JoinDomainResponse& response);
-
   // -- Phase 2: Acquisition ---------------------------------------------------
-  AcquireResult acquire_ro(ri::RightsIssuer& ri, const std::string& ro_id,
-                           std::uint64_t now);
+  /// Runs one 2-pass RO acquisition over the transport (wrapper around
+  /// AcquisitionSession). Requires an established RI context for `ri_id`.
+  Result<roap::ProtectedRo> acquire_ro(roap::Transport& transport,
+                                       const std::string& ri_id,
+                                       const std::string& ro_id,
+                                       std::uint64_t now);
 
   // -- Phase 3: Installation -------------------------------------------------
   AgentStatus install_ro(const roap::ProtectedRo& ro, std::uint64_t now);
@@ -161,16 +138,16 @@ class DrmAgent {
   /// advertised domain first when needed, then acquires the RO. The
   /// trigger itself is untrusted — every security property comes from the
   /// triggered ROAP exchange.
-  AcquireResult handle_trigger(ri::RightsIssuer& ri,
-                               const roap::RoAcquisitionTrigger& trigger,
-                               std::uint64_t now);
+  Result<roap::ProtectedRo> handle_trigger(
+      roap::Transport& transport, const roap::RoAcquisitionTrigger& trigger,
+      std::uint64_t now);
 
   // -- Domains ---------------------------------------------------------------
-  AgentStatus join_domain(ri::RightsIssuer& ri, const std::string& domain_id,
-                          std::uint64_t now);
+  Result<> join_domain(roap::Transport& transport, const std::string& ri_id,
+                       const std::string& domain_id, std::uint64_t now);
   /// Leaves a domain: discards K_D and uninstalls that domain's ROs.
-  AgentStatus leave_domain(ri::RightsIssuer& ri, const std::string& domain_id,
-                           std::uint64_t now);
+  Result<> leave_domain(roap::Transport& transport, const std::string& ri_id,
+                        const std::string& domain_id, std::uint64_t now);
   bool has_domain_key(const std::string& domain_id) const;
   /// Generation of the held domain key (nullopt if not a member).
   std::optional<std::uint32_t> domain_generation(
@@ -182,7 +159,8 @@ class DrmAgent {
   /// domain keys — into an opaque blob. The OMA standard leaves storage to
   /// the CA's robustness rules; this models the secure-storage image a
   /// real terminal keeps across power cycles (it contains key material and
-  /// MUST live in protected memory).
+  /// MUST live in protected memory). In-flight sessions are deliberately
+  /// not part of the image: their nonces die with the session objects.
   Bytes export_state() const;
   /// Restores a blob produced by export_state(), replacing this agent's
   /// identity and state (a reboot of the same physical device). Throws
@@ -199,6 +177,53 @@ class DrmAgent {
   pki::ChainVerifier& chain_verifier() { return chain_verifier_; }
 
  private:
+  // The session state machines drive the build/process halves below and
+  // own all pending-handshake state (nonces, session ids). Destroying an
+  // abandoned session leaves no residue in the agent.
+  friend class RegistrationSession;
+  friend class AcquisitionSession;
+  friend class DomainSession;
+
+  struct PendingRegistration {
+    std::string session_id;
+    Bytes device_nonce;
+    Bytes ocsp_nonce;
+  };
+
+  // Registration halves.
+  roap::DeviceHello make_device_hello(PendingRegistration& pending);
+  roap::RegistrationRequest make_registration_request(
+      const roap::RiHello& ri_hello, PendingRegistration& pending);
+  Result<> accept_registration_response(
+      const roap::RegistrationResponse& response,
+      const PendingRegistration& pending, std::uint64_t now);
+
+  // Acquisition halves.
+  roap::RoRequest make_ro_request(const std::string& ri_id,
+                                  const std::string& ro_id,
+                                  Bytes& device_nonce);
+  Result<roap::ProtectedRo> accept_ro_response(
+      const roap::RoResponse& response, const std::string& ri_id,
+      ByteView expected_nonce, std::uint64_t now);
+
+  // Domain halves.
+  roap::JoinDomainRequest make_join_domain_request(const std::string& ri_id,
+                                                   const std::string& domain_id,
+                                                   Bytes& device_nonce);
+  Result<> accept_join_domain_response(
+      const roap::JoinDomainResponse& response, const std::string& ri_id,
+      const std::string& domain_id, ByteView expected_nonce);
+  roap::LeaveDomainRequest make_leave_domain_request(
+      const std::string& ri_id, const std::string& domain_id,
+      Bytes& device_nonce);
+  Result<> accept_leave_domain_response(
+      const roap::LeaveDomainResponse& response, const std::string& ri_id,
+      const std::string& domain_id, ByteView expected_nonce);
+
+  /// Re-checks an established RI context through the verdict cache — the
+  /// "verify prior to any interaction" rule at O(1) amortized cost.
+  Result<> revalidate_context(RiContext& ctx, std::uint64_t now);
+
   /// Full chain validation (field checks + one metered RSAVP1 per chain
   /// link) through the verdict cache, so the cost model sees exactly the
   /// RSA public-key operations the paper charges for certificate
@@ -223,17 +248,6 @@ class DrmAgent {
   std::map<std::string, InstalledRo> installed_;        // by ro_id
   std::map<std::string, std::vector<std::string>> by_content_;  // cid -> ro ids
   std::map<std::string, std::pair<Bytes, std::uint32_t>> domain_keys_;
-
-  // Pending two-phase exchanges (nonce bookkeeping).
-  struct PendingRegistration {
-    std::string session_id;
-    Bytes device_nonce;
-    Bytes ocsp_nonce;
-  };
-  std::optional<PendingRegistration> pending_registration_;
-  std::optional<Bytes> pending_ro_nonce_;
-  std::optional<Bytes> pending_join_nonce_;
-  std::string join_ri_id_;
 };
 
 /// Maximum accepted OCSP response age (seconds).

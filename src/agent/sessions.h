@@ -1,0 +1,145 @@
+// Agent-side ROAP session state machines.
+//
+// Each session object drives exactly one protocol exchange and owns all
+// of its pending state (device nonces, the ROAP session id, the OCSP
+// nonce). That ownership is the fix for the historical pending-nonce
+// leak: a handshake abandoned mid-flight — transport drop, user
+// cancellation, superseding retry — is cleaned up by the session's
+// destructor instead of lingering in agent-global maps forever.
+//
+// Two ways to drive a session:
+//
+//   run(transport)          one call; the session performs every pass
+//                           over the transport and classifies transport
+//                           exceptions into Result failures.
+//
+//   the per-pass halves     hello()/request()/conclude() expose each
+//                           message so the envelopes can travel over any
+//                           channel — in particular via another device
+//                           acting as proxy, which is how the standard's
+//                           "Unconnected Devices" (portable players that
+//                           cannot reach the RI, paper §2.3) participate.
+//
+// Calling a half out of order is a programming error and throws
+// omadrm::Error(kProtocol). Bad *peer* behaviour (malformed envelope,
+// wrong message type, failed verification) is an expected runtime
+// outcome and comes back as a failed Result; the session then parks in
+// State::kFailed and a fresh session must be started (retry = new
+// nonces, never reuse).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "agent/drm_agent.h"
+#include "common/result.h"
+#include "roap/envelope.h"
+#include "roap/transport.h"
+
+namespace omadrm::agent {
+
+/// 4-pass registration: DeviceHello → RIHello → RegistrationRequest →
+/// RegistrationResponse. Success establishes/refreshes the RI Context.
+class RegistrationSession {
+ public:
+  enum class State : std::uint8_t {
+    kStart,
+    kAwaitRiHello,
+    kAwaitResponse,
+    kComplete,
+    kFailed,
+  };
+
+  RegistrationSession(DrmAgent& agent, std::uint64_t now);
+
+  State state() const { return state_; }
+
+  /// Pass 1: the DeviceHello envelope (records the device nonce).
+  Result<roap::Envelope> hello();
+  /// Pass 3: consumes the RIHello, returns the signed RegistrationRequest.
+  Result<roap::Envelope> request(const roap::Envelope& ri_hello);
+  Result<roap::Envelope> request(const roap::RiHello& ri_hello);
+  /// Pass 4: verifies the RegistrationResponse (chain, OCSP, signature)
+  /// and persists the RI Context.
+  Result<> conclude(const roap::Envelope& response);
+  Result<> conclude(const roap::RegistrationResponse& response);
+
+  /// Drives all four passes over the transport.
+  Result<> run(roap::Transport& transport);
+
+ private:
+  DrmAgent& agent_;
+  std::uint64_t now_;
+  State state_ = State::kStart;
+  DrmAgent::PendingRegistration pending_;
+};
+
+/// 2-pass RO acquisition: RORequest → ROResponse against an established
+/// RI context.
+class AcquisitionSession {
+ public:
+  enum class State : std::uint8_t {
+    kStart,
+    kAwaitResponse,
+    kComplete,
+    kFailed,
+  };
+
+  AcquisitionSession(DrmAgent& agent, std::string ri_id, std::string ro_id,
+                     std::uint64_t now);
+
+  State state() const { return state_; }
+
+  /// Revalidates the RI context (cached chain verdict) and returns the
+  /// signed RORequest.
+  Result<roap::Envelope> request();
+  /// Verifies the ROResponse (context revalidation, nonce binding,
+  /// signature) and yields the protected RO.
+  Result<roap::ProtectedRo> conclude(const roap::Envelope& response);
+  Result<roap::ProtectedRo> conclude(const roap::RoResponse& response);
+
+  Result<roap::ProtectedRo> run(roap::Transport& transport);
+
+ private:
+  DrmAgent& agent_;
+  std::string ri_id_;
+  std::string ro_id_;
+  std::uint64_t now_;
+  State state_ = State::kStart;
+  Bytes device_nonce_;
+};
+
+/// 2-pass domain membership change (join or leave). On a successful
+/// leave the agent discards K_D and uninstalls that domain's ROs.
+class DomainSession {
+ public:
+  enum class Kind : std::uint8_t { kJoin, kLeave };
+  enum class State : std::uint8_t {
+    kStart,
+    kAwaitResponse,
+    kComplete,
+    kFailed,
+  };
+
+  DomainSession(DrmAgent& agent, Kind kind, std::string ri_id,
+                std::string domain_id, std::uint64_t now);
+
+  Kind kind() const { return kind_; }
+  State state() const { return state_; }
+
+  Result<roap::Envelope> request();
+  Result<> conclude(const roap::Envelope& response);
+
+  Result<> run(roap::Transport& transport);
+
+ private:
+  DrmAgent& agent_;
+  Kind kind_;
+  std::string ri_id_;
+  std::string domain_id_;
+  std::uint64_t now_;
+  State state_ = State::kStart;
+  Bytes device_nonce_;
+};
+
+}  // namespace omadrm::agent

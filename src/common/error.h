@@ -19,6 +19,7 @@ enum class ErrorKind {
   kProtocol,  // ROAP / DRM state machine misuse
   kState,     // object used before initialization or after invalidation
   kNotFound,  // lookup failure for a required entity
+  kTransport, // envelope lost / peer unreachable at the wire boundary
 };
 
 /// Converts an ErrorKind to a stable human-readable tag ("format", ...).
@@ -44,6 +45,7 @@ inline const char* to_string(ErrorKind kind) {
     case ErrorKind::kProtocol: return "protocol";
     case ErrorKind::kState: return "state";
     case ErrorKind::kNotFound: return "not-found";
+    case ErrorKind::kTransport: return "transport";
   }
   return "unknown";
 }

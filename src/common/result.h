@@ -1,0 +1,123 @@
+// Unified rich outcome type.
+//
+// `Result<T>` carries a StatusCode plus a human-readable context string
+// ("RI reported access-denied for domain:home"), and — on success — a
+// value. It replaces the bare status enums at every protocol boundary:
+// sessions, transports, and the DrmAgent conveniences all speak Result.
+//
+// Conventions:
+//   - `Result<T>` is ok iff code() == StatusCode::kOk; ok results always
+//     hold a value, failures never do (enforced at construction).
+//   - Accessing the value of a failed result throws omadrm::Error(kState)
+//     — a contract violation, mirroring std::optional-misuse semantics.
+//   - `operator==(StatusCode)` compares the code only, so tests and
+//     callers can write `if (r == StatusCode::kOk)` / EXPECT_EQ directly.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "common/status.h"
+
+namespace omadrm {
+
+namespace detail {
+
+class ResultBase {
+ public:
+  StatusCode code() const { return code_; }
+  const std::string& context() const { return context_; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  /// "access-denied: RI reported AccessDenied for domain:home"
+  std::string describe() const {
+    std::string out = omadrm::to_string(code_);
+    if (!context_.empty()) {
+      out += ": ";
+      out += context_;
+    }
+    return out;
+  }
+
+ protected:
+  ResultBase(StatusCode code, std::string context)
+      : code_(code), context_(std::move(context)) {}
+
+  StatusCode code_;
+  std::string context_;
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Result;
+
+/// Value-free outcome (status + context only).
+template <>
+class [[nodiscard]] Result<void> : public detail::ResultBase {
+ public:
+  /// Success.
+  Result() : ResultBase(StatusCode::kOk, {}) {}
+  /// Any outcome; usually a failure code plus what went wrong.
+  explicit Result(StatusCode code, std::string context = {})
+      : ResultBase(code, std::move(context)) {}
+};
+
+template <typename T>
+class [[nodiscard]] Result : public detail::ResultBase {
+ public:
+  /// Success carrying a value.
+  Result(T value) : ResultBase(StatusCode::kOk, {}), value_(std::move(value)) {}
+
+  /// Failure. Claiming kOk without a value is a contract violation.
+  explicit Result(StatusCode code, std::string context = {})
+      : ResultBase(code, std::move(context)) {
+    if (code == StatusCode::kOk) {
+      throw Error(ErrorKind::kState, "Result: kOk requires a value");
+    }
+  }
+
+  const T& value() const& { return require(); }
+  T& value() & { return const_cast<T&>(require()); }
+  T&& value() && { return std::move(const_cast<T&>(require())); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  const T& require() const {
+    if (!value_) {
+      throw Error(ErrorKind::kState,
+                  "Result: value of failed result accessed (" + describe() +
+                      ")");
+    }
+    return *value_;
+  }
+
+  std::optional<T> value_;
+};
+
+template <typename T>
+bool operator==(const Result<T>& r, StatusCode code) {
+  return r.code() == code;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Result<T>& r) {
+  return os << r.describe();
+}
+
+/// Rebuilds a failure as a Result of another value type (code + context
+/// carry over). Only meaningful for failed results.
+template <typename To, typename From>
+Result<To> propagate(const Result<From>& failed) {
+  return Result<To>(failed.code(), failed.context());
+}
+
+}  // namespace omadrm

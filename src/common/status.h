@@ -1,0 +1,85 @@
+// Unified outcome codes for the whole protocol stack.
+//
+// Historically the DRM Agent reported `agent::AgentStatus` while ROAP
+// messages carried `roap::Status`; every caller had to juggle both raw
+// enums. `StatusCode` merges them into one code space used by
+// `omadrm::Result<T>` (common/result.h): agent-local preconditions,
+// peer-reported protocol statuses, verification failures, and the
+// transport-boundary failures introduced by the serialized wire seam.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace omadrm {
+
+enum class StatusCode : std::uint8_t {
+  kOk,
+
+  // -- agent-local preconditions ------------------------------------------
+  kNotProvisioned,       // no device certificate installed yet
+  kNoRiContext,          // interaction attempted before registration
+  kRiContextExpired,     // RI certificate no longer valid
+
+  // -- peer-reported ROAP statuses (mirrors roap::Status) -----------------
+  kRiAborted,            // peer answered with a generic Abort
+  kNotRegistered,        // peer does not know this device
+  kUnknownRoId,          // no such license on offer
+  kAccessDenied,         // e.g. not a member of the requested domain
+
+  // -- verification failures ----------------------------------------------
+  kNonceMismatch,        // response not bound to our request
+  kSignatureInvalid,     // a ROAP message signature failed
+  kCertificateInvalid,   // certificate failed validation
+  kOcspInvalid,          // stapled OCSP response failed validation
+  kCertificateRevoked,   // OCSP reports the certificate revoked
+  kUnwrapFailed,         // AES-UNWRAP integrity failure (wrong key / tamper)
+  kMacMismatch,          // Rights Object MAC check failed
+  kRoSignatureInvalid,   // RO signature missing/invalid (domain ROs)
+
+  // -- agent-local state ---------------------------------------------------
+  kNoDomainKey,          // domain RO but device has no K_D
+  kNotInstalled,         // no installed RO for the content
+  kDcfHashMismatch,      // DCF integrity check failed
+  kPermissionDenied,     // REL constraint evaluation denied the access
+
+  // -- transport boundary --------------------------------------------------
+  kTransportFailure,     // envelope lost in transit / peer unreachable
+  kMalformedMessage,     // reply did not parse as a ROAP document
+  kUnexpectedMessage,    // parsed, but not the message the session awaits
+};
+
+inline const char* to_string(StatusCode s) {
+  switch (s) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kNotProvisioned: return "not-provisioned";
+    case StatusCode::kNoRiContext: return "no-ri-context";
+    case StatusCode::kRiContextExpired: return "ri-context-expired";
+    case StatusCode::kRiAborted: return "ri-aborted";
+    case StatusCode::kNotRegistered: return "not-registered";
+    case StatusCode::kUnknownRoId: return "unknown-ro-id";
+    case StatusCode::kAccessDenied: return "access-denied";
+    case StatusCode::kNonceMismatch: return "nonce-mismatch";
+    case StatusCode::kSignatureInvalid: return "signature-invalid";
+    case StatusCode::kCertificateInvalid: return "certificate-invalid";
+    case StatusCode::kOcspInvalid: return "ocsp-invalid";
+    case StatusCode::kCertificateRevoked: return "certificate-revoked";
+    case StatusCode::kUnwrapFailed: return "unwrap-failed";
+    case StatusCode::kMacMismatch: return "mac-mismatch";
+    case StatusCode::kRoSignatureInvalid: return "ro-signature-invalid";
+    case StatusCode::kNoDomainKey: return "no-domain-key";
+    case StatusCode::kNotInstalled: return "not-installed";
+    case StatusCode::kDcfHashMismatch: return "dcf-hash-mismatch";
+    case StatusCode::kPermissionDenied: return "permission-denied";
+    case StatusCode::kTransportFailure: return "transport-failure";
+    case StatusCode::kMalformedMessage: return "malformed-message";
+    case StatusCode::kUnexpectedMessage: return "unexpected-message";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, StatusCode s) {
+  return os << to_string(s);
+}
+
+}  // namespace omadrm

@@ -67,6 +67,9 @@ void Sha1::update(ByteView data) {
   if (finished_) {
     throw Error(ErrorKind::kState, "Sha1::update after finish");
   }
+  // An empty view may carry a null data() (e.g. a default-constructed
+  // span); bail before handing it to memcpy, which requires non-null.
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -7,6 +7,7 @@
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/transport.h"
 
 namespace omadrm::model {
 
@@ -87,31 +88,31 @@ UseCaseReport run_use_case(const UseCaseSpec& spec,
   agent::DrmAgent device("device-01", ca.root_certificate(), terminal_crypto,
                          rng);
   device.provision(ca.issue("device-01", device.public_key(), validity, rng));
+  roap::InProcessTransport transport(ri, now);
 
   // -- Phase 1: Registration (+ domain join when applicable) ----------------
   {
     CycleLedger::PhaseScope phase(ledger, Phase::kRegistration);
-    ensure(device.register_with(ri, now) == agent::AgentStatus::kOk,
-           "registration");
+    ensure(device.register_with(transport, now).ok(), "registration");
     if (spec.domain_ro) {
-      ensure(device.join_domain(ri, offer.domain_id, now) ==
-                 agent::AgentStatus::kOk,
+      ensure(device.join_domain(transport, ri.ri_id(), offer.domain_id, now)
+                 .ok(),
              "join domain");
     }
   }
 
   // -- Phase 2: Acquisition ---------------------------------------------------
-  agent::AcquireResult acquired;
+  Result<roap::ProtectedRo> acquired(StatusCode::kNoRiContext);
   {
     CycleLedger::PhaseScope phase(ledger, Phase::kAcquisition);
-    acquired = device.acquire_ro(ri, offer.ro_id, now);
-    ensure(acquired.status == agent::AgentStatus::kOk, "acquisition");
+    acquired = device.acquire_ro(transport, ri.ri_id(), offer.ro_id, now);
+    ensure(acquired.ok(), "acquisition");
   }
 
   // -- Phase 3: Installation --------------------------------------------------
   {
     CycleLedger::PhaseScope phase(ledger, Phase::kInstallation);
-    ensure(device.install_ro(*acquired.ro, now) == agent::AgentStatus::kOk,
+    ensure(device.install_ro(*acquired, now) == agent::AgentStatus::kOk,
            "installation");
   }
 

@@ -96,8 +96,35 @@ bool RightsIssuer::is_registered(const std::string& device_id) const {
   return devices_.count(device_id) > 0;
 }
 
-roap::RiHello RightsIssuer::handle_device_hello(
-    const roap::DeviceHello& hello) {
+void RightsIssuer::expire_sessions(std::uint64_t now) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now >= it->second.created_at &&
+        now - it->second.created_at > kPendingSessionTtl) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+roap::RiHello RightsIssuer::on_device_hello(const roap::DeviceHello& hello,
+                                            std::uint64_t now) {
+  // Garbage-collect abandoned handshakes, then supersede any pending
+  // session of this same device: only its newest hello stays live.
+  // DeviceHello is unauthenticated (nothing in pass 1 is signed, per the
+  // protocol), so a peer spoofing another device's id can abort that
+  // device's in-flight handshake — the deliberate tradeoff for bounding
+  // per-device pending state to one entry; the aborted device just
+  // restarts from DeviceHello. Real authentication lands in pass 3.
+  expire_sessions(now);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.device_id == hello.device_id) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   roap::RiHello out;
   out.ri_id = ri_id_;
   out.session_id = ri_id_ + "-session-" + std::to_string(next_session_++);
@@ -106,24 +133,28 @@ roap::RiHello RightsIssuer::handle_device_hello(
   out.algorithms = {"SHA-1", "HMAC-SHA1", "AES-128-CBC", "AES-WRAP",
                     "RSA-1024", "RSA-PSS", "KDF2"};
   out.ri_nonce = rng_.bytes(roap::kNonceLen);
-  sessions_[out.session_id] = out.ri_nonce;
-  (void)hello;
+  sessions_[out.session_id] =
+      PendingSession{out.ri_nonce, hello.device_id, now};
   return out;
 }
 
-roap::RegistrationResponse RightsIssuer::handle_registration_request(
+roap::RegistrationResponse RightsIssuer::on_registration_request(
     const roap::RegistrationRequest& request, std::uint64_t now) {
   roap::RegistrationResponse out;
   out.session_id = request.session_id;
   out.ri_id = ri_id_;
   out.ri_url = url_;
 
+  expire_sessions(now);
   auto session = sessions_.find(request.session_id);
   if (session == sessions_.end() ||
-      !ct_equal(session->second, request.ri_nonce)) {
+      !ct_equal(session->second.ri_nonce, request.ri_nonce)) {
     out.status = Status::kAbort;
     return out;
   }
+  // The handshake is consumed one-shot: whatever the outcome below, a
+  // retry must restart from DeviceHello with fresh nonces.
+  sessions_.erase(session);
 
   // Verify the device certificate chain and the message signature.
   pki::Certificate device_cert;
@@ -163,7 +194,6 @@ roap::RegistrationResponse RightsIssuer::handle_registration_request(
   }
 
   devices_[request.device_id] = device_cert;
-  sessions_.erase(session);
 
   // Staple a fresh OCSP response for our own certificate, bound to the
   // nonce the device supplied.
@@ -218,7 +248,7 @@ roap::ProtectedRo RightsIssuer::build_protected_ro(
   return ro;
 }
 
-roap::RoResponse RightsIssuer::handle_ro_request(
+roap::RoResponse RightsIssuer::on_ro_request(
     const roap::RoRequest& request, std::uint64_t now) {
   (void)now;
   roap::RoResponse out;
@@ -261,11 +291,12 @@ roap::RoResponse RightsIssuer::handle_ro_request(
   return out;
 }
 
-roap::JoinDomainResponse RightsIssuer::handle_join_domain(
+roap::JoinDomainResponse RightsIssuer::on_join_domain(
     const roap::JoinDomainRequest& request, std::uint64_t now) {
   (void)now;
   roap::JoinDomainResponse out;
   out.domain_id = request.domain_id;
+  out.device_nonce = request.device_nonce;
 
   auto device = devices_.find(request.device_id);
   if (device == devices_.end()) {
@@ -304,7 +335,7 @@ roap::JoinDomainResponse RightsIssuer::handle_join_domain(
   return out;
 }
 
-roap::LeaveDomainResponse RightsIssuer::handle_leave_domain(
+roap::LeaveDomainResponse RightsIssuer::on_leave_domain(
     const roap::LeaveDomainRequest& request, std::uint64_t now) {
   (void)now;
   roap::LeaveDomainResponse out;
@@ -334,37 +365,36 @@ roap::LeaveDomainResponse RightsIssuer::handle_leave_domain(
   return out;
 }
 
+roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
+                                    std::uint64_t now) {
+  using roap::Envelope;
+  using roap::MessageType;
+  switch (request.type()) {
+    case MessageType::kDeviceHello:
+      return Envelope::wrap(
+          on_device_hello(request.open<roap::DeviceHello>(), now));
+    case MessageType::kRegistrationRequest:
+      return Envelope::wrap(on_registration_request(
+          request.open<roap::RegistrationRequest>(), now));
+    case MessageType::kRoRequest:
+      return Envelope::wrap(
+          on_ro_request(request.open<roap::RoRequest>(), now));
+    case MessageType::kJoinDomainRequest:
+      return Envelope::wrap(
+          on_join_domain(request.open<roap::JoinDomainRequest>(), now));
+    case MessageType::kLeaveDomainRequest:
+      return Envelope::wrap(
+          on_leave_domain(request.open<roap::LeaveDomainRequest>(), now));
+    default:
+      throw Error(ErrorKind::kProtocol,
+                  std::string("ri: ") + roap::to_string(request.type()) +
+                      " is not a request message");
+  }
+}
+
 std::string RightsIssuer::handle_wire(const std::string& request_xml,
                                       std::uint64_t now) {
-  xml::Element doc = xml::parse(request_xml);
-  const std::string& root = doc.name();
-  if (root == "roap:deviceHello") {
-    return handle_device_hello(roap::DeviceHello::from_xml(doc))
-        .to_xml()
-        .serialize();
-  }
-  if (root == "roap:registrationRequest") {
-    return handle_registration_request(
-               roap::RegistrationRequest::from_xml(doc), now)
-        .to_xml()
-        .serialize();
-  }
-  if (root == "roap:roRequest") {
-    return handle_ro_request(roap::RoRequest::from_xml(doc), now)
-        .to_xml()
-        .serialize();
-  }
-  if (root == "roap:joinDomainRequest") {
-    return handle_join_domain(roap::JoinDomainRequest::from_xml(doc), now)
-        .to_xml()
-        .serialize();
-  }
-  if (root == "roap:leaveDomainRequest") {
-    return handle_leave_domain(roap::LeaveDomainRequest::from_xml(doc), now)
-        .to_xml()
-        .serialize();
-  }
-  throw Error(ErrorKind::kFormat, "ri: unknown ROAP message <" + root + ">");
+  return handle(roap::Envelope::from_wire(request_xml), now).wire();
 }
 
 }  // namespace omadrm::ri

@@ -21,6 +21,7 @@
 #include "pki/chain.h"
 #include "provider/provider.h"
 #include "rel/rights.h"
+#include "roap/envelope.h"
 #include "roap/messages.h"
 
 namespace omadrm::ri {
@@ -91,24 +92,29 @@ class RightsIssuer {
   roap::RoAcquisitionTrigger make_trigger(const std::string& ro_id) const;
 
   // -- ROAP server side -----------------------------------------------------
-  roap::RiHello handle_device_hello(const roap::DeviceHello& hello);
-  roap::RegistrationResponse handle_registration_request(
-      const roap::RegistrationRequest& request, std::uint64_t now);
-  roap::RoResponse handle_ro_request(const roap::RoRequest& request,
-                                     std::uint64_t now);
-  roap::JoinDomainResponse handle_join_domain(
-      const roap::JoinDomainRequest& request, std::uint64_t now);
-  roap::LeaveDomainResponse handle_leave_domain(
-      const roap::LeaveDomainRequest& request, std::uint64_t now);
+  // One uniform dispatch surface serves every agent; the per-message
+  // handlers are private. A transport (HTTP in deployments,
+  // roap::InProcessTransport in tests/benches, a proxy device for the
+  // standard's Unconnected Devices) delivers request envelopes here.
 
-  /// Wire-level entry point: takes any serialized ROAP request document,
-  /// dispatches on its root element, and returns the serialized response.
-  /// This is the interface a transport (HTTP in deployments, a proxy
-  /// device for the standard's Unconnected Devices) talks to. Throws
+  /// Protocol entry point: dispatches any ROAP request envelope and
+  /// returns the response envelope. Throws omadrm::Error(kProtocol) when
+  /// the envelope is not a request message (a response or trigger), and
+  /// omadrm::Error(kFormat) when its content is malformed.
+  roap::Envelope handle(const roap::Envelope& request, std::uint64_t now);
+
+  /// Raw-bytes entry point: parses the serialized request document,
+  /// dispatches it, and returns the serialized response. Throws
   /// omadrm::Error(kFormat) on unparseable input or unknown message types.
   std::string handle_wire(const std::string& request_xml, std::uint64_t now);
 
   bool is_registered(const std::string& device_id) const;
+
+  /// Registration handshakes currently awaiting their RegistrationRequest.
+  /// Bounded: entries expire kPendingSessionTtl seconds after the
+  /// DeviceHello, are superseded by a newer hello from the same device,
+  /// and are consumed (success or failure) by the RegistrationRequest.
+  std::size_t pending_session_count() const { return sessions_.size(); }
 
   /// When true, Device ROs are also RI-signed (allowed but not mandated by
   /// the standard; the paper notes the signature "is mandatory only for
@@ -116,6 +122,21 @@ class RightsIssuer {
   void set_sign_device_ros(bool v) { sign_device_ros_ = v; }
 
  private:
+  roap::RiHello on_device_hello(const roap::DeviceHello& hello,
+                                std::uint64_t now);
+  roap::RegistrationResponse on_registration_request(
+      const roap::RegistrationRequest& request, std::uint64_t now);
+  roap::RoResponse on_ro_request(const roap::RoRequest& request,
+                                 std::uint64_t now);
+  roap::JoinDomainResponse on_join_domain(
+      const roap::JoinDomainRequest& request, std::uint64_t now);
+  roap::LeaveDomainResponse on_leave_domain(
+      const roap::LeaveDomainRequest& request, std::uint64_t now);
+
+  /// Drops pending registration sessions whose DeviceHello is older than
+  /// kPendingSessionTtl.
+  void expire_sessions(std::uint64_t now);
+
   roap::ProtectedRo build_protected_ro(const LicenseOffer& offer,
                                        const rsa::PublicKey& device_key);
 
@@ -130,11 +151,24 @@ class RightsIssuer {
   pki::ChainVerifier device_chain_verifier_;
   bool sign_device_ros_ = false;
 
-  std::map<std::string, Bytes> sessions_;             // session id -> RI nonce
+  /// One in-flight registration handshake (between RIHello and
+  /// RegistrationRequest).
+  struct PendingSession {
+    Bytes ri_nonce;
+    std::string device_id;
+    std::uint64_t created_at = 0;
+  };
+
+  std::map<std::string, PendingSession> sessions_;    // by session id
   std::map<std::string, pki::Certificate> devices_;   // registered agents
   std::map<std::string, LicenseOffer> offers_;        // ro id -> offer
   std::map<std::string, Domain> domains_;
   std::uint64_t next_session_ = 1;
 };
+
+/// How long an RI keeps a pending registration session alive while
+/// waiting for the RegistrationRequest (seconds). Abandoned handshakes —
+/// dropped envelopes, crashed devices — are garbage-collected past this.
+inline constexpr std::uint64_t kPendingSessionTtl = 600;
 
 }  // namespace omadrm::ri

@@ -1,0 +1,82 @@
+#include "roap/envelope.h"
+
+namespace omadrm::roap {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kDeviceHello: return "DeviceHello";
+    case MessageType::kRiHello: return "RIHello";
+    case MessageType::kRegistrationRequest: return "RegistrationRequest";
+    case MessageType::kRegistrationResponse: return "RegistrationResponse";
+    case MessageType::kRoRequest: return "RORequest";
+    case MessageType::kRoResponse: return "ROResponse";
+    case MessageType::kJoinDomainRequest: return "JoinDomainRequest";
+    case MessageType::kJoinDomainResponse: return "JoinDomainResponse";
+    case MessageType::kLeaveDomainRequest: return "LeaveDomainRequest";
+    case MessageType::kLeaveDomainResponse: return "LeaveDomainResponse";
+    case MessageType::kRoAcquisitionTrigger: return "ROAcquisitionTrigger";
+  }
+  return "?";
+}
+
+const char* root_element(MessageType t) {
+  switch (t) {
+    case MessageType::kDeviceHello: return "roap:deviceHello";
+    case MessageType::kRiHello: return "roap:riHello";
+    case MessageType::kRegistrationRequest: return "roap:registrationRequest";
+    case MessageType::kRegistrationResponse:
+      return "roap:registrationResponse";
+    case MessageType::kRoRequest: return "roap:roRequest";
+    case MessageType::kRoResponse: return "roap:roResponse";
+    case MessageType::kJoinDomainRequest: return "roap:joinDomainRequest";
+    case MessageType::kJoinDomainResponse: return "roap:joinDomainResponse";
+    case MessageType::kLeaveDomainRequest: return "roap:leaveDomainRequest";
+    case MessageType::kLeaveDomainResponse:
+      return "roap:leaveDomainResponse";
+    case MessageType::kRoAcquisitionTrigger:
+      return "roap:roAcquisitionTrigger";
+  }
+  return "?";
+}
+
+bool is_request(MessageType t) {
+  switch (t) {
+    case MessageType::kDeviceHello:
+    case MessageType::kRegistrationRequest:
+    case MessageType::kRoRequest:
+    case MessageType::kJoinDomainRequest:
+    case MessageType::kLeaveDomainRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+constexpr MessageType kAllTypes[] = {
+    MessageType::kDeviceHello,         MessageType::kRiHello,
+    MessageType::kRegistrationRequest, MessageType::kRegistrationResponse,
+    MessageType::kRoRequest,           MessageType::kRoResponse,
+    MessageType::kJoinDomainRequest,   MessageType::kJoinDomainResponse,
+    MessageType::kLeaveDomainRequest,  MessageType::kLeaveDomainResponse,
+    MessageType::kRoAcquisitionTrigger,
+};
+
+}  // namespace
+
+Envelope Envelope::from_wire(std::string wire) {
+  xml::Element doc = xml::parse(wire);  // throws kFormat when mangled
+  for (MessageType t : kAllTypes) {
+    if (doc.name() == root_element(t)) {
+      return Envelope(t, std::move(wire), std::move(doc));
+    }
+  }
+  throw Error(ErrorKind::kFormat,
+              "roap: unknown message <" + doc.name() + ">");
+}
+
+}  // namespace omadrm::roap

@@ -1,0 +1,126 @@
+// ROAP wire envelope — the unit a Transport carries.
+//
+// An Envelope is a type tag plus the *serialized* XML document of exactly
+// one ROAP message (the parsed DOM rides along so each document is
+// parsed exactly once per hop). Wrapping serializes; opening decodes the
+// typed message. Because every envelope holds wire bytes (never a live
+// message object), anything that crosses a Transport has by construction
+// survived a full serialize→parse round trip — the seam where a real
+// network, a proxy device, or a fault injector can sit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "roap/messages.h"
+#include "xml/xml.h"
+
+namespace omadrm::roap {
+
+enum class MessageType : std::uint8_t {
+  kDeviceHello,
+  kRiHello,
+  kRegistrationRequest,
+  kRegistrationResponse,
+  kRoRequest,
+  kRoResponse,
+  kJoinDomainRequest,
+  kJoinDomainResponse,
+  kLeaveDomainRequest,
+  kLeaveDomainResponse,
+  kRoAcquisitionTrigger,
+};
+
+/// "RegistrationRequest", ... (stable, human-oriented).
+const char* to_string(MessageType t);
+/// The XML root element carrying this type ("roap:registrationRequest").
+const char* root_element(MessageType t);
+/// True for the five client→RI request documents an RI can serve.
+bool is_request(MessageType t);
+
+/// Compile-time message↔type mapping; specialized for every ROAP message.
+template <typename Msg>
+struct MessageTraits;
+
+template <> struct MessageTraits<DeviceHello> {
+  static constexpr MessageType kType = MessageType::kDeviceHello;
+};
+template <> struct MessageTraits<RiHello> {
+  static constexpr MessageType kType = MessageType::kRiHello;
+};
+template <> struct MessageTraits<RegistrationRequest> {
+  static constexpr MessageType kType = MessageType::kRegistrationRequest;
+};
+template <> struct MessageTraits<RegistrationResponse> {
+  static constexpr MessageType kType = MessageType::kRegistrationResponse;
+};
+template <> struct MessageTraits<RoRequest> {
+  static constexpr MessageType kType = MessageType::kRoRequest;
+};
+template <> struct MessageTraits<RoResponse> {
+  static constexpr MessageType kType = MessageType::kRoResponse;
+};
+template <> struct MessageTraits<JoinDomainRequest> {
+  static constexpr MessageType kType = MessageType::kJoinDomainRequest;
+};
+template <> struct MessageTraits<JoinDomainResponse> {
+  static constexpr MessageType kType = MessageType::kJoinDomainResponse;
+};
+template <> struct MessageTraits<LeaveDomainRequest> {
+  static constexpr MessageType kType = MessageType::kLeaveDomainRequest;
+};
+template <> struct MessageTraits<LeaveDomainResponse> {
+  static constexpr MessageType kType = MessageType::kLeaveDomainResponse;
+};
+template <> struct MessageTraits<RoAcquisitionTrigger> {
+  static constexpr MessageType kType = MessageType::kRoAcquisitionTrigger;
+};
+
+class Envelope {
+ public:
+  Envelope() = default;
+
+  /// Serializes a message into its envelope.
+  template <typename Msg>
+  static Envelope wrap(const Msg& msg) {
+    xml::Element doc = msg.to_xml();
+    std::string wire = doc.serialize();
+    return Envelope(MessageTraits<Msg>::kType, std::move(wire),
+                    std::move(doc));
+  }
+
+  /// Parses raw wire bytes: must be a well-formed XML document whose root
+  /// element is a known ROAP message. Throws omadrm::Error(kFormat)
+  /// otherwise. The original bytes are kept verbatim.
+  static Envelope from_wire(std::string wire);
+
+  MessageType type() const { return type_; }
+  /// The serialized XML document.
+  const std::string& wire() const { return wire_; }
+  std::size_t size() const { return wire_.size(); }
+
+  /// Decodes the document as the given message type. Throws
+  /// omadrm::Error(kProtocol) when the envelope holds a different type,
+  /// omadrm::Error(kFormat) when the document's content is malformed.
+  template <typename Msg>
+  Msg open() const {
+    if (type_ != MessageTraits<Msg>::kType) {
+      throw Error(ErrorKind::kProtocol,
+                  std::string("roap: envelope holds ") + to_string(type_) +
+                      ", expected " +
+                      to_string(MessageTraits<Msg>::kType));
+    }
+    return Msg::from_xml(doc_);
+  }
+
+ private:
+  Envelope(MessageType type, std::string wire, xml::Element doc)
+      : type_(type), wire_(std::move(wire)), doc_(std::move(doc)) {}
+
+  MessageType type_ = MessageType::kDeviceHello;
+  std::string wire_;
+  xml::Element doc_;  // the parse of wire_, kept so open() never re-parses
+};
+
+}  // namespace omadrm::roap

@@ -7,6 +7,7 @@ namespace omadrm::roap {
 
 using omadrm::Error;
 using omadrm::ErrorKind;
+using omadrm::StatusCode;
 using xml::Element;
 
 const char* to_string(Status s) {
@@ -19,6 +20,18 @@ const char* to_string(Status s) {
     case Status::kAccessDenied: return "AccessDenied";
   }
   return "Abort";
+}
+
+omadrm::StatusCode status_code(Status s) {
+  switch (s) {
+    case Status::kSuccess: return StatusCode::kOk;
+    case Status::kAbort: return StatusCode::kRiAborted;
+    case Status::kNotRegistered: return StatusCode::kNotRegistered;
+    case Status::kSignatureInvalid: return StatusCode::kSignatureInvalid;
+    case Status::kUnknownRoId: return StatusCode::kUnknownRoId;
+    case Status::kAccessDenied: return StatusCode::kAccessDenied;
+  }
+  return StatusCode::kRiAborted;
 }
 
 Status status_from_string(const std::string& s) {
@@ -359,6 +372,7 @@ Element JoinDomainResponse::to_xml() const {
   e.set_attr("status", to_string(status));
   e.add_text_child("roap:domainID", domain_id);
   e.add_text_child("roap:generation", std::to_string(generation));
+  add_b64(e, "roap:deviceNonce", device_nonce);
   add_b64(e, "roap:domainKey", wrapped_domain_key);
   if (!signature.empty()) add_b64(e, "roap:signature", signature);
   return e;
@@ -377,6 +391,7 @@ JoinDomainResponse JoinDomainResponse::from_xml(const Element& e) {
   out.status = status_from_string(e.require_attr("status"));
   out.domain_id = e.child_text("roap:domainID");
   out.generation = parse_u32(e.child_text("roap:generation"));
+  out.device_nonce = get_b64_optional(e, "roap:deviceNonce");
   out.wrapped_domain_key = get_b64(e, "roap:domainKey");
   out.signature = get_b64_optional(e, "roap:signature");
   return out;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/status.h"
 #include "rel/rights.h"
 #include "xml/xml.h"
 
@@ -39,6 +40,12 @@ enum class Status : std::uint8_t {
 
 const char* to_string(Status s);
 Status status_from_string(const std::string& s);
+
+/// Maps a wire-level status into the unified code space of
+/// omadrm::StatusCode (kSuccess -> kOk, kAbort -> kRiAborted, the rest
+/// one-to-one). Callers attach direction context ("reported by RI") via
+/// Result's context string.
+omadrm::StatusCode status_code(Status s);
 
 // ---------------------------------------------------------------------------
 // Protected Rights Object (paper Figure 2/3): rights + C = C1‖C2 + MAC +
@@ -69,6 +76,7 @@ struct ProtectedRo {
   /// Canonical bytes covered by the RI signature (mac_payload + mac).
   Bytes signed_payload() const;
 
+  bool operator==(const ProtectedRo&) const = default;
   xml::Element to_xml() const;
   static ProtectedRo from_xml(const xml::Element& e);
 };
@@ -81,6 +89,7 @@ struct DeviceHello {
   std::vector<std::string> algorithms;  // advertised capabilities
   Bytes device_nonce;
 
+  bool operator==(const DeviceHello&) const = default;
   xml::Element to_xml() const;
   static DeviceHello from_xml(const xml::Element& e);
 };
@@ -92,6 +101,7 @@ struct RiHello {
   std::vector<std::string> algorithms;  // selected algorithms
   Bytes ri_nonce;
 
+  bool operator==(const RiHello&) const = default;
   xml::Element to_xml() const;
   static RiHello from_xml(const xml::Element& e);
 };
@@ -107,6 +117,7 @@ struct RegistrationRequest {
 
   /// Bytes the signature covers (message without <signature>).
   Bytes payload() const;
+  bool operator==(const RegistrationRequest&) const = default;
   xml::Element to_xml() const;
   static RegistrationRequest from_xml(const xml::Element& e);
 };
@@ -125,6 +136,7 @@ struct RegistrationResponse {
   Bytes signature;
 
   Bytes payload() const;
+  bool operator==(const RegistrationResponse&) const = default;
   xml::Element to_xml() const;
   static RegistrationResponse from_xml(const xml::Element& e);
 };
@@ -141,6 +153,7 @@ struct RoRequest {
   Bytes signature;
 
   Bytes payload() const;
+  bool operator==(const RoRequest&) const = default;
   xml::Element to_xml() const;
   static RoRequest from_xml(const xml::Element& e);
 };
@@ -154,6 +167,7 @@ struct RoResponse {
   Bytes signature;
 
   Bytes payload() const;
+  bool operator==(const RoResponse&) const = default;
   xml::Element to_xml() const;
   static RoResponse from_xml(const xml::Element& e);
 };
@@ -169,6 +183,7 @@ struct JoinDomainRequest {
   Bytes signature;
 
   Bytes payload() const;
+  bool operator==(const JoinDomainRequest&) const = default;
   xml::Element to_xml() const;
   static JoinDomainRequest from_xml(const xml::Element& e);
 };
@@ -177,10 +192,12 @@ struct JoinDomainResponse {
   Status status = Status::kSuccess;
   std::string domain_id;
   std::uint32_t generation = 0;
+  Bytes device_nonce;        // echoed (freshness binding for the join)
   Bytes wrapped_domain_key;  // RSA-KEM C transporting K_D to the device
   Bytes signature;
 
   Bytes payload() const;
+  bool operator==(const JoinDomainResponse&) const = default;
   xml::Element to_xml() const;
   static JoinDomainResponse from_xml(const xml::Element& e);
 };
@@ -193,6 +210,7 @@ struct LeaveDomainRequest {
   Bytes signature;
 
   Bytes payload() const;
+  bool operator==(const LeaveDomainRequest&) const = default;
   xml::Element to_xml() const;
   static LeaveDomainRequest from_xml(const xml::Element& e);
 };
@@ -204,6 +222,7 @@ struct LeaveDomainResponse {
   Bytes signature;
 
   Bytes payload() const;
+  bool operator==(const LeaveDomainResponse&) const = default;
   xml::Element to_xml() const;
   static LeaveDomainResponse from_xml(const xml::Element& e);
 };
@@ -221,6 +240,7 @@ struct RoAcquisitionTrigger {
   std::string content_id;
   std::string domain_id;  // non-empty: a domain RO needing membership
 
+  bool operator==(const RoAcquisitionTrigger&) const = default;
   xml::Element to_xml() const;
   static RoAcquisitionTrigger from_xml(const xml::Element& e);
 };

@@ -1,0 +1,116 @@
+// Transport seam between DRM Agents and Rights Issuers.
+//
+// The agent side of the stack never holds a Rights Issuer object; it holds
+// a Transport, which carries one serialized request envelope to *some* RI
+// and brings back its serialized response. Implementations must treat
+// envelopes as opaque bytes — every trust decision (signatures, nonces,
+// certificates) stays on the endpoints, which is what lets the same agent
+// code run over an in-process loopback, an HTTP client, or a proxy device
+// relaying for an Unconnected Device.
+//
+//   InProcessTransport  loopback onto a local RightsIssuer's wire
+//                       dispatcher (the only component allowed to hold a
+//                       RightsIssuer& on an agent's behalf).
+//   FaultyTransport     decorator that drops / corrupts / delays /
+//                       reorders / replays envelopes, for network
+//                       simulation and robustness tests.
+//
+// A transport reports delivery failure by throwing
+// omadrm::Error(ErrorKind::kTransport); sessions translate that into
+// Result failures (StatusCode::kTransportFailure).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "roap/envelope.h"
+
+namespace omadrm::ri {
+class RightsIssuer;
+}
+
+namespace omadrm::roap {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Carries `request` to the Rights Issuer and returns its response.
+  /// Throws omadrm::Error(kTransport) when the exchange is lost and
+  /// omadrm::Error(kFormat) when the returned bytes do not parse.
+  virtual Envelope request(const Envelope& request) = 0;
+};
+
+class InProcessTransport final : public Transport {
+ public:
+  /// `now` models the server's clock (certificate validation, OCSP
+  /// production); advance it with set_now for time-travel tests.
+  InProcessTransport(ri::RightsIssuer& ri, std::uint64_t now);
+
+  void set_now(std::uint64_t now) { now_ = now; }
+  std::uint64_t now() const { return now_; }
+
+  Envelope request(const Envelope& request) override;
+
+ private:
+  ri::RightsIssuer& ri_;
+  std::uint64_t now_;
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  enum class Fault : std::uint8_t {
+    kNone,             // deliver honestly
+    kDropRequest,      // request never reaches the RI
+    kDropResponse,     // RI processes the request, response is lost
+    kCorruptRequest,   // request bytes mangled in transit
+    kCorruptResponse,  // response bytes mangled in transit
+    kReplayResponse,   // previous exchange's response returned again
+    kDelayResponse,    // response arrives one exchange late (reordering)
+  };
+
+  struct Stats {
+    std::size_t requests = 0;   // exchanges attempted
+    std::size_t delivered = 0;  // responses handed to the caller
+    std::size_t dropped = 0;
+    std::size_t corrupted = 0;
+    std::size_t replayed = 0;
+    std::size_t delayed = 0;
+  };
+
+  FaultyTransport(Transport& inner, Rng& rng);
+
+  /// Queues a one-shot fault consumed by the next request (FIFO). With an
+  /// empty queue the probabilistic rates below apply.
+  void inject(Fault fault);
+  /// Probability in [0,1] of dropping / corrupting an exchange when no
+  /// injected fault is pending.
+  void set_drop_rate(double p) { drop_rate_ = p; }
+  void set_corrupt_rate(double p) { corrupt_rate_ = p; }
+
+  /// Discards responses still queued by kDelayResponse — the network
+  /// "timing out" the stale packets so in-order delivery resumes.
+  void discard_delayed() { delayed_.clear(); }
+
+  const Stats& stats() const { return stats_; }
+
+  Envelope request(const Envelope& request) override;
+
+ private:
+  Fault next_fault();
+  std::string corrupt(std::string wire);
+
+  Transport& inner_;
+  Rng& rng_;
+  std::deque<Fault> injected_;
+  std::deque<Envelope> delayed_;
+  std::optional<Envelope> last_response_;
+  double drop_rate_ = 0;
+  double corrupt_rate_ = 0;
+  Stats stats_;
+};
+
+}  // namespace omadrm::roap

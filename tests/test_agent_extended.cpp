@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include "agent/drm_agent.h"
+#include "agent/sessions.h"
 #include "ci/content_issuer.h"
 #include "common/error.h"
 #include "common/random.h"
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/envelope.h"
+#include "roap/transport.h"
 
 namespace omadrm {
 namespace {
@@ -35,7 +38,10 @@ class AgentExtended : public ::testing::Test {
                                          provider::plain_provider(), *rng_);
     device_->provision(
         ca_->issue("device-01", device_->public_key(), kValidity, *rng_));
+    transport_ = std::make_unique<roap::InProcessTransport>(*ri_, kNow);
   }
+
+  roap::InProcessTransport& tx() { return *transport_; }
 
   dcf::Dcf setup_content(const std::string& tag, std::size_t size,
                          std::uint32_t count_limit = 0,
@@ -70,6 +76,7 @@ class AgentExtended : public ::testing::Test {
   std::unique_ptr<ci::ContentIssuer> ci_;
   std::unique_ptr<ri::RightsIssuer> ri_;
   std::unique_ptr<DrmAgent> device_;
+  std::unique_ptr<roap::InProcessTransport> transport_;
   Bytes content_;
 };
 
@@ -79,40 +86,40 @@ class AgentExtended : public ::testing::Test {
 
 TEST_F(AgentExtended, TriggerDrivesDeviceRoAcquisition) {
   dcf::Dcf dcf = setup_content("trig", 2000);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
 
   roap::RoAcquisitionTrigger trigger = ri_->make_trigger("ro:trig");
   EXPECT_EQ(trigger.content_id, dcf.headers().content_id);
   EXPECT_TRUE(trigger.domain_id.empty());
 
-  agent::AcquireResult acq = device_->handle_trigger(*ri_, trigger, kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  auto acq = device_->handle_trigger(tx(), trigger, kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 }
 
 TEST_F(AgentExtended, TriggerAutoJoinsDomain) {
   dcf::Dcf dcf = setup_content("trigdom", 2000, 0, /*domain_ro=*/true);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
   EXPECT_FALSE(device_->has_domain_key("domain:home"));
 
   roap::RoAcquisitionTrigger trigger = ri_->make_trigger("ro:trigdom");
   EXPECT_EQ(trigger.domain_id, "domain:home");
-  agent::AcquireResult acq = device_->handle_trigger(*ri_, trigger, kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  auto acq = device_->handle_trigger(tx(), trigger, kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
   EXPECT_TRUE(device_->has_domain_key("domain:home"));
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 }
 
 TEST_F(AgentExtended, TriggerFromUnknownRiRejected) {
   setup_content("trigri", 100);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
   roap::RoAcquisitionTrigger trigger = ri_->make_trigger("ro:trigri");
   trigger.ri_id = "rogue.example";
-  EXPECT_EQ(device_->handle_trigger(*ri_, trigger, kNow).status,
+  EXPECT_EQ(device_->handle_trigger(tx(), trigger, kNow),
             AgentStatus::kNoRiContext);
 }
 
@@ -126,39 +133,39 @@ TEST_F(AgentExtended, TriggerForUnknownOfferThrowsAtRi) {
 
 TEST_F(AgentExtended, LeaveDomainRemovesKeyAndDomainRos) {
   dcf::Dcf dcf = setup_content("leave", 1500, 0, /*domain_ro=*/true);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:leave", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:leave", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   ASSERT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 
-  ASSERT_EQ(device_->leave_domain(*ri_, "domain:home", kNow),
+  ASSERT_EQ(device_->leave_domain(tx(), "ri.example", "domain:home", kNow),
             AgentStatus::kOk);
   EXPECT_FALSE(device_->has_domain_key("domain:home"));
   EXPECT_EQ(device_->installed_count(), 0u);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kNotInstalled);
   // The RI no longer counts us as a member.
-  agent::AcquireResult again = device_->acquire_ro(*ri_, "ro:leave", kNow);
-  EXPECT_EQ(again.status, AgentStatus::kRiAborted);
+  auto again = device_->acquire_ro(tx(), "ri.example", "ro:leave", kNow);
+  EXPECT_EQ(again, AgentStatus::kAccessDenied);
 }
 
 TEST_F(AgentExtended, LeaveKeepsDeviceRosAndOtherDomains) {
   dcf::Dcf dev_dcf = setup_content("keepdev", 800);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult dev_acq = device_->acquire_ro(*ri_, "ro:keepdev", kNow);
-  ASSERT_EQ(dev_acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*dev_acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto dev_acq = device_->acquire_ro(tx(), "ri.example", "ro:keepdev", kNow);
+  ASSERT_EQ(dev_acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*dev_acq, kNow), AgentStatus::kOk);
 
   ri_->create_domain("domain:other");
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:other", kNow),
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:other", kNow),
             AgentStatus::kOk);
   ri_->create_domain("domain:gone");
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:gone", kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:gone", kNow), AgentStatus::kOk);
 
-  ASSERT_EQ(device_->leave_domain(*ri_, "domain:gone", kNow),
+  ASSERT_EQ(device_->leave_domain(tx(), "ri.example", "domain:gone", kNow),
             AgentStatus::kOk);
   EXPECT_TRUE(device_->has_domain_key("domain:other"));
   EXPECT_FALSE(device_->has_domain_key("domain:gone"));
@@ -168,17 +175,18 @@ TEST_F(AgentExtended, LeaveKeepsDeviceRosAndOtherDomains) {
 }
 
 TEST_F(AgentExtended, LeaveWithoutContextOrMembership) {
-  EXPECT_EQ(device_->leave_domain(*ri_, "domain:home", kNow),
+  EXPECT_EQ(device_->leave_domain(tx(), "ri.example", "domain:home", kNow),
             AgentStatus::kNoRiContext);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  EXPECT_EQ(device_->leave_domain(*ri_, "domain:nonexistent", kNow),
-            AgentStatus::kRiAborted);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  EXPECT_EQ(
+      device_->leave_domain(tx(), "ri.example", "domain:nonexistent", kNow),
+      AgentStatus::kAccessDenied);
 }
 
 TEST_F(AgentExtended, DomainUpgradeForcesRejoin) {
   dcf::Dcf dcf = setup_content("upgrade", 900, 0, /*domain_ro=*/true);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow), AgentStatus::kOk);
   EXPECT_EQ(*device_->domain_generation("domain:home"), 1u);
 
   // The RI rotates the domain key (e.g. a member was compromised).
@@ -186,113 +194,204 @@ TEST_F(AgentExtended, DomainUpgradeForcesRejoin) {
 
   // A new Domain RO is wrapped under generation 2; our key is stale.
   // (The RI also cleared membership, so first prove the membership gate.)
-  agent::AcquireResult gated = device_->acquire_ro(*ri_, "ro:upgrade", kNow);
-  EXPECT_EQ(gated.status, AgentStatus::kRiAborted);
+  auto gated = device_->acquire_ro(tx(), "ri.example", "ro:upgrade", kNow);
+  EXPECT_EQ(gated, AgentStatus::kAccessDenied);
 
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow), AgentStatus::kOk);
   EXPECT_EQ(*device_->domain_generation("domain:home"), 2u);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:upgrade", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  EXPECT_EQ(acq.ro->domain_generation, 2u);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:upgrade", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  EXPECT_EQ(acq->domain_generation, 2u);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 }
 
 TEST_F(AgentExtended, StaleGenerationKeyCannotInstallNewRo) {
   setup_content("stale", 700, 0, /*domain_ro=*/true);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow), AgentStatus::kOk);
 
   // A second member acquires an RO *after* the upgrade.
   DrmAgent second("device-02", ca_->root_certificate(),
                   provider::plain_provider(), *rng_);
   second.provision(
       ca_->issue("device-02", second.public_key(), kValidity, *rng_));
-  ASSERT_EQ(second.register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(second.register_with(tx(), kNow), AgentStatus::kOk);
   ri_->upgrade_domain("domain:home");
-  ASSERT_EQ(second.join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = second.acquire_ro(*ri_, "ro:stale", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(second.join_domain(tx(), "ri.example", "domain:home", kNow),
+            AgentStatus::kOk);
+  auto acq = second.acquire_ro(tx(), "ri.example", "ro:stale", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
 
   // device-01 still holds the generation-1 key: installation must be
   // refused with a re-join hint, not a garbage unwrap.
-  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kNoDomainKey);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
-  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kNoDomainKey);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow),
+            AgentStatus::kOk);
+  EXPECT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
 }
 
 // ---------------------------------------------------------------------------
 // Relayed ROAP (Unconnected Devices) and the wire dispatcher
 // ---------------------------------------------------------------------------
 
-TEST_F(AgentExtended, RelayedRoapOverWireDispatcher) {
+TEST_F(AgentExtended, RelayedRoapThroughSessionHalves) {
   dcf::Dcf dcf = setup_content("relay", 900);
 
-  auto relay = [&](const std::string& req) {
-    return ri_->handle_wire(req, kNow);
+  // The proxy's side of the exchange: opaque serialized documents in and
+  // out of the RI's raw wire entry point.
+  auto relay = [&](const roap::Envelope& req) {
+    return roap::Envelope::from_wire(ri_->handle_wire(req.wire(), kNow));
   };
 
   // Registration, every pass as serialized XML.
-  roap::DeviceHello hello = device_->build_device_hello();
-  roap::RiHello ri_hello = roap::RiHello::from_xml(
-      xml::parse(relay(hello.to_xml().serialize())));
-  roap::RegistrationRequest reg_req =
-      device_->build_registration_request(ri_hello);
-  roap::RegistrationResponse reg_resp = roap::RegistrationResponse::from_xml(
-      xml::parse(relay(reg_req.to_xml().serialize())));
-  ASSERT_EQ(device_->process_registration_response(reg_resp, kNow),
-            AgentStatus::kOk);
+  agent::RegistrationSession reg(*device_, kNow);
+  auto hello = reg.hello();
+  ASSERT_EQ(hello, AgentStatus::kOk);
+  auto reg_req = reg.request(relay(*hello));
+  ASSERT_EQ(reg_req, AgentStatus::kOk);
+  ASSERT_EQ(reg.conclude(relay(*reg_req)), AgentStatus::kOk);
+  EXPECT_EQ(reg.state(), agent::RegistrationSession::State::kComplete);
   EXPECT_TRUE(device_->has_ri_context("ri.example"));
 
   // Acquisition over the wire.
-  roap::RoRequest ro_req = device_->build_ro_request("ri.example", "ro:relay");
-  roap::RoResponse ro_resp = roap::RoResponse::from_xml(
-      xml::parse(relay(ro_req.to_xml().serialize())));
-  agent::AcquireResult acq = device_->process_ro_response(ro_resp);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  agent::AcquisitionSession acq_session(*device_, "ri.example", "ro:relay",
+                                        kNow);
+  auto ro_req = acq_session.request();
+  ASSERT_EQ(ro_req, AgentStatus::kOk);
+  auto acq = acq_session.conclude(relay(*ro_req));
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 }
 
-TEST_F(AgentExtended, TwoPhaseApiEnforcesOrdering) {
+TEST_F(AgentExtended, SessionsEnforceOrdering) {
   setup_content("order", 100);
-  // Response processing without a request in flight is refused.
-  roap::RegistrationResponse stray;
-  stray.status = roap::Status::kSuccess;
-  EXPECT_EQ(device_->process_registration_response(stray, kNow),
-            AgentStatus::kNonceMismatch);
-  roap::RoResponse stray_ro;
-  EXPECT_EQ(device_->process_ro_response(stray_ro).status,
-            AgentStatus::kNonceMismatch);
-  roap::JoinDomainResponse stray_join;
-  EXPECT_EQ(device_->process_join_domain_response(stray_join),
-            AgentStatus::kNonceMismatch);
-  // Request builders require their preconditions.
-  EXPECT_THROW(device_->build_registration_request(roap::RiHello{}), Error);
-  EXPECT_THROW(device_->build_ro_request("ri.example", "ro:order"), Error);
-  EXPECT_THROW(device_->build_join_domain_request("ri.example", "d"), Error);
+  // Concluding without a request in flight is a state-machine misuse.
+  {
+    agent::RegistrationSession reg(*device_, kNow);
+    EXPECT_THROW(
+        (void)reg.conclude(roap::Envelope::wrap(roap::RegistrationResponse{})),
+        Error);
+    EXPECT_THROW((void)reg.request(roap::RiHello{}), Error);
+  }
+  // An acquisition/domain session without an RI context fails closed.
+  {
+    agent::AcquisitionSession acq(*device_, "ri.example", "ro:order", kNow);
+    EXPECT_EQ(acq.request(), AgentStatus::kNoRiContext);
+    EXPECT_EQ(acq.state(), agent::AcquisitionSession::State::kFailed);
+  }
+  {
+    agent::DomainSession join(*device_, agent::DomainSession::Kind::kJoin,
+                              "ri.example", "d", kNow);
+    EXPECT_EQ(join.request(), AgentStatus::kNoRiContext);
+  }
+  // A response of the wrong type is an expected (non-throwing) failure.
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  agent::AcquisitionSession acq(*device_, "ri.example", "ro:order", kNow);
+  ASSERT_EQ(acq.request(), AgentStatus::kOk);
+  EXPECT_EQ(acq.conclude(roap::Envelope::wrap(roap::JoinDomainResponse{})),
+            AgentStatus::kUnexpectedMessage);
+  EXPECT_EQ(acq.state(), agent::AcquisitionSession::State::kFailed);
+}
+
+TEST_F(AgentExtended, AbandonedSessionLeavesNoPendingState) {
+  setup_content("abandon", 100);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+
+  // Build a request, capture the RI's (valid) response... then abandon
+  // the session. The response must not be usable by any later session:
+  // the nonce died with its owner.
+  roap::Envelope orphan_response;
+  {
+    agent::AcquisitionSession dying(*device_, "ri.example", "ro:abandon",
+                                    kNow);
+    auto req = dying.request();
+    ASSERT_EQ(req, AgentStatus::kOk);
+    orphan_response = tx().request(*req);
+  }
+  agent::AcquisitionSession fresh(*device_, "ri.example", "ro:abandon", kNow);
+  ASSERT_EQ(fresh.request(), AgentStatus::kOk);
+  EXPECT_EQ(fresh.conclude(orphan_response), AgentStatus::kNonceMismatch);
 }
 
 TEST_F(AgentExtended, ReplayedRoResponseRejected) {
   dcf::Dcf dcf = setup_content("replay", 300);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  roap::RoRequest req = device_->build_ro_request("ri.example", "ro:replay");
-  roap::RoResponse resp = ri_->handle_ro_request(req, kNow);
-  ASSERT_EQ(device_->process_ro_response(resp).status, AgentStatus::kOk);
-  // Replaying the same (valid) response without a fresh request fails.
-  EXPECT_EQ(device_->process_ro_response(resp).status,
-            AgentStatus::kNonceMismatch);
-  // And it cannot satisfy a *different* request either.
-  device_->build_ro_request("ri.example", "ro:replay");
-  EXPECT_EQ(device_->process_ro_response(resp).status,
-            AgentStatus::kNonceMismatch);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  agent::AcquisitionSession first(*device_, "ri.example", "ro:replay", kNow);
+  auto req = first.request();
+  ASSERT_EQ(req, AgentStatus::kOk);
+  roap::Envelope resp = tx().request(*req);
+  ASSERT_EQ(first.conclude(resp), AgentStatus::kOk);
+  // Replaying the same (valid) response into a completed session throws
+  // (state misuse)...
+  EXPECT_THROW((void)first.conclude(resp), Error);
+  // ...and it cannot satisfy a *different* session either: fresh nonce.
+  agent::AcquisitionSession second(*device_, "ri.example", "ro:replay", kNow);
+  ASSERT_EQ(second.request(), AgentStatus::kOk);
+  EXPECT_EQ(second.conclude(resp), AgentStatus::kNonceMismatch);
 }
 
 TEST_F(AgentExtended, WireDispatcherRejectsUnknownMessages) {
+  setup_content("nodisp", 100);
   EXPECT_THROW(ri_->handle_wire("<roap:unknownMessage/>", kNow), Error);
   EXPECT_THROW(ri_->handle_wire("not xml", kNow), Error);
+  // Response documents and triggers are not servable requests.
+  EXPECT_THROW(
+      ri_->handle(roap::Envelope::wrap(roap::RoResponse{}), kNow), Error);
+  roap::Envelope trigger = roap::Envelope::wrap(ri_->make_trigger("ro:nodisp"));
+  EXPECT_THROW(ri_->handle(trigger, kNow), Error);
+}
+
+TEST_F(AgentExtended, PendingRiSessionsExpireAndSupersede) {
+  setup_content("gc", 100);
+  EXPECT_EQ(ri_->pending_session_count(), 0u);
+
+  // Two abandoned hellos from the same device: the second supersedes the
+  // first, so only one pending session remains.
+  for (int i = 0; i < 2; ++i) {
+    agent::RegistrationSession reg(*device_, kNow);
+    auto hello = reg.hello();
+    ASSERT_EQ(hello, AgentStatus::kOk);
+    (void)tx().request(*hello);  // RIHello discarded: handshake abandoned
+  }
+  EXPECT_EQ(ri_->pending_session_count(), 1u);
+
+  // A different device's pending handshake coexists...
+  DrmAgent second("device-02", ca_->root_certificate(),
+                  provider::plain_provider(), *rng_);
+  second.provision(
+      ca_->issue("device-02", second.public_key(), kValidity, *rng_));
+  agent::RegistrationSession reg2(second, kNow);
+  auto hello2 = reg2.hello();
+  ASSERT_EQ(hello2, AgentStatus::kOk);
+  (void)tx().request(*hello2);
+  EXPECT_EQ(ri_->pending_session_count(), 2u);
+
+  // ...until the TTL garbage-collects both abandoned handshakes.
+  tx().set_now(kNow + ri::kPendingSessionTtl + 1);
+  ASSERT_EQ(device_->register_with(tx(), kNow + ri::kPendingSessionTtl + 1),
+            AgentStatus::kOk);
+  EXPECT_EQ(ri_->pending_session_count(), 0u);
+}
+
+TEST_F(AgentExtended, StaleRiSessionCannotCompleteRegistration) {
+  setup_content("stalegc", 100);
+  // Start a handshake, then let it sit past the RI's TTL before sending
+  // the RegistrationRequest: the RI must refuse (one-shot, fresh nonces).
+  agent::RegistrationSession reg(*device_, kNow);
+  auto hello = reg.hello();
+  ASSERT_EQ(hello, AgentStatus::kOk);
+  roap::Envelope ri_hello = tx().request(*hello);
+  auto req = reg.request(ri_hello);
+  ASSERT_EQ(req, AgentStatus::kOk);
+
+  tx().set_now(kNow + ri::kPendingSessionTtl + 60);
+  roap::Envelope resp = tx().request(*req);
+  EXPECT_EQ(reg.conclude(resp), AgentStatus::kRiAborted);
+  EXPECT_FALSE(device_->has_ri_context("ri.example"));
 }
 
 // ---------------------------------------------------------------------------
@@ -301,10 +400,10 @@ TEST_F(AgentExtended, WireDispatcherRejectsUnknownMessages) {
 
 TEST_F(AgentExtended, StateSurvivesReboot) {
   dcf::Dcf dcf = setup_content("persist", 1200, /*count_limit=*/3);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:persist", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:persist", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   ASSERT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);  // burn one play
 
@@ -334,20 +433,20 @@ TEST_F(AgentExtended, StateSurvivesReboot) {
 
   // ...and can still run new ROAP exchanges with its restored RSA key.
   dcf::Dcf more = setup_content("persist2", 600);
-  agent::AcquireResult acq2 = rebooted.acquire_ro(*ri_, "ro:persist2", kNow);
-  ASSERT_EQ(acq2.status, AgentStatus::kOk);
-  ASSERT_EQ(rebooted.install_ro(*acq2.ro, kNow), AgentStatus::kOk);
+  auto acq2 = rebooted.acquire_ro(tx(), "ri.example", "ro:persist2", kNow);
+  ASSERT_EQ(acq2, AgentStatus::kOk);
+  ASSERT_EQ(rebooted.install_ro(*acq2, kNow), AgentStatus::kOk);
   EXPECT_EQ(rebooted.consume(more, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 }
 
 TEST_F(AgentExtended, PersistenceCoversDomains) {
   dcf::Dcf dcf = setup_content("pdom", 800, 0, /*domain_ro=*/true);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:pdom", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:pdom", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
 
   DrmAgent rebooted("blank", ca_->root_certificate(),
                     provider::plain_provider(), *rng_, 512);
@@ -367,10 +466,10 @@ TEST_F(AgentExtended, ImportRejectsGarbage) {
 
 TEST_F(AgentExtended, ExportImportRoundTripIsStable) {
   setup_content("stable", 300);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:stable", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:stable", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
 
   Bytes image1 = device_->export_state();
   DrmAgent rebooted("blank", ca_->root_certificate(),

@@ -10,6 +10,8 @@
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/envelope.h"
+#include "roap/transport.h"
 
 namespace omadrm {
 namespace {
@@ -38,7 +40,11 @@ class DrmEcosystem : public ::testing::Test {
                                          provider::plain_provider(), *rng_);
     device_->provision(
         ca_->issue("device-01", device_->public_key(), kValidity, *rng_));
+    transport_ =
+        std::make_unique<roap::InProcessTransport>(*ri_, kNow);
   }
+
+  roap::InProcessTransport& tx() { return *transport_; }
 
   /// Packages `size` bytes of synthetic content and adds a play license.
   dcf::Dcf setup_content(const std::string& tag, std::size_t size,
@@ -75,6 +81,7 @@ class DrmEcosystem : public ::testing::Test {
   std::unique_ptr<ci::ContentIssuer> ci_;
   std::unique_ptr<ri::RightsIssuer> ri_;
   std::unique_ptr<DrmAgent> device_;
+  std::unique_ptr<roap::InProcessTransport> transport_;
   Bytes content_;
 };
 
@@ -83,7 +90,7 @@ TEST_F(DrmEcosystem, FullLifecycleDeviceRo) {
 
   // Registration establishes the RI context.
   EXPECT_FALSE(device_->has_ri_context("ri.example"));
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
   ASSERT_TRUE(device_->has_ri_context("ri.example"));
   EXPECT_TRUE(ri_->is_registered("device-01"));
   const agent::RiContext* ctx = device_->ri_context("ri.example");
@@ -91,14 +98,13 @@ TEST_F(DrmEcosystem, FullLifecycleDeviceRo) {
   EXPECT_EQ(ctx->ri_url, "http://ri.example/roap");
 
   // Acquisition delivers a protected RO.
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:track", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_TRUE(acq.ro.has_value());
-  EXPECT_FALSE(acq.ro->is_domain_ro);
-  EXPECT_TRUE(acq.ro->signature.empty());  // device ROs unsigned by default
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:track", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  EXPECT_FALSE(acq->is_domain_ro);
+  EXPECT_TRUE(acq->signature.empty());  // device ROs unsigned by default
 
   // Installation re-wraps the keys under K_DEV.
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->installed_count(), 1u);
   EXPECT_EQ(*device_->remaining_count("ro:track", rel::PermissionType::kPlay),
             3u);
@@ -118,8 +124,8 @@ TEST_F(DrmEcosystem, FullLifecycleDeviceRo) {
 
 TEST_F(DrmEcosystem, AcquisitionRequiresRegistration) {
   setup_content("gated", 1000);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:gated", kNow);
-  EXPECT_EQ(acq.status, AgentStatus::kNoRiContext);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:gated", kNow);
+  EXPECT_EQ(acq, AgentStatus::kNoRiContext);
 }
 
 TEST_F(DrmEcosystem, RiRejectsUnregisteredDeviceServerSide) {
@@ -130,33 +136,36 @@ TEST_F(DrmEcosystem, RiRejectsUnregisteredDeviceServerSide) {
   req.ro_id = "ro:gate2";
   req.device_nonce = rng_->bytes(roap::kNonceLen);
   req.signature = Bytes(128, 0);
-  EXPECT_EQ(ri_->handle_ro_request(req, kNow).status,
-            roap::Status::kNotRegistered);
+  // Server-side requests now enter through the uniform envelope dispatch.
+  roap::RoResponse resp = ri_->handle(roap::Envelope::wrap(req), kNow)
+                              .open<roap::RoResponse>();
+  EXPECT_EQ(resp.status, roap::Status::kNotRegistered);
 }
 
 TEST_F(DrmEcosystem, UnknownRoIdReported) {
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:nonexistent", kNow);
-  EXPECT_EQ(acq.status, AgentStatus::kRiAborted);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:nonexistent", kNow);
+  EXPECT_EQ(acq, AgentStatus::kUnknownRoId);  // merged RI-reported status
 }
 
 TEST_F(DrmEcosystem, RevokedDeviceCannotRegister) {
   setup_content("revoked", 1000);
   ca_->revoke(device_->certificate().serial());
-  EXPECT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kRiAborted);
+  EXPECT_EQ(device_->register_with(tx(), kNow), AgentStatus::kRiAborted);
   EXPECT_FALSE(ri_->is_registered("device-01"));
 }
 
 TEST_F(DrmEcosystem, ExpiredDeviceCertificateRejected) {
-  // Register far past the certificate's validity.
-  EXPECT_EQ(device_->register_with(*ri_, kValidity.not_after + 1000),
+  // Register far past the certificate's validity (server clock too).
+  tx().set_now(kValidity.not_after + 1000);
+  EXPECT_EQ(device_->register_with(tx(), kValidity.not_after + 1000),
             AgentStatus::kRiAborted);
 }
 
 TEST_F(DrmEcosystem, UnprovisionedAgentCannotRegister) {
   DrmAgent fresh("device-02", ca_->root_certificate(),
                  provider::plain_provider(), *rng_, 512);
-  EXPECT_EQ(fresh.register_with(*ri_, kNow), AgentStatus::kNotProvisioned);
+  EXPECT_EQ(fresh.register_with(tx(), kNow), AgentStatus::kNotProvisioned);
 }
 
 TEST_F(DrmEcosystem, ForeignCaDeviceRejected) {
@@ -166,50 +175,50 @@ TEST_F(DrmEcosystem, ForeignCaDeviceRejected) {
                  provider::plain_provider(), *rng_);
   rogue.provision(
       other_ca.issue("rogue-01", rogue.public_key(), kValidity, *rng_));
-  EXPECT_EQ(rogue.register_with(*ri_, kNow), AgentStatus::kRiAborted);
+  EXPECT_EQ(rogue.register_with(tx(), kNow), AgentStatus::kRiAborted);
 }
 
 TEST_F(DrmEcosystem, TamperedRoFailsMacCheck) {
   dcf::Dcf dcf = setup_content("mac", 1000);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:mac", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:mac", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
 
-  roap::ProtectedRo tampered = *acq.ro;
+  roap::ProtectedRo tampered = *acq;
   tampered.rights.content_id = "cid:other@content.example";
   EXPECT_EQ(device_->install_ro(tampered, kNow), AgentStatus::kMacMismatch);
 
-  roap::ProtectedRo bad_mac = *acq.ro;
+  roap::ProtectedRo bad_mac = *acq;
   bad_mac.mac[0] ^= 1;
   EXPECT_EQ(device_->install_ro(bad_mac, kNow), AgentStatus::kMacMismatch);
 
-  roap::ProtectedRo bad_keys = *acq.ro;
+  roap::ProtectedRo bad_keys = *acq;
   bad_keys.wrapped_keys[140] ^= 1;  // inside C2
   EXPECT_EQ(device_->install_ro(bad_keys, kNow), AgentStatus::kUnwrapFailed);
 }
 
 TEST_F(DrmEcosystem, RoForAnotherDeviceCannotBeInstalled) {
   setup_content("stolen", 1000);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:stolen", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:stolen", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
 
   DrmAgent thief("thief-01", ca_->root_certificate(),
                  provider::plain_provider(), *rng_);
   thief.provision(
       ca_->issue("thief-01", thief.public_key(), kValidity, *rng_));
-  ASSERT_EQ(thief.register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(thief.register_with(tx(), kNow), AgentStatus::kOk);
   // C1 was encrypted for device-01's key; the thief's RSADP yields a wrong
   // KEK and the AES-UNWRAP integrity check catches it.
-  EXPECT_EQ(thief.install_ro(*acq.ro, kNow), AgentStatus::kUnwrapFailed);
+  EXPECT_EQ(thief.install_ro(*acq, kNow), AgentStatus::kUnwrapFailed);
 }
 
 TEST_F(DrmEcosystem, TamperedDcfFailsHashCheck) {
   dcf::Dcf dcf = setup_content("hash", 2000);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:hash", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:hash", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
 
   Bytes wire = dcf.serialize();
   wire[wire.size() - 1] ^= 1;  // flip a payload byte
@@ -232,10 +241,10 @@ TEST_F(DrmEcosystem, ConsumeWithoutInstalledRo) {
 
 TEST_F(DrmEcosystem, PermissionTypeEnforced) {
   dcf::Dcf dcf = setup_content("playonly", 500);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:playonly", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:playonly", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   agent::ConsumeResult r =
       device_->consume(dcf, rel::PermissionType::kPrint, kNow);
   EXPECT_EQ(r.status, AgentStatus::kPermissionDenied);
@@ -246,14 +255,15 @@ TEST_F(DrmEcosystem, DomainRoSharedAcrossDevices) {
   dcf::Dcf dcf = setup_content("shared", 3000, 0, /*domain_ro=*/true);
 
   // First device joins the domain and installs the RO.
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow),
+            AgentStatus::kOk);
   EXPECT_TRUE(device_->has_domain_key("domain:home"));
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:shared", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_TRUE(acq.ro->is_domain_ro);
-  ASSERT_FALSE(acq.ro->signature.empty());  // mandatory for domain ROs
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:shared", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_TRUE(acq->is_domain_ro);
+  ASSERT_FALSE(acq->signature.empty());  // mandatory for domain ROs
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 
@@ -263,9 +273,10 @@ TEST_F(DrmEcosystem, DomainRoSharedAcrossDevices) {
                   provider::plain_provider(), *rng_);
   second.provision(
       ca_->issue("device-02", second.public_key(), kValidity, *rng_));
-  ASSERT_EQ(second.register_with(*ri_, kNow), AgentStatus::kOk);
-  ASSERT_EQ(second.join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
-  ASSERT_EQ(second.install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(second.register_with(tx(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(second.join_domain(tx(), "ri.example", "domain:home", kNow),
+            AgentStatus::kOk);
+  ASSERT_EQ(second.install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(second.consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
 
@@ -274,47 +285,50 @@ TEST_F(DrmEcosystem, DomainRoSharedAcrossDevices) {
                     provider::plain_provider(), *rng_);
   outsider.provision(
       ca_->issue("device-03", outsider.public_key(), kValidity, *rng_));
-  ASSERT_EQ(outsider.register_with(*ri_, kNow), AgentStatus::kOk);
-  EXPECT_EQ(outsider.install_ro(*acq.ro, kNow), AgentStatus::kNoDomainKey);
+  ASSERT_EQ(outsider.register_with(tx(), kNow), AgentStatus::kOk);
+  EXPECT_EQ(outsider.install_ro(*acq, kNow), AgentStatus::kNoDomainKey);
 }
 
 TEST_F(DrmEcosystem, DomainRoRequiresMembershipAtRi) {
   setup_content("members", 1000, 0, /*domain_ro=*/true);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
   // Not a member yet: the RI refuses to deliver the domain RO.
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:members", kNow);
-  EXPECT_EQ(acq.status, AgentStatus::kRiAborted);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:home", kNow), AgentStatus::kOk);
-  EXPECT_EQ(device_->acquire_ro(*ri_, "ro:members", kNow).status,
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:members", kNow);
+  EXPECT_EQ(acq, AgentStatus::kAccessDenied);  // merged RI-reported status
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:home", kNow),
+            AgentStatus::kOk);
+  EXPECT_EQ(device_->acquire_ro(tx(), "ri.example", "ro:members", kNow),
             AgentStatus::kOk);
 }
 
 TEST_F(DrmEcosystem, DomainMemberLimit) {
   ri_->create_domain("domain:tiny", /*max_members=*/1);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  ASSERT_EQ(device_->join_domain(*ri_, "domain:tiny", kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->join_domain(tx(), "ri.example", "domain:tiny", kNow),
+            AgentStatus::kOk);
 
   DrmAgent second("device-02", ca_->root_certificate(),
                   provider::plain_provider(), *rng_);
   second.provision(
       ca_->issue("device-02", second.public_key(), kValidity, *rng_));
-  ASSERT_EQ(second.register_with(*ri_, kNow), AgentStatus::kOk);
-  EXPECT_EQ(second.join_domain(*ri_, "domain:tiny", kNow),
-            AgentStatus::kRiAborted);
+  ASSERT_EQ(second.register_with(tx(), kNow), AgentStatus::kOk);
+  EXPECT_EQ(second.join_domain(tx(), "ri.example", "domain:tiny", kNow),
+            AgentStatus::kAccessDenied);
   // Re-joining as an existing member is idempotent.
-  EXPECT_EQ(device_->join_domain(*ri_, "domain:tiny", kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->join_domain(tx(), "ri.example", "domain:tiny", kNow),
+            AgentStatus::kOk);
 }
 
 TEST_F(DrmEcosystem, SignedDeviceRoVerifiedAtInstall) {
   dcf::Dcf dcf = setup_content("signed", 800);
   ri_->set_sign_device_ros(true);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:signed", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_FALSE(acq.ro->signature.empty());
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:signed", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_FALSE(acq->signature.empty());
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
 
-  roap::ProtectedRo bad = *acq.ro;
+  roap::ProtectedRo bad = *acq;
   bad.signature[5] ^= 1;
   EXPECT_EQ(device_->install_ro(bad, kNow),
             AgentStatus::kRoSignatureInvalid);
@@ -337,11 +351,11 @@ TEST_F(DrmEcosystem, MultipleRosForSameContent) {
   second_offer.kcek = *ci_->kcek_for(dcf.headers().content_id);
   ri_->add_offer(second_offer);
 
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
   for (const char* ro_id : {"ro:multi", "ro:multi-unlimited"}) {
-    agent::AcquireResult acq = device_->acquire_ro(*ri_, ro_id, kNow);
-    ASSERT_EQ(acq.status, AgentStatus::kOk);
-    ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+    auto acq = device_->acquire_ro(tx(), "ri.example", ro_id, kNow);
+    ASSERT_EQ(acq, AgentStatus::kOk);
+    ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   }
   // First play consumes the limited RO, every later play the unlimited one.
   for (int i = 0; i < 4; ++i) {
@@ -356,16 +370,16 @@ TEST_F(DrmEcosystem, MultipleRosForSameContent) {
 
 TEST_F(DrmEcosystem, ReinstallResetsState) {
   dcf::Dcf dcf = setup_content("reinstall", 400, /*count_limit=*/1);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:reinstall", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:reinstall", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   ASSERT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
   ASSERT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kPermissionDenied);
   // Re-installing the same RO resets its (device-local) usage state.
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->installed_count(), 1u);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
@@ -375,11 +389,11 @@ TEST_F(DrmEcosystem, RoSurvivesXmlTransport) {
   // The protected RO round-trips through its XML wire form and still
   // installs and plays — proving the whole chain is carried in-band.
   dcf::Dcf dcf = setup_content("wire", 1200);
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:wire", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:wire", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
 
-  std::string wire = acq.ro->to_xml().serialize();
+  std::string wire = acq->to_xml().serialize();
   roap::ProtectedRo reparsed = roap::ProtectedRo::from_xml(xml::parse(wire));
   ASSERT_EQ(device_->install_ro(reparsed, kNow), AgentStatus::kOk);
   EXPECT_EQ(device_->consume(dcf, rel::PermissionType::kPlay, kNow).status,

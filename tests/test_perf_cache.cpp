@@ -19,6 +19,7 @@
 #include "pki/chain.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/transport.h"
 #include "rsa/pss.h"
 #include "rsa/rsa.h"
 
@@ -374,7 +375,8 @@ TEST(CachedRoap, IntermediateChainFlowsThroughRegistration) {
   agent::DrmAgent device("dev:x", ca.root_certificate(), plain, rng, 512);
   device.provision(ca.issue("dev:x", device.public_key(), kValidity, rng));
 
-  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+  roap::InProcessTransport tx(ri, kNow);
+  ASSERT_EQ(device.register_with(tx, kNow), agent::AgentStatus::kOk);
   const agent::RiContext* ctx = device.ri_context("ri:x");
   ASSERT_NE(ctx, nullptr);
   ASSERT_EQ(ctx->ri_chain.size(), 2u);  // RI leaf + intermediate
@@ -396,17 +398,17 @@ TEST(CachedRoap, IntermediateChainFlowsThroughRegistration) {
   offer.kcek = rng.bytes(16);
   ri.add_offer(offer);
 
-  agent::AcquireResult acq = device.acquire_ro(ri, "ro:x", kNow + 60);
-  EXPECT_EQ(acq.status, agent::AgentStatus::kOk);
-  // Context revalidation rode the verdict handle: a hit, no second walk.
-  EXPECT_EQ(device.chain_verifier().stats().hits, 1u);
+  auto acq = device.acquire_ro(tx, "ri:x", "ro:x", kNow + 60);
+  EXPECT_EQ(acq, agent::AgentStatus::kOk);
+  // Context revalidation rode the verdict handle — once before sending,
+  // once at response processing: two hits, no second walk.
+  EXPECT_EQ(device.chain_verifier().stats().hits, 2u);
   EXPECT_EQ(device.chain_verifier().stats().misses, 1u);
 
   // Acquisition after the RI certificate expires: the cached verdict ages
   // out and the context is reported expired.
-  agent::AcquireResult late =
-      device.acquire_ro(ri, "ro:x", kValidity.not_after + 100);
-  EXPECT_EQ(late.status, agent::AgentStatus::kRiContextExpired);
+  auto late = device.acquire_ro(tx, "ri:x", "ro:x", kValidity.not_after + 100);
+  EXPECT_EQ(late, agent::AgentStatus::kRiContextExpired);
 }
 
 TEST(CachedRoap, MeteredAcquisitionChargesNoChainRsa) {
@@ -430,26 +432,28 @@ TEST(CachedRoap, MeteredAcquisitionChargesNoChainRsa) {
   offer.kcek = rng.bytes(16);
   ri.add_offer(offer);
 
-  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+  roap::InProcessTransport tx(ri, kNow);
+  ASSERT_EQ(device.register_with(tx, kNow), agent::AgentStatus::kOk);
   // Registration with a 2-link chain: 2 chain RSAVP1 + OCSP + message.
   EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPublic), 4u);
   const std::uint64_t reg_private =
       ledger.ops_by_algorithm(model::Algorithm::kRsaPrivate);
 
-  ASSERT_EQ(device.acquire_ro(ri, "ro:m", kNow + 5).status,
+  ASSERT_EQ(device.acquire_ro(tx, "ri:m", "ro:m", kNow + 5),
             agent::AgentStatus::kOk);
   // The cached acquisition charges exactly one public (response signature)
-  // and one private (request signature) op — the chain walk was free.
+  // and one private (request signature) op — both context revalidations
+  // (pre-send and at response processing) were free.
   EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPublic), 5u);
   EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPrivate),
             reg_private + 1);
 
-  // With the verdict cache disabled the same exchange re-walks the chain:
-  // two extra RSAVP1 ops per acquisition.
+  // With the verdict cache disabled the same exchange re-walks the chain
+  // at both revalidation points: four extra RSAVP1 ops per acquisition.
   device.chain_verifier().set_enabled(false);
-  ASSERT_EQ(device.acquire_ro(ri, "ro:m", kNow + 10).status,
+  ASSERT_EQ(device.acquire_ro(tx, "ri:m", "ro:m", kNow + 10),
             agent::AgentStatus::kOk);
-  EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPublic), 8u);
+  EXPECT_EQ(ledger.ops_by_algorithm(model::Algorithm::kRsaPublic), 10u);
   device.chain_verifier().set_enabled(true);
 }
 
@@ -462,12 +466,13 @@ TEST(CachedRoap, RevokedRiInvalidatesAgentCache) {
   agent::DrmAgent device("dev:r", ca.root_certificate(), plain, rng, 512);
   device.provision(ca.issue("dev:r", device.public_key(), kValidity, rng));
 
-  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+  roap::InProcessTransport tx(ri, kNow);
+  ASSERT_EQ(device.register_with(tx, kNow), agent::AgentStatus::kOk);
 
   ca.revoke(ri.certificate().serial());
   agent::DrmAgent second("dev:r2", ca.root_certificate(), plain, rng, 512);
   second.provision(ca.issue("dev:r2", second.public_key(), kValidity, rng));
-  EXPECT_EQ(second.register_with(ri, kNow),
+  EXPECT_EQ(second.register_with(tx, kNow),
             agent::AgentStatus::kCertificateRevoked);
   // The revoked chain verdict was cached during the attempt, then
   // invalidated when the OCSP staple reported the revocation.
@@ -483,7 +488,8 @@ TEST(CachedRoap, PersistedContextKeepsChain) {
                       &ica, 512);
   agent::DrmAgent device("dev:p", ca.root_certificate(), plain, rng, 512);
   device.provision(ca.issue("dev:p", device.public_key(), kValidity, rng));
-  ASSERT_EQ(device.register_with(ri, kNow), agent::AgentStatus::kOk);
+  roap::InProcessTransport tx(ri, kNow);
+  ASSERT_EQ(device.register_with(tx, kNow), agent::AgentStatus::kOk);
 
   Bytes blob = device.export_state();
   agent::DrmAgent rebooted("dev:tmp", ca.root_certificate(), plain, rng, 512);
@@ -505,9 +511,9 @@ TEST(CachedRoap, PersistedContextKeepsChain) {
   ri.add_offer(offer);
 
   // The imported context re-verifies (miss) and then serves hits.
-  EXPECT_EQ(rebooted.acquire_ro(ri, "ro:p", kNow + 1).status,
+  EXPECT_EQ(rebooted.acquire_ro(tx, "ri:p", "ro:p", kNow + 1),
             agent::AgentStatus::kOk);
-  EXPECT_EQ(rebooted.acquire_ro(ri, "ro:p", kNow + 2).status,
+  EXPECT_EQ(rebooted.acquire_ro(tx, "ri:p", "ro:p", kNow + 2),
             agent::AgentStatus::kOk);
   EXPECT_GE(rebooted.chain_verifier().stats().hits, 1u);
 }

@@ -16,6 +16,7 @@
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
+#include "roap/transport.h"
 #include "rsa/pss.h"
 
 namespace omadrm {
@@ -138,7 +139,15 @@ class FaultInjection : public ::testing::Test {
     ri_->add_offer(offer);
   }
 
+  roap::InProcessTransport& tx() {
+    if (!transport_) {
+      transport_ = std::make_unique<roap::InProcessTransport>(*ri_, kNow);
+    }
+    return *transport_;
+  }
+
   FaultInjectingProvider faulty_;
+  std::unique_ptr<roap::InProcessTransport> transport_;
   std::unique_ptr<DeterministicRng> rng_;
   std::unique_ptr<pki::CertificationAuthority> ca_;
   std::unique_ptr<ci::ContentIssuer> ci_;
@@ -151,51 +160,51 @@ TEST_F(FaultInjection, RegistrationCertCheckFailure) {
   // Registration performs three terminal-side pss_verify calls, in order:
   // RI certificate, OCSP response, message signature.
   faulty_.fail_pss_verify_at = 0;
-  EXPECT_EQ(device_->register_with(*ri_, kNow),
+  EXPECT_EQ(device_->register_with(tx(), kNow),
             AgentStatus::kCertificateInvalid);
 }
 
 TEST_F(FaultInjection, RegistrationOcspCheckFailure) {
   faulty_.fail_pss_verify_at = 1;
-  EXPECT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOcspInvalid);
+  EXPECT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOcspInvalid);
 }
 
 TEST_F(FaultInjection, RegistrationSignatureCheckFailure) {
   faulty_.fail_pss_verify_at = 2;
-  EXPECT_EQ(device_->register_with(*ri_, kNow),
+  EXPECT_EQ(device_->register_with(tx(), kNow),
             AgentStatus::kSignatureInvalid);
 }
 
 TEST_F(FaultInjection, AcquisitionSignatureFailure) {
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
   faulty_.fail_pss_verify_at = 0;
-  EXPECT_EQ(device_->acquire_ro(*ri_, "ro:fi", kNow).status,
+  EXPECT_EQ(device_->acquire_ro(tx(), "ri.example", "ro:fi", kNow),
             AgentStatus::kSignatureInvalid);
 }
 
 TEST_F(FaultInjection, InstallationMacFailure) {
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:fi", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:fi", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
   faulty_.fail_hmac_verify_at = 0;
-  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kMacMismatch);
+  EXPECT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kMacMismatch);
 }
 
 TEST_F(FaultInjection, InstallationUnwrapFailure) {
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:fi", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:fi", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
   faulty_.fail_all_unwraps = true;
-  EXPECT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kUnwrapFailed);
+  EXPECT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kUnwrapFailed);
 }
 
 TEST_F(FaultInjection, ConsumptionMacRecheckFailure) {
   // The paper's §2.4.4: the RO MAC is re-verified on *every* access, so a
   // storage corruption after installation is still caught.
-  ASSERT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
-  agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:fi", kNow);
-  ASSERT_EQ(acq.status, AgentStatus::kOk);
-  ASSERT_EQ(device_->install_ro(*acq.ro, kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
+  auto acq = device_->acquire_ro(tx(), "ri.example", "ro:fi", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
 
   ASSERT_EQ(device_->consume(dcf_, rel::PermissionType::kPlay, kNow).status,
             AgentStatus::kOk);
@@ -209,11 +218,11 @@ TEST_F(FaultInjection, ConsumptionMacRecheckFailure) {
 
 TEST_F(FaultInjection, RecoveryAfterFailedRegistration) {
   faulty_.fail_pss_verify_at = 0;
-  ASSERT_EQ(device_->register_with(*ri_, kNow),
+  ASSERT_EQ(device_->register_with(tx(), kNow),
             AgentStatus::kCertificateInvalid);
   EXPECT_FALSE(device_->has_ri_context("ri.example"));
   // Next attempt (fault cleared) succeeds from a clean slate.
-  EXPECT_EQ(device_->register_with(*ri_, kNow), AgentStatus::kOk);
+  EXPECT_EQ(device_->register_with(tx(), kNow), AgentStatus::kOk);
   EXPECT_TRUE(device_->has_ri_context("ri.example"));
 }
 

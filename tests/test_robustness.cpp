@@ -18,6 +18,7 @@
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
 #include "roap/messages.h"
+#include "roap/transport.h"
 #include "xml/xml.h"
 
 namespace omadrm {
@@ -183,10 +184,12 @@ class RoMutationFixture : public ::testing::Test {
     offer.kcek = *ci_->kcek_for(h.content_id);
     ri_->add_offer(offer);
 
-    ASSERT_EQ(device_->register_with(*ri_, kNow), agent::AgentStatus::kOk);
-    agent::AcquireResult acq = device_->acquire_ro(*ri_, "ro:fuzz", kNow);
-    ASSERT_EQ(acq.status, agent::AgentStatus::kOk);
-    ro_wire_ = acq.ro->to_xml().serialize();
+    roap::InProcessTransport transport(*ri_, kNow);
+    ASSERT_EQ(device_->register_with(transport, kNow),
+              agent::AgentStatus::kOk);
+    auto acq = device_->acquire_ro(transport, "ri.example", "ro:fuzz", kNow);
+    ASSERT_EQ(acq, agent::AgentStatus::kOk);
+    ro_wire_ = acq->to_xml().serialize();
   }
 
   std::unique_ptr<DeterministicRng> rng_;

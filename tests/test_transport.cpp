@@ -1,0 +1,322 @@
+// Transport-robustness suite: ROAP sessions driven through a
+// FaultyTransport that drops, corrupts, replays, and reorders envelopes.
+// The contract under every fault: the agent fails *closed* with the right
+// StatusCode, leaves no poisoned state behind, and a plain retry (fresh
+// session, fresh nonces) succeeds once the network behaves.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "agent/drm_agent.h"
+#include "agent/sessions.h"
+#include "ci/content_issuer.h"
+#include "common/error.h"
+#include "common/random.h"
+#include "pki/authority.h"
+#include "provider/provider.h"
+#include "ri/rights_issuer.h"
+#include "roap/envelope.h"
+#include "roap/transport.h"
+
+namespace omadrm {
+namespace {
+
+using agent::AgentStatus;
+using agent::DrmAgent;
+using roap::FaultyTransport;
+using Fault = roap::FaultyTransport::Fault;
+
+constexpr std::uint64_t kNow = 1100000000;
+const pki::Validity kValidity{kNow - 86400, kNow + 365 * 86400};
+
+class TransportRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<DeterministicRng>(0x7A13);
+    ca_ = std::make_unique<pki::CertificationAuthority>("CMLA Root", 1024,
+                                                        kValidity, *rng_);
+    ci_ = std::make_unique<ci::ContentIssuer>(
+        "content.example", provider::plain_provider(), *rng_);
+    ri_ = std::make_unique<ri::RightsIssuer>(
+        "ri.example", "http://ri.example/roap", *ca_, kValidity,
+        provider::plain_provider(), *rng_);
+    device_ = std::make_unique<DrmAgent>("device-01", ca_->root_certificate(),
+                                         provider::plain_provider(), *rng_);
+    device_->provision(
+        ca_->issue("device-01", device_->public_key(), kValidity, *rng_));
+    loopback_ = std::make_unique<roap::InProcessTransport>(*ri_, kNow);
+    faulty_ = std::make_unique<FaultyTransport>(*loopback_, *rng_);
+
+    ri::LicenseOffer offer;
+    offer.ro_id = "ro:net";
+    offer.content_id = "cid:net@content.example";
+    offer.dcf_hash = Bytes(20, 0x42);
+    rel::Permission play;
+    play.type = rel::PermissionType::kPlay;
+    offer.permissions = {play};
+    offer.kcek = rng_->bytes(16);
+    ri_->add_offer(offer);
+  }
+
+  FaultyTransport& net() { return *faulty_; }
+
+  std::unique_ptr<DeterministicRng> rng_;
+  std::unique_ptr<pki::CertificationAuthority> ca_;
+  std::unique_ptr<ci::ContentIssuer> ci_;
+  std::unique_ptr<ri::RightsIssuer> ri_;
+  std::unique_ptr<DrmAgent> device_;
+  std::unique_ptr<roap::InProcessTransport> loopback_;
+  std::unique_ptr<FaultyTransport> faulty_;
+};
+
+// ---------------------------------------------------------------------------
+// Dropped envelopes
+// ---------------------------------------------------------------------------
+
+TEST_F(TransportRobustness, DroppedHelloFailsClosedAndRetries) {
+  net().inject(Fault::kDropRequest);
+  EXPECT_EQ(device_->register_with(net(), kNow),
+            AgentStatus::kTransportFailure);
+  EXPECT_FALSE(device_->has_ri_context("ri.example"));
+  // Honest retry succeeds.
+  EXPECT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+}
+
+TEST_F(TransportRobustness, DroppedRegistrationResponseFailsClosedAndRetries) {
+  // Lose the *fourth* pass: the RI has already registered the device, the
+  // agent must still report failure (no context!) and recover by retrying
+  // the whole handshake.
+  net().inject(Fault::kNone);          // DeviceHello / RIHello exchange
+  net().inject(Fault::kDropResponse);  // RegistrationResponse lost
+  EXPECT_EQ(device_->register_with(net(), kNow),
+            AgentStatus::kTransportFailure);
+  EXPECT_FALSE(device_->has_ri_context("ri.example"));
+  EXPECT_TRUE(ri_->is_registered("device-01"));  // server side went through
+
+  EXPECT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  EXPECT_TRUE(device_->has_ri_context("ri.example"));
+}
+
+TEST_F(TransportRobustness, DroppedRoResponseFailsClosedAndRetries) {
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  net().inject(Fault::kDropResponse);
+  auto lost = device_->acquire_ro(net(), "ri.example", "ro:net", kNow);
+  EXPECT_EQ(lost, AgentStatus::kTransportFailure);
+
+  auto retry = device_->acquire_ro(net(), "ri.example", "ro:net", kNow);
+  ASSERT_EQ(retry, AgentStatus::kOk);
+  EXPECT_EQ(device_->install_ro(*retry, kNow), AgentStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted envelopes
+// ---------------------------------------------------------------------------
+
+TEST_F(TransportRobustness, CorruptedRequestNeverYieldsALicense) {
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  net().inject(Fault::kCorruptRequest);
+  auto acq = device_->acquire_ro(net(), "ri.example", "ro:net", kNow);
+  // The mangled request either fails to parse at the RI or fails its
+  // signature check there; the agent sees a dead exchange.
+  EXPECT_EQ(acq, AgentStatus::kTransportFailure);
+  EXPECT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kOk);
+}
+
+TEST_F(TransportRobustness, CorruptedResponsesAlwaysFailClosed) {
+  // Drive many corrupted acquisition exchanges; every one must fail with
+  // a "closed" status (never kOk with tampered content), and an honest
+  // retry afterwards must succeed.
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  int malformed = 0, verification = 0;
+  for (int i = 0; i < 40; ++i) {
+    net().inject(Fault::kCorruptResponse);
+    auto acq = device_->acquire_ro(net(), "ri.example", "ro:net", kNow);
+    ASSERT_NE(acq, AgentStatus::kOk) << "corrupted exchange " << i;
+    switch (acq.code()) {
+      case AgentStatus::kMalformedMessage:
+        ++malformed;
+        break;
+      case AgentStatus::kUnexpectedMessage:
+      case AgentStatus::kSignatureInvalid:
+      case AgentStatus::kNonceMismatch:
+      case AgentStatus::kRiAborted:
+      case AgentStatus::kNotRegistered:
+      case AgentStatus::kUnknownRoId:
+      case AgentStatus::kAccessDenied:
+        ++verification;
+        break;
+      default:
+        FAIL() << "unexpected status " << acq.describe();
+    }
+  }
+  // Burst errors usually break the XML (malformed); occasionally the
+  // document survives parsing and dies at signature/status checks.
+  EXPECT_GT(malformed, 0);
+  EXPECT_EQ(malformed + verification, 40);
+
+  auto acq = device_->acquire_ro(net(), "ri.example", "ro:net", kNow);
+  ASSERT_EQ(acq, AgentStatus::kOk);
+  EXPECT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
+}
+
+TEST_F(TransportRobustness, CorruptedRegistrationResponseRejected) {
+  net().inject(Fault::kNone);
+  net().inject(Fault::kCorruptResponse);
+  auto reg = device_->register_with(net(), kNow);
+  EXPECT_NE(reg, AgentStatus::kOk);
+  EXPECT_FALSE(device_->has_ri_context("ri.example"));
+  EXPECT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Replayed / reordered envelopes
+// ---------------------------------------------------------------------------
+
+TEST_F(TransportRobustness, ReplayedResponseRejectedByNonce) {
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kOk);
+  // The network replays the previous ROResponse instead of delivering the
+  // fresh one: the nonce binding must catch it.
+  net().inject(Fault::kReplayResponse);
+  EXPECT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kNonceMismatch);
+  EXPECT_EQ(net().stats().replayed, 1u);
+  EXPECT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kOk);
+}
+
+TEST_F(TransportRobustness, ReplayedJoinResponseCannotRekeyAnotherDomain) {
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  ri_->create_domain("domain:a");
+  ri_->create_domain("domain:b");
+  ASSERT_EQ(device_->join_domain(net(), "ri.example", "domain:a", kNow),
+            AgentStatus::kOk);
+  // The network replays domain:a's (validly signed) JoinDomainResponse
+  // into the join for domain:b. Same message type, wrong binding: the
+  // nonce echo must reject it, and domain:b must not appear joined.
+  net().inject(Fault::kReplayResponse);
+  EXPECT_EQ(device_->join_domain(net(), "ri.example", "domain:b", kNow),
+            AgentStatus::kNonceMismatch);
+  EXPECT_FALSE(device_->has_domain_key("domain:b"));
+  EXPECT_TRUE(device_->has_domain_key("domain:a"));
+  EXPECT_EQ(device_->join_domain(net(), "ri.example", "domain:b", kNow),
+            AgentStatus::kOk);
+}
+
+TEST_F(TransportRobustness, SubstitutedRoResponseFromAnotherRiRejected) {
+  // Two RIs, one device registered with both. A response minted by RI B
+  // must not satisfy a session with RI A even if it reaches the agent.
+  ri::RightsIssuer other("ri.other", "http://ri.other/roap", *ca_, kValidity,
+                         provider::plain_provider(), *rng_);
+  roap::InProcessTransport other_loop(other, kNow);
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  ASSERT_EQ(device_->register_with(other_loop, kNow), AgentStatus::kOk);
+
+  ri::LicenseOffer offer;
+  offer.ro_id = "ro:net";
+  offer.content_id = "cid:net@content.example";
+  offer.dcf_hash = Bytes(20, 0x42);
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  offer.permissions = {play};
+  offer.kcek = rng_->bytes(16);
+  other.add_offer(offer);
+
+  agent::AcquisitionSession session(*device_, "ri.example", "ro:net", kNow);
+  auto req = session.request();
+  ASSERT_EQ(req, AgentStatus::kOk);
+  // The request is mis-delivered to (or substituted by) the other RI,
+  // which happily answers with its own signature over our nonce.
+  roap::Envelope substituted = other_loop.request(*req);
+  EXPECT_EQ(session.conclude(substituted), AgentStatus::kNonceMismatch);
+}
+
+TEST_F(TransportRobustness, ReplayedResponseAcrossMessageTypesRejected) {
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  ri_->create_domain("domain:net");
+  ASSERT_EQ(device_->join_domain(net(), "ri.example", "domain:net", kNow),
+            AgentStatus::kOk);
+  // A JoinDomainResponse replayed into an acquisition is the wrong type.
+  net().inject(Fault::kReplayResponse);
+  EXPECT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kUnexpectedMessage);
+}
+
+TEST_F(TransportRobustness, ReorderedResponsesRejectedUntilDrained) {
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  // The response to this acquisition is delayed past the timeout...
+  net().inject(Fault::kDelayResponse);
+  EXPECT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kTransportFailure);
+  // ...so the next exchange receives the *stale* response: nonce mismatch.
+  EXPECT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kNonceMismatch);
+  EXPECT_EQ(net().stats().delayed, 1u);
+  // Once the network drops the stale packets, order is restored.
+  net().discard_delayed();
+  EXPECT_EQ(device_->acquire_ro(net(), "ri.example", "ro:net", kNow),
+            AgentStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized soak: a lossy network, a persistent device
+// ---------------------------------------------------------------------------
+
+TEST_F(TransportRobustness, LossyNetworkSoak) {
+  net().set_drop_rate(0.25);
+  net().set_corrupt_rate(0.15);
+
+  // Registration: retry until it lands (bounded).
+  bool registered = false;
+  for (int attempt = 0; attempt < 50 && !registered; ++attempt) {
+    registered = device_->register_with(net(), kNow).ok();
+  }
+  ASSERT_TRUE(registered) << "registration never landed on a lossy network";
+
+  // Acquisitions: every failure must be a closed status; successes must
+  // install and be genuine.
+  int acquired = 0;
+  for (int attempt = 0; attempt < 60; ++attempt) {
+    net().discard_delayed();
+    auto acq = device_->acquire_ro(net(), "ri.example", "ro:net", kNow);
+    if (acq.ok()) {
+      ASSERT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
+      ++acquired;
+    } else {
+      EXPECT_NE(acq.code(), AgentStatus::kOk);
+    }
+  }
+  EXPECT_GT(acquired, 10);
+  const FaultyTransport::Stats& st = net().stats();
+  EXPECT_GT(st.dropped + st.corrupted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transport misc
+// ---------------------------------------------------------------------------
+
+TEST_F(TransportRobustness, FaultyTransportIsTransparentWhenHonest) {
+  // No injected faults, zero rates: stats show clean delivery.
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  const FaultyTransport::Stats& st = net().stats();
+  EXPECT_EQ(st.requests, 2u);  // hello + registration request
+  EXPECT_EQ(st.delivered, 2u);
+  EXPECT_EQ(st.dropped + st.corrupted + st.replayed + st.delayed, 0u);
+}
+
+TEST_F(TransportRobustness, InProcessTransportRoundTripsEnvelopes) {
+  // The loopback transport performs a full serialize→parse round trip:
+  // what comes back is a well-typed envelope, not a shared object.
+  agent::RegistrationSession reg(*device_, kNow);
+  auto hello = reg.hello();
+  ASSERT_EQ(hello, AgentStatus::kOk);
+  roap::Envelope reply = loopback_->request(*hello);
+  EXPECT_EQ(reply.type(), roap::MessageType::kRiHello);
+  roap::RiHello parsed = reply.open<roap::RiHello>();
+  EXPECT_EQ(parsed.ri_id, "ri.example");
+}
+
+}  // namespace
+}  // namespace omadrm
