@@ -5,57 +5,82 @@
 // (roap::Envelope through roap::InProcessTransport), the same path
 // production traffic takes.
 //
-// This is the software counterpart of the paper's §2.4.1 observation: the
-// expensive part of talking to a Rights Issuer is verifying its
-// certificate chain, and the RI Context exists precisely so that work is
-// done once. "Cached" runs with the Montgomery-context cache and the
-// chain-verdict cache enabled (the default); "uncached" disables both,
-// which restores the naive per-message behavior.
+// Reported:
 //
-// Three single-agent modes:
-//   cached              the default: RI context + both crypto caches warm.
-//   uncached_crypto     Montgomery/chain caches disabled but the RI
-//                       context kept — every message re-walks the chain.
-//   uncached_no_context the paper's true baseline: nothing persists, so
-//                       each acquisition must be preceded by a full 4-pass
-//                       registration (a device without a valid RI Context
-//                       cannot legally send an RoRequest at all).
+//   modes        cached / uncached_crypto / uncached_no_context, the
+//                paper's §2.4.1 story: the RI Context and the crypto
+//                caches amortize certificate-chain verification.
+//   latency      p50/p95 over the per-exchange latencies of the cached
+//                mode and of the fleet scenario, alongside the averages.
+//   per-stage    microbenchmarks of each wire-path stage on captured
+//                traffic — serialize / parse / base64 / sha1 / wrap /
+//                from_wire — plus the RSA sign/verify legs, so the
+//                cost split between crypto and message handling is
+//                explicit instead of inferred.
+//   allocations  a global operator-new counter. The wire path
+//                (streaming serialize into reused buffers, zero-copy
+//                arena parse, pooled envelopes) must perform ZERO heap
+//                allocations per operation at steady state — the bench
+//                asserts this and exits nonzero on regression. The full
+//                exchange count (message structs, RSA, sessions) is
+//                reported for tracking.
+//   fleet        64 agents x 1 RI through the single envelope dispatch
+//                entry point: server-side fan-in throughput.
 //
-// Reported per mode:
-//   full_ms        the complete exchange (device signing, wire
-//                  serialize/parse, and RI-side work included — those are
-//                  cache-independent)
-//   verify_ms      the agent-side hot path the caches target: RI-context
-//                  revalidation + ROResponse verification
-//                  (AcquisitionSession::conclude on the parsed message;
-//                  XML parsing is deliberately outside this window — it
-//                  is cache-independent I/O cost)
-//
-// A multi-agent scenario (N devices × 1 RI, all through the single
-// envelope dispatch entry point) measures the server-side fan-in the
-// transport redesign enables.
-//
-// Output: human-readable summary on stdout + JSON (default BENCH_roap.json)
-// so the perf trajectory is tracked across PRs.
+// Output: human-readable summary on stdout + JSON (default
+// BENCH_roap.json) so the perf trajectory is tracked across PRs.
 //
 // Usage: bench_roap_session [--quick] [--json <path>]
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "agent/drm_agent.h"
 #include "agent/sessions.h"
 #include "bigint/mont_cache.h"
+#include "common/base64.h"
 #include "common/random.h"
+#include "crypto/sha1.h"
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
 #include "roap/envelope.h"
 #include "roap/transport.h"
+#include "rsa/pss.h"
+#include "rsa/rsa.h"
+#include "xml/node.h"
+#include "xml/writer.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator-new in the process bumps it.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -68,12 +93,33 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
+std::uint64_t allocs_now() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
 constexpr std::uint64_t kNow = 1100000000;
 constexpr std::size_t kRsaBits = 1024;
+
+struct Percentiles {
+  double p50 = 0;
+  double p95 = 0;
+};
+
+Percentiles percentiles(std::vector<double>& samples) {
+  Percentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.p50 = samples[samples.size() / 2];
+  out.p95 = samples[std::min(samples.size() - 1,
+                             samples.size() * 95 / 100)];
+  return out;
+}
 
 struct ModeResult {
   double full_ms_avg = 0;
   double verify_ms_avg = 0;
+  Percentiles full_ms;
+  double allocs_per_exchange = 0;
 };
 
 struct Session {
@@ -110,6 +156,10 @@ struct Session {
 /// message) timed separately from the full exchange.
 ModeResult run_acquisitions(Session& s, std::size_t iterations) {
   ModeResult out;
+  out.full_ms.p50 = 0;
+  std::vector<double> latencies;
+  latencies.reserve(iterations);
+  const std::uint64_t allocs_start = allocs_now();
   for (std::size_t i = 0; i < iterations; ++i) {
     const auto full_start = Clock::now();
 
@@ -131,15 +181,21 @@ ModeResult run_acquisitions(Session& s, std::size_t iterations) {
     auto result = session.conclude(response);
     out.verify_ms_avg += ms_since(verify_start);
 
-    out.full_ms_avg += ms_since(full_start);
+    const double full = ms_since(full_start);
+    out.full_ms_avg += full;
+    latencies.push_back(full);
     if (!result.ok()) {
       std::fprintf(stderr, "acquisition %zu failed: %s\n", i,
                    result.describe().c_str());
       std::exit(1);
     }
   }
+  out.allocs_per_exchange =
+      static_cast<double>(allocs_now() - allocs_start) /
+      static_cast<double>(iterations);
   out.full_ms_avg /= static_cast<double>(iterations);
   out.verify_ms_avg /= static_cast<double>(iterations);
+  out.full_ms = percentiles(latencies);
   return out;
 }
 
@@ -172,18 +228,129 @@ double run_acquisitions_no_context(Session& s, std::size_t iterations) {
   return total_ms / static_cast<double>(iterations);
 }
 
+// ---------------------------------------------------------------------------
+// Per-stage breakdown on captured traffic.
+// ---------------------------------------------------------------------------
+
+struct Stage {
+  const char* name;
+  double us_per_op = 0;
+  double allocs_per_op = 0;
+};
+
+template <typename Fn>
+Stage run_stage(const char* name, std::size_t iters, Fn&& fn) {
+  // Warm-up pass so pools/arenas/buffer capacities settle before both
+  // the timer and the allocation counter start.
+  fn();
+  fn();
+  const std::uint64_t a0 = allocs_now();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  Stage s;
+  s.name = name;
+  s.us_per_op = ms_since(t0) * 1000.0 / static_cast<double>(iters);
+  s.allocs_per_op = static_cast<double>(allocs_now() - a0) /
+                    static_cast<double>(iters);
+  return s;
+}
+
+struct StageBreakdown {
+  Stage serialize, parse, b64, sha1, wrap, from_wire, open, sign, verify;
+  std::size_t request_bytes = 0;
+  std::size_t response_bytes = 0;
+};
+
+/// Captures one request/response exchange, then times each wire-path
+/// stage in isolation on the captured documents. The wire stages
+/// (serialize, parse, wrap, from_wire) must be allocation-free at steady
+/// state; the caller asserts on the reported counts.
+StageBreakdown run_stage_breakdown(Session& s, std::size_t iters) {
+  StageBreakdown out;
+
+  // Capture a live exchange.
+  agent::AcquisitionSession session(s.device, "ri:bench", "ro:bench", kNow);
+  auto request_env = session.request();
+  if (!request_env.ok()) {
+    std::fprintf(stderr, "stage capture failed\n");
+    std::exit(1);
+  }
+  roap::Envelope response_env = s.transport.request(*request_env);
+  const roap::RoRequest request = request_env->open<roap::RoRequest>();
+  const roap::RoResponse response = response_env.open<roap::RoResponse>();
+  const std::string request_wire = request_env->wire();
+  const std::string response_wire = response_env.wire();
+  out.request_bytes = request_wire.size();
+  out.response_bytes = response_wire.size();
+
+  // Wire stages on reused buffers — the steady state of the transport.
+  std::string buf;
+  out.serialize = run_stage("serialize", iters, [&] {
+    xml::Writer w(buf);
+    response.write(w);
+  });
+  xml::Arena arena;
+  out.parse = run_stage("parse", iters, [&] {
+    arena.reset();
+    (void)xml::parse_in(arena, response_wire);
+  });
+  const Bytes blob = to_bytes(response_wire);
+  std::string b64_buf;
+  Bytes decode_buf;
+  out.b64 = run_stage("base64", iters, [&] {
+    b64_buf.clear();
+    base64_encode_into(blob, b64_buf);
+    decode_buf.clear();
+    base64_decode_into(b64_buf, decode_buf);
+  });
+  const Bytes payload = response.payload();
+  out.sha1 = run_stage("sha1", iters, [&] {
+    (void)crypto::Sha1::hash(payload);
+  });
+  out.wrap = run_stage("wrap", iters, [&] {
+    (void)roap::Envelope::wrap(response);
+  });
+  out.from_wire = run_stage("from_wire", iters, [&] {
+    (void)roap::Envelope::from_wire(response_wire);
+  });
+  out.open = run_stage("open", iters, [&] {
+    (void)response_env.open<roap::RoResponse>();
+  });
+
+  // The RSA legs, on a key of the deployed size.
+  DeterministicRng rng{0x51A9E};
+  rsa::PrivateKey key = rsa::generate_key(kRsaBits, rng);
+  rsa::PublicKey pub{key.n, key.e};
+  const std::size_t rsa_iters = std::max<std::size_t>(iters / 8, 8);
+  out.sign = run_stage("pss_sign", rsa_iters, [&] {
+    (void)rsa::pss_sign(key, payload, rng);
+  });
+  const Bytes sig = rsa::pss_sign(key, payload, rng);
+  out.verify = run_stage("pss_verify", rsa_iters, [&] {
+    (void)rsa::pss_verify(pub, payload, sig);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet scenario.
+// ---------------------------------------------------------------------------
+
 struct MultiAgentResult {
   std::size_t agents = 0;
   std::size_t acquisitions_per_agent = 0;
   double registration_ms_avg = 0;   // per agent, cold caches
   double acquisition_ms_avg = 0;    // per exchange, warm contexts
+  Percentiles acquisition_ms;
   double exchanges_per_s = 0;       // acquisition throughput at the RI
+  double allocs_per_exchange = 0;
 };
 
 /// N devices share one Rights Issuer through the single envelope dispatch
 /// entry point: the server-side fan-in scenario. Each agent registers
 /// once (its own chain walk on both ends), then streams acquisitions
-/// whose per-message cost rides the caches.
+/// whose per-message cost rides the caches and the recycled wire
+/// buffers.
 MultiAgentResult run_multi_agent(Session& s, std::size_t n_agents,
                                  std::size_t acqs_per_agent) {
   MultiAgentResult out;
@@ -211,19 +378,27 @@ MultiAgentResult run_multi_agent(Session& s, std::size_t n_agents,
   out.registration_ms_avg =
       ms_since(reg_start) / static_cast<double>(n_agents);
 
+  std::vector<double> latencies;
+  latencies.reserve(n_agents * acqs_per_agent);
+  const std::uint64_t a0 = allocs_now();
   const auto acq_start = Clock::now();
   for (std::size_t round = 0; round < acqs_per_agent; ++round) {
     for (auto& dev : agents) {
+      const auto t0 = Clock::now();
       if (!dev->acquire_ro(s.transport, "ri:bench", "ro:bench", kNow).ok()) {
         std::fprintf(stderr, "fleet acquisition failed\n");
         std::exit(1);
       }
+      latencies.push_back(ms_since(t0));
     }
   }
   const double acq_ms = ms_since(acq_start);
   const double exchanges =
       static_cast<double>(n_agents * acqs_per_agent);
+  out.allocs_per_exchange =
+      static_cast<double>(allocs_now() - a0) / exchanges;
   out.acquisition_ms_avg = acq_ms / exchanges;
+  out.acquisition_ms = percentiles(latencies);
   out.exchanges_per_s = exchanges / (acq_ms / 1000.0);
   return out;
 }
@@ -244,6 +419,9 @@ int main(int argc, char** argv) {
     }
   }
   const std::size_t iterations = quick ? 10 : 50;
+  const std::size_t stage_iters = quick ? 200 : 2000;
+  const std::size_t fleet_agents = quick ? 8 : 64;
+  const std::size_t fleet_acqs = quick ? 2 : 4;
 
   std::printf("=== ROAP session benchmark (RSA-%zu, 3-cert chain) ===\n\n",
               kRsaBits);
@@ -287,9 +465,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const StageBreakdown stages = run_stage_breakdown(s, stage_iters);
+
   // Multi-agent fan-in through the same dispatch path.
-  const MultiAgentResult fleet =
-      run_multi_agent(s, quick ? 4 : 8, quick ? 2 : 5);
+  const MultiAgentResult fleet = run_multi_agent(s, fleet_agents, fleet_acqs);
 
   const double speedup_verify = uncached.verify_ms_avg / cached.verify_ms_avg;
   const double speedup_crypto = uncached.full_ms_avg / cached.full_ms_avg;
@@ -297,37 +476,55 @@ int main(int argc, char** argv) {
 
   std::printf("registration        cold %8.2f ms   warm %8.2f ms\n",
               registration_first_ms, registration_repeat_ms);
-  std::printf("acquisition         cached %6.2f ms\n", cached.full_ms_avg);
-  std::printf("  crypto caches off        %6.2f ms   speedup %.2fx\n",
+  std::printf("acquisition         cached %6.3f ms   p50 %6.3f   p95 %6.3f\n",
+              cached.full_ms_avg, cached.full_ms.p50, cached.full_ms.p95);
+  std::printf("  crypto caches off        %6.3f ms   speedup %.2fx\n",
               uncached.full_ms_avg, speedup_crypto);
-  std::printf("  no RI context            %6.2f ms   speedup %.2fx\n",
+  std::printf("  no RI context            %6.3f ms   speedup %.2fx\n",
               no_context_full_ms, speedup_full);
   std::printf("agent verify path   cached %6.3f ms   uncached %6.3f ms   "
               "speedup %.2fx\n",
               cached.verify_ms_avg, uncached.verify_ms_avg, speedup_verify);
+  std::printf("allocs/exchange     %.0f (full protocol, steady state)\n",
+              cached.allocs_per_exchange);
   std::printf("mont cache          %llu hits / %llu misses\n",
               static_cast<unsigned long long>(mont.hits),
               static_cast<unsigned long long>(mont.misses));
   std::printf("chain cache         %llu hits / %llu misses\n",
               static_cast<unsigned long long>(chain.hits),
               static_cast<unsigned long long>(chain.misses));
-  std::printf("multi-agent         %zu agents x %zu acq: reg %6.2f ms/agent, "
-              "acq %6.2f ms, %.0f exch/s\n",
+
+  std::printf("\nper-stage (request %zu B, response %zu B):\n",
+              stages.request_bytes, stages.response_bytes);
+  const Stage* all_stages[] = {&stages.serialize, &stages.parse, &stages.b64,
+                               &stages.sha1,      &stages.wrap,  &stages.from_wire,
+                               &stages.open,      &stages.sign,  &stages.verify};
+  for (const Stage* st : all_stages) {
+    std::printf("  %-10s %9.2f us/op   %6.2f allocs/op\n", st->name,
+                st->us_per_op, st->allocs_per_op);
+  }
+
+  std::printf("\nmulti-agent         %zu agents x %zu acq: reg %6.2f "
+              "ms/agent,\n                    acq %6.3f ms (p50 %6.3f, p95 "
+              "%6.3f), %.0f exch/s, %.0f allocs/exch\n",
               fleet.agents, fleet.acquisitions_per_agent,
               fleet.registration_ms_avg, fleet.acquisition_ms_avg,
-              fleet.exchanges_per_s);
+              fleet.acquisition_ms.p50, fleet.acquisition_ms.p95,
+              fleet.exchanges_per_s, fleet.allocs_per_exchange);
   std::printf(
       "\nThe no-RI-context row is the paper's point: without the cached,\n"
       "verified RI Context every license fetch pays a full 4-pass\n"
       "registration (chain walk + OCSP + message signatures). The caches\n"
-      "collapse that to one signed request/response pair.\n");
+      "collapse that to one signed request/response pair; the arena DOM,\n"
+      "streaming serializer, and pooled envelope buffers make the wire\n"
+      "boundary itself allocation-free.\n");
 
   std::ofstream json(json_path);
   if (!json) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  char buf[3072];
+  char buf[4096];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
@@ -338,8 +535,9 @@ int main(int argc, char** argv) {
       "  \"registration_first_ms\": %.3f,\n"
       "  \"registration_repeat_ms\": %.3f,\n"
       "  \"ro_acquisition\": {\n"
-      "    \"cached\": {\"full_ms_avg\": %.4f, \"verify_path_ms_avg\": "
-      "%.4f},\n"
+      "    \"cached\": {\"full_ms_avg\": %.4f, \"full_ms_p50\": %.4f, "
+      "\"full_ms_p95\": %.4f, \"verify_path_ms_avg\": %.4f, "
+      "\"allocs_per_exchange\": %.1f},\n"
       "    \"uncached_crypto\": {\"full_ms_avg\": %.4f, "
       "\"verify_path_ms_avg\": %.4f},\n"
       "    \"uncached_no_context\": {\"full_ms_avg\": %.4f},\n"
@@ -347,24 +545,54 @@ int main(int argc, char** argv) {
       "    \"speedup_verify_path\": %.2f,\n"
       "    \"speedup_vs_no_context\": %.2f\n"
       "  },\n"
+      "  \"per_stage_us\": {\"serialize\": %.3f, \"parse\": %.3f, "
+      "\"base64\": %.3f, \"sha1\": %.3f, \"wrap\": %.3f, \"from_wire\": "
+      "%.3f, \"open\": %.3f, \"pss_sign\": %.3f, \"pss_verify\": %.3f},\n"
+      "  \"wire_allocs_per_op\": {\"serialize\": %.2f, \"parse\": %.2f, "
+      "\"wrap\": %.2f, \"from_wire\": %.2f},\n"
       "  \"multi_agent\": {\"agents\": %zu, \"acquisitions_per_agent\": "
       "%zu, \"registration_ms_avg\": %.3f, \"acquisition_ms_avg\": %.4f, "
-      "\"exchanges_per_s\": %.1f},\n"
+      "\"acquisition_ms_p50\": %.4f, \"acquisition_ms_p95\": %.4f, "
+      "\"exchanges_per_s\": %.1f, \"allocs_per_exchange\": %.1f},\n"
       "  \"cache_stats\": {\"mont_hits\": %llu, \"mont_misses\": %llu, "
       "\"chain_hits\": %llu, \"chain_misses\": %llu}\n"
       "}\n",
       kRsaBits, iterations, quick ? "true" : "false", registration_first_ms,
-      registration_repeat_ms, cached.full_ms_avg, cached.verify_ms_avg,
+      registration_repeat_ms, cached.full_ms_avg, cached.full_ms.p50,
+      cached.full_ms.p95, cached.verify_ms_avg, cached.allocs_per_exchange,
       uncached.full_ms_avg, uncached.verify_ms_avg, no_context_full_ms,
-      speedup_crypto, speedup_verify, speedup_full, fleet.agents,
-      fleet.acquisitions_per_agent, fleet.registration_ms_avg,
-      fleet.acquisition_ms_avg, fleet.exchanges_per_s,
+      speedup_crypto, speedup_verify, speedup_full, stages.serialize.us_per_op,
+      stages.parse.us_per_op, stages.b64.us_per_op, stages.sha1.us_per_op,
+      stages.wrap.us_per_op, stages.from_wire.us_per_op,
+      stages.open.us_per_op, stages.sign.us_per_op, stages.verify.us_per_op,
+      stages.serialize.allocs_per_op, stages.parse.allocs_per_op,
+      stages.wrap.allocs_per_op, stages.from_wire.allocs_per_op,
+      fleet.agents, fleet.acquisitions_per_agent, fleet.registration_ms_avg,
+      fleet.acquisition_ms_avg, fleet.acquisition_ms.p50,
+      fleet.acquisition_ms.p95, fleet.exchanges_per_s,
+      fleet.allocs_per_exchange,
       static_cast<unsigned long long>(mont.hits),
       static_cast<unsigned long long>(mont.misses),
       static_cast<unsigned long long>(chain.hits),
       static_cast<unsigned long long>(chain.misses));
   json << buf;
   std::printf("\nwrote %s\n", json_path.c_str());
+
+  // Hard invariant: the wire path — streaming serialize into a reused
+  // buffer, zero-copy parse into a warm arena, pooled envelope wrap /
+  // from_wire — performs zero steady-state heap allocations.
+  bool wire_clean = true;
+  for (const Stage* st : {&stages.serialize, &stages.parse, &stages.wrap,
+                          &stages.from_wire}) {
+    if (st->allocs_per_op != 0) {
+      std::fprintf(stderr,
+                   "FAIL: wire stage '%s' allocates (%.2f allocs/op); the "
+                   "steady state must be allocation-free\n",
+                   st->name, st->allocs_per_op);
+      wire_clean = false;
+    }
+  }
+  if (!wire_clean) return 1;
 
   // Acceptance target: the cacheable part of the RO-acquisition path (the
   // signing legs are irreducible device work in both modes, per the

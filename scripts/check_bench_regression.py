@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate on ROAP session benchmark throughput.
+
+Compares the fleet exchanges/s of a fresh bench run against the
+checked-in baseline JSON and fails when throughput regressed by more
+than the tolerance (default 25%). Latency-style fields are reported for
+context but only throughput gates, since it is the least noisy of the
+bench's outputs on shared CI runners.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fleet_throughput(doc: dict) -> float:
+    return float(doc["multi_agent"]["exchanges_per_s"])
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base = fleet_throughput(baseline)
+    cur = fleet_throughput(current)
+    floor = base * (1.0 - args.tolerance)
+
+    print(f"baseline fleet throughput: {base:10.1f} exch/s "
+          f"({baseline['multi_agent']['agents']} agents)")
+    print(f"current  fleet throughput: {cur:10.1f} exch/s "
+          f"({current['multi_agent']['agents']} agents)")
+    print(f"floor (-{args.tolerance:.0%}):          {floor:10.1f} exch/s")
+
+    cached = current.get("ro_acquisition", {}).get("cached", {})
+    if cached:
+        print(f"current cached acquisition: {cached.get('full_ms_avg')} ms "
+              f"(p50 {cached.get('full_ms_p50')}, "
+              f"p95 {cached.get('full_ms_p95')}), "
+              f"{cached.get('allocs_per_exchange')} allocs/exchange")
+
+    if cur < floor:
+        print(f"FAIL: throughput regressed more than "
+              f"{args.tolerance:.0%} vs the checked-in baseline",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

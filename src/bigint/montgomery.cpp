@@ -1,5 +1,6 @@
 #include "bigint/montgomery.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.h"
@@ -11,13 +12,15 @@ using omadrm::ErrorKind;
 
 namespace {
 
-// -m^-1 mod 2^32 via Newton iteration (doubles correct bits each step).
-std::uint32_t neg_inverse_u32(std::uint32_t m0) {
-  std::uint32_t inv = 1;
-  for (int i = 0; i < 5; ++i) {
+using u128 = unsigned __int128;
+
+// -m^-1 mod 2^64 via Newton iteration (doubles correct bits each step).
+std::uint64_t neg_inverse_u64(std::uint64_t m0) {
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) {
     inv *= 2 - m0 * inv;
   }
-  return static_cast<std::uint32_t>(0u - inv);
+  return 0u - inv;
 }
 
 }  // namespace
@@ -27,69 +30,122 @@ MontgomeryCtx::MontgomeryCtx(const BigInt& m) : m_(m) {
     throw Error(ErrorKind::kCrypto, "Montgomery modulus must be odd positive");
   }
   n_ = m.limbs().size();
-  m_prime_ = neg_inverse_u32(m.limbs()[0]);
-  // R^2 mod m where R = 2^(32 n).
-  BigInt r = BigInt(std::uint64_t{1}) << (32 * n_);
-  r2_ = (r * r).mod(m_);
-  one_mont_ = to_mont(BigInt(std::uint64_t{1}));
+  nw_ = (n_ + 1) / 2;
+  mw_ = pack(m_);
+  m_prime64_ = neg_inverse_u64(mw_[0]);
+  // R^2 mod m where R = 2^(64 nw).
+  BigInt r = BigInt(std::uint64_t{1}) << (64 * nw_);
+  r2w_ = pack((r * r).mod(m_));
+  one_plain_.assign(nw_ + 2, 0);
+  one_plain_[0] = 1;
+  // 1 in Montgomery form: 1 * R^2 * R^-1 = R mod m.
+  Words t;
+  cios_into(t, one_plain_, r2w_);
+  t.resize(nw_);
+  onew_ = std::move(t);
+  one_mont_ = unpack(onew_);
 }
 
-// Coarsely Integrated Operand Scanning (CIOS) Montgomery multiplication.
-// Computes a * b * R^-1 mod m for operands already reduced mod m.
-BigInt MontgomeryCtx::cios(const Limbs& a, const Limbs& b) const {
-  const Limbs& m = m_.limbs();
-  Limbs t(n_ + 2, 0);
+MontgomeryCtx::Words MontgomeryCtx::pack(const BigInt& v) const {
+  const auto& limbs = v.limbs();
+  Words out(nw_, 0);
+  for (std::size_t i = 0; i < limbs.size() && i / 2 < nw_; ++i) {
+    out[i / 2] |= static_cast<std::uint64_t>(limbs[i]) << (32 * (i % 2));
+  }
+  return out;
+}
 
-  for (std::size_t i = 0; i < n_; ++i) {
-    const std::uint64_t ai = i < a.size() ? a[i] : 0;
+BigInt MontgomeryCtx::unpack(const Words& w) const {
+  std::vector<std::uint32_t> limbs(nw_ * 2, 0);
+  for (std::size_t i = 0; i < nw_; ++i) {
+    limbs[2 * i] = static_cast<std::uint32_t>(w[i]);
+    limbs[2 * i + 1] = static_cast<std::uint32_t>(w[i] >> 32);
+  }
+  return BigInt::from_limbs(std::move(limbs));
+}
+
+// Coarsely Integrated Operand Scanning (CIOS) Montgomery multiplication
+// on 64-bit words with 128-bit products. No allocation once `t` has
+// capacity — the exponentiation loops below reuse two scratch buffers
+// for their whole run.
+void MontgomeryCtx::cios_into(Words& t, const Words& a, const Words& b) const {
+  const std::uint64_t* m = mw_.data();
+  t.resize(nw_ + 2);
+  std::fill(t.begin(), t.end(), 0);
+
+  for (std::size_t i = 0; i < nw_; ++i) {
+    const std::uint64_t ai = a[i];
 
     // t += ai * b
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < n_; ++j) {
-      const std::uint64_t bj = j < b.size() ? b[j] : 0;
-      const std::uint64_t cur = t[j] + ai * bj + carry;
-      t[j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+    u128 carry = 0;
+    for (std::size_t j = 0; j < nw_; ++j) {
+      const u128 cur = static_cast<u128>(t[j]) + static_cast<u128>(ai) * b[j] +
+                       carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
     }
     {
-      const std::uint64_t cur = t[n_] + carry;
-      t[n_] = static_cast<std::uint32_t>(cur);
-      t[n_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+      const u128 cur = static_cast<u128>(t[nw_]) + carry;
+      t[nw_] = static_cast<std::uint64_t>(cur);
+      t[nw_ + 1] = static_cast<std::uint64_t>(cur >> 64);
     }
 
-    // u = t[0] * m' mod 2^32 ; t = (t + u * m) >> 32
-    const std::uint64_t u = static_cast<std::uint32_t>(t[0] * m_prime_);
-    std::uint64_t cur = t[0] + u * m[0];
-    carry = cur >> 32;
-    for (std::size_t j = 1; j < n_; ++j) {
-      cur = t[j] + u * m[j] + carry;
-      t[j - 1] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
+    // u = t[0] * m' mod 2^64 ; t = (t + u * m) >> 64
+    const std::uint64_t u = t[0] * m_prime64_;
+    u128 cur = static_cast<u128>(t[0]) + static_cast<u128>(u) * m[0];
+    carry = cur >> 64;
+    for (std::size_t j = 1; j < nw_; ++j) {
+      cur = static_cast<u128>(t[j]) + static_cast<u128>(u) * m[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
     }
-    cur = t[n_] + carry;
-    t[n_ - 1] = static_cast<std::uint32_t>(cur);
-    t[n_] = t[n_ + 1] + static_cast<std::uint32_t>(cur >> 32);
-    t[n_ + 1] = 0;
+    cur = static_cast<u128>(t[nw_]) + carry;
+    t[nw_ - 1] = static_cast<std::uint64_t>(cur);
+    t[nw_] = t[nw_ + 1] + static_cast<std::uint64_t>(cur >> 64);
+    t[nw_ + 1] = 0;
   }
 
-  t.resize(n_ + 1);
-  BigInt res = BigInt::from_limbs(std::move(t));
   // At most one final subtraction is needed: result < 2m.
-  if (!(res < m_)) res = res - m_;
-  return res;
+  bool ge = t[nw_] != 0;
+  if (!ge) {
+    ge = true;  // t == m subtracts to zero, which is the reduced form
+    for (std::size_t i = nw_; i-- > 0;) {
+      if (t[i] != m[i]) {
+        ge = t[i] > m[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < nw_; ++i) {
+      const std::uint64_t mi = m[i];
+      const std::uint64_t ti = t[i];
+      const std::uint64_t d1 = ti - mi;
+      const std::uint64_t d2 = d1 - borrow;
+      borrow = static_cast<std::uint64_t>((ti < mi) || (d1 < borrow));
+      t[i] = d2;
+    }
+    t[nw_] -= borrow;  // consumes the overflow word; result < m fits nw_
+  }
 }
 
 BigInt MontgomeryCtx::mont_mul(const BigInt& a, const BigInt& b) const {
-  return cios(a.limbs(), b.limbs());
+  Words t;
+  cios_into(t, pack(a), pack(b));
+  return unpack(t);
 }
 
 BigInt MontgomeryCtx::to_mont(const BigInt& a) const {
-  return cios(a.limbs(), r2_.limbs());
+  Words t;
+  cios_into(t, pack(a), r2w_);
+  return unpack(t);
 }
 
 BigInt MontgomeryCtx::from_mont(const BigInt& a) const {
-  static const Limbs kOne{1};
-  return cios(a.limbs(), kOne);
+  Words t;
+  cios_into(t, pack(a), one_plain_);
+  return unpack(t);
 }
 
 BigInt MontgomeryCtx::mod_exp(const BigInt& base, const BigInt& exp) const {
@@ -98,31 +154,40 @@ BigInt MontgomeryCtx::mod_exp(const BigInt& base, const BigInt& exp) const {
   const std::size_t bits = exp.bit_length();
   if (bits <= kPlainExpBits) {
     // Short exponent (RSA public exponents live here): left-to-right
-    // square-and-multiply beats building the window table.
-    BigInt mont_base = to_mont(base);
-    BigInt acc = mont_base;
+    // square-and-multiply beats building the window table. Two scratch
+    // buffers ping-pong through the whole run.
+    Words mont_base;
+    cios_into(mont_base, pack(base), r2w_);
+    Words acc = mont_base;
+    Words tmp;
     for (std::size_t i = bits - 1; i-- > 0;) {
-      acc = mont_mul(acc, acc);
-      if (exp.bit(i)) acc = mont_mul(acc, mont_base);
+      cios_into(tmp, acc, acc);
+      acc.swap(tmp);
+      if (exp.bit(i)) {
+        cios_into(tmp, acc, mont_base);
+        acc.swap(tmp);
+      }
     }
-    return from_mont(acc);
+    cios_into(tmp, acc, one_plain_);
+    return unpack(tmp);
   }
 
-  // Fixed window: one ad-hoc PowerTable per call. Callers exponentiating
-  // a truly fixed base repeatedly should hoist make_power_table instead.
-  return mod_exp_windowed(make_power_table(base).mont_powers_, exp);
+  // Fixed window: one ad-hoc table per call. Callers exponentiating a
+  // truly fixed base repeatedly should hoist make_power_table instead.
+  return mod_exp_windowed(make_power_table(base).words_, exp);
 }
 
 PowerTable MontgomeryCtx::make_power_table(const BigInt& base) const {
   PowerTable out;
   out.base_ = base;
   out.modulus_ = m_;
-  out.mont_powers_.resize(std::size_t{1} << kWindowBits);
-  out.mont_powers_[0] = one_mont_;
-  out.mont_powers_[1] = to_mont(base);
-  for (std::size_t i = 2; i < out.mont_powers_.size(); ++i) {
-    out.mont_powers_[i] = mont_mul(out.mont_powers_[i - 1],
-                                   out.mont_powers_[1]);
+  out.words_.resize(std::size_t{1} << kWindowBits);
+  out.words_[0] = onew_;
+  cios_into(out.words_[1], pack(base), r2w_);
+  out.words_[1].resize(nw_);
+  for (std::size_t i = 2; i < out.words_.size(); ++i) {
+    cios_into(out.words_[i], out.words_[i - 1], out.words_[1]);
+    out.words_[i].resize(nw_);
   }
   return out;
 }
@@ -134,24 +199,33 @@ BigInt MontgomeryCtx::mod_exp(const PowerTable& table,
                 "PowerTable built for a different modulus");
   }
   if (exp.is_zero()) return BigInt(std::uint64_t{1}).mod(m_);
-  return mod_exp_windowed(table.mont_powers_, exp);
+  return mod_exp_windowed(table.words_, exp);
 }
 
-BigInt MontgomeryCtx::mod_exp_windowed(const std::vector<BigInt>& table,
+BigInt MontgomeryCtx::mod_exp_windowed(const std::vector<Words>& table,
                                        const BigInt& exp) const {
   const std::size_t bits = exp.bit_length();
   const std::size_t windows = (bits + kWindowBits - 1) / kWindowBits;
-  BigInt acc = one_mont_;
+  Words acc(nw_ + 2, 0);
+  std::copy(onew_.begin(), onew_.end(), acc.begin());
+  Words tmp;
   for (std::size_t w = windows; w-- > 0;) {
-    for (std::size_t s = 0; s < kWindowBits; ++s) acc = mont_mul(acc, acc);
+    for (std::size_t s = 0; s < kWindowBits; ++s) {
+      cios_into(tmp, acc, acc);
+      acc.swap(tmp);
+    }
     std::size_t idx = 0;
     for (std::size_t b = 0; b < kWindowBits; ++b) {
       const std::size_t bit_pos = w * kWindowBits + (kWindowBits - 1 - b);
       idx = (idx << 1) | (bit_pos < bits && exp.bit(bit_pos) ? 1u : 0u);
     }
-    if (idx != 0) acc = mont_mul(acc, table[idx]);
+    if (idx != 0) {
+      cios_into(tmp, acc, table[idx]);
+      acc.swap(tmp);
+    }
   }
-  return from_mont(acc);
+  cios_into(tmp, acc, one_plain_);
+  return unpack(tmp);
 }
 
 }  // namespace omadrm::bigint

@@ -7,6 +7,12 @@
 // RSA-1024 operations cheap enough to run thousands of times in the test
 // suite and benchmarks.
 //
+// Internally the context computes on 64-bit words (128-bit products), a
+// 4x multiply-count reduction over the BigInt library's 32-bit limbs, and
+// every exponentiation runs on a fixed set of scratch buffers — after the
+// initial conversion no Montgomery multiply touches the heap. The BigInt
+// public surface is unchanged; pack/unpack at the call boundary is O(n).
+//
 // Contexts are expensive to build (R^2 mod m needs a full division) and
 // cheap to reuse; see mont_cache.h for the process-wide keyed cache that
 // amortizes construction across repeated operations on the same modulus.
@@ -34,14 +40,15 @@ class PowerTable {
 
   const BigInt& base() const { return base_; }
   const BigInt& modulus() const { return modulus_; }
-  bool empty() const { return mont_powers_.empty(); }
+  bool empty() const { return words_.empty(); }
 
  private:
   friend class MontgomeryCtx;
 
   BigInt base_;
   BigInt modulus_;
-  std::vector<BigInt> mont_powers_;  // base^0 .. base^(2^w - 1), Montgomery form
+  // base^0 .. base^(2^w - 1) in Montgomery form, packed 64-bit words.
+  std::vector<std::vector<std::uint64_t>> words_;
 };
 
 class MontgomeryCtx {
@@ -81,20 +88,32 @@ class MontgomeryCtx {
   const BigInt& mont_one() const { return one_mont_; }
 
  private:
-  using Limbs = std::vector<std::uint32_t>;
+  using Words = std::vector<std::uint64_t>;
 
-  // CIOS core on raw limb vectors, both inputs sized to at most n_ limbs.
-  BigInt cios(const Limbs& a, const Limbs& b) const;
+  // CIOS core: t <- a * b * R^-1 mod m. `t` is (re)sized to nw_ + 2 and
+  // the reduced result occupies t[0..nw_-1] (upper words zero), so
+  // buffers can be swapped into the next multiply without copying.
+  // Operands must expose at least nw_ words with any words beyond the
+  // value zero; the scratch buffers and packed tables guarantee this.
+  void cios_into(Words& t, const Words& a, const Words& b) const;
 
-  // Shared fixed-window scan over a precomputed powers table.
-  BigInt mod_exp_windowed(const std::vector<BigInt>& table,
+  // 64-bit word packing of a (non-negative, reduced) BigInt.
+  Words pack(const BigInt& v) const;
+  BigInt unpack(const Words& w) const;
+
+  // Shared fixed-window scan over a packed powers table.
+  BigInt mod_exp_windowed(const std::vector<Words>& table,
                           const BigInt& exp) const;
 
   BigInt m_;
-  std::size_t n_;             // limb count of the modulus
-  std::uint32_t m_prime_;     // -m^-1 mod 2^32
-  BigInt r2_;                 // R^2 mod m, for to_mont
-  BigInt one_mont_;           // R mod m
+  std::size_t n_;             // 32-bit limb count of the modulus
+  std::size_t nw_;            // 64-bit word count of the modulus
+  Words mw_;                  // modulus, packed
+  std::uint64_t m_prime64_;   // -m^-1 mod 2^64
+  Words r2w_;                 // R^2 mod m, for to_mont
+  Words onew_;                // R mod m (1 in Montgomery form)
+  Words one_plain_;           // plain 1, the from-Montgomery multiplier
+  BigInt one_mont_;           // R mod m as a BigInt, for mont_one()
 };
 
 }  // namespace omadrm::bigint

@@ -1,6 +1,7 @@
 #include "common/base64.h"
 
 #include <array>
+#include <cstdint>
 
 #include "common/error.h"
 
@@ -11,82 +12,138 @@ namespace {
 constexpr char kAlphabet[] =
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
-std::array<int, 256> make_reverse_table() {
-  std::array<int, 256> table{};
-  table.fill(-1);
+constexpr std::array<std::int8_t, 256> make_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
   for (int i = 0; i < 64; ++i) {
-    table[static_cast<unsigned char>(kAlphabet[i])] = i;
+    table[static_cast<unsigned char>(kAlphabet[i])] =
+        static_cast<std::int8_t>(i);
   }
   return table;
 }
 
+constexpr std::array<std::int8_t, 256> kReverse = make_reverse_table();
+
+[[noreturn]] void reject(const char* why) {
+  throw Error(ErrorKind::kFormat, std::string("base64 ") + why);
+}
+
+// Appends the strict decode of `text` (validated, canonical-only) to
+// `out`. Called with length already checked to be a positive multiple
+// of 4; throws mid-append on invalid input (the caller rolls back).
+void decode_append(std::string_view text, Bytes& out) {
+  const std::size_t old = out.size();
+  out.resize(old + text.size() / 4 * 3);
+  std::uint8_t* o = out.data() + old;
+  const char* p = text.data();
+
+  // All groups but the last carry no padding: decode word-at-a-time with
+  // one combined validity check per 24-bit group.
+  const std::size_t full = text.size() / 4 - 1;
+  for (std::size_t g = 0; g < full; ++g, p += 4, o += 3) {
+    const std::int32_t v0 = kReverse[static_cast<unsigned char>(p[0])];
+    const std::int32_t v1 = kReverse[static_cast<unsigned char>(p[1])];
+    const std::int32_t v2 = kReverse[static_cast<unsigned char>(p[2])];
+    const std::int32_t v3 = kReverse[static_cast<unsigned char>(p[3])];
+    if ((v0 | v1 | v2 | v3) < 0) {
+      // '=' here is padding before the final group; anything else is an
+      // invalid byte (whitespace included — it is never skipped).
+      for (int j = 0; j < 4; ++j) {
+        if (p[j] == '=') reject("padding before the final group");
+      }
+      reject("invalid character");
+    }
+    const std::uint32_t n =
+        (static_cast<std::uint32_t>(v0) << 18) |
+        (static_cast<std::uint32_t>(v1) << 12) |
+        (static_cast<std::uint32_t>(v2) << 6) | static_cast<std::uint32_t>(v3);
+    o[0] = static_cast<std::uint8_t>(n >> 16);
+    o[1] = static_cast<std::uint8_t>(n >> 8);
+    o[2] = static_cast<std::uint8_t>(n);
+  }
+
+  // Final group: 0, 1, or 2 trailing '=' allowed, and the bits beneath
+  // the padding must be zero (canonical encoding only).
+  int pad = 0;
+  if (p[3] == '=') {
+    ++pad;
+    if (p[2] == '=') ++pad;
+  }
+  if (p[0] == '=' || p[1] == '=' || (pad < 2 && p[2] == '=')) {
+    reject("misplaced padding");
+  }
+  std::uint32_t n = 0;
+  for (int j = 0; j < 4 - pad; ++j) {
+    const std::int32_t v = kReverse[static_cast<unsigned char>(p[j])];
+    if (v < 0) reject("invalid character");
+    n |= static_cast<std::uint32_t>(v) << (18 - 6 * j);
+  }
+  if (pad == 2 && (n & 0xffff) != 0) reject("non-canonical trailing bits");
+  if (pad == 1 && (n & 0xff) != 0) reject("non-canonical trailing bits");
+  o[0] = static_cast<std::uint8_t>(n >> 16);
+  if (pad < 2) o[1] = static_cast<std::uint8_t>(n >> 8);
+  if (pad < 1) o[2] = static_cast<std::uint8_t>(n);
+  out.resize(out.size() - static_cast<std::size_t>(pad));
+}
+
 }  // namespace
+
+void base64_encode_into(ByteView data, std::string& out) {
+  const std::size_t groups = data.size() / 3;
+  const std::size_t rem = data.size() - groups * 3;
+  const std::size_t old = out.size();
+  out.resize(old + (data.size() + 2) / 3 * 4);
+  char* o = out.data() + old;
+  const std::uint8_t* p = data.data();
+  for (std::size_t g = 0; g < groups; ++g, p += 3, o += 4) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 16) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) | p[2];
+    o[0] = kAlphabet[(n >> 18) & 63];
+    o[1] = kAlphabet[(n >> 12) & 63];
+    o[2] = kAlphabet[(n >> 6) & 63];
+    o[3] = kAlphabet[n & 63];
+  }
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(p[0]) << 16;
+    o[0] = kAlphabet[(n >> 18) & 63];
+    o[1] = kAlphabet[(n >> 12) & 63];
+    o[2] = '=';
+    o[3] = '=';
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 16) |
+                            (static_cast<std::uint32_t>(p[1]) << 8);
+    o[0] = kAlphabet[(n >> 18) & 63];
+    o[1] = kAlphabet[(n >> 12) & 63];
+    o[2] = kAlphabet[(n >> 6) & 63];
+    o[3] = '=';
+  }
+}
 
 std::string base64_encode(ByteView data) {
   std::string out;
-  out.reserve((data.size() + 2) / 3 * 4);
-  std::size_t i = 0;
-  for (; i + 3 <= data.size(); i += 3) {
-    std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
-                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
-                      data[i + 2];
-    out.push_back(kAlphabet[(n >> 18) & 63]);
-    out.push_back(kAlphabet[(n >> 12) & 63]);
-    out.push_back(kAlphabet[(n >> 6) & 63]);
-    out.push_back(kAlphabet[n & 63]);
-  }
-  std::size_t rem = data.size() - i;
-  if (rem == 1) {
-    std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
-    out.push_back(kAlphabet[(n >> 18) & 63]);
-    out.push_back(kAlphabet[(n >> 12) & 63]);
-    out.push_back('=');
-    out.push_back('=');
-  } else if (rem == 2) {
-    std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
-                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
-    out.push_back(kAlphabet[(n >> 18) & 63]);
-    out.push_back(kAlphabet[(n >> 12) & 63]);
-    out.push_back(kAlphabet[(n >> 6) & 63]);
-    out.push_back('=');
-  }
+  base64_encode_into(data, out);
   return out;
 }
 
+void base64_decode_into(std::string_view text, Bytes& out) {
+  if (text.size() % 4 != 0) reject("length not a multiple of 4");
+  if (text.empty()) return;
+
+  // On rejection the output must be exactly as the caller passed it —
+  // no partially decoded tail.
+  const std::size_t old = out.size();
+  try {
+    decode_append(text, out);
+  } catch (...) {
+    out.resize(old);
+    throw;
+  }
+}
+
+
 Bytes base64_decode(std::string_view text) {
-  static const std::array<int, 256> kReverse = make_reverse_table();
-  if (text.size() % 4 != 0) {
-    throw Error(ErrorKind::kFormat, "base64 length not a multiple of 4");
-  }
   Bytes out;
-  out.reserve(text.size() / 4 * 3);
-  for (std::size_t i = 0; i < text.size(); i += 4) {
-    int pad = 0;
-    std::uint32_t n = 0;
-    for (std::size_t j = 0; j < 4; ++j) {
-      char c = text[i + j];
-      if (c == '=') {
-        // Padding is only legal in the last two positions of the final group.
-        if (i + 4 != text.size() || j < 2) {
-          throw Error(ErrorKind::kFormat, "base64 misplaced padding");
-        }
-        ++pad;
-        n <<= 6;
-        continue;
-      }
-      if (pad > 0) {
-        throw Error(ErrorKind::kFormat, "base64 data after padding");
-      }
-      int v = kReverse[static_cast<unsigned char>(c)];
-      if (v < 0) {
-        throw Error(ErrorKind::kFormat, "base64 invalid character");
-      }
-      n = (n << 6) | static_cast<std::uint32_t>(v);
-    }
-    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
-    if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
-    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
-  }
+  base64_decode_into(text, out);
   return out;
 }
 

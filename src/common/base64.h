@@ -1,7 +1,18 @@
 // RFC 4648 base64 (standard alphabet, '=' padding).
 //
 // Used for embedding binary material (wrapped keys, signatures, hashes)
-// inside XML documents, as the OMA DRM 2 schemas do.
+// inside XML documents, as the OMA DRM 2 schemas do. Because base64 text
+// dominates ROAP document bytes (certificates, OCSP responses, wrapped
+// keys), both directions are written for the wire hot path: the _into
+// variants append to caller-owned buffers (no temporaries, exact
+// reservation) and run word-at-a-time — one 24-bit group per step with a
+// single combined validity check on decode.
+//
+// Decoding is strict: only canonical input is accepted. Whitespace or
+// any other non-alphabet byte, a length not divisible by four, padding
+// anywhere but the final one or two positions, and non-zero trailing
+// bits under the padding (e.g. "QR==" where only "QQ==" encodes that
+// byte) all throw omadrm::Error(kFormat).
 #pragma once
 
 #include <string>
@@ -11,11 +22,17 @@
 
 namespace omadrm {
 
+/// Appends the base64 encoding of `data` (with padding) to `out`.
+void base64_encode_into(ByteView data, std::string& out);
+
 /// Encodes bytes to base64 with padding.
 std::string base64_encode(ByteView data);
 
-/// Decodes base64; accepts only canonical input (correct padding, no
-/// whitespace). Throws omadrm::Error(kFormat) on invalid input.
+/// Appends the decoded bytes to `out`. Throws omadrm::Error(kFormat) on
+/// any non-canonical input (see file comment).
+void base64_decode_into(std::string_view text, Bytes& out);
+
+/// Decodes base64; accepts only canonical input.
 Bytes base64_decode(std::string_view text);
 
 }  // namespace omadrm

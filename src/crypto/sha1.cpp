@@ -23,39 +23,96 @@ void Sha1::reset() {
   finished_ = false;
 }
 
+// Fully unrolled compression over a 16-word rolling message schedule.
+// The canonicalization/digest hot path of the wire layer (every ROAP
+// signature covers a freshly serialized document) hashes short messages
+// constantly; unrolling removes the per-round branch on the round index
+// and the 80-word schedule array, and the register rotation is expressed
+// by argument rotation so the compiler keeps a..e in registers.
 void Sha1::process_block(const std::uint8_t* block) {
-  std::uint32_t w[80];
+  std::uint32_t w[16];
   for (int i = 0; i < 16; ++i) {
     w[i] = load_be32(block + 4 * i);
-  }
-  for (int i = 16; i < 80; ++i) {
-    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
   }
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
                 e = state_[4];
-  for (int i = 0; i < 80; ++i) {
-    std::uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | ((~b) & d);
-      k = 0x5a827999u;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ed9eba1u;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8f1bbcdcu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xca62c1d6u;
-    }
-    std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = rotl(b, 30);
-    b = a;
-    a = temp;
-  }
+
+  auto sched = [&w](int i) {
+    const std::uint32_t v = rotl(w[(i - 3) & 15] ^ w[(i - 8) & 15] ^
+                                     w[(i - 14) & 15] ^ w[i & 15],
+                                 1);
+    w[i & 15] = v;
+    return v;
+  };
+
+#define SHA1_R0(a, b, c, d, e, i)                                          \
+  e += rotl(a, 5) + ((((c) ^ (d)) & (b)) ^ (d)) + 0x5a827999u + w[i];        \
+  b = rotl(b, 30);
+#define SHA1_R0X(a, b, c, d, e, i)                                         \
+  e += rotl(a, 5) + ((((c) ^ (d)) & (b)) ^ (d)) + 0x5a827999u + sched(i);    \
+  b = rotl(b, 30);
+#define SHA1_R1(a, b, c, d, e, i)                                          \
+  e += rotl(a, 5) + ((b) ^ (c) ^ (d)) + 0x6ed9eba1u + sched(i);            \
+  b = rotl(b, 30);
+#define SHA1_R2(a, b, c, d, e, i)                                          \
+  e += rotl(a, 5) + ((((b) | (c)) & (d)) | ((b) & (c))) + 0x8f1bbcdcu +    \
+       sched(i);                                                           \
+  b = rotl(b, 30);
+#define SHA1_R3(a, b, c, d, e, i)                                          \
+  e += rotl(a, 5) + ((b) ^ (c) ^ (d)) + 0xca62c1d6u + sched(i);            \
+  b = rotl(b, 30);
+
+  SHA1_R0(a, b, c, d, e, 0)   SHA1_R0(e, a, b, c, d, 1)
+  SHA1_R0(d, e, a, b, c, 2)   SHA1_R0(c, d, e, a, b, 3)
+  SHA1_R0(b, c, d, e, a, 4)   SHA1_R0(a, b, c, d, e, 5)
+  SHA1_R0(e, a, b, c, d, 6)   SHA1_R0(d, e, a, b, c, 7)
+  SHA1_R0(c, d, e, a, b, 8)   SHA1_R0(b, c, d, e, a, 9)
+  SHA1_R0(a, b, c, d, e, 10)  SHA1_R0(e, a, b, c, d, 11)
+  SHA1_R0(d, e, a, b, c, 12)  SHA1_R0(c, d, e, a, b, 13)
+  SHA1_R0(b, c, d, e, a, 14)  SHA1_R0(a, b, c, d, e, 15)
+  SHA1_R0X(e, a, b, c, d, 16) SHA1_R0X(d, e, a, b, c, 17)
+  SHA1_R0X(c, d, e, a, b, 18) SHA1_R0X(b, c, d, e, a, 19)
+
+  SHA1_R1(a, b, c, d, e, 20)  SHA1_R1(e, a, b, c, d, 21)
+  SHA1_R1(d, e, a, b, c, 22)  SHA1_R1(c, d, e, a, b, 23)
+  SHA1_R1(b, c, d, e, a, 24)  SHA1_R1(a, b, c, d, e, 25)
+  SHA1_R1(e, a, b, c, d, 26)  SHA1_R1(d, e, a, b, c, 27)
+  SHA1_R1(c, d, e, a, b, 28)  SHA1_R1(b, c, d, e, a, 29)
+  SHA1_R1(a, b, c, d, e, 30)  SHA1_R1(e, a, b, c, d, 31)
+  SHA1_R1(d, e, a, b, c, 32)  SHA1_R1(c, d, e, a, b, 33)
+  SHA1_R1(b, c, d, e, a, 34)  SHA1_R1(a, b, c, d, e, 35)
+  SHA1_R1(e, a, b, c, d, 36)  SHA1_R1(d, e, a, b, c, 37)
+  SHA1_R1(c, d, e, a, b, 38)  SHA1_R1(b, c, d, e, a, 39)
+
+  SHA1_R2(a, b, c, d, e, 40)  SHA1_R2(e, a, b, c, d, 41)
+  SHA1_R2(d, e, a, b, c, 42)  SHA1_R2(c, d, e, a, b, 43)
+  SHA1_R2(b, c, d, e, a, 44)  SHA1_R2(a, b, c, d, e, 45)
+  SHA1_R2(e, a, b, c, d, 46)  SHA1_R2(d, e, a, b, c, 47)
+  SHA1_R2(c, d, e, a, b, 48)  SHA1_R2(b, c, d, e, a, 49)
+  SHA1_R2(a, b, c, d, e, 50)  SHA1_R2(e, a, b, c, d, 51)
+  SHA1_R2(d, e, a, b, c, 52)  SHA1_R2(c, d, e, a, b, 53)
+  SHA1_R2(b, c, d, e, a, 54)  SHA1_R2(a, b, c, d, e, 55)
+  SHA1_R2(e, a, b, c, d, 56)  SHA1_R2(d, e, a, b, c, 57)
+  SHA1_R2(c, d, e, a, b, 58)  SHA1_R2(b, c, d, e, a, 59)
+
+  SHA1_R3(a, b, c, d, e, 60)  SHA1_R3(e, a, b, c, d, 61)
+  SHA1_R3(d, e, a, b, c, 62)  SHA1_R3(c, d, e, a, b, 63)
+  SHA1_R3(b, c, d, e, a, 64)  SHA1_R3(a, b, c, d, e, 65)
+  SHA1_R3(e, a, b, c, d, 66)  SHA1_R3(d, e, a, b, c, 67)
+  SHA1_R3(c, d, e, a, b, 68)  SHA1_R3(b, c, d, e, a, 69)
+  SHA1_R3(a, b, c, d, e, 70)  SHA1_R3(e, a, b, c, d, 71)
+  SHA1_R3(d, e, a, b, c, 72)  SHA1_R3(c, d, e, a, b, 73)
+  SHA1_R3(b, c, d, e, a, 74)  SHA1_R3(a, b, c, d, e, 75)
+  SHA1_R3(e, a, b, c, d, 76)  SHA1_R3(d, e, a, b, c, 77)
+  SHA1_R3(c, d, e, a, b, 78)  SHA1_R3(b, c, d, e, a, 79)
+
+#undef SHA1_R0
+#undef SHA1_R0X
+#undef SHA1_R1
+#undef SHA1_R2
+#undef SHA1_R3
+
   state_[0] += a;
   state_[1] += b;
   state_[2] += c;

@@ -19,7 +19,7 @@ const char* to_string(PermissionType p) {
   return "?";
 }
 
-std::optional<PermissionType> permission_from_string(const std::string& s) {
+std::optional<PermissionType> permission_from_string(std::string_view s) {
   if (s == "play") return PermissionType::kPlay;
   if (s == "display") return PermissionType::kDisplay;
   if (s == "execute") return PermissionType::kExecute;
@@ -43,16 +43,86 @@ const char* to_string(Decision d) {
 
 namespace {
 
-std::uint64_t parse_u64(const std::string& s) {
+std::uint64_t parse_u64(std::string_view s) {
   if (s.empty()) throw Error(ErrorKind::kFormat, "rel: empty number");
   std::uint64_t v = 0;
   for (char c : s) {
     if (c < '0' || c > '9') {
-      throw Error(ErrorKind::kFormat, "rel: invalid number '" + s + "'");
+      throw Error(ErrorKind::kFormat,
+                  "rel: invalid number '" + std::string(s) + "'");
     }
     v = v * 10 + static_cast<std::uint64_t>(c - '0');
   }
   return v;
+}
+
+// Field extraction is written once, generically, against the shared
+// accessor surface of xml::Element (owning DOM) and xml::Node (zero-copy
+// wire DOM); from_xml/from_node instantiate it for each.
+
+template <typename E>
+Constraint constraint_from(const E& e) {
+  Constraint c;
+  if (const auto* n = e.child("o-dd:count")) {
+    std::uint64_t v = parse_u64(n->text());
+    if (v > 0xffffffffull) {
+      throw Error(ErrorKind::kFormat, "rel: count too large");
+    }
+    c.count = static_cast<std::uint32_t>(v);
+  }
+  if (const auto* dt = e.child("o-dd:datetime")) {
+    if (const auto* s = dt->child("o-dd:start")) {
+      c.not_before = parse_u64(s->text());
+    }
+    if (const auto* en = dt->child("o-dd:end")) {
+      c.not_after = parse_u64(en->text());
+    }
+  }
+  if (const auto* iv = e.child("o-dd:interval")) {
+    c.interval_secs = parse_u64(iv->text());
+  }
+  if (const auto* ac = e.child("o-dd:accumulated")) {
+    c.accumulated_secs = parse_u64(ac->text());
+  }
+  return c;
+}
+
+template <typename E>
+Permission permission_from(const E& e) {
+  std::string_view name = e.name();
+  constexpr std::string_view kPrefix = "o-dd:";
+  if (name.substr(0, kPrefix.size()) == kPrefix) {
+    name = name.substr(kPrefix.size());
+  }
+  auto type = permission_from_string(name);
+  if (!type) {
+    throw Error(ErrorKind::kFormat,
+                "rel: unknown permission '" + std::string(name) + "'");
+  }
+  Permission p;
+  p.type = *type;
+  if (const auto* c = e.child("o-dd:constraint")) {
+    p.constraint = constraint_from(*c);
+  }
+  return p;
+}
+
+template <typename E>
+Rights rights_from(const E& e) {
+  if (e.name() != std::string_view("o-ex:rights")) {
+    throw Error(ErrorKind::kFormat, "rel: root must be <o-ex:rights>");
+  }
+  Rights r;
+  r.ro_id = e.require_attr("o-ex:id");
+  const auto& agreement = e.require_child("o-ex:agreement");
+  const auto& asset = agreement.require_child("o-ex:asset");
+  r.content_id = asset.child_text("o-ex:context");
+  r.dcf_hash = base64_decode(asset.child_text("ds:DigestValue"));
+  const auto& perms = agreement.require_child("o-ex:permission");
+  for (const auto& p : perms.children()) {
+    r.permissions.push_back(permission_from(p));
+  }
+  return r;
 }
 
 }  // namespace
@@ -75,26 +145,26 @@ xml::Element Constraint::to_xml() const {
   return e;
 }
 
+void Constraint::write(xml::Writer& w) const {
+  w.open("o-dd:constraint");
+  if (count) w.u64_element("o-dd:count", *count);
+  if (not_before || not_after) {
+    w.open("o-dd:datetime");
+    if (not_before) w.u64_element("o-dd:start", *not_before);
+    if (not_after) w.u64_element("o-dd:end", *not_after);
+    w.close();
+  }
+  if (interval_secs) w.u64_element("o-dd:interval", *interval_secs);
+  if (accumulated_secs) w.u64_element("o-dd:accumulated", *accumulated_secs);
+  w.close();
+}
+
 Constraint Constraint::from_xml(const xml::Element& e) {
-  Constraint c;
-  if (const auto* n = e.child("o-dd:count")) {
-    std::uint64_t v = parse_u64(n->text());
-    if (v > 0xffffffffull) {
-      throw Error(ErrorKind::kFormat, "rel: count too large");
-    }
-    c.count = static_cast<std::uint32_t>(v);
-  }
-  if (const auto* dt = e.child("o-dd:datetime")) {
-    if (const auto* s = dt->child("o-dd:start")) c.not_before = parse_u64(s->text());
-    if (const auto* en = dt->child("o-dd:end")) c.not_after = parse_u64(en->text());
-  }
-  if (const auto* iv = e.child("o-dd:interval")) {
-    c.interval_secs = parse_u64(iv->text());
-  }
-  if (const auto* ac = e.child("o-dd:accumulated")) {
-    c.accumulated_secs = parse_u64(ac->text());
-  }
-  return c;
+  return constraint_from(e);
+}
+
+Constraint Constraint::from_node(const xml::Node& e) {
+  return constraint_from(e);
 }
 
 xml::Element Permission::to_xml() const {
@@ -105,20 +175,26 @@ xml::Element Permission::to_xml() const {
   return e;
 }
 
+void Permission::write(xml::Writer& w) const {
+  // Permission element names are "o-dd:" + the permission keyword; emit
+  // the two pieces without building the concatenation.
+  char name[16] = "o-dd:";
+  const char* kind = to_string(type);
+  std::size_t n = 5;
+  for (const char* p = kind; *p && n + 1 < sizeof name; ++p) name[n++] = *p;
+  w.open(std::string_view(name, n));
+  if (!constraint.is_unconstrained()) {
+    constraint.write(w);
+  }
+  w.close();
+}
+
 Permission Permission::from_xml(const xml::Element& e) {
-  std::string name = e.name();
-  constexpr std::string_view kPrefix = "o-dd:";
-  if (name.rfind(kPrefix, 0) == 0) name = name.substr(kPrefix.size());
-  auto type = permission_from_string(name);
-  if (!type) {
-    throw Error(ErrorKind::kFormat, "rel: unknown permission '" + name + "'");
-  }
-  Permission p;
-  p.type = *type;
-  if (const auto* c = e.child("o-dd:constraint")) {
-    p.constraint = Constraint::from_xml(*c);
-  }
-  return p;
+  return permission_from(e);
+}
+
+Permission Permission::from_node(const xml::Node& e) {
+  return permission_from(e);
 }
 
 const Permission* Rights::find(PermissionType type) const {
@@ -144,22 +220,33 @@ xml::Element Rights::to_xml() const {
   return root;
 }
 
-Rights Rights::from_xml(const xml::Element& e) {
-  if (e.name() != "o-ex:rights") {
-    throw Error(ErrorKind::kFormat, "rel: root must be <o-ex:rights>");
+void Rights::write(xml::Writer& w) const {
+  w.open("o-ex:rights");
+  w.attr("o-ex:id", ro_id);
+  w.open("o-ex:agreement");
+  w.open("o-ex:asset");
+  w.text_element("o-ex:context", content_id);
+  w.b64_element("ds:DigestValue", dcf_hash);
+  w.close();  // o-ex:asset
+  w.open("o-ex:permission");
+  for (const auto& p : permissions) {
+    p.write(w);
   }
-  Rights r;
-  r.ro_id = e.require_attr("o-ex:id");
-  const xml::Element& agreement = e.require_child("o-ex:agreement");
-  const xml::Element& asset = agreement.require_child("o-ex:asset");
-  r.content_id = asset.child_text("o-ex:context");
-  r.dcf_hash = base64_decode(asset.child_text("ds:DigestValue"));
-  const xml::Element& perms = agreement.require_child("o-ex:permission");
-  for (const auto& p : perms.children()) {
-    r.permissions.push_back(Permission::from_xml(p));
-  }
-  return r;
+  w.close();  // o-ex:permission
+  w.close();  // o-ex:agreement
+  w.close();  // o-ex:rights
 }
+
+std::string Rights::serialize() const {
+  std::string out;
+  xml::Writer w(out);
+  write(w);
+  return out;
+}
+
+Rights Rights::from_xml(const xml::Element& e) { return rights_from(e); }
+
+Rights Rights::from_node(const xml::Node& e) { return rights_from(e); }
 
 RightsEnforcer::RightsEnforcer(Rights rights) : rights_(std::move(rights)) {}
 

@@ -28,7 +28,7 @@ enum class PermissionType : std::uint8_t {
 };
 
 const char* to_string(PermissionType p);
-std::optional<PermissionType> permission_from_string(const std::string& s);
+std::optional<PermissionType> permission_from_string(std::string_view s);
 
 /// Constraints attached to one permission. Absent optional = unconstrained
 /// in that dimension.
@@ -45,7 +45,10 @@ struct Constraint {
   }
 
   xml::Element to_xml() const;
+  /// Streams `<o-dd:constraint>` into `w` (wire path, allocation-free).
+  void write(xml::Writer& w) const;
   static Constraint from_xml(const xml::Element& e);
+  static Constraint from_node(const xml::Node& e);
 
   bool operator==(const Constraint&) const = default;
 };
@@ -55,7 +58,9 @@ struct Permission {
   Constraint constraint;
 
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
   static Permission from_xml(const xml::Element& e);
+  static Permission from_node(const xml::Node& e);
 
   bool operator==(const Permission&) const = default;
 };
@@ -72,8 +77,12 @@ struct Rights {
   const Permission* find(PermissionType type) const;
 
   xml::Element to_xml() const;
+  /// Streams the `<o-ex:rights>` document into `w` — identical bytes to
+  /// to_xml().serialize(), without building an Element tree.
+  void write(xml::Writer& w) const;
   static Rights from_xml(const xml::Element& e);
-  std::string serialize() const { return to_xml().serialize(); }
+  static Rights from_node(const xml::Node& e);
+  std::string serialize() const;
   static Rights parse(const std::string& doc) {
     return from_xml(xml::parse(doc));
   }

@@ -1,5 +1,8 @@
 #include "roap/envelope.h"
 
+#include <utility>
+#include <vector>
+
 namespace omadrm::roap {
 
 using omadrm::Error;
@@ -66,17 +69,128 @@ constexpr MessageType kAllTypes[] = {
     MessageType::kRoAcquisitionTrigger,
 };
 
+// ---------------------------------------------------------------------------
+// Buffer pool. Destroyed envelopes donate their wire string and parse
+// arena back to the thread; the next wrap()/from_wire() picks them up
+// with warm capacity, making steady-state envelope traffic allocation-
+// free. Keeping the wire buffer's capacity off the small-string
+// optimization is load-bearing: the retained Node tree aliases the wire
+// bytes, and only a heap-backed string keeps those views valid across
+// envelope moves.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kWireReserve = 256;
+constexpr std::size_t kPoolMax = 32;
+
+struct Recycled {
+  std::string wire;
+  xml::Arena arena;
+};
+
+struct Pool {
+  std::vector<Recycled> items;
+  bool alive = true;
+  ~Pool() { alive = false; }
+};
+
+Pool& pool() {
+  thread_local Pool p;
+  return p;
+}
+
 }  // namespace
 
-Envelope Envelope::from_wire(std::string wire) {
-  xml::Element doc = xml::parse(wire);  // throws kFormat when mangled
+Envelope Envelope::acquire() {
+  Envelope env;
+  Pool& p = pool();
+  if (p.alive && !p.items.empty()) {
+    env.wire_ = std::move(p.items.back().wire);
+    env.arena_ = std::move(p.items.back().arena);
+    p.items.pop_back();
+    env.wire_.clear();
+    env.arena_.reset();
+  }
+  env.wire_.reserve(kWireReserve);
+  return env;
+}
+
+void Envelope::release() noexcept {
+  doc_ = nullptr;
+  if (wire_.capacity() < kWireReserve) return;  // nothing worth keeping
+  Pool& p = pool();
+  if (!p.alive || p.items.size() >= kPoolMax) return;
+  try {
+    p.items.push_back(Recycled{std::move(wire_), std::move(arena_)});
+  } catch (...) {
+    // Pool growth failed; the buffers just die with the envelope.
+  }
+  wire_.clear();
+}
+
+Envelope::~Envelope() { release(); }
+
+Envelope::Envelope(Envelope&& other) noexcept
+    : type_(other.type_),
+      wire_(std::move(other.wire_)),
+      arena_(std::move(other.arena_)),
+      doc_(other.doc_) {
+  other.doc_ = nullptr;
+}
+
+Envelope& Envelope::operator=(Envelope&& other) noexcept {
+  if (this != &other) {
+    release();
+    type_ = other.type_;
+    wire_ = std::move(other.wire_);
+    arena_ = std::move(other.arena_);
+    doc_ = other.doc_;
+    other.doc_ = nullptr;
+  }
+  return *this;
+}
+
+Envelope::Envelope(const Envelope& other) {
+  if (!other.empty()) {
+    *this = acquire();
+    wire_.assign(other.wire_);
+    doc_ = &xml::parse_in(arena_, wire_);
+    type_ = other.type_;
+  }
+}
+
+Envelope& Envelope::operator=(const Envelope& other) {
+  if (this != &other) {
+    *this = Envelope(other);
+  }
+  return *this;
+}
+
+const xml::Node& Envelope::doc() const {
+  if (!doc_) {
+    throw Error(ErrorKind::kState, "roap: empty envelope");
+  }
+  return *doc_;
+}
+
+void Envelope::adopt(MessageType t) {
+  doc_ = &xml::parse_in(arena_, wire_);
+  type_ = t;
+}
+
+Envelope Envelope::from_wire(std::string_view wire) {
+  Envelope env = acquire();
+  env.wire_.assign(wire);
+  const xml::Node& doc =
+      xml::parse_in(env.arena_, env.wire_);  // throws kFormat when mangled
   for (MessageType t : kAllTypes) {
     if (doc.name() == root_element(t)) {
-      return Envelope(t, std::move(wire), std::move(doc));
+      env.doc_ = &doc;
+      env.type_ = t;
+      return env;
     }
   }
   throw Error(ErrorKind::kFormat,
-              "roap: unknown message <" + doc.name() + ">");
+              "roap: unknown message <" + std::string(doc.name()) + ">");
 }
 
 }  // namespace omadrm::roap

@@ -1,16 +1,24 @@
 // ROAP wire envelope — the unit a Transport carries.
 //
 // An Envelope is a type tag plus the *serialized* XML document of exactly
-// one ROAP message (the parsed DOM rides along so each document is
-// parsed exactly once per hop). Wrapping serializes; opening decodes the
-// typed message. Because every envelope holds wire bytes (never a live
-// message object), anything that crosses a Transport has by construction
-// survived a full serialize→parse round trip — the seam where a real
-// network, a proxy device, or a fault injector can sit.
+// one ROAP message, with a zero-copy parse of those bytes riding along
+// (so each document is parsed exactly once per hop). Wrapping streams
+// the message into the retained wire buffer and immediately parses it,
+// so every envelope's DOM is by construction derived from its serialized
+// bytes — anything that crosses a Transport has survived a full
+// serialize→parse round trip, the seam where a real network, a proxy
+// device, or a fault injector can sit.
+//
+// Buffers recycle: an envelope draws its wire string and parse arena
+// from a thread-local pool and returns them on destruction, so steady
+// state traffic wraps, parses, and opens envelopes without touching the
+// heap (the decoded message structs are the only remaining owners).
+// Copying an envelope re-parses its bytes; moving is pointer-cheap.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/error.h"
 #include "roap/messages.h"
@@ -80,25 +88,41 @@ template <> struct MessageTraits<RoAcquisitionTrigger> {
 class Envelope {
  public:
   Envelope() = default;
+  ~Envelope();
+  Envelope(Envelope&& other) noexcept;
+  Envelope& operator=(Envelope&& other) noexcept;
+  /// Copying re-parses the wire bytes into the copy's own arena.
+  Envelope(const Envelope& other);
+  Envelope& operator=(const Envelope& other);
 
-  /// Serializes a message into its envelope.
+  /// Serializes a message into its envelope: streams the document into
+  /// the pooled wire buffer and parses it back (zero-copy), so the
+  /// retained DOM is exactly the parse of the retained bytes.
   template <typename Msg>
   static Envelope wrap(const Msg& msg) {
-    xml::Element doc = msg.to_xml();
-    std::string wire = doc.serialize();
-    return Envelope(MessageTraits<Msg>::kType, std::move(wire),
-                    std::move(doc));
+    Envelope env = acquire();
+    xml::Writer w(env.wire_);
+    msg.write(w);
+    env.adopt(MessageTraits<Msg>::kType);
+    return env;
   }
 
   /// Parses raw wire bytes: must be a well-formed XML document whose root
   /// element is a known ROAP message. Throws omadrm::Error(kFormat)
-  /// otherwise. The original bytes are kept verbatim.
-  static Envelope from_wire(std::string wire);
+  /// otherwise. The bytes are kept verbatim (copied into the pooled
+  /// buffer).
+  static Envelope from_wire(std::string_view wire);
 
   MessageType type() const { return type_; }
   /// The serialized XML document.
   const std::string& wire() const { return wire_; }
   std::size_t size() const { return wire_.size(); }
+  /// True for a default-constructed or moved-from envelope.
+  bool empty() const { return doc_ == nullptr; }
+
+  /// The zero-copy parse of wire(). Throws omadrm::Error(kState) on an
+  /// empty envelope.
+  const xml::Node& doc() const;
 
   /// Decodes the document as the given message type. Throws
   /// omadrm::Error(kProtocol) when the envelope holds a different type,
@@ -111,16 +135,21 @@ class Envelope {
                       ", expected " +
                       to_string(MessageTraits<Msg>::kType));
     }
-    return Msg::from_xml(doc_);
+    return Msg::from_node(doc());
   }
 
  private:
-  Envelope(MessageType type, std::string wire, xml::Element doc)
-      : type_(type), wire_(std::move(wire)), doc_(std::move(doc)) {}
+  /// An envelope whose wire buffer / arena come from the thread pool.
+  static Envelope acquire();
+  /// Parses wire_ into arena_ and records the type (wrap side: the root
+  /// element is trusted to match `t`, which wrap() just serialized).
+  void adopt(MessageType t);
+  void release() noexcept;
 
   MessageType type_ = MessageType::kDeviceHello;
   std::string wire_;
-  xml::Element doc_;  // the parse of wire_, kept so open() never re-parses
+  xml::Arena arena_;
+  const xml::Node* doc_ = nullptr;  // parse of wire_, inside arena_
 };
 
 }  // namespace omadrm::roap

@@ -9,6 +9,8 @@ using omadrm::Error;
 using omadrm::ErrorKind;
 using omadrm::StatusCode;
 using xml::Element;
+using xml::Node;
+using xml::Writer;
 
 const char* to_string(Status s) {
   switch (s) {
@@ -34,52 +36,61 @@ omadrm::StatusCode status_code(Status s) {
   return StatusCode::kRiAborted;
 }
 
-Status status_from_string(const std::string& s) {
+Status status_from_string(std::string_view s) {
   if (s == "Success") return Status::kSuccess;
   if (s == "Abort") return Status::kAbort;
   if (s == "NotRegistered") return Status::kNotRegistered;
   if (s == "SignatureInvalid") return Status::kSignatureInvalid;
   if (s == "UnknownRoId") return Status::kUnknownRoId;
   if (s == "AccessDenied") return Status::kAccessDenied;
-  throw Error(ErrorKind::kFormat, "roap: unknown status '" + s + "'");
+  throw Error(ErrorKind::kFormat,
+              "roap: unknown status '" + std::string(s) + "'");
 }
 
 namespace {
 
-void add_b64(Element& parent, const std::string& name, ByteView data) {
-  parent.add_text_child(name, base64_encode(data));
-}
+// ---------------------------------------------------------------------------
+// Serialization helpers. Building (Writer) and decoding (the templates,
+// instantiated for both the owning Element DOM and the zero-copy Node
+// DOM) are the single source of truth for each message's wire shape;
+// to_xml() re-parses the written bytes so the two DOMs can never drift.
+// ---------------------------------------------------------------------------
 
-Bytes get_b64(const Element& e, const std::string& name) {
+template <typename E>
+Bytes get_b64(const E& e, const char* name) {
   return base64_decode(e.child_text(name));
 }
 
-Bytes get_b64_optional(const Element& e, const std::string& name) {
-  const Element* c = e.child(name);
+template <typename E>
+Bytes get_b64_optional(const E& e, const char* name) {
+  const auto* c = e.child(name);
   return c ? base64_decode(c->text()) : Bytes{};
 }
 
-void add_algorithms(Element& parent, const std::vector<std::string>& algs) {
-  Element& list = parent.add_child(Element("roap:supportedAlgorithms"));
-  for (const auto& a : algs) list.add_text_child("roap:algorithm", a);
+void write_algorithms(Writer& w, const std::vector<std::string>& algs) {
+  w.open("roap:supportedAlgorithms");
+  for (const auto& a : algs) w.text_element("roap:algorithm", a);
+  w.close();
 }
 
-std::vector<std::string> get_algorithms(const Element& e) {
+template <typename E>
+std::vector<std::string> get_algorithms(const E& e) {
   std::vector<std::string> out;
-  if (const Element* list = e.child("roap:supportedAlgorithms")) {
-    for (const Element* a : list->children_named("roap:algorithm")) {
-      out.push_back(a->text());
+  if (const auto* list = e.child("roap:supportedAlgorithms")) {
+    for (const auto* a : list->children_named("roap:algorithm")) {
+      out.emplace_back(a->text());
     }
   }
   return out;
 }
 
-std::uint32_t parse_u32(const std::string& s) {
+std::uint32_t parse_u32(std::string_view s) {
   std::uint64_t v = 0;
   if (s.empty()) throw Error(ErrorKind::kFormat, "roap: empty number");
   for (char c : s) {
     if (c < '0' || c > '9') {
-      throw Error(ErrorKind::kFormat, "roap: bad number '" + s + "'");
+      throw Error(ErrorKind::kFormat,
+                  "roap: bad number '" + std::string(s) + "'");
     }
     v = v * 10 + static_cast<std::uint64_t>(c - '0');
     if (v > 0xffffffffull) {
@@ -89,14 +100,42 @@ std::uint32_t parse_u32(const std::string& s) {
   return static_cast<std::uint32_t>(v);
 }
 
-/// Serializes a message element minus any <roap:signature> child — the
-/// canonical byte string that gets signed / verified.
-Bytes unsigned_payload(Element e) {
-  auto& kids = e.children();
-  std::erase_if(kids, [](const Element& c) {
-    return c.name() == "roap:signature";
-  });
-  return to_bytes(e.serialize());
+rel::Rights rights_from(const Element& e) { return rel::Rights::from_xml(e); }
+rel::Rights rights_from(const Node& e) { return rel::Rights::from_node(e); }
+
+template <typename E>
+void expect_root(const E& e, const char* root) {
+  if (e.name() != std::string_view(root)) {
+    throw Error(ErrorKind::kFormat,
+                std::string("roap: expected <") + root + ">");
+  }
+}
+
+// Thread-local scratch for payload() — the canonical unsigned
+// serialization is streamed here, hashed/compared by the caller, and the
+// buffer's capacity is reused by every later payload on the thread.
+std::string& payload_scratch() {
+  thread_local std::string s;
+  return s;
+}
+
+template <typename Msg>
+Bytes payload_of(const Msg& m) {
+  std::string& s = payload_scratch();
+  Writer w(s);
+  m.write_payload(w);
+  return to_bytes(s);
+}
+
+// to_xml() for every message: serialize with the Writer, parse back into
+// an owning Element tree. Keeps one serializer while preserving the
+// Element-based tooling/test surface.
+template <typename Msg>
+Element element_of(const Msg& m) {
+  std::string s;
+  Writer w(s);
+  m.write(w);
+  return xml::parse(s);
 }
 
 }  // namespace
@@ -118,38 +157,40 @@ Bytes ProtectedRo::signed_payload() const {
   return concat({mac_payload(), mac});
 }
 
-Element ProtectedRo::to_xml() const {
-  Element e("roap:protectedRO");
-  e.add_child(rights.to_xml());
-  add_b64(e, "roap:encKey", wrapped_keys);
-  add_b64(e, "roap:encCEK", enc_kcek);
-  add_b64(e, "roap:mac", mac);
-  e.add_text_child("roap:riID", ri_id);
+void ProtectedRo::write(Writer& w) const {
+  w.open("roap:protectedRO");
+  rights.write(w);
+  w.b64_element("roap:encKey", wrapped_keys);
+  w.b64_element("roap:encCEK", enc_kcek);
+  w.b64_element("roap:mac", mac);
+  w.text_element("roap:riID", ri_id);
   if (is_domain_ro) {
-    e.add_text_child("roap:domainID", domain_id);
-    e.add_text_child("roap:domainGeneration",
-                     std::to_string(domain_generation));
+    w.text_element("roap:domainID", domain_id);
+    w.u64_element("roap:domainGeneration", domain_generation);
   }
   if (!signature.empty()) {
-    add_b64(e, "roap:signature", signature);
+    w.b64_element("roap:signature", signature);
   }
-  return e;
+  w.close();
 }
 
-ProtectedRo ProtectedRo::from_xml(const Element& e) {
-  if (e.name() != "roap:protectedRO") {
-    throw Error(ErrorKind::kFormat, "roap: expected <roap:protectedRO>");
-  }
+Element ProtectedRo::to_xml() const { return element_of(*this); }
+
+namespace {
+
+template <typename E>
+ProtectedRo protected_ro_from(const E& e) {
+  expect_root(e, "roap:protectedRO");
   ProtectedRo out;
-  out.rights = rel::Rights::from_xml(e.require_child("o-ex:rights"));
+  out.rights = rights_from(e.require_child("o-ex:rights"));
   out.wrapped_keys = get_b64(e, "roap:encKey");
   out.enc_kcek = get_b64(e, "roap:encCEK");
   out.mac = get_b64(e, "roap:mac");
   out.ri_id = e.child_text("roap:riID");
-  if (const Element* d = e.child("roap:domainID")) {
+  if (const auto* d = e.child("roap:domainID")) {
     out.is_domain_ro = true;
     out.domain_id = d->text();
-    if (const Element* g = e.child("roap:domainGeneration")) {
+    if (const auto* g = e.child("roap:domainGeneration")) {
       out.domain_generation = parse_u32(g->text());
     }
   }
@@ -157,22 +198,35 @@ ProtectedRo ProtectedRo::from_xml(const Element& e) {
   return out;
 }
 
+}  // namespace
+
+ProtectedRo ProtectedRo::from_xml(const Element& e) {
+  return protected_ro_from(e);
+}
+
+ProtectedRo ProtectedRo::from_node(const Node& e) {
+  return protected_ro_from(e);
+}
+
 // ---------------------------------------------------------------------------
 // DeviceHello / RiHello
 // ---------------------------------------------------------------------------
 
-Element DeviceHello::to_xml() const {
-  Element e("roap:deviceHello");
-  e.add_text_child("roap:deviceID", device_id);
-  add_algorithms(e, algorithms);
-  add_b64(e, "roap:nonce", device_nonce);
-  return e;
+void DeviceHello::write(Writer& w) const {
+  w.open("roap:deviceHello");
+  w.text_element("roap:deviceID", device_id);
+  write_algorithms(w, algorithms);
+  w.b64_element("roap:nonce", device_nonce);
+  w.close();
 }
 
-DeviceHello DeviceHello::from_xml(const Element& e) {
-  if (e.name() != "roap:deviceHello") {
-    throw Error(ErrorKind::kFormat, "roap: expected <roap:deviceHello>");
-  }
+Element DeviceHello::to_xml() const { return element_of(*this); }
+
+namespace {
+
+template <typename E>
+DeviceHello device_hello_from(const E& e) {
+  expect_root(e, "roap:deviceHello");
   DeviceHello out;
   out.device_id = e.child_text("roap:deviceID");
   out.algorithms = get_algorithms(e);
@@ -180,20 +234,33 @@ DeviceHello DeviceHello::from_xml(const Element& e) {
   return out;
 }
 
-Element RiHello::to_xml() const {
-  Element e("roap:riHello");
-  e.set_attr("status", to_string(status));
-  e.add_text_child("roap:riID", ri_id);
-  e.add_text_child("roap:sessionID", session_id);
-  add_algorithms(e, algorithms);
-  add_b64(e, "roap:nonce", ri_nonce);
-  return e;
+}  // namespace
+
+DeviceHello DeviceHello::from_xml(const Element& e) {
+  return device_hello_from(e);
 }
 
-RiHello RiHello::from_xml(const Element& e) {
-  if (e.name() != "roap:riHello") {
-    throw Error(ErrorKind::kFormat, "roap: expected <roap:riHello>");
-  }
+DeviceHello DeviceHello::from_node(const Node& e) {
+  return device_hello_from(e);
+}
+
+void RiHello::write(Writer& w) const {
+  w.open("roap:riHello");
+  w.attr("status", to_string(status));
+  w.text_element("roap:riID", ri_id);
+  w.text_element("roap:sessionID", session_id);
+  write_algorithms(w, algorithms);
+  w.b64_element("roap:nonce", ri_nonce);
+  w.close();
+}
+
+Element RiHello::to_xml() const { return element_of(*this); }
+
+namespace {
+
+template <typename E>
+RiHello ri_hello_from(const E& e) {
+  expect_root(e, "roap:riHello");
   RiHello out;
   out.status = status_from_string(e.require_attr("status"));
   out.ri_id = e.child_text("roap:riID");
@@ -203,29 +270,36 @@ RiHello RiHello::from_xml(const Element& e) {
   return out;
 }
 
+}  // namespace
+
+RiHello RiHello::from_xml(const Element& e) { return ri_hello_from(e); }
+
+RiHello RiHello::from_node(const Node& e) { return ri_hello_from(e); }
+
 // ---------------------------------------------------------------------------
 // RegistrationRequest / RegistrationResponse
 // ---------------------------------------------------------------------------
 
-Element RegistrationRequest::to_xml() const {
-  Element e("roap:registrationRequest");
-  e.add_text_child("roap:sessionID", session_id);
-  e.add_text_child("roap:deviceID", device_id);
-  add_b64(e, "roap:deviceNonce", device_nonce);
-  add_b64(e, "roap:riNonce", ri_nonce);
-  add_b64(e, "roap:certificate", certificate_der);
-  add_b64(e, "roap:ocspNonce", ocsp_nonce);
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
+namespace {
+
+void write_registration_request(const RegistrationRequest& m, Writer& w,
+                                bool with_signature) {
+  w.open("roap:registrationRequest");
+  w.text_element("roap:sessionID", m.session_id);
+  w.text_element("roap:deviceID", m.device_id);
+  w.b64_element("roap:deviceNonce", m.device_nonce);
+  w.b64_element("roap:riNonce", m.ri_nonce);
+  w.b64_element("roap:certificate", m.certificate_der);
+  w.b64_element("roap:ocspNonce", m.ocsp_nonce);
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
+  }
+  w.close();
 }
 
-Bytes RegistrationRequest::payload() const { return unsigned_payload(to_xml()); }
-
-RegistrationRequest RegistrationRequest::from_xml(const Element& e) {
-  if (e.name() != "roap:registrationRequest") {
-    throw Error(ErrorKind::kFormat,
-                "roap: expected <roap:registrationRequest>");
-  }
+template <typename E>
+RegistrationRequest registration_request_from(const E& e) {
+  expect_root(e, "roap:registrationRequest");
   RegistrationRequest out;
   out.session_id = e.child_text("roap:sessionID");
   out.device_id = e.child_text("roap:deviceID");
@@ -237,37 +311,58 @@ RegistrationRequest RegistrationRequest::from_xml(const Element& e) {
   return out;
 }
 
-Element RegistrationResponse::to_xml() const {
-  Element e("roap:registrationResponse");
-  e.set_attr("status", to_string(status));
-  e.add_text_child("roap:sessionID", session_id);
-  e.add_text_child("roap:riID", ri_id);
-  e.add_text_child("roap:riURL", ri_url);
-  add_b64(e, "roap:certificate", ri_certificate_der);
-  for (const Bytes& der : ri_certificate_chain_der) {
-    add_b64(e, "roap:chainCertificate", der);
-  }
-  add_b64(e, "roap:ocspResponse", ocsp_response_der);
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
+}  // namespace
+
+void RegistrationRequest::write(Writer& w) const {
+  write_registration_request(*this, w, true);
 }
 
-Bytes RegistrationResponse::payload() const {
-  return unsigned_payload(to_xml());
+void RegistrationRequest::write_payload(Writer& w) const {
+  write_registration_request(*this, w, false);
 }
 
-RegistrationResponse RegistrationResponse::from_xml(const Element& e) {
-  if (e.name() != "roap:registrationResponse") {
-    throw Error(ErrorKind::kFormat,
-                "roap: expected <roap:registrationResponse>");
+Element RegistrationRequest::to_xml() const { return element_of(*this); }
+
+Bytes RegistrationRequest::payload() const { return payload_of(*this); }
+
+RegistrationRequest RegistrationRequest::from_xml(const Element& e) {
+  return registration_request_from(e);
+}
+
+RegistrationRequest RegistrationRequest::from_node(const Node& e) {
+  return registration_request_from(e);
+}
+
+namespace {
+
+void write_registration_response(const RegistrationResponse& m, Writer& w,
+                                 bool with_signature) {
+  w.open("roap:registrationResponse");
+  w.attr("status", to_string(m.status));
+  w.text_element("roap:sessionID", m.session_id);
+  w.text_element("roap:riID", m.ri_id);
+  w.text_element("roap:riURL", m.ri_url);
+  w.b64_element("roap:certificate", m.ri_certificate_der);
+  for (const Bytes& der : m.ri_certificate_chain_der) {
+    w.b64_element("roap:chainCertificate", der);
   }
+  w.b64_element("roap:ocspResponse", m.ocsp_response_der);
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
+  }
+  w.close();
+}
+
+template <typename E>
+RegistrationResponse registration_response_from(const E& e) {
+  expect_root(e, "roap:registrationResponse");
   RegistrationResponse out;
   out.status = status_from_string(e.require_attr("status"));
   out.session_id = e.child_text("roap:sessionID");
   out.ri_id = e.child_text("roap:riID");
   out.ri_url = e.child_text("roap:riURL");
   out.ri_certificate_der = get_b64(e, "roap:certificate");
-  for (const Element* c : e.children_named("roap:chainCertificate")) {
+  for (const auto* c : e.children_named("roap:chainCertificate")) {
     out.ri_certificate_chain_der.push_back(base64_decode(c->text()));
   }
   out.ocsp_response_der = get_b64(e, "roap:ocspResponse");
@@ -275,89 +370,146 @@ RegistrationResponse RegistrationResponse::from_xml(const Element& e) {
   return out;
 }
 
+}  // namespace
+
+void RegistrationResponse::write(Writer& w) const {
+  write_registration_response(*this, w, true);
+}
+
+void RegistrationResponse::write_payload(Writer& w) const {
+  write_registration_response(*this, w, false);
+}
+
+Element RegistrationResponse::to_xml() const { return element_of(*this); }
+
+Bytes RegistrationResponse::payload() const { return payload_of(*this); }
+
+RegistrationResponse RegistrationResponse::from_xml(const Element& e) {
+  return registration_response_from(e);
+}
+
+RegistrationResponse RegistrationResponse::from_node(const Node& e) {
+  return registration_response_from(e);
+}
+
 // ---------------------------------------------------------------------------
 // RoRequest / RoResponse
 // ---------------------------------------------------------------------------
 
-Element RoRequest::to_xml() const {
-  Element e("roap:roRequest");
-  e.add_text_child("roap:deviceID", device_id);
-  e.add_text_child("roap:riID", ri_id);
-  e.add_text_child("roap:roID", ro_id);
-  if (!domain_id.empty()) e.add_text_child("roap:domainID", domain_id);
-  add_b64(e, "roap:deviceNonce", device_nonce);
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
+namespace {
+
+void write_ro_request(const RoRequest& m, Writer& w, bool with_signature) {
+  w.open("roap:roRequest");
+  w.text_element("roap:deviceID", m.device_id);
+  w.text_element("roap:riID", m.ri_id);
+  w.text_element("roap:roID", m.ro_id);
+  if (!m.domain_id.empty()) w.text_element("roap:domainID", m.domain_id);
+  w.b64_element("roap:deviceNonce", m.device_nonce);
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
+  }
+  w.close();
 }
 
-Bytes RoRequest::payload() const { return unsigned_payload(to_xml()); }
-
-RoRequest RoRequest::from_xml(const Element& e) {
-  if (e.name() != "roap:roRequest") {
-    throw Error(ErrorKind::kFormat, "roap: expected <roap:roRequest>");
-  }
+template <typename E>
+RoRequest ro_request_from(const E& e) {
+  expect_root(e, "roap:roRequest");
   RoRequest out;
   out.device_id = e.child_text("roap:deviceID");
   out.ri_id = e.child_text("roap:riID");
   out.ro_id = e.child_text("roap:roID");
-  if (const Element* d = e.child("roap:domainID")) out.domain_id = d->text();
+  if (const auto* d = e.child("roap:domainID")) out.domain_id = d->text();
   out.device_nonce = get_b64(e, "roap:deviceNonce");
   out.signature = get_b64_optional(e, "roap:signature");
   return out;
 }
 
-Element RoResponse::to_xml() const {
-  Element e("roap:roResponse");
-  e.set_attr("status", to_string(status));
-  e.add_text_child("roap:deviceID", device_id);
-  e.add_text_child("roap:riID", ri_id);
-  add_b64(e, "roap:deviceNonce", device_nonce);
-  for (const auto& ro : ros) {
-    e.add_child(ro.to_xml());
-  }
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
+}  // namespace
+
+void RoRequest::write(Writer& w) const { write_ro_request(*this, w, true); }
+
+void RoRequest::write_payload(Writer& w) const {
+  write_ro_request(*this, w, false);
 }
 
-Bytes RoResponse::payload() const { return unsigned_payload(to_xml()); }
+Element RoRequest::to_xml() const { return element_of(*this); }
 
-RoResponse RoResponse::from_xml(const Element& e) {
-  if (e.name() != "roap:roResponse") {
-    throw Error(ErrorKind::kFormat, "roap: expected <roap:roResponse>");
+Bytes RoRequest::payload() const { return payload_of(*this); }
+
+RoRequest RoRequest::from_xml(const Element& e) { return ro_request_from(e); }
+
+RoRequest RoRequest::from_node(const Node& e) { return ro_request_from(e); }
+
+namespace {
+
+void write_ro_response(const RoResponse& m, Writer& w, bool with_signature) {
+  w.open("roap:roResponse");
+  w.attr("status", to_string(m.status));
+  w.text_element("roap:deviceID", m.device_id);
+  w.text_element("roap:riID", m.ri_id);
+  w.b64_element("roap:deviceNonce", m.device_nonce);
+  for (const auto& ro : m.ros) {
+    ro.write(w);
   }
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
+  }
+  w.close();
+}
+
+template <typename E>
+RoResponse ro_response_from(const E& e) {
+  expect_root(e, "roap:roResponse");
   RoResponse out;
   out.status = status_from_string(e.require_attr("status"));
   out.device_id = e.child_text("roap:deviceID");
   out.ri_id = e.child_text("roap:riID");
   out.device_nonce = get_b64(e, "roap:deviceNonce");
-  for (const Element* ro : e.children_named("roap:protectedRO")) {
-    out.ros.push_back(ProtectedRo::from_xml(*ro));
+  for (const auto* ro : e.children_named("roap:protectedRO")) {
+    out.ros.push_back(protected_ro_from(*ro));
   }
   out.signature = get_b64_optional(e, "roap:signature");
   return out;
 }
 
+}  // namespace
+
+void RoResponse::write(Writer& w) const { write_ro_response(*this, w, true); }
+
+void RoResponse::write_payload(Writer& w) const {
+  write_ro_response(*this, w, false);
+}
+
+Element RoResponse::to_xml() const { return element_of(*this); }
+
+Bytes RoResponse::payload() const { return payload_of(*this); }
+
+RoResponse RoResponse::from_xml(const Element& e) { return ro_response_from(e); }
+
+RoResponse RoResponse::from_node(const Node& e) { return ro_response_from(e); }
+
 // ---------------------------------------------------------------------------
 // JoinDomainRequest / JoinDomainResponse
 // ---------------------------------------------------------------------------
 
-Element JoinDomainRequest::to_xml() const {
-  Element e("roap:joinDomainRequest");
-  e.add_text_child("roap:deviceID", device_id);
-  e.add_text_child("roap:riID", ri_id);
-  e.add_text_child("roap:domainID", domain_id);
-  add_b64(e, "roap:deviceNonce", device_nonce);
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
+namespace {
+
+void write_join_domain_request(const JoinDomainRequest& m, Writer& w,
+                               bool with_signature) {
+  w.open("roap:joinDomainRequest");
+  w.text_element("roap:deviceID", m.device_id);
+  w.text_element("roap:riID", m.ri_id);
+  w.text_element("roap:domainID", m.domain_id);
+  w.b64_element("roap:deviceNonce", m.device_nonce);
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
+  }
+  w.close();
 }
 
-Bytes JoinDomainRequest::payload() const { return unsigned_payload(to_xml()); }
-
-JoinDomainRequest JoinDomainRequest::from_xml(const Element& e) {
-  if (e.name() != "roap:joinDomainRequest") {
-    throw Error(ErrorKind::kFormat,
-                "roap: expected <roap:joinDomainRequest>");
-  }
+template <typename E>
+JoinDomainRequest join_domain_request_from(const E& e) {
+  expect_root(e, "roap:joinDomainRequest");
   JoinDomainRequest out;
   out.device_id = e.child_text("roap:deviceID");
   out.ri_id = e.child_text("roap:riID");
@@ -367,26 +519,47 @@ JoinDomainRequest JoinDomainRequest::from_xml(const Element& e) {
   return out;
 }
 
-Element JoinDomainResponse::to_xml() const {
-  Element e("roap:joinDomainResponse");
-  e.set_attr("status", to_string(status));
-  e.add_text_child("roap:domainID", domain_id);
-  e.add_text_child("roap:generation", std::to_string(generation));
-  add_b64(e, "roap:deviceNonce", device_nonce);
-  add_b64(e, "roap:domainKey", wrapped_domain_key);
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
+}  // namespace
+
+void JoinDomainRequest::write(Writer& w) const {
+  write_join_domain_request(*this, w, true);
 }
 
-Bytes JoinDomainResponse::payload() const {
-  return unsigned_payload(to_xml());
+void JoinDomainRequest::write_payload(Writer& w) const {
+  write_join_domain_request(*this, w, false);
 }
 
-JoinDomainResponse JoinDomainResponse::from_xml(const Element& e) {
-  if (e.name() != "roap:joinDomainResponse") {
-    throw Error(ErrorKind::kFormat,
-                "roap: expected <roap:joinDomainResponse>");
+Element JoinDomainRequest::to_xml() const { return element_of(*this); }
+
+Bytes JoinDomainRequest::payload() const { return payload_of(*this); }
+
+JoinDomainRequest JoinDomainRequest::from_xml(const Element& e) {
+  return join_domain_request_from(e);
+}
+
+JoinDomainRequest JoinDomainRequest::from_node(const Node& e) {
+  return join_domain_request_from(e);
+}
+
+namespace {
+
+void write_join_domain_response(const JoinDomainResponse& m, Writer& w,
+                                bool with_signature) {
+  w.open("roap:joinDomainResponse");
+  w.attr("status", to_string(m.status));
+  w.text_element("roap:domainID", m.domain_id);
+  w.u64_element("roap:generation", m.generation);
+  w.b64_element("roap:deviceNonce", m.device_nonce);
+  w.b64_element("roap:domainKey", m.wrapped_domain_key);
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
   }
+  w.close();
+}
+
+template <typename E>
+JoinDomainResponse join_domain_response_from(const E& e) {
+  expect_root(e, "roap:joinDomainResponse");
   JoinDomainResponse out;
   out.status = status_from_string(e.require_attr("status"));
   out.domain_id = e.child_text("roap:domainID");
@@ -397,29 +570,50 @@ JoinDomainResponse JoinDomainResponse::from_xml(const Element& e) {
   return out;
 }
 
+}  // namespace
+
+void JoinDomainResponse::write(Writer& w) const {
+  write_join_domain_response(*this, w, true);
+}
+
+void JoinDomainResponse::write_payload(Writer& w) const {
+  write_join_domain_response(*this, w, false);
+}
+
+Element JoinDomainResponse::to_xml() const { return element_of(*this); }
+
+Bytes JoinDomainResponse::payload() const { return payload_of(*this); }
+
+JoinDomainResponse JoinDomainResponse::from_xml(const Element& e) {
+  return join_domain_response_from(e);
+}
+
+JoinDomainResponse JoinDomainResponse::from_node(const Node& e) {
+  return join_domain_response_from(e);
+}
+
 // ---------------------------------------------------------------------------
 // LeaveDomainRequest / LeaveDomainResponse
 // ---------------------------------------------------------------------------
 
-Element LeaveDomainRequest::to_xml() const {
-  Element e("roap:leaveDomainRequest");
-  e.add_text_child("roap:deviceID", device_id);
-  e.add_text_child("roap:riID", ri_id);
-  e.add_text_child("roap:domainID", domain_id);
-  add_b64(e, "roap:deviceNonce", device_nonce);
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
-}
+namespace {
 
-Bytes LeaveDomainRequest::payload() const {
-  return unsigned_payload(to_xml());
-}
-
-LeaveDomainRequest LeaveDomainRequest::from_xml(const Element& e) {
-  if (e.name() != "roap:leaveDomainRequest") {
-    throw Error(ErrorKind::kFormat,
-                "roap: expected <roap:leaveDomainRequest>");
+void write_leave_domain_request(const LeaveDomainRequest& m, Writer& w,
+                                bool with_signature) {
+  w.open("roap:leaveDomainRequest");
+  w.text_element("roap:deviceID", m.device_id);
+  w.text_element("roap:riID", m.ri_id);
+  w.text_element("roap:domainID", m.domain_id);
+  w.b64_element("roap:deviceNonce", m.device_nonce);
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
   }
+  w.close();
+}
+
+template <typename E>
+LeaveDomainRequest leave_domain_request_from(const E& e) {
+  expect_root(e, "roap:leaveDomainRequest");
   LeaveDomainRequest out;
   out.device_id = e.child_text("roap:deviceID");
   out.ri_id = e.child_text("roap:riID");
@@ -429,24 +623,45 @@ LeaveDomainRequest LeaveDomainRequest::from_xml(const Element& e) {
   return out;
 }
 
-Element LeaveDomainResponse::to_xml() const {
-  Element e("roap:leaveDomainResponse");
-  e.set_attr("status", to_string(status));
-  e.add_text_child("roap:domainID", domain_id);
-  add_b64(e, "roap:deviceNonce", device_nonce);
-  if (!signature.empty()) add_b64(e, "roap:signature", signature);
-  return e;
+}  // namespace
+
+void LeaveDomainRequest::write(Writer& w) const {
+  write_leave_domain_request(*this, w, true);
 }
 
-Bytes LeaveDomainResponse::payload() const {
-  return unsigned_payload(to_xml());
+void LeaveDomainRequest::write_payload(Writer& w) const {
+  write_leave_domain_request(*this, w, false);
 }
 
-LeaveDomainResponse LeaveDomainResponse::from_xml(const Element& e) {
-  if (e.name() != "roap:leaveDomainResponse") {
-    throw Error(ErrorKind::kFormat,
-                "roap: expected <roap:leaveDomainResponse>");
+Element LeaveDomainRequest::to_xml() const { return element_of(*this); }
+
+Bytes LeaveDomainRequest::payload() const { return payload_of(*this); }
+
+LeaveDomainRequest LeaveDomainRequest::from_xml(const Element& e) {
+  return leave_domain_request_from(e);
+}
+
+LeaveDomainRequest LeaveDomainRequest::from_node(const Node& e) {
+  return leave_domain_request_from(e);
+}
+
+namespace {
+
+void write_leave_domain_response(const LeaveDomainResponse& m, Writer& w,
+                                 bool with_signature) {
+  w.open("roap:leaveDomainResponse");
+  w.attr("status", to_string(m.status));
+  w.text_element("roap:domainID", m.domain_id);
+  w.b64_element("roap:deviceNonce", m.device_nonce);
+  if (with_signature && !m.signature.empty()) {
+    w.b64_element("roap:signature", m.signature);
   }
+  w.close();
+}
+
+template <typename E>
+LeaveDomainResponse leave_domain_response_from(const E& e) {
+  expect_root(e, "roap:leaveDomainResponse");
   LeaveDomainResponse out;
   out.status = status_from_string(e.require_attr("status"));
   out.domain_id = e.child_text("roap:domainID");
@@ -455,32 +670,66 @@ LeaveDomainResponse LeaveDomainResponse::from_xml(const Element& e) {
   return out;
 }
 
+}  // namespace
+
+void LeaveDomainResponse::write(Writer& w) const {
+  write_leave_domain_response(*this, w, true);
+}
+
+void LeaveDomainResponse::write_payload(Writer& w) const {
+  write_leave_domain_response(*this, w, false);
+}
+
+Element LeaveDomainResponse::to_xml() const { return element_of(*this); }
+
+Bytes LeaveDomainResponse::payload() const { return payload_of(*this); }
+
+LeaveDomainResponse LeaveDomainResponse::from_xml(const Element& e) {
+  return leave_domain_response_from(e);
+}
+
+LeaveDomainResponse LeaveDomainResponse::from_node(const Node& e) {
+  return leave_domain_response_from(e);
+}
+
 // ---------------------------------------------------------------------------
 // RoAcquisitionTrigger
 // ---------------------------------------------------------------------------
 
-Element RoAcquisitionTrigger::to_xml() const {
-  Element e("roap:roAcquisitionTrigger");
-  e.add_text_child("roap:riID", ri_id);
-  e.add_text_child("roap:riURL", ri_url);
-  e.add_text_child("roap:roID", ro_id);
-  e.add_text_child("roap:contentID", content_id);
-  if (!domain_id.empty()) e.add_text_child("roap:domainID", domain_id);
-  return e;
+void RoAcquisitionTrigger::write(Writer& w) const {
+  w.open("roap:roAcquisitionTrigger");
+  w.text_element("roap:riID", ri_id);
+  w.text_element("roap:riURL", ri_url);
+  w.text_element("roap:roID", ro_id);
+  w.text_element("roap:contentID", content_id);
+  if (!domain_id.empty()) w.text_element("roap:domainID", domain_id);
+  w.close();
 }
 
-RoAcquisitionTrigger RoAcquisitionTrigger::from_xml(const Element& e) {
-  if (e.name() != "roap:roAcquisitionTrigger") {
-    throw Error(ErrorKind::kFormat,
-                "roap: expected <roap:roAcquisitionTrigger>");
-  }
+Element RoAcquisitionTrigger::to_xml() const { return element_of(*this); }
+
+namespace {
+
+template <typename E>
+RoAcquisitionTrigger trigger_from(const E& e) {
+  expect_root(e, "roap:roAcquisitionTrigger");
   RoAcquisitionTrigger out;
   out.ri_id = e.child_text("roap:riID");
   out.ri_url = e.child_text("roap:riURL");
   out.ro_id = e.child_text("roap:roID");
   out.content_id = e.child_text("roap:contentID");
-  if (const Element* d = e.child("roap:domainID")) out.domain_id = d->text();
+  if (const auto* d = e.child("roap:domainID")) out.domain_id = d->text();
   return out;
+}
+
+}  // namespace
+
+RoAcquisitionTrigger RoAcquisitionTrigger::from_xml(const Element& e) {
+  return trigger_from(e);
+}
+
+RoAcquisitionTrigger RoAcquisitionTrigger::from_node(const Node& e) {
+  return trigger_from(e);
 }
 
 }  // namespace omadrm::roap

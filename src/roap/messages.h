@@ -39,7 +39,7 @@ enum class Status : std::uint8_t {
 };
 
 const char* to_string(Status s);
-Status status_from_string(const std::string& s);
+Status status_from_string(std::string_view s);
 
 /// Maps a wire-level status into the unified code space of
 /// omadrm::StatusCode (kSuccess -> kOk, kAbort -> kRiAborted, the rest
@@ -78,7 +78,11 @@ struct ProtectedRo {
 
   bool operator==(const ProtectedRo&) const = default;
   xml::Element to_xml() const;
+  /// Streams `<roap:protectedRO>` into `w` — identical bytes to
+  /// to_xml().serialize(), with no Element tree or temporaries.
+  void write(xml::Writer& w) const;
   static ProtectedRo from_xml(const xml::Element& e);
+  static ProtectedRo from_node(const xml::Node& e);
 };
 
 // ---------------------------------------------------------------------------
@@ -91,7 +95,9 @@ struct DeviceHello {
 
   bool operator==(const DeviceHello&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
   static DeviceHello from_xml(const xml::Element& e);
+  static DeviceHello from_node(const xml::Node& e);
 };
 
 struct RiHello {
@@ -103,7 +109,9 @@ struct RiHello {
 
   bool operator==(const RiHello&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
   static RiHello from_xml(const xml::Element& e);
+  static RiHello from_node(const xml::Node& e);
 };
 
 struct RegistrationRequest {
@@ -119,7 +127,12 @@ struct RegistrationRequest {
   Bytes payload() const;
   bool operator==(const RegistrationRequest&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static RegistrationRequest from_xml(const xml::Element& e);
+  static RegistrationRequest from_node(const xml::Node& e);
 };
 
 struct RegistrationResponse {
@@ -138,7 +151,12 @@ struct RegistrationResponse {
   Bytes payload() const;
   bool operator==(const RegistrationResponse&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static RegistrationResponse from_xml(const xml::Element& e);
+  static RegistrationResponse from_node(const xml::Node& e);
 };
 
 // ---------------------------------------------------------------------------
@@ -155,7 +173,12 @@ struct RoRequest {
   Bytes payload() const;
   bool operator==(const RoRequest&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static RoRequest from_xml(const xml::Element& e);
+  static RoRequest from_node(const xml::Node& e);
 };
 
 struct RoResponse {
@@ -169,7 +192,12 @@ struct RoResponse {
   Bytes payload() const;
   bool operator==(const RoResponse&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static RoResponse from_xml(const xml::Element& e);
+  static RoResponse from_node(const xml::Node& e);
 };
 
 // ---------------------------------------------------------------------------
@@ -185,7 +213,12 @@ struct JoinDomainRequest {
   Bytes payload() const;
   bool operator==(const JoinDomainRequest&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static JoinDomainRequest from_xml(const xml::Element& e);
+  static JoinDomainRequest from_node(const xml::Node& e);
 };
 
 struct JoinDomainResponse {
@@ -199,7 +232,12 @@ struct JoinDomainResponse {
   Bytes payload() const;
   bool operator==(const JoinDomainResponse&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static JoinDomainResponse from_xml(const xml::Element& e);
+  static JoinDomainResponse from_node(const xml::Node& e);
 };
 
 struct LeaveDomainRequest {
@@ -212,7 +250,12 @@ struct LeaveDomainRequest {
   Bytes payload() const;
   bool operator==(const LeaveDomainRequest&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static LeaveDomainRequest from_xml(const xml::Element& e);
+  static LeaveDomainRequest from_node(const xml::Node& e);
 };
 
 struct LeaveDomainResponse {
@@ -224,7 +267,12 @@ struct LeaveDomainResponse {
   Bytes payload() const;
   bool operator==(const LeaveDomainResponse&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
+  /// Streams the message without its <roap:signature> element — the
+  /// canonical byte string the signature covers.
+  void write_payload(xml::Writer& w) const;
   static LeaveDomainResponse from_xml(const xml::Element& e);
+  static LeaveDomainResponse from_node(const xml::Node& e);
 };
 
 // ---------------------------------------------------------------------------
@@ -242,7 +290,9 @@ struct RoAcquisitionTrigger {
 
   bool operator==(const RoAcquisitionTrigger&) const = default;
   xml::Element to_xml() const;
+  void write(xml::Writer& w) const;
   static RoAcquisitionTrigger from_xml(const xml::Element& e);
+  static RoAcquisitionTrigger from_node(const xml::Node& e);
 };
 
 }  // namespace omadrm::roap

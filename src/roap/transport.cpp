@@ -17,9 +17,11 @@ InProcessTransport::InProcessTransport(ri::RightsIssuer& ri,
     : ri_(ri), now_(now) {}
 
 Envelope InProcessTransport::request(const Envelope& request) {
-  // Full wire round trip even in-process: the RI re-parses the serialized
-  // request, and its serialized response is re-parsed here.
-  return Envelope::from_wire(ri_.handle_wire(request.wire(), now_));
+  // The serialize→parse round trip is intrinsic to the envelope now:
+  // wrap() parses its own serialized bytes, so the request the RI opens
+  // and the response handed back here are both DOMs of wire bytes — no
+  // re-serialization is needed to preserve the boundary semantics.
+  return ri_.handle(request, now_);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,55 @@
+#include "xml/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace omadrm::xml {
+
+void* Arena::alloc(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+    if (aligned + size <= c.size) {
+      c.used = aligned + size;
+      return c.data.get() + aligned;
+    }
+    ++active_;
+  }
+  // Grow geometrically so steady-state documents settle into one chunk.
+  std::size_t next = chunks_.empty() ? kFirstChunk : chunks_.back().size * 2;
+  next = std::max(next, size + align);
+  Chunk c;
+  c.data = std::make_unique<char[]>(next);
+  c.size = next;
+  c.used = size;  // fresh chunk start is maximally aligned already
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  return chunks_.back().data.get();
+}
+
+void Arena::trim(std::size_t unused) {
+  if (active_ < chunks_.size() && chunks_[active_].used >= unused) {
+    chunks_[active_].used -= unused;
+  }
+}
+
+std::string_view Arena::copy(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  char* p = alloc_chars(s.size());
+  std::memcpy(p, s.data(), s.size());
+  return std::string_view(p, s.size());
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace omadrm::xml

@@ -1,0 +1,75 @@
+// Bump allocator backing the zero-copy XML DOM.
+//
+// One Arena owns every Node, Attr, and decoded string produced while
+// parsing one document. Allocation is a pointer bump inside chunked
+// storage; reset() rewinds all chunks without returning them to the heap,
+// so a long-lived Arena (an envelope buffer, a parser scratch slot)
+// reaches a steady state where parsing performs zero heap allocations.
+// Nothing is ever destroyed individually — only trivially destructible
+// types may live in an Arena.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace omadrm::xml {
+
+class Arena {
+ public:
+  Arena() = default;
+  // Chunk storage is heap-owned, so moving an Arena keeps every pointer
+  // previously handed out valid.
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned storage that lives until reset().
+  void* alloc(std::size_t size, std::size_t align);
+
+  /// Constructs a trivially destructible T in the arena.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return ::new (alloc(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Character buffer of `n` bytes (no alignment padding).
+  char* alloc_chars(std::size_t n) {
+    return static_cast<char*>(alloc(n, 1));
+  }
+
+  /// Returns the unused tail of the most recent alloc/alloc_chars call to
+  /// the arena. Only valid immediately after that call, with `unused`
+  /// no larger than its size.
+  void trim(std::size_t unused);
+
+  /// Copies `s` into arena storage and returns the stable view.
+  std::string_view copy(std::string_view s);
+
+  /// Rewinds every chunk; capacity is retained for reuse.
+  void reset();
+
+  /// Total bytes of chunk storage currently owned (diagnostics).
+  std::size_t capacity() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kFirstChunk = 4096;
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // chunks before this index are full
+};
+
+}  // namespace omadrm::xml

@@ -1,0 +1,195 @@
+#include "xml/writer.h"
+
+#include "common/base64.h"
+#include "common/error.h"
+
+namespace omadrm::xml {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+namespace {
+
+// Escaped lengths per byte; 0 means "emit verbatim".
+inline std::size_t text_escape_len(char c) {
+  switch (c) {
+    case '&': return 5;   // &amp;
+    case '<': return 4;   // &lt;
+    case '>': return 4;   // &gt;
+    case '\r': return 5;  // &#13;
+    default: return 0;
+  }
+}
+
+inline std::size_t attr_escape_len(char c) {
+  switch (c) {
+    case '&': return 5;   // &amp;
+    case '<': return 4;   // &lt;
+    case '>': return 4;   // &gt;
+    case '"': return 6;   // &quot;
+    case '\'': return 6;  // &apos;
+    case '\r': return 5;  // &#13;
+    case '\n': return 5;  // &#10;
+    case '\t': return 4;  // &#9;
+    default: return 0;
+  }
+}
+
+inline void append_text_escape(char c, std::string& out) {
+  switch (c) {
+    case '&': out += "&amp;"; break;
+    case '<': out += "&lt;"; break;
+    case '>': out += "&gt;"; break;
+    case '\r': out += "&#13;"; break;
+    default: out.push_back(c);
+  }
+}
+
+inline void append_attr_escape(char c, std::string& out) {
+  switch (c) {
+    case '&': out += "&amp;"; break;
+    case '<': out += "&lt;"; break;
+    case '>': out += "&gt;"; break;
+    case '"': out += "&quot;"; break;
+    case '\'': out += "&apos;"; break;
+    case '\r': out += "&#13;"; break;
+    case '\n': out += "&#10;"; break;
+    case '\t': out += "&#9;"; break;
+    default: out.push_back(c);
+  }
+}
+
+}  // namespace
+
+void escape_text_into(std::string_view raw, std::string& out) {
+  std::size_t extra = 0;
+  for (char c : raw) {
+    const std::size_t n = text_escape_len(c);
+    if (n) extra += n - 1;
+  }
+  out.reserve(out.size() + raw.size() + extra);
+  if (extra == 0) {
+    out.append(raw);
+    return;
+  }
+  for (char c : raw) append_text_escape(c, out);
+}
+
+void escape_attr_into(std::string_view raw, std::string& out) {
+  std::size_t extra = 0;
+  for (char c : raw) {
+    const std::size_t n = attr_escape_len(c);
+    if (n) extra += n - 1;
+  }
+  out.reserve(out.size() + raw.size() + extra);
+  if (extra == 0) {
+    out.append(raw);
+    return;
+  }
+  for (char c : raw) append_attr_escape(c, out);
+}
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  escape_text_into(raw, out);
+  return out;
+}
+
+std::string escape_attr(std::string_view raw) {
+  std::string out;
+  escape_attr_into(raw, out);
+  return out;
+}
+
+void Writer::seal() {
+  if (tag_open_) {
+    out_.push_back('>');
+    tag_open_ = false;
+  }
+}
+
+void Writer::open(std::string_view name) {
+  if (started_ && depth_ == 0) {
+    throw Error(ErrorKind::kState, "xml: writer document already closed");
+  }
+  if (depth_ >= kMaxDepth) {
+    throw Error(ErrorKind::kState, "xml: writer nesting too deep");
+  }
+  seal();
+  stack_[depth_++] = name;
+  started_ = true;
+  out_.push_back('<');
+  out_.append(name);
+  tag_open_ = true;
+}
+
+void Writer::attr(std::string_view key, std::string_view value) {
+  if (!tag_open_) {
+    throw Error(ErrorKind::kState, "xml: attribute outside an opening tag");
+  }
+  out_.push_back(' ');
+  out_.append(key);
+  out_.append("=\"");
+  escape_attr_into(value, out_);
+  out_.push_back('"');
+}
+
+void Writer::text(std::string_view raw) {
+  if (depth_ == 0) {
+    throw Error(ErrorKind::kState, "xml: text outside the root element");
+  }
+  if (raw.empty()) return;  // keep `<name/>` for empty elements
+  seal();
+  escape_text_into(raw, out_);
+}
+
+void Writer::base64(ByteView data) {
+  if (depth_ == 0) {
+    throw Error(ErrorKind::kState, "xml: text outside the root element");
+  }
+  if (data.empty()) return;  // keep `<name/>` for empty elements
+  seal();
+  base64_encode_into(data, out_);
+}
+
+void Writer::close() {
+  if (depth_ == 0) {
+    throw Error(ErrorKind::kState, "xml: close without open element");
+  }
+  const std::string_view name = stack_[--depth_];
+  if (tag_open_) {
+    out_.append("/>");
+    tag_open_ = false;
+  } else {
+    out_.append("</");
+    out_.append(name);
+    out_.push_back('>');
+  }
+}
+
+void Writer::text_element(std::string_view name, std::string_view text_raw) {
+  open(name);
+  text(text_raw);
+  close();
+}
+
+void Writer::b64_element(std::string_view name, ByteView data) {
+  open(name);
+  base64(data);
+  close();
+}
+
+void Writer::u64_element(std::string_view name, std::uint64_t v) {
+  char buf[20];
+  char* end = buf + sizeof buf;
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  open(name);
+  text(std::string_view(p, static_cast<std::size_t>(end - p)));
+  close();
+}
+
+}  // namespace omadrm::xml

@@ -1,0 +1,82 @@
+// Streaming XML serializer.
+//
+// Writes one compact (never pretty-printed) document straight into a
+// caller-provided std::string, reusing its capacity across documents: at
+// steady state serialization performs zero heap allocations and no
+// intermediate std::string temporaries. Element names are emitted as
+// string_views; the open-element stack is a fixed array, so the writer
+// itself never allocates.
+//
+// Escaping is reserve-accurate: the escape helpers measure the exact
+// escaped length before growing the output. Text escapes & < > and \r;
+// attribute values additionally escape " ' \n and \t (as character
+// references) so serialized documents round-trip byte-exactly even
+// through parsers that normalize attribute whitespace.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace omadrm::xml {
+
+/// Appends the escaped form of `raw` to `out`, reserving exactly.
+void escape_text_into(std::string_view raw, std::string& out);
+void escape_attr_into(std::string_view raw, std::string& out);
+
+/// Escapes character data (& < > \r) / attribute values (also " ' \n \t).
+std::string escape_text(std::string_view raw);
+std::string escape_attr(std::string_view raw);
+
+class Writer {
+ public:
+  /// Deepest element nesting the writer supports (ROAP documents use < 8).
+  static constexpr std::size_t kMaxDepth = 64;
+
+  /// Binds the writer to `out` and clears it (capacity retained). The
+  /// string must outlive the writer; names passed to open() must outlive
+  /// the document (string literals and fields of live messages qualify).
+  explicit Writer(std::string& out) : out_(out) { out_.clear(); }
+
+  /// Starts `<name ...`; attributes may follow until the first child,
+  /// text, or close().
+  void open(std::string_view name);
+
+  /// Adds an attribute to the currently opening tag. Throws
+  /// omadrm::Error(kState) when no tag is open for attributes.
+  void attr(std::string_view key, std::string_view value);
+
+  /// Appends escaped character data inside the current element.
+  void text(std::string_view raw);
+
+  /// Appends base64 of `data` (the alphabet needs no XML escaping).
+  void base64(ByteView data);
+
+  /// Closes the innermost open element (`/>` when empty).
+  void close();
+
+  /// Shorthand for open(name); text(text); close().
+  void text_element(std::string_view name, std::string_view text);
+  /// Shorthand for open(name); base64(data); close().
+  void b64_element(std::string_view name, ByteView data);
+  /// Shorthand for a decimal unsigned-integer text element (no
+  /// std::to_string temporary).
+  void u64_element(std::string_view name, std::uint64_t v);
+
+  /// True once the root element has been closed.
+  bool finished() const { return started_ && depth_ == 0; }
+
+ private:
+  void seal();  // emits the pending '>' of an opening tag
+
+  std::string& out_;
+  std::array<std::string_view, kMaxDepth> stack_;
+  std::size_t depth_ = 0;
+  bool tag_open_ = false;  // inside `<name ...` with '>' not yet written
+  bool started_ = false;
+};
+
+}  // namespace omadrm::xml

@@ -83,36 +83,6 @@ bool Element::operator==(const Element& other) const {
          attrs_ == other.attrs_ && children_ == other.children_;
 }
 
-std::string escape_text(std::string_view raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
-
-std::string escape_attr(std::string_view raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      case '\'': out += "&apos;"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
-
 void Element::serialize_into(std::string& out, int depth, bool pretty) const {
   auto indent = [&]() {
     if (pretty) out.append(static_cast<std::size_t>(depth) * 2, ' ');
@@ -124,7 +94,7 @@ void Element::serialize_into(std::string& out, int depth, bool pretty) const {
     out.push_back(' ');
     out += k;
     out += "=\"";
-    out += escape_attr(v);
+    escape_attr_into(v, out);
     out.push_back('"');
   }
   if (text_.empty() && children_.empty()) {
@@ -134,7 +104,7 @@ void Element::serialize_into(std::string& out, int depth, bool pretty) const {
   }
   out.push_back('>');
   if (!text_.empty()) {
-    out += escape_text(text_);
+    escape_text_into(text_, out);
   }
   if (!children_.empty()) {
     if (pretty) out.push_back('\n');
@@ -156,217 +126,25 @@ std::string Element::serialize(bool pretty) const {
 }
 
 // ---------------------------------------------------------------------------
-// Parser
+// Parsing — the zero-copy Node parser is the single parser core; the
+// Element entry point materializes its result into an owning tree.
 // ---------------------------------------------------------------------------
 
-namespace {
+Element to_element(const Node& n) {
+  Element e{std::string(n.name())};
+  e.set_text(std::string(n.text()));
+  for (const Attr* a = n.first_attr(); a; a = a->next) {
+    e.set_attr(std::string(a->name), std::string(a->value));
+  }
+  for (const Node& c : n.children()) {
+    e.add_child(to_element(c));
+  }
+  return e;
+}
 
-class Parser {
- public:
-  explicit Parser(std::string_view doc) : doc_(doc) {}
-
-  Element parse_document() {
-    skip_misc();
-    Element root = parse_element();
-    skip_misc();
-    if (pos_ != doc_.size()) {
-      fail("content after document root");
-    }
-    return root;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw Error(ErrorKind::kFormat,
-                "xml: " + why + " at offset " + std::to_string(pos_));
-  }
-
-  bool eof() const { return pos_ >= doc_.size(); }
-  char peek() const {
-    if (eof()) fail("unexpected end of document");
-    return doc_[pos_];
-  }
-  char take() {
-    char c = peek();
-    ++pos_;
-    return c;
-  }
-  bool consume(std::string_view token) {
-    if (doc_.substr(pos_, token.size()) == token) {
-      pos_ += token.size();
-      return true;
-    }
-    return false;
-  }
-  void expect(std::string_view token, const char* what) {
-    if (!consume(token)) fail(std::string("expected ") + what);
-  }
-  static bool is_space(char c) {
-    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
-  }
-  static bool is_name_start(char c) {
-    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
-           c == ':';
-  }
-  static bool is_name_char(char c) {
-    return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
-  }
-
-  void skip_space() {
-    while (!eof() && is_space(doc_[pos_])) ++pos_;
-  }
-
-  // Whitespace, comments, processing instructions between markup.
-  void skip_misc() {
-    for (;;) {
-      skip_space();
-      if (consume("<!--")) {
-        std::size_t end = doc_.find("-->", pos_);
-        if (end == std::string_view::npos) fail("unterminated comment");
-        pos_ = end + 3;
-      } else if (consume("<?")) {
-        std::size_t end = doc_.find("?>", pos_);
-        if (end == std::string_view::npos) fail("unterminated PI");
-        pos_ = end + 2;
-      } else {
-        return;
-      }
-    }
-  }
-
-  std::string parse_name() {
-    if (!is_name_start(peek())) fail("invalid name start");
-    std::size_t start = pos_;
-    while (!eof() && is_name_char(doc_[pos_])) ++pos_;
-    return std::string(doc_.substr(start, pos_ - start));
-  }
-
-  std::string decode_entity() {
-    // Called after '&'.
-    if (consume("amp;")) return "&";
-    if (consume("lt;")) return "<";
-    if (consume("gt;")) return ">";
-    if (consume("quot;")) return "\"";
-    if (consume("apos;")) return "'";
-    if (consume("#")) {
-      int base = consume("x") ? 16 : 10;
-      std::uint32_t code = 0;
-      bool any = false;
-      while (!eof() && peek() != ';') {
-        char c = take();
-        int digit;
-        if (c >= '0' && c <= '9') digit = c - '0';
-        else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
-        else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
-        else fail("bad character reference");
-        code = code * static_cast<std::uint32_t>(base) +
-               static_cast<std::uint32_t>(digit);
-        any = true;
-        if (code > 0x10ffff) fail("character reference out of range");
-      }
-      expect(";", "';' after character reference");
-      if (!any) fail("empty character reference");
-      // UTF-8 encode.
-      std::string out;
-      if (code < 0x80) {
-        out.push_back(static_cast<char>(code));
-      } else if (code < 0x800) {
-        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
-        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
-      } else if (code < 0x10000) {
-        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
-        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
-        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
-      } else {
-        out.push_back(static_cast<char>(0xf0 | (code >> 18)));
-        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
-        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
-        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
-      }
-      return out;
-    }
-    fail("unknown entity");
-  }
-
-  std::string parse_attr_value() {
-    char quote = take();
-    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
-    std::string out;
-    for (;;) {
-      char c = take();
-      if (c == quote) break;
-      if (c == '<') fail("'<' in attribute value");
-      if (c == '&') {
-        out += decode_entity();
-      } else {
-        out.push_back(c);
-      }
-    }
-    return out;
-  }
-
-  Element parse_element() {
-    expect("<", "'<'");
-    Element e(parse_name());
-    // Attributes.
-    for (;;) {
-      skip_space();
-      if (consume("/>")) return e;
-      if (consume(">")) break;
-      std::string key = parse_name();
-      skip_space();
-      expect("=", "'=' after attribute name");
-      skip_space();
-      if (e.attr(key)) fail("duplicate attribute '" + key + "'");
-      e.set_attr(key, parse_attr_value());
-    }
-    // Content.
-    std::string text;
-    for (;;) {
-      if (eof()) fail("unterminated element <" + e.name() + ">");
-      if (consume("<!--")) {
-        std::size_t end = doc_.find("-->", pos_);
-        if (end == std::string_view::npos) fail("unterminated comment");
-        pos_ = end + 3;
-        continue;
-      }
-      if (consume("</")) {
-        std::string closing = parse_name();
-        if (closing != e.name()) {
-          fail("mismatched closing tag </" + closing + "> for <" + e.name() +
-               ">");
-        }
-        skip_space();
-        expect(">", "'>' after closing tag");
-        // Whitespace-only text around child elements is formatting, not
-        // content; drop it so pretty-printed documents round-trip.
-        if (!e.children().empty() &&
-            text.find_first_not_of(" \t\r\n") == std::string::npos) {
-          text.clear();
-        }
-        e.set_text(std::move(text));
-        return e;
-      }
-      if (peek() == '<') {
-        if (doc_.substr(pos_, 2) == "<!") fail("DTD/CDATA unsupported");
-        e.add_child(parse_element());
-        continue;
-      }
-      char c = take();
-      if (c == '&') {
-        text += decode_entity();
-      } else {
-        text.push_back(c);
-      }
-    }
-  }
-
-  std::string_view doc_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
-Element parse(std::string_view doc) { return Parser(doc).parse_document(); }
+Element parse(std::string_view doc) {
+  Arena arena;
+  return to_element(parse_in(arena, doc));
+}
 
 }  // namespace omadrm::xml

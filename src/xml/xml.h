@@ -1,4 +1,4 @@
-// Small XML DOM: parser and serializer.
+// XML DOM: mutable Element tree plus the wire-path view DOM.
 //
 // OMA DRM 2 carries Rights Objects (REL) and ROAP messages as XML. The
 // paper explicitly excludes XML parsing overhead from its cycle model
@@ -9,6 +9,16 @@
 // entities plus decimal/hex character references, comments, processing
 // instructions, and self-closing tags. Not supported (rejected cleanly):
 // DTDs, CDATA sections, namespaces beyond literal prefixed names.
+//
+// Two DOMs share one parser core (node.h):
+//
+//   Element   owning, mutable tree — convenient for tools, tests, and
+//             persisted agent state. parse() converts the zero-copy
+//             parse into an Element tree.
+//   Node      arena-backed string_view tree (node.h) — the wire path.
+//             Paired with the streaming Writer (writer.h) it makes a
+//             serialize→parse round trip allocation-free at steady
+//             state; this is what roap::Envelope uses.
 #pragma once
 
 #include <optional>
@@ -16,6 +26,9 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "xml/node.h"
+#include "xml/writer.h"
 
 namespace omadrm::xml {
 
@@ -73,12 +86,12 @@ class Element {
   std::vector<Element> children_;
 };
 
-/// Parses a document; returns the root element.
+/// Parses a document; returns the root element. (Runs the zero-copy
+/// parser from node.h, then materializes an owning Element tree.)
 /// Throws omadrm::Error(kFormat) on malformed input.
 Element parse(std::string_view doc);
 
-/// Escapes character data (& < >) / attribute values (also " ').
-std::string escape_text(std::string_view raw);
-std::string escape_attr(std::string_view raw);
+/// Converts a parsed Node tree into an owning Element tree.
+Element to_element(const Node& n);
 
 }  // namespace omadrm::xml

@@ -101,6 +101,69 @@ TEST(Base64, RejectsMalformedInput) {
   EXPECT_THROW(base64_decode("====AAAA"), Error);  // padding not at end
 }
 
+// One case per rejection class of the strict decoder — regression tests
+// for the wire hardening (whitespace laundering and non-canonical
+// encodings must never round-trip silently).
+TEST(Base64, RejectsBadLengths) {
+  EXPECT_THROW(base64_decode("Q"), Error);
+  EXPECT_THROW(base64_decode("QQQ"), Error);
+  EXPECT_THROW(base64_decode("QUJDRE"), Error);
+}
+
+TEST(Base64, RejectsEmbeddedWhitespace) {
+  // Lenient decoders skip whitespace; this one must not, in any group.
+  EXPECT_THROW(base64_decode("QUJD IA=="), Error);   // space, inner group
+  EXPECT_THROW(base64_decode("QUJD\nQUJD"), Error);  // newline
+  EXPECT_THROW(base64_decode("QUJD\tQUJD"), Error);  // tab
+  EXPECT_THROW(base64_decode("QUJDQU \n"), Error);   // trailing, final group
+  EXPECT_THROW(base64_decode(" QUJD"), Error);       // leading
+  EXPECT_THROW(base64_decode("QQ==\n"), Error);      // trailing newline
+}
+
+TEST(Base64, RejectsInvalidCharacters) {
+  EXPECT_THROW(base64_decode("QUJD!A=="), Error);
+  EXPECT_THROW(base64_decode("QU-D"), Error);   // url-safe alphabet
+  EXPECT_THROW(base64_decode("QU_D"), Error);
+  EXPECT_THROW(base64_decode(std::string("QU\0D", 4)), Error);  // NUL
+}
+
+TEST(Base64, RejectsMisplacedPadding) {
+  EXPECT_THROW(base64_decode("=QQQ"), Error);
+  EXPECT_THROW(base64_decode("Q=QQ"), Error);
+  EXPECT_THROW(base64_decode("QQ=Q"), Error);      // data after padding
+  EXPECT_THROW(base64_decode("QQ==QQQQ"), Error);  // padding before end
+  EXPECT_THROW(base64_decode("===="), Error);
+}
+
+TEST(Base64, RejectsNonCanonicalTrailingBits) {
+  // "QQ==" encodes {0x41}; "QR==" names the same byte with dirty
+  // trailing bits and must be refused, as must the 2-byte analogue.
+  EXPECT_EQ(base64_decode("QQ=="), to_bytes("A"));
+  EXPECT_THROW(base64_decode("QR=="), Error);
+  EXPECT_THROW(base64_decode("QQ=Q"), Error);
+  EXPECT_EQ(base64_decode("QUE="), to_bytes("AA"));
+  EXPECT_THROW(base64_decode("QUF="), Error);
+}
+
+TEST(Base64, IntoVariantsAppend) {
+  std::string text = "prefix:";
+  base64_encode_into(to_bytes("foobar"), text);
+  EXPECT_EQ(text, "prefix:Zm9vYmFy");
+  Bytes out = to_bytes("x");
+  base64_decode_into("Zm9vYmFy", out);
+  EXPECT_EQ(out, to_bytes("xfoobar"));
+}
+
+TEST(Base64, DecodeIntoRollsBackOnRejection) {
+  // A rejected decode must leave the output exactly as passed in — no
+  // partially decoded tail for callers that catch and continue.
+  Bytes out = to_bytes("keep");
+  EXPECT_THROW(base64_decode_into("QUJD!A==", out), Error);
+  EXPECT_EQ(out, to_bytes("keep"));
+  EXPECT_THROW(base64_decode_into("QUJDQUJD\n", out), Error);
+  EXPECT_EQ(out, to_bytes("keep"));
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   DeterministicRng a(42), b(42);
   EXPECT_EQ(a.bytes(33), b.bytes(33));

@@ -289,5 +289,74 @@ TEST(EnvelopeMalformed, TypeNamesAreStable) {
   EXPECT_FALSE(is_request(MessageType::kRoAcquisitionTrigger));
 }
 
+// ---------------------------------------------------------------------------
+// Envelope value semantics over the pooled buffers: the retained DOM
+// aliases the retained wire bytes, so moves must keep it valid, copies
+// must re-derive it, and recycled buffers must never leak content
+// between envelopes.
+// ---------------------------------------------------------------------------
+
+RoRequest sample_request(DeterministicRng& rng, const std::string& ro_id) {
+  RoRequest req;
+  req.device_id = "device-01";
+  req.ri_id = "ri.example";
+  req.ro_id = ro_id;
+  req.device_nonce = rng.bytes(kNonceLen);
+  req.signature = rng.bytes(128);
+  return req;
+}
+
+TEST(EnvelopeSemantics, MoveKeepsParsedViewValid) {
+  DeterministicRng rng(0xD1);
+  RoRequest req = sample_request(rng, "ro:move");
+  Envelope a = Envelope::wrap(req);
+  const std::string wire = a.wire();
+  Envelope b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_THROW(a.doc(), Error);
+  EXPECT_EQ(b.wire(), wire);
+  EXPECT_EQ(b.open<RoRequest>(), req);
+  Envelope c;
+  c = std::move(b);
+  EXPECT_EQ(c.open<RoRequest>(), req);
+}
+
+TEST(EnvelopeSemantics, CopyReparsesIndependently) {
+  DeterministicRng rng(0xD2);
+  RoRequest req = sample_request(rng, "ro:copy");
+  Envelope a = Envelope::wrap(req);
+  Envelope b = a;
+  EXPECT_EQ(a.wire(), b.wire());
+  // Destroying the original must not invalidate the copy's DOM.
+  a = Envelope();
+  EXPECT_EQ(b.open<RoRequest>(), req);
+}
+
+TEST(EnvelopeSemantics, RecycledBuffersDoNotLeakContent) {
+  DeterministicRng rng(0xD3);
+  // Churn envelopes through the pool with different payload sizes; each
+  // must see exactly its own message.
+  for (int i = 0; i < 100; ++i) {
+    RoRequest req = sample_request(
+        rng, "ro:churn-" + std::string(static_cast<std::size_t>(i % 7), 'x') +
+                 std::to_string(i));
+    Envelope env = Envelope::wrap(req);
+    Envelope back = Envelope::from_wire(env.wire());
+    ASSERT_EQ(back.open<RoRequest>(), req) << "iteration " << i;
+  }
+}
+
+TEST(EnvelopeSemantics, WrapParsesItsOwnBytes) {
+  // The invariant the transport relies on: an envelope's DOM is the
+  // parse of its serialized bytes, so wrap() and from_wire() agree.
+  DeterministicRng rng(0xD4);
+  RoRequest req = sample_request(rng, "ro:inv");
+  Envelope wrapped = Envelope::wrap(req);
+  Envelope rewired = Envelope::from_wire(wrapped.wire());
+  EXPECT_EQ(wrapped.type(), rewired.type());
+  EXPECT_EQ(wrapped.doc().name(), rewired.doc().name());
+  EXPECT_EQ(wrapped.open<RoRequest>(), rewired.open<RoRequest>());
+}
+
 }  // namespace
 }  // namespace omadrm::roap

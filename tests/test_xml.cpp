@@ -139,5 +139,218 @@ TEST(XmlChildren, NamedLookup) {
   EXPECT_EQ(xs[1]->text(), "3");
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy arena parser (Node DOM)
+// ---------------------------------------------------------------------------
+
+TEST(NodeParse, BasicDocumentAndLookup) {
+  Arena arena;
+  const std::string doc =
+      "<root a=\"1\" b='two'><kid>text</kid><kid2/><kid>more</kid></root>";
+  const Node& n = parse_in(arena, doc);
+  EXPECT_EQ(n.name(), "root");
+  ASSERT_NE(n.attr("a"), nullptr);
+  EXPECT_EQ(*n.attr("a"), "1");
+  EXPECT_EQ(n.require_attr("b"), "two");
+  EXPECT_EQ(n.attr("missing"), nullptr);
+  EXPECT_THROW(n.require_attr("missing"), Error);
+  EXPECT_EQ(n.child_count(), 3u);
+  EXPECT_EQ(n.child_text("kid"), "text");
+  EXPECT_THROW(n.require_child("nope"), Error);
+  std::size_t kids = 0;
+  for (const Node* k : n.children_named("kid")) {
+    EXPECT_TRUE(k->text() == "text" || k->text() == "more");
+    ++kids;
+  }
+  EXPECT_EQ(kids, 2u);
+}
+
+TEST(NodeParse, ViewsAliasTheDocumentWhenEscapeFree) {
+  Arena arena;
+  const std::string doc = "<r name=\"plain\">payload</r>";
+  const Node& n = parse_in(arena, doc);
+  const char* begin = doc.data();
+  const char* end = doc.data() + doc.size();
+  // Zero-copy: names, attribute values, and text point into `doc`.
+  EXPECT_TRUE(n.name().data() >= begin && n.name().data() < end);
+  EXPECT_TRUE(n.attr("name")->data() >= begin && n.attr("name")->data() < end);
+  EXPECT_TRUE(n.text().data() >= begin && n.text().data() < end);
+}
+
+TEST(NodeParse, EntityDecodingFallsBackToArena) {
+  Arena arena;
+  const std::string doc = "<r q='a&amp;b &#65;'>x &lt;&gt; y</r>";
+  const Node& n = parse_in(arena, doc);
+  EXPECT_EQ(*n.attr("q"), "a&b A");
+  EXPECT_EQ(n.text(), "x <> y");
+}
+
+TEST(NodeParse, AdjacentTextRunsConcatenate) {
+  Arena arena;
+  const Node& n = parse_in(arena, "<t>a<b/>c<b/>d</t>");
+  EXPECT_EQ(n.text(), "acd");
+  // Comments split runs too.
+  Arena arena2;
+  const Node& m = parse_in(arena2, "<t>one<!-- x -->two</t>");
+  EXPECT_EQ(m.text(), "onetwo");
+}
+
+TEST(NodeParse, AttributeQuoteVariants) {
+  Arena arena;
+  const Node& n =
+      parse_in(arena, "<r a=\"d'quote\" b='s\"quote' c = 'spaced'/>");
+  EXPECT_EQ(*n.attr("a"), "d'quote");
+  EXPECT_EQ(*n.attr("b"), "s\"quote");
+  EXPECT_EQ(*n.attr("c"), "spaced");
+}
+
+TEST(NodeParse, ArenaResetReusesStorage) {
+  Arena arena;
+  const std::string doc = "<r a='1'><x>one</x><y>two</y></r>";
+  (void)parse_in(arena, doc);
+  const std::size_t cap = arena.capacity();
+  for (int i = 0; i < 64; ++i) {
+    arena.reset();
+    const Node& n = parse_in(arena, doc);
+    EXPECT_EQ(n.child_text("x"), "one");
+  }
+  EXPECT_EQ(arena.capacity(), cap);  // steady state: no further growth
+}
+
+TEST(NodeParse, DeepNestingWithinLimit) {
+  std::string doc;
+  const int depth = 100;
+  for (int i = 0; i < depth; ++i) doc += "<d>";
+  doc += "x";
+  for (int i = 0; i < depth; ++i) doc += "</d>";
+  Arena arena;
+  const Node* n = &parse_in(arena, doc);
+  for (int i = 1; i < depth; ++i) n = n->first_child();
+  EXPECT_EQ(n->text(), "x");
+}
+
+TEST(NodeParse, PathologicalNestingRejectedNotCrash) {
+  std::string doc;
+  for (int i = 0; i < 5000; ++i) doc += "<d>";
+  Arena arena;
+  EXPECT_THROW(parse_in(arena, doc), Error);
+  // The Element entry point rides the same core and is equally safe.
+  EXPECT_THROW(parse(doc), Error);
+}
+
+TEST(NodeParse, TruncationFuzzEveryOffset) {
+  // A document exercising attributes, both quote styles, entities,
+  // character references, comments, nesting, and self-closing tags.
+  // Every strict prefix must be cleanly rejected — never accepted, never
+  // a crash — because a truncated envelope is the most common corrupt
+  // wire input.
+  const std::string doc =
+      "<?xml version=\"1.0\"?><!-- hdr --><roap:msg a=\"1&amp;2\" "
+      "b='&#65;'><kid>t&lt;x</kid><!-- c --><leaf/></roap:msg>";
+  Arena arena;
+  (void)parse_in(arena, doc);  // the full document parses
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    arena.reset();
+    EXPECT_THROW(parse_in(arena, doc.substr(0, len)), Error)
+        << "prefix length " << len << " unexpectedly accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer
+// ---------------------------------------------------------------------------
+
+TEST(XmlWriter, BuildsCompactDocuments) {
+  std::string out;
+  Writer w(out);
+  w.open("a");
+  w.attr("k", "v");
+  w.open("b");
+  w.close();
+  w.text_element("c", "hi");
+  w.close();
+  EXPECT_TRUE(w.finished());
+  EXPECT_EQ(out, "<a k=\"v\"><b/><c>hi</c></a>");
+}
+
+TEST(XmlWriter, ReusesBufferCapacity) {
+  std::string out;
+  {
+    Writer w(out);
+    w.open("big");
+    w.text(std::string(512, 'x'));
+    w.close();
+  }
+  const std::size_t cap = out.capacity();
+  Writer w2(out);  // clears content, keeps capacity
+  w2.open("small");
+  w2.close();
+  EXPECT_EQ(out, "<small/>");
+  EXPECT_EQ(out.capacity(), cap);
+}
+
+TEST(XmlWriter, MatchesElementSerialization) {
+  Element root("o-ex:rights");
+  root.set_attr("o-ex:id", "ro&1");
+  Element& kid = root.add_child(Element("kid"));
+  kid.set_text("a<b");
+  root.add_child(Element("empty"));
+
+  std::string streamed;
+  Writer w(streamed);
+  w.open("o-ex:rights");
+  w.attr("o-ex:id", "ro&1");
+  w.text_element("kid", "a<b");
+  w.open("empty");
+  w.close();
+  w.close();
+  EXPECT_EQ(streamed, root.serialize());
+}
+
+TEST(XmlWriter, MisuseThrows) {
+  std::string out;
+  Writer w(out);
+  EXPECT_THROW(w.close(), Error);            // nothing open
+  EXPECT_THROW(w.text("x"), Error);          // outside root
+  w.open("a");
+  w.text("body");
+  EXPECT_THROW(w.attr("k", "v"), Error);     // tag already sealed
+  w.close();
+  EXPECT_THROW(w.open("second-root"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Escaping: byte-exact round trips, including control characters in
+// attribute values.
+// ---------------------------------------------------------------------------
+
+TEST(XmlEscape, ControlCharactersRoundTripByteExact) {
+  Element e("t");
+  e.set_text("line1\r\nline2");
+  e.set_attr("q", "tab\there\r\nnext");
+  const std::string wire = e.serialize();
+  // \r in text and \r \n \t in attributes must travel as character
+  // references, never as raw bytes a normalizing parser would mangle.
+  EXPECT_EQ(wire.find('\r'), std::string::npos);
+  EXPECT_NE(wire.find("&#13;"), std::string::npos);
+  EXPECT_NE(wire.find("&#10;"), std::string::npos);
+  EXPECT_NE(wire.find("&#9;"), std::string::npos);
+
+  Element back = parse(wire);
+  EXPECT_EQ(back.text(), "line1\r\nline2");
+  EXPECT_EQ(*back.attr("q"), "tab\there\r\nnext");
+  // Serialize → parse → serialize is a fixed point.
+  EXPECT_EQ(back.serialize(), wire);
+}
+
+TEST(XmlEscape, ReserveIsExact) {
+  std::string out;
+  escape_text_into("a&b<c>d\re", out);
+  EXPECT_EQ(out, "a&amp;b&lt;c&gt;d&#13;e");
+  std::string attr;
+  escape_attr_into("\"'\t\n\r", attr);
+  EXPECT_EQ(attr, "&quot;&apos;&#9;&#10;&#13;");
+}
+
 }  // namespace
 }  // namespace omadrm::xml
