@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Gate on ROAP session benchmark throughput.
+"""Gate on checked-in benchmark baselines.
 
-Compares the fleet exchanges/s of a fresh bench run against the
-checked-in baseline JSON and fails when throughput regressed by more
-than the tolerance (default 25%). Latency-style fields are reported for
-context but only throughput gates, since it is the least noisy of the
-bench's outputs on shared CI runners.
+Handles both benchmark families by dispatching on the JSON's "bench"
+field:
+
+  roap_session   gates on fleet exchanges/s (the least noisy of that
+                 bench's outputs on shared CI runners).
+  dcf_stream     gates on streaming decrypt MB/s at the largest payload
+                 size present in BOTH documents (quick CI runs omit the
+                 16 MiB point the full baseline carries).
+
+Latency-style fields are printed for context but only throughput gates.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.25]
 """
@@ -15,8 +20,17 @@ import json
 import sys
 
 
-def fleet_throughput(doc: dict) -> float:
-    return float(doc["multi_agent"]["exchanges_per_s"])
+def roap_throughput(doc: dict) -> tuple[float, str, str]:
+    value = float(doc["multi_agent"]["exchanges_per_s"])
+    label = f"fleet throughput ({doc['multi_agent']['agents']} agents)"
+    return value, label, "exch/s"
+
+
+def dcf_throughput(doc: dict, payload_bytes: int) -> tuple[float, str, str]:
+    entry = next(s for s in doc["sizes"]
+                 if s["payload_bytes"] == payload_bytes)
+    label = f"stream decrypt ({payload_bytes // 1024} KiB payload)"
+    return float(entry["stream_decrypt_mbps"]), label, "MB/s"
 
 
 def main() -> int:
@@ -32,22 +46,44 @@ def main() -> int:
     with open(args.current) as f:
         current = json.load(f)
 
-    base = fleet_throughput(baseline)
-    cur = fleet_throughput(current)
+    kind = current.get("bench", "roap_session")
+    if baseline.get("bench", "roap_session") != kind:
+        print(f"FAIL: baseline is {baseline.get('bench')!r} but current is "
+              f"{kind!r}", file=sys.stderr)
+        return 1
+
+    if kind == "dcf_stream":
+        shared = (set(s["payload_bytes"] for s in baseline["sizes"]) &
+                  set(s["payload_bytes"] for s in current["sizes"]))
+        if not shared:
+            print("FAIL: no payload size measured in both documents",
+                  file=sys.stderr)
+            return 1
+        base, base_label, unit = dcf_throughput(baseline, max(shared))
+        cur, cur_label, _ = dcf_throughput(current, max(shared))
+    else:
+        base, base_label, unit = roap_throughput(baseline)
+        cur, cur_label, _ = roap_throughput(current)
+
     floor = base * (1.0 - args.tolerance)
+    print(f"baseline {base_label}: {base:10.1f} {unit}")
+    print(f"current  {cur_label}: {cur:10.1f} {unit}")
+    print(f"floor (-{args.tolerance:.0%}): {floor:10.1f} {unit}")
 
-    print(f"baseline fleet throughput: {base:10.1f} exch/s "
-          f"({baseline['multi_agent']['agents']} agents)")
-    print(f"current  fleet throughput: {cur:10.1f} exch/s "
-          f"({current['multi_agent']['agents']} agents)")
-    print(f"floor (-{args.tolerance:.0%}):          {floor:10.1f} exch/s")
-
-    cached = current.get("ro_acquisition", {}).get("cached", {})
-    if cached:
-        print(f"current cached acquisition: {cached.get('full_ms_avg')} ms "
-              f"(p50 {cached.get('full_ms_p50')}, "
-              f"p95 {cached.get('full_ms_p95')}), "
-              f"{cached.get('allocs_per_exchange')} allocs/exchange")
+    if kind == "dcf_stream":
+        largest = max(current["sizes"], key=lambda s: s["payload_bytes"])
+        print(f"current open latency: {largest.get('open_us')} us, "
+              f"{largest.get('open_allocs')} allocs/open, "
+              f"{largest.get('read_allocs_per_drain')} allocs/drain, "
+              f"{largest.get('speedup_stream_vs_legacy')}x vs legacy "
+              f"one-shot")
+    else:
+        cached = current.get("ro_acquisition", {}).get("cached", {})
+        if cached:
+            print(f"current cached acquisition: {cached.get('full_ms_avg')} "
+                  f"ms (p50 {cached.get('full_ms_p50')}, "
+                  f"p95 {cached.get('full_ms_p95')}), "
+                  f"{cached.get('allocs_per_exchange')} allocs/exchange")
 
     if cur < floor:
         print(f"FAIL: throughput regressed more than "

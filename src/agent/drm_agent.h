@@ -30,10 +30,12 @@
 #include <string>
 #include <vector>
 
+#include "agent/content_session.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dcf/dcf.h"
+#include "dcf/dcf_reader.h"
 #include "pki/authority.h"
 #include "pki/chain.h"
 #include "provider/provider.h"
@@ -131,8 +133,33 @@ class DrmAgent {
   std::size_t installed_count() const { return installed_.size(); }
 
   // -- Phase 4: Consumption ---------------------------------------------------
+  /// One-shot access: open + drain into an owned buffer. A thin wrapper
+  /// over open_content for callers that want the whole plaintext at once.
   ConsumeResult consume(const dcf::Dcf& dcf, rel::PermissionType permission,
                         std::uint64_t now, std::uint64_t duration_secs = 0);
+
+  /// Streaming access (§2.4.4 split into one-time and per-chunk halves):
+  /// performs the per-access trust decisions — C2dev unwrap, RO MAC, DCF
+  /// hash binding, REL check_and_consume, CEK unwrap, AES key-schedule
+  /// lookup in the context cache — and returns a session whose read()
+  /// decrypts chunks into caller-owned buffers with zero allocations.
+  /// On denial the session carries the status/decision consume() would
+  /// have reported. The session borrows the container's payload bytes.
+  ContentSession open_content(const dcf::Dcf& dcf,
+                              rel::PermissionType permission,
+                              std::uint64_t now,
+                              std::uint64_t duration_secs = 0);
+  /// The session borrows the container's payload — a temporary Dcf would
+  /// leave it dangling before the first read().
+  ContentSession open_content(dcf::Dcf&& dcf, rel::PermissionType permission,
+                              std::uint64_t now,
+                              std::uint64_t duration_secs = 0) = delete;
+  /// Same, over a zero-copy reader: nothing is re-serialized or re-hashed
+  /// (the reader computed the binding hash during its single parse pass).
+  ContentSession open_content(const dcf::DcfReader& dcf,
+                              rel::PermissionType permission,
+                              std::uint64_t now,
+                              std::uint64_t duration_secs = 0);
 
   /// Reacts to an RO-acquisition trigger pushed by the RI: joins the
   /// advertised domain first when needed, then acquires the RO. The
@@ -175,6 +202,11 @@ class DrmAgent {
   /// metered via this agent's CryptoProvider; cache hits charge nothing.
   /// Exposed for benchmarks/tests (stats, enable/disable, invalidation).
   pki::ChainVerifier& chain_verifier() { return chain_verifier_; }
+
+  /// The CEK → AES-key-schedule cache used by open_content. Entries die
+  /// with their RO (replacement, uninstall, state import). Exposed for
+  /// benchmarks/tests (stats, enable/disable).
+  AesContextCache& aes_context_cache() { return aes_cache_; }
 
  private:
   // The session state machines drive the build/process halves below and
@@ -220,6 +252,19 @@ class DrmAgent {
       const roap::LeaveDomainResponse& response, const std::string& ri_id,
       const std::string& domain_id, ByteView expected_nonce);
 
+  /// The shared §2.4.4 access path behind both open_content overloads:
+  /// `container_bytes` is the serialized container size (for the cost
+  /// model's per-access hashing charge), `dcf_hash` the precomputed
+  /// container hash checked against the RO binding.
+  ContentSession open_content_impl(std::string_view content_id,
+                                   ByteView dcf_hash,
+                                   std::size_t container_bytes, ByteView iv,
+                                   ByteView payload,
+                                   std::uint64_t plaintext_size,
+                                   rel::PermissionType permission,
+                                   std::uint64_t now,
+                                   std::uint64_t duration_secs);
+
   /// Re-checks an established RI context through the verdict cache — the
   /// "verify prior to any interaction" rule at O(1) amortized cost.
   Result<> revalidate_context(RiContext& ctx, std::uint64_t now);
@@ -244,9 +289,13 @@ class DrmAgent {
   pki::Certificate certificate_;
   pki::ChainVerifier chain_verifier_;
 
+  AesContextCache aes_cache_;
+
   std::map<std::string, RiContext> ri_contexts_;        // by ri_id
   std::map<std::string, InstalledRo> installed_;        // by ro_id
-  std::map<std::string, std::vector<std::string>> by_content_;  // cid -> ro ids
+  // cid -> ro ids; heterogeneous lookup so the zero-copy reader's
+  // string_view content id needs no temporary std::string.
+  std::map<std::string, std::vector<std::string>, std::less<>> by_content_;
   std::map<std::string, std::pair<Bytes, std::uint32_t>> domain_keys_;
 };
 

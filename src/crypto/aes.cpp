@@ -1,6 +1,7 @@
 #include "crypto/aes.h"
 
 #include "common/error.h"
+#include "crypto/aes_accel.h"
 
 namespace omadrm::crypto {
 
@@ -159,6 +160,17 @@ Aes::Aes(ByteView key) {
     for (std::size_t c = 0; c < 4; ++c) {
       dk_[4 * r + c] = inv_mix_word(ek_[4 * (nr - r) + c]);
     }
+  }
+
+  if (accel::cpu_supported()) {
+    // The standard byte-order round keys are the big-endian stores of the
+    // schedule words; the inverse-cipher keys come from AESIMC.
+    for (std::size_t i = 0; i < nw; ++i) {
+      store_be32(ek_[i], accel_ek_.data() + 4 * i);
+    }
+    accel::build_decrypt_schedule(accel_ek_.data(), rounds_,
+                                  accel_dk_.data());
+    has_accel_ = true;
   }
 }
 

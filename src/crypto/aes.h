@@ -35,11 +35,24 @@ class Aes {
   void decrypt_block(const std::uint8_t in[kBlockSize],
                      std::uint8_t out[kBlockSize]) const;
 
+  /// True when AES-NI round keys were derived at construction (runtime
+  /// CPU detection); the CBC bulk cores in modes.h dispatch on this.
+  bool has_accel() const { return has_accel_; }
+  /// (rounds + 1) 16-byte round keys in FIPS-197 byte order, valid only
+  /// when has_accel().
+  const std::uint8_t* accel_enc_keys() const { return accel_ek_.data(); }
+  const std::uint8_t* accel_dec_keys() const { return accel_dk_.data(); }
+
  private:
   int rounds_;
   // 4 * (rounds + 1) round-key words, max 60 for AES-256.
   std::array<std::uint32_t, 60> ek_{};
   std::array<std::uint32_t, 60> dk_{};
+  // AES-NI schedules (16 bytes per round key, max 15 keys), derived once
+  // here so cached Aes contexts amortize key setup for both paths.
+  bool has_accel_ = false;
+  alignas(16) std::array<std::uint8_t, 16 * 15> accel_ek_{};
+  alignas(16) std::array<std::uint8_t, 16 * 15> accel_dk_{};
 };
 
 }  // namespace omadrm::crypto

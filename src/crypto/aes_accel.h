@@ -1,0 +1,44 @@
+// Hardware-accelerated AES block runs (x86 AES-NI), runtime-detected.
+//
+// The paper's whole premise is that bulk content decryption dominates the
+// steady-state cost of OMA DRM 2 on a terminal, and that a hardware AES
+// engine changes the picture by an order of magnitude (Table 1's
+// hardware column). On hosts with AES-NI we model exactly that: the Aes
+// constructor derives the NI round-key schedules once (the analogue of
+// loading a key register), and the CBC bulk cores in modes.cpp dispatch
+// here for whole-block runs. Hosts without the extension — or non-x86
+// builds, where this translation unit compiles to stubs — fall back to
+// the portable T-table path with identical results.
+//
+// This file's implementation is compiled with -maes (see CMakeLists);
+// nothing here may be called unless cpu_supported() returned true.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace omadrm::crypto::accel {
+
+/// True when the host CPU exposes AES-NI and the instructions were
+/// compiled in. Cached after the first query.
+bool cpu_supported();
+
+/// Derives the AES-NI decryption round keys (the equivalent inverse
+/// cipher: AESIMC of the middle encryption keys, outer keys swapped) from
+/// the standard FIPS-197 encryption round keys. Both buffers hold
+/// (rounds + 1) 16-byte round keys in standard byte order.
+void build_decrypt_schedule(const std::uint8_t* enc_keys, int rounds,
+                            std::uint8_t* dec_keys);
+
+/// CBC over `n_blocks` whole 16-byte blocks. `chain` carries the running
+/// chain value (IV before the first call, last ciphertext block after).
+/// `in` and `out` must not alias. Decryption pipelines four independent
+/// blocks per iteration; encryption is inherently serial in CBC.
+void cbc_encrypt_blocks(const std::uint8_t* enc_keys, int rounds,
+                        std::uint8_t chain[16], const std::uint8_t* in,
+                        std::uint8_t* out, std::size_t n_blocks);
+void cbc_decrypt_blocks(const std::uint8_t* dec_keys, int rounds,
+                        std::uint8_t chain[16], const std::uint8_t* in,
+                        std::uint8_t* out, std::size_t n_blocks);
+
+}  // namespace omadrm::crypto::accel

@@ -5,11 +5,14 @@
 namespace omadrm::crypto {
 
 HmacSha1::HmacSha1(ByteView key) {
-  Bytes k(key.begin(), key.end());
-  if (k.size() > Sha1::kBlockSize) {
-    k = Sha1::hash(k);
+  std::uint8_t k[Sha1::kBlockSize] = {};
+  if (key.size() > Sha1::kBlockSize) {
+    Sha1 h;
+    h.update(key);
+    h.finish_into(k);
+  } else if (!key.empty()) {
+    std::memcpy(k, key.data(), key.size());
   }
-  k.resize(Sha1::kBlockSize, 0);
   for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
     ipad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
     opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
@@ -24,12 +27,19 @@ void HmacSha1::reset() {
 
 void HmacSha1::update(ByteView data) { inner_.update(data); }
 
-Bytes HmacSha1::finish() {
-  Bytes inner_digest = inner_.finish();
+void HmacSha1::finish_into(std::uint8_t out[kDigestSize]) {
+  std::uint8_t inner_digest[Sha1::kDigestSize];
+  inner_.finish_into(inner_digest);
   Sha1 outer;
   outer.update(ByteView(opad_key_.data(), opad_key_.size()));
-  outer.update(inner_digest);
-  return outer.finish();
+  outer.update(ByteView(inner_digest, Sha1::kDigestSize));
+  outer.finish_into(out);
+}
+
+Bytes HmacSha1::finish() {
+  Bytes digest(kDigestSize);
+  finish_into(digest.data());
+  return digest;
 }
 
 Bytes HmacSha1::mac(ByteView key, ByteView data) {
@@ -39,8 +49,11 @@ Bytes HmacSha1::mac(ByteView key, ByteView data) {
 }
 
 bool HmacSha1::verify(ByteView key, ByteView data, ByteView expected_tag) {
-  Bytes tag = mac(key, data);
-  return ct_equal(tag, expected_tag);
+  HmacSha1 h(key);
+  h.update(data);
+  std::uint8_t tag[kDigestSize];
+  h.finish_into(tag);
+  return ct_equal(ByteView(tag, kDigestSize), expected_tag);
 }
 
 }  // namespace omadrm::crypto

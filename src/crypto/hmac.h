@@ -16,6 +16,8 @@ class HmacSha1 {
 
   void update(ByteView data);
   Bytes finish();
+  /// Allocation-free finalization into a caller-owned 20-byte buffer.
+  void finish_into(std::uint8_t out[kDigestSize]);
   void reset();
 
   /// One-shot convenience.

@@ -149,7 +149,7 @@ void Sha1::update(ByteView data) {
   }
 }
 
-Bytes Sha1::finish() {
+void Sha1::finish_into(std::uint8_t out[kDigestSize]) {
   if (finished_) {
     throw Error(ErrorKind::kState, "Sha1::finish called twice");
   }
@@ -169,11 +169,14 @@ Bytes Sha1::finish() {
   total_len_ = saved_total;
   finished_ = true;
 
-  Bytes digest(kDigestSize);
   for (int i = 0; i < 5; ++i) {
-    store_be32(state_[static_cast<std::size_t>(i)],
-               digest.data() + 4 * i);
+    store_be32(state_[static_cast<std::size_t>(i)], out + 4 * i);
   }
+}
+
+Bytes Sha1::finish() {
+  Bytes digest(kDigestSize);
+  finish_into(digest.data());
   return digest;
 }
 

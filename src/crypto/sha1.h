@@ -26,6 +26,11 @@ class Sha1 {
   /// before reuse.
   Bytes finish();
 
+  /// Finalizes into a caller-owned 20-byte buffer — the allocation-free
+  /// variant the streaming content path (DcfReader, AES context
+  /// fingerprints) uses.
+  void finish_into(std::uint8_t out[kDigestSize]);
+
   /// Returns the object to its initial state.
   void reset();
 

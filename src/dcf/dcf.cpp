@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "crypto/modes.h"
 #include "crypto/sha1.h"
+#include "dcf/dcf_reader.h"
 
 namespace omadrm::dcf {
 
@@ -24,59 +25,6 @@ void put_string(Bytes& out, const std::string& s) {
   put_u16(out, s.size());
   out.insert(out.end(), s.begin(), s.end());
 }
-
-class Reader {
- public:
-  explicit Reader(ByteView data) : data_(data) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return data_[pos_++];
-  }
-  std::uint16_t u16() {
-    need(2);
-    std::uint16_t v = static_cast<std::uint16_t>((data_[pos_] << 8) |
-                                                 data_[pos_ + 1]);
-    pos_ += 2;
-    return v;
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = load_be32(data_.data() + pos_);
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = load_be64(data_.data() + pos_);
-    pos_ += 8;
-    return v;
-  }
-  std::string str() {
-    std::uint16_t len = u16();
-    need(len);
-    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-  Bytes raw(std::size_t len) {
-    need(len);
-    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
-    pos_ += len;
-    return b;
-  }
-  bool at_end() const { return pos_ == data_.size(); }
-
- private:
-  void need(std::size_t n) const {
-    if (data_.size() - pos_ < n) {
-      throw Error(ErrorKind::kFormat, "dcf: truncated container");
-    }
-  }
-  ByteView data_;
-  std::size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -118,36 +66,45 @@ Bytes Dcf::serialize() const {
   return out;
 }
 
+// One parser for the format: the zero-copy DcfReader walks the wire and
+// this owned variant copies out of its views — the two paths cannot
+// drift, and the reader's single-pass hash seeds the cache for free.
 Dcf Dcf::parse(ByteView data) {
-  Reader r(data);
-  Bytes magic = r.raw(4);
-  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
-    throw Error(ErrorKind::kFormat, "dcf: bad magic");
-  }
-  if (r.u8() != kVersion) {
-    throw Error(ErrorKind::kFormat, "dcf: unsupported version");
-  }
+  DcfReader r = DcfReader::parse(data);
   Dcf out;
-  out.headers_.content_type = r.str();
-  out.headers_.content_id = r.str();
-  out.headers_.rights_issuer_url = r.str();
-  std::uint16_t n_headers = r.u16();
-  for (std::uint16_t i = 0; i < n_headers; ++i) {
-    std::string k = r.str();
-    std::string v = r.str();
-    out.headers_.textual.emplace_back(std::move(k), std::move(v));
+  out.headers_.content_type = std::string(r.content_type());
+  out.headers_.content_id = std::string(r.content_id());
+  out.headers_.rights_issuer_url = std::string(r.rights_issuer_url());
+  out.headers_.textual.reserve(r.textual().size());
+  for (const auto& [k, v] : r.textual()) {
+    out.headers_.textual.emplace_back(std::string(k), std::string(v));
   }
-  out.iv_ = r.raw(16);
-  out.plaintext_size_ = r.u64();
-  std::uint32_t payload_len = r.u32();
-  out.payload_ = r.raw(payload_len);
-  if (!r.at_end()) {
-    throw Error(ErrorKind::kFormat, "dcf: trailing bytes");
-  }
+  out.iv_ = Bytes(r.iv().begin(), r.iv().end());
+  out.plaintext_size_ = r.plaintext_size();
+  out.payload_ =
+      Bytes(r.encrypted_payload().begin(), r.encrypted_payload().end());
+  out.hash_cache_ = Bytes(r.hash().begin(), r.hash().end());
   return out;
 }
 
-Bytes Dcf::hash() const { return crypto::Sha1::hash(serialize()); }
+std::size_t Dcf::serialized_size() const {
+  std::size_t n = 4 + 1;  // magic + version
+  n += 2 + headers_.content_type.size();
+  n += 2 + headers_.content_id.size();
+  n += 2 + headers_.rights_issuer_url.size();
+  n += 2;  // textual header count
+  for (const auto& [k, v] : headers_.textual) {
+    n += 2 + k.size() + 2 + v.size();
+  }
+  return n + 16 + 8 + 4 + payload_.size();  // iv + sizes + payload
+}
+
+const Bytes& Dcf::hash() const {
+  if (hash_cache_.empty()) {
+    hash_cache_ = crypto::Sha1::hash(serialize());
+  }
+  return hash_cache_;
+}
 
 bool Dcf::operator==(const Dcf& other) const {
   return headers_ == other.headers_ && iv_ == other.iv_ &&

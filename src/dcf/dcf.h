@@ -46,11 +46,16 @@ class Dcf {
 
   /// Canonical serialized container.
   Bytes serialize() const;
+  /// serialize()'s output size, computed without serializing.
+  std::size_t serialized_size() const;
   static Dcf parse(ByteView data);
 
   /// SHA-1 over the serialized container — the value embedded in Rights
-  /// Objects to bind license and content.
-  Bytes hash() const;
+  /// Objects to bind license and content. Computed lazily on first call
+  /// and cached (the container is immutable once constructed), so
+  /// per-access integrity checks stop re-serializing multi-megabyte
+  /// payloads. Not thread-safe, like the rest of the class.
+  const Bytes& hash() const;
 
   bool operator==(const Dcf& other) const;
 
@@ -59,6 +64,7 @@ class Dcf {
   Bytes iv_;
   Bytes payload_;
   std::uint64_t plaintext_size_ = 0;
+  mutable Bytes hash_cache_;  // empty until the first hash() call
 };
 
 /// Encrypts `plaintext` under `kcek` (16 bytes) and wraps it in a DCF.

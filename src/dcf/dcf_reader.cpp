@@ -1,0 +1,109 @@
+#include "dcf/dcf_reader.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace omadrm::dcf {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'D', 'C', 'F'};
+constexpr std::uint8_t kVersion = 2;
+
+// Cursor over the wire bytes handing out views instead of copies.
+class ViewReader {
+ public:
+  explicit ViewReader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v =
+        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = load_be32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = load_be64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  std::string_view str() {
+    std::uint16_t len = u16();
+    need(len);
+    std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_),
+                       len);
+    pos_ += len;
+    return s;
+  }
+  ByteView raw(std::size_t len) {
+    need(len);
+    ByteView v = data_.subspan(pos_, len);
+    pos_ += len;
+    return v;
+  }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw Error(ErrorKind::kFormat, "dcf: truncated container");
+    }
+  }
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+DcfReader DcfReader::parse(ByteView wire) {
+  ViewReader r(wire);
+  ByteView magic = r.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw Error(ErrorKind::kFormat, "dcf: bad magic");
+  }
+  if (r.u8() != kVersion) {
+    throw Error(ErrorKind::kFormat, "dcf: unsupported version");
+  }
+  DcfReader out;
+  out.wire_ = wire;
+  out.content_type_ = r.str();
+  out.content_id_ = r.str();
+  out.rights_issuer_url_ = r.str();
+  std::uint16_t n_headers = r.u16();
+  out.textual_.reserve(n_headers);
+  for (std::uint16_t i = 0; i < n_headers; ++i) {
+    std::string_view k = r.str();
+    std::string_view v = r.str();
+    out.textual_.emplace_back(k, v);
+  }
+  out.iv_ = r.raw(16);
+  out.plaintext_size_ = r.u64();
+  std::uint32_t payload_len = r.u32();
+  out.payload_ = r.raw(payload_len);
+  if (!r.at_end()) {
+    throw Error(ErrorKind::kFormat, "dcf: trailing bytes");
+  }
+  // One incremental pass over the very bytes just walked — the hash a
+  // Rights Object binds to, with no serialize() round trip.
+  crypto::Sha1 h;
+  h.update(wire);
+  h.finish_into(out.hash_);
+  return out;
+}
+
+}  // namespace omadrm::dcf

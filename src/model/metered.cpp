@@ -53,6 +53,19 @@ std::optional<Bytes> MeteredCryptoProvider::aes_unwrap(ByteView kek,
   return Base::aes_unwrap(kek, wrapped);
 }
 
+// The streaming content path executes its bulk work through cached
+// contexts and reports it here; the charges mirror sha1() and
+// aes_cbc_decrypt() exactly so the executed model keeps matching the
+// analytic one access for access.
+void MeteredCryptoProvider::charge_sha1(std::size_t data_len) {
+  ledger_.charge(Algorithm::kSha1, 1, blocks128(data_len));
+}
+
+void MeteredCryptoProvider::charge_aes_cbc_decrypt(
+    std::size_t ciphertext_len) {
+  ledger_.charge(Algorithm::kAesDecrypt, 1, ciphertext_len / 16);
+}
+
 Bytes MeteredCryptoProvider::kdf2(ByteView z, std::size_t out_len) {
   ledger_.charge(Algorithm::kSha1, 1, kdf2_blocks128(z.size(), out_len));
   return Base::kdf2(z, out_len);

@@ -41,6 +41,8 @@ class MeteredCryptoProvider final : public provider::PlainCryptoProvider {
   Bytes aes_wrap(ByteView kek, ByteView key_data) override;
   std::optional<Bytes> aes_unwrap(ByteView kek, ByteView wrapped) override;
   Bytes kdf2(ByteView z, std::size_t out_len) override;
+  void charge_sha1(std::size_t data_len) override;
+  void charge_aes_cbc_decrypt(std::size_t ciphertext_len) override;
   Bytes pss_sign(const rsa::PrivateKey& key, ByteView message,
                  Rng& rng) override;
   bool pss_verify(const rsa::PublicKey& key, ByteView message,

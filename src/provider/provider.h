@@ -37,6 +37,18 @@ class CryptoProvider {
   virtual std::optional<Bytes> aes_unwrap(ByteView kek, ByteView wrapped) = 0;
   virtual Bytes kdf2(ByteView z, std::size_t out_len) = 0;
 
+  // -- streaming-content accounting ----------------------------------------
+  // The steady-state content path (agent/content_session.h) executes bulk
+  // SHA-1 and AES-CBC outside this interface — cached key schedules,
+  // caller-owned buffers, hashes folded into container parsing — and
+  // reports the work here instead, so a metering provider can still
+  // charge the paper's per-access §2.4.4 costs. The base implementation
+  // ignores the reports.
+  virtual void charge_sha1(std::size_t data_len) { (void)data_len; }
+  virtual void charge_aes_cbc_decrypt(std::size_t ciphertext_len) {
+    (void)ciphertext_len;
+  }
+
   // -- PKI ----------------------------------------------------------------
   virtual Bytes pss_sign(const rsa::PrivateKey& key, ByteView message,
                          Rng& rng) = 0;

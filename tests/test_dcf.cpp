@@ -1,10 +1,13 @@
-// Tests for the DCF container format.
+// Tests for the DCF container format and the zero-copy DcfReader.
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "common/error.h"
 #include "common/random.h"
 #include "crypto/sha1.h"
 #include "dcf/dcf.h"
+#include "dcf/dcf_reader.h"
 
 namespace omadrm::dcf {
 namespace {
@@ -107,6 +110,76 @@ TEST(Dcf, ParseRejectsCorruption) {
 
 TEST(Dcf, RejectsBadIvLength) {
   EXPECT_THROW(Dcf(sample_headers(), Bytes(8, 0), Bytes(16, 0), 0), Error);
+}
+
+TEST(Dcf, SerializedSizeMatchesSerialize) {
+  DeterministicRng rng(7);
+  Dcf d = make_dcf(sample_headers(), rng.bytes(777), rng.bytes(16),
+                   rng.bytes(16));
+  EXPECT_EQ(d.serialized_size(), d.serialize().size());
+  Dcf empty = make_dcf(Headers{}, Bytes{}, rng.bytes(16), rng.bytes(16));
+  EXPECT_EQ(empty.serialized_size(), empty.serialize().size());
+}
+
+TEST(DcfReader, ViewsMatchOwnedParse) {
+  DeterministicRng rng(8);
+  Dcf d = make_dcf(sample_headers(), rng.bytes(4096), rng.bytes(16),
+                   rng.bytes(16));
+  const Bytes wire = d.serialize();
+  DcfReader r = DcfReader::parse(wire);
+
+  EXPECT_EQ(r.content_type(), d.headers().content_type);
+  EXPECT_EQ(r.content_id(), d.headers().content_id);
+  EXPECT_EQ(r.rights_issuer_url(), d.headers().rights_issuer_url);
+  ASSERT_EQ(r.textual().size(), d.headers().textual.size());
+  for (std::size_t i = 0; i < r.textual().size(); ++i) {
+    EXPECT_EQ(r.textual()[i].first, d.headers().textual[i].first);
+    EXPECT_EQ(r.textual()[i].second, d.headers().textual[i].second);
+  }
+  EXPECT_TRUE(std::equal(r.iv().begin(), r.iv().end(), d.iv().begin(),
+                         d.iv().end()));
+  EXPECT_TRUE(std::equal(r.encrypted_payload().begin(),
+                         r.encrypted_payload().end(),
+                         d.encrypted_payload().begin(),
+                         d.encrypted_payload().end()));
+  EXPECT_EQ(r.plaintext_size(), d.plaintext_size());
+
+  // The views alias the wire buffer — zero copies of the payload.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(r.content_type().data()),
+            wire.data());
+  EXPECT_EQ(r.encrypted_payload().data(),
+            wire.data() + wire.size() - r.encrypted_payload().size());
+
+  // The one-pass hash equals the serialize-then-hash value.
+  EXPECT_TRUE(std::equal(r.hash().begin(), r.hash().end(),
+                         d.hash().begin(), d.hash().end()));
+
+  // Owned round trip for callers that outlive the buffer.
+  EXPECT_EQ(r.to_dcf(), d);
+}
+
+TEST(DcfReader, RejectsSameCorruptionAsOwnedParse) {
+  DeterministicRng rng(9);
+  Dcf d = make_dcf(sample_headers(), rng.bytes(50), rng.bytes(16),
+                   rng.bytes(16));
+  Bytes wire = d.serialize();
+
+  Bytes bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(DcfReader::parse(bad_magic), Error);
+
+  Bytes bad_version = wire;
+  bad_version[4] = 9;
+  EXPECT_THROW(DcfReader::parse(bad_version), Error);
+
+  Bytes truncated(wire.begin(), wire.end() - 3);
+  EXPECT_THROW(DcfReader::parse(truncated), Error);
+
+  Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(DcfReader::parse(trailing), Error);
+
+  EXPECT_THROW(DcfReader::parse(Bytes{}), Error);
 }
 
 class DcfSizeSweep : public ::testing::TestWithParam<std::size_t> {};
