@@ -9,6 +9,12 @@ field:
   dcf_stream     gates on streaming decrypt MB/s at the largest payload
                  size present in BOTH documents (quick CI runs omit the
                  16 MiB point the full baseline carries).
+  state_store    gates on the buffered FileStore p50 commit latency,
+                 expressed as a rate (1e6 / commit_us_p50). The sealed
+                 journal + counter path every constraint burn rides;
+                 wall-clock commits/s swings 2x with machine load while
+                 the p50 stays within a few percent, and the fsync-on
+                 figure is disk hardware, so both only print.
 
 Latency-style fields are printed for context but only throughput gates.
 
@@ -31,6 +37,11 @@ def dcf_throughput(doc: dict, payload_bytes: int) -> tuple[float, str, str]:
                  if s["payload_bytes"] == payload_bytes)
     label = f"stream decrypt ({payload_bytes // 1024} KiB payload)"
     return float(entry["stream_decrypt_mbps"]), label, "MB/s"
+
+
+def store_throughput(doc: dict) -> tuple[float, str, str]:
+    value = 1e6 / float(doc["file_buffered"]["commit_us_p50"])
+    return value, "buffered store commit rate (1/p50)", "commits/s"
 
 
 def main() -> int:
@@ -61,6 +72,9 @@ def main() -> int:
             return 1
         base, base_label, unit = dcf_throughput(baseline, max(shared))
         cur, cur_label, _ = dcf_throughput(current, max(shared))
+    elif kind == "state_store":
+        base, base_label, unit = store_throughput(baseline)
+        cur, cur_label, _ = store_throughput(current)
     else:
         base, base_label, unit = roap_throughput(baseline)
         cur, cur_label, _ = roap_throughput(current)
@@ -77,6 +91,14 @@ def main() -> int:
               f"{largest.get('read_allocs_per_drain')} allocs/drain, "
               f"{largest.get('speedup_stream_vs_legacy')}x vs legacy "
               f"one-shot")
+    elif kind == "state_store":
+        durable = current.get("file_durable", {})
+        agent = current.get("agent", {})
+        print(f"current durable (fsync) commits: "
+              f"{durable.get('commits_per_s')} commits/s "
+              f"(p50 {durable.get('commit_us_p50')} us); "
+              f"crash-safe burn overhead {agent.get('overhead_us')} "
+              f"us/grant")
     else:
         cached = current.get("ro_acquisition", {}).get("cached", {})
         if cached:

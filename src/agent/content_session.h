@@ -123,6 +123,17 @@ class ContentSession {
 
   /// Restarts the granted access from the first byte — same playback,
   /// no new REL consumption, no rights re-checks, no allocation.
+  ///
+  /// Replay-vs-rollback contract: rewind() replays the ONE access this
+  /// session's check_and_consume granted, and that burn was committed to
+  /// the agent's bound store BEFORE open_content returned this session.
+  /// A session is therefore pure RAM state riding on an already-durable
+  /// grant: killing the process mid-session (rewound or not) and
+  /// reloading the agent from its store can never resurrect the grant as
+  /// un-burned, and a reloaded agent never re-creates sessions — a new
+  /// access needs a new open_content, which burns (and commits) again.
+  /// Pinned by StoreBacked.RewindNeverSurvivesReloadAsUnburnedGrant in
+  /// tests/test_store.cpp.
   void rewind();
 
   /// Drains the remainder into one owned buffer (the consume() path).

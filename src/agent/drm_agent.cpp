@@ -1,5 +1,7 @@
 #include "agent/drm_agent.h"
 
+#include <utility>
+
 #include "agent/sessions.h"
 #include "common/base64.h"
 #include "common/error.h"
@@ -9,6 +11,38 @@ namespace omadrm::agent {
 using omadrm::Error;
 using omadrm::ErrorKind;
 using roap::Status;
+
+namespace {
+
+// Store record keys. "id" carries the identity; the prefixed families
+// carry one record per RI context / domain key / installed RO / per-RO
+// constraint state. The constraint state is its own (small, binary)
+// record so a burn commit rewrites ~100 bytes, not the whole RO.
+constexpr const char* kIdentityKey = "id";
+
+std::string ri_record_key(const std::string& ri_id) { return "ri/" + ri_id; }
+std::string domain_record_key(const std::string& id) { return "dom/" + id; }
+std::string ro_record_key(const std::string& ro_id) { return "ro/" + ro_id; }
+std::string state_record_key(const std::string& ro_id) {
+  return "st/" + ro_id;
+}
+
+constexpr rel::PermissionType kAllPermissions[] = {
+    rel::PermissionType::kPlay, rel::PermissionType::kDisplay,
+    rel::PermissionType::kExecute, rel::PermissionType::kPrint,
+    rel::PermissionType::kExport};
+
+/// Bytes per permission in the binary "st/" record: be32 used, u8
+/// first-use flag, be64 first_use, be64 accumulated.
+constexpr std::size_t kStateSlot = 4 + 1 + 8 + 8;
+
+/// The "st/" record of a freshly installed RO: a default State encodes
+/// as all zeros for every permission.
+Bytes zero_enforcer_state() {
+  return Bytes(std::size(kAllPermissions) * kStateSlot, 0);
+}
+
+}  // namespace
 
 DrmAgent::DrmAgent(std::string device_id, pki::Certificate trust_root,
                    provider::CryptoProvider& crypto, Rng& rng,
@@ -22,13 +56,37 @@ DrmAgent::DrmAgent(std::string device_id, pki::Certificate trust_root,
       chain_verifier_(trust_root_,
                       pki::ChainVerifier::metered_verify(crypto)) {}
 
+DrmAgent::DrmAgent(FromStoreTag, pki::Certificate trust_root,
+                   provider::CryptoProvider& crypto, Rng& rng, Bytes kdev)
+    : trust_root_(std::move(trust_root)),
+      crypto_(crypto),
+      rng_(rng),
+      kdev_(std::move(kdev)),
+      chain_verifier_(trust_root_,
+                      pki::ChainVerifier::metered_verify(crypto)) {}
+
 void DrmAgent::provision(pki::Certificate device_certificate) {
   if (!(device_certificate.subject_key().n == key_.n)) {
     throw Error(ErrorKind::kProtocol,
                 "agent: certificate does not match device key");
   }
-  certificate_ = std::move(device_certificate);
-  certificate_der_ = certificate_.to_der();
+  pki::Certificate previous_cert =
+      std::exchange(certificate_, std::move(device_certificate));
+  Bytes previous_der = std::exchange(certificate_der_, certificate_.to_der());
+  if (store_ != nullptr) {
+    store::Transaction tx;
+    tx.put(kIdentityKey, encode_identity());
+    Result<> committed = store_->commit(tx);
+    if (!committed.ok()) {
+      // Same barrier as every other mutation: a provisioning the store
+      // refused must not be acknowledged in RAM either.
+      certificate_ = std::move(previous_cert);
+      certificate_der_ = std::move(previous_der);
+      throw Error(ErrorKind::kState,
+                  "agent: store refused identity commit: " +
+                      committed.describe());
+    }
+  }
 }
 
 const pki::Certificate& DrmAgent::certificate() const {
@@ -209,6 +267,14 @@ Result<> DrmAgent::accept_registration_response(
   ctx.ri_chain = std::move(ri_chain);
   ctx.verified_chain = std::move(verdict);
   ctx.established_at = now;
+  // Durability before acknowledgement: the RI Context the standard says
+  // the device "saves" must actually survive a crash after this returns.
+  if (store_ != nullptr) {
+    store::Transaction tx;
+    tx.put(ri_record_key(ctx.ri_id), encode_ri_context(ctx));
+    Result<> committed = store_->commit(tx);
+    if (!committed.ok()) return committed;
+  }
   ri_contexts_[ctx.ri_id] = std::move(ctx);
   return Result<>();
 }
@@ -336,6 +402,16 @@ AgentStatus DrmAgent::install_ro(const roap::ProtectedRo& ro,
   Bytes c2dev = crypto_.aes_wrap(kdev_, kmac_krek);
 
   const std::string& ro_id = ro.rights.ro_id;
+  // Persist before the RAM install so a refused commit leaves no
+  // half-installed RO. The fresh all-zero constraint state is written
+  // explicitly: a replaced RO must not re-attach its predecessor's burns
+  // on the next reload.
+  if (store_ != nullptr) {
+    store::Transaction tx;
+    tx.put(ro_record_key(ro_id), encode_installed_ro(ro, c2dev));
+    tx.put(state_record_key(ro_id), zero_enforcer_state());
+    if (!store_->commit(tx).ok()) return AgentStatus::kStoreFailure;
+  }
   if (installed_.erase(ro_id) > 0) {
     // A replaced RO may carry a re-keyed CEK; its cached schedule dies
     // with it.
@@ -442,17 +518,11 @@ ContentSession DrmAgent::open_content_impl(
       return session;
     }
 
-    // REL constraint evaluation; try the next RO for this content when
-    // this one denies (multiple ROs per DCF are legal, paper §2.4.3).
-    rel::Decision decision =
-        inst.enforcer.check_and_consume(permission, now, duration_secs);
-    session.decision_ = decision;
-    if (decision != rel::Decision::kGranted) {
-      session.status_ = AgentStatus::kPermissionDenied;
-      continue;
-    }
-
-    // Unlock the chain: K_REK -> K_CEK.
+    // Unlock the chain: K_REK -> K_CEK. This (and the size-consistency
+    // check below) is stateless, so it runs BEFORE the budget burns: a
+    // corrupted install or inconsistent container must fail without
+    // consuming — and, store-backed, without durably draining a count
+    // per retry.
     auto kcek = crypto_.aes_unwrap(krek, inst.ro.enc_kcek);
     if (!kcek) {
       session.status_ = AgentStatus::kUnwrapFailed;
@@ -465,6 +535,37 @@ ContentSession DrmAgent::open_content_impl(
         payload.size() - plaintext_size > crypto::Aes::kBlockSize) {
       session.status_ = AgentStatus::kDcfHashMismatch;
       return session;
+    }
+
+    // REL constraint evaluation; try the next RO for this content when
+    // this one denies (multiple ROs per DCF are legal, paper §2.4.3).
+    const rel::RightsEnforcer::State pre_burn =
+        inst.enforcer.state(permission);
+    rel::Decision decision =
+        inst.enforcer.check_and_consume(permission, now, duration_secs);
+    session.decision_ = decision;
+    if (decision != rel::Decision::kGranted) {
+      session.status_ = AgentStatus::kPermissionDenied;
+      continue;
+    }
+
+    // Durable-burn barrier: the consumed budget commits to secure
+    // storage BEFORE any session is returned. Every check that could
+    // still refuse this access sits above, so a committed burn always
+    // corresponds to a delivered session; a crash after this point
+    // reloads the burn, a crash before it loses only a grant that was
+    // never delivered. When the store cannot commit, durability cannot
+    // be guaranteed — the RAM burn is reverted and the access refused
+    // (fail closed, never fail open into an unaccounted grant).
+    if (store_ != nullptr) {
+      store::Transaction tx;
+      tx.put(state_record_key(ro_id), encode_enforcer_state(inst.enforcer));
+      Result<> committed = store_->commit(tx);
+      if (!committed.ok()) {
+        inst.enforcer.restore_state(permission, pre_burn);
+        session.status_ = AgentStatus::kStoreFailure;
+        return session;
+      }
     }
 
     // One-time bulk-decrypt setup: cached key schedule (the per-access
@@ -541,8 +642,16 @@ Result<> DrmAgent::accept_join_domain_response(
     return Result<>(AgentStatus::kUnwrapFailed,
                     "domain key failed AES-UNWRAP integrity check");
   }
-  domain_keys_[response.domain_id] = {std::move(*domain_key),
-                                      response.generation};
+  std::pair<Bytes, std::uint32_t> entry{std::move(*domain_key),
+                                        response.generation};
+  if (store_ != nullptr) {
+    store::Transaction tx;
+    tx.put(domain_record_key(response.domain_id),
+           encode_domain_key(response.domain_id, entry));
+    Result<> committed = store_->commit(tx);
+    if (!committed.ok()) return committed;
+  }
+  domain_keys_[response.domain_id] = std::move(entry);
   return Result<>();
 }
 
@@ -583,16 +692,28 @@ Result<> DrmAgent::accept_leave_domain_response(
   }
 
   // Compliance: discard K_D and uninstall this domain's Rights Objects.
+  // The RAM discard happens unconditionally (keeping keys is never the
+  // safe direction); a store that then refuses the matching erase is
+  // reported so the caller knows the medium may resurrect them on the
+  // next reload.
+  store::Transaction tx;
+  tx.erase(domain_record_key(domain_id));
   domain_keys_.erase(domain_id);
   for (auto it = installed_.begin(); it != installed_.end();) {
     if (it->second.ro.is_domain_ro && it->second.ro.domain_id == domain_id) {
       auto& index = by_content_[it->second.ro.rights.content_id];
       std::erase(index, it->first);
       aes_cache_.invalidate_ro(it->first);
+      tx.erase(ro_record_key(it->first));
+      tx.erase(state_record_key(it->first));
       it = installed_.erase(it);
     } else {
       ++it;
     }
+  }
+  if (store_ != nullptr) {
+    Result<> committed = store_->commit(tx);
+    if (!committed.ok()) return committed;
   }
   return Result<>();
 }
@@ -645,35 +766,45 @@ std::optional<std::uint32_t> DrmAgent::remaining_count(
 }
 
 // ---------------------------------------------------------------------------
-// Persistence (secure-storage image)
+// Persistence (secure-storage records + export/import wrappers)
 // ---------------------------------------------------------------------------
 
 namespace {
 
-constexpr rel::PermissionType kAllPermissions[] = {
-    rel::PermissionType::kPlay, rel::PermissionType::kDisplay,
-    rel::PermissionType::kExecute, rel::PermissionType::kPrint,
-    rel::PermissionType::kExport};
-
 std::uint64_t parse_u64_attr(const xml::Element& e, const std::string& key) {
   const std::string& s = e.require_attr(key);
-  std::uint64_t v = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') {
-      throw Error(ErrorKind::kFormat, "agent state: bad number " + s);
-    }
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  std::optional<std::uint64_t> v = parse_u64_dec(s);
+  if (!v) {
+    throw Error(ErrorKind::kFormat, "agent state: bad number " + s);
   }
-  return v;
+  return *v;
+}
+
+void restore_enforcer_state(rel::RightsEnforcer& enforcer, ByteView value) {
+  if (value.size() != std::size(kAllPermissions) * kStateSlot) {
+    throw Error(ErrorKind::kFormat,
+                "agent state: constraint state record malformed");
+  }
+  const std::uint8_t* p = value.data();
+  for (rel::PermissionType perm : kAllPermissions) {
+    rel::RightsEnforcer::State s;
+    s.used = load_be32(p);
+    if (p[4] > 1) {
+      throw Error(ErrorKind::kFormat,
+                  "agent state: constraint state record malformed");
+    }
+    if (p[4] == 1) s.first_use = load_be64(p + 5);
+    s.accumulated = load_be64(p + 13);
+    enforcer.restore_state(perm, s);
+    p += kStateSlot;
+  }
 }
 
 }  // namespace
 
-Bytes DrmAgent::export_state() const {
-  xml::Element root("agent-state");
+Bytes DrmAgent::encode_identity() const {
+  xml::Element root("identity");
   root.set_attr("device-id", device_id_);
-
-  // Identity: RSA private key (hex bignums) + K_DEV + certificate.
   xml::Element key("device-key");
   key.set_attr("n", key_.n.to_hex());
   key.set_attr("e", key_.e.to_hex());
@@ -686,98 +817,142 @@ Bytes DrmAgent::export_state() const {
     key.set_attr("qinv", key_.qinv.to_hex());
   }
   root.add_child(std::move(key));
-  root.add_text_child("kdev", base64_encode(kdev_));
   if (!certificate_der_.empty()) {
     root.add_text_child("certificate", base64_encode(certificate_der_));
   }
-
-  for (const auto& [id, ctx] : ri_contexts_) {
-    xml::Element e("ri-context");
-    e.set_attr("id", ctx.ri_id);
-    e.set_attr("url", ctx.ri_url);
-    e.set_attr("established", std::to_string(ctx.established_at));
-    e.add_text_child("certificate",
-                     base64_encode(ctx.ri_certificate().to_der()));
-    // Intermediates beyond the leaf (ri_chain[0] is the certificate above).
-    for (std::size_t i = 1; i < ctx.ri_chain.size(); ++i) {
-      e.add_text_child("intermediate",
-                       base64_encode(ctx.ri_chain[i].to_der()));
-    }
-    root.add_child(std::move(e));
-  }
-
-  for (const auto& [id, entry] : domain_keys_) {
-    xml::Element e("domain-key");
-    e.set_attr("id", id);
-    e.set_attr("generation", std::to_string(entry.second));
-    e.set_text(base64_encode(entry.first));
-    root.add_child(std::move(e));
-  }
-
-  for (const auto& [ro_id, inst] : installed_) {
-    xml::Element e("installed-ro");
-    e.add_child(inst.ro.to_xml());
-    e.add_text_child("c2dev", base64_encode(inst.c2dev));
-    for (rel::PermissionType p : kAllPermissions) {
-      rel::RightsEnforcer::State s = inst.enforcer.state(p);
-      if (s == rel::RightsEnforcer::State{}) continue;
-      xml::Element st("state");
-      st.set_attr("permission", rel::to_string(p));
-      st.set_attr("used", std::to_string(s.used));
-      if (s.first_use) {
-        st.set_attr("first-use", std::to_string(*s.first_use));
-      }
-      st.set_attr("accumulated", std::to_string(s.accumulated));
-      e.add_child(std::move(st));
-    }
-    root.add_child(std::move(e));
-  }
-
   return to_bytes(root.serialize());
 }
 
-void DrmAgent::import_state(ByteView blob) {
-  xml::Element root = xml::parse(omadrm::to_string(blob));
-  if (root.name() != "agent-state") {
-    throw Error(ErrorKind::kFormat, "agent state: wrong root element");
+Bytes DrmAgent::encode_ri_context(const RiContext& ctx) {
+  xml::Element e("ri-context");
+  e.set_attr("id", ctx.ri_id);
+  e.set_attr("url", ctx.ri_url);
+  e.set_attr("established", std::to_string(ctx.established_at));
+  e.add_text_child("certificate",
+                   base64_encode(ctx.ri_certificate().to_der()));
+  // Intermediates beyond the leaf (ri_chain[0] is the certificate above).
+  for (std::size_t i = 1; i < ctx.ri_chain.size(); ++i) {
+    e.add_text_child("intermediate", base64_encode(ctx.ri_chain[i].to_der()));
   }
+  return to_bytes(e.serialize());
+}
 
-  device_id_ = root.require_attr("device-id");
+Bytes DrmAgent::encode_domain_key(
+    const std::string& domain_id,
+    const std::pair<Bytes, std::uint32_t>& entry) {
+  xml::Element e("domain-key");
+  e.set_attr("id", domain_id);
+  e.set_attr("generation", std::to_string(entry.second));
+  e.set_text(base64_encode(entry.first));
+  return to_bytes(e.serialize());
+}
 
-  const xml::Element& key = root.require_child("device-key");
-  key_.n = bigint::BigInt("0x" + key.require_attr("n"));
-  key_.e = bigint::BigInt("0x" + key.require_attr("e"));
-  key_.d = bigint::BigInt("0x" + key.require_attr("d"));
-  key_.has_crt = key.attr("p") != nullptr;
-  if (key_.has_crt) {
-    key_.p = bigint::BigInt("0x" + key.require_attr("p"));
-    key_.q = bigint::BigInt("0x" + key.require_attr("q"));
-    key_.dp = bigint::BigInt("0x" + key.require_attr("dp"));
-    key_.dq = bigint::BigInt("0x" + key.require_attr("dq"));
-    key_.qinv = bigint::BigInt("0x" + key.require_attr("qinv"));
+Bytes DrmAgent::encode_installed_ro(const roap::ProtectedRo& ro,
+                                    const Bytes& c2dev) {
+  xml::Element e("installed-ro");
+  e.add_child(ro.to_xml());
+  e.add_text_child("c2dev", base64_encode(c2dev));
+  return to_bytes(e.serialize());
+}
+
+Bytes DrmAgent::encode_enforcer_state(const rel::RightsEnforcer& enforcer) {
+  Bytes out;
+  out.reserve(std::size(kAllPermissions) * kStateSlot);
+  for (rel::PermissionType perm : kAllPermissions) {
+    rel::RightsEnforcer::State s = enforcer.state(perm);
+    append_be32(out, s.used);
+    out.push_back(s.first_use ? 1 : 0);
+    append_be64(out, s.first_use.value_or(0));
+    append_be64(out, s.accumulated);
   }
-  kdev_ = base64_decode(root.child_text("kdev"));
-  if (const xml::Element* cert = root.child("certificate")) {
-    certificate_der_ = base64_decode(cert->text());
-    certificate_ = pki::Certificate::from_der(certificate_der_);
-  } else {
-    certificate_der_.clear();
+  return out;
+}
+
+std::vector<store::Record> DrmAgent::render_records() const {
+  std::vector<store::Record> out;
+  out.push_back(store::Record{kIdentityKey, encode_identity()});
+  for (const auto& [id, ctx] : ri_contexts_) {
+    out.push_back(store::Record{ri_record_key(id), encode_ri_context(ctx)});
   }
+  for (const auto& [id, entry] : domain_keys_) {
+    out.push_back(
+        store::Record{domain_record_key(id), encode_domain_key(id, entry)});
+  }
+  for (const auto& [ro_id, inst] : installed_) {
+    out.push_back(store::Record{ro_record_key(ro_id),
+                                encode_installed_ro(inst.ro, inst.c2dev)});
+    out.push_back(store::Record{state_record_key(ro_id),
+                                encode_enforcer_state(inst.enforcer)});
+  }
+  return out;
+}
 
-  ri_contexts_.clear();
-  domain_keys_.clear();
-  installed_.clear();
-  by_content_.clear();
-  // Verification verdicts belong to the pre-import identity; the imported
-  // contexts re-verify (and re-populate the cache) on first interaction.
-  // Likewise the AES schedules: they derive from the replaced ROs' CEKs.
-  chain_verifier_.clear();
-  aes_cache_.clear();
+/// A rejected image or a refused store commit must leave the agent
+/// untouched, not gutted halfway (mirroring RightsIssuer::bind_store) —
+/// hence parse into this, then adopt().
+struct DrmAgent::ParsedState {
+  std::string device_id;
+  rsa::PrivateKey rsa_key;
+  Bytes certificate_der;
+  pki::Certificate certificate;
+  std::map<std::string, RiContext> ri_contexts;
+  std::map<std::string, std::pair<Bytes, std::uint32_t>> domain_keys;
+  std::map<std::string, InstalledRo> installed;
+  std::map<std::string, std::vector<std::string>, std::less<>> by_content;
+};
 
-  for (const xml::Element& e : root.children()) {
-    if (e.name() == "ri-context") {
+DrmAgent::ParsedState DrmAgent::parse_records(
+    const std::vector<store::Record>& records) {
+  ParsedState out;
+  std::string& device_id = out.device_id;
+  rsa::PrivateKey& rsa_key = out.rsa_key;
+  Bytes& certificate_der = out.certificate_der;
+  pki::Certificate& certificate = out.certificate;
+  auto& ri_contexts = out.ri_contexts;
+  auto& domain_keys = out.domain_keys;
+  auto& installed = out.installed;
+  auto& by_content = out.by_content;
+
+  bool have_identity = false;
+  // Constraint state applies after every RO exists, independent of the
+  // record order a caller hands us.
+  std::vector<const store::Record*> state_records;
+
+  for (const store::Record& rec : records) {
+    const std::string_view key = rec.key;
+    if (key == kIdentityKey) {
+      xml::Element root = xml::parse(omadrm::to_string(rec.value));
+      if (root.name() != "identity") {
+        throw Error(ErrorKind::kFormat, "agent state: bad identity record");
+      }
+      device_id = root.require_attr("device-id");
+      const xml::Element& k = root.require_child("device-key");
+      rsa_key.n = bigint::BigInt("0x" + k.require_attr("n"));
+      rsa_key.e = bigint::BigInt("0x" + k.require_attr("e"));
+      rsa_key.d = bigint::BigInt("0x" + k.require_attr("d"));
+      rsa_key.has_crt = k.attr("p") != nullptr;
+      if (rsa_key.has_crt) {
+        rsa_key.p = bigint::BigInt("0x" + k.require_attr("p"));
+        rsa_key.q = bigint::BigInt("0x" + k.require_attr("q"));
+        rsa_key.dp = bigint::BigInt("0x" + k.require_attr("dp"));
+        rsa_key.dq = bigint::BigInt("0x" + k.require_attr("dq"));
+        rsa_key.qinv = bigint::BigInt("0x" + k.require_attr("qinv"));
+      }
+      if (const xml::Element* cert = root.child("certificate")) {
+        certificate_der = base64_decode(cert->text());
+        certificate = pki::Certificate::from_der(certificate_der);
+      }
+      have_identity = true;
+    } else if (key.starts_with("ri/")) {
+      xml::Element e = xml::parse(omadrm::to_string(rec.value));
+      if (e.name() != "ri-context") {
+        throw Error(ErrorKind::kFormat, "agent state: bad ri record");
+      }
       RiContext ctx;
       ctx.ri_id = e.require_attr("id");
+      if (ctx.ri_id != key.substr(3)) {
+        throw Error(ErrorKind::kFormat, "agent state: ri record key skew");
+      }
       ctx.ri_url = e.require_attr("url");
       ctx.established_at = parse_u64_attr(e, "established");
       ctx.ri_chain.push_back(pki::Certificate::from_der(
@@ -786,40 +961,201 @@ void DrmAgent::import_state(ByteView blob) {
         ctx.ri_chain.push_back(
             pki::Certificate::from_der(base64_decode(ic->text())));
       }
-      ri_contexts_[ctx.ri_id] = std::move(ctx);
-    } else if (e.name() == "domain-key") {
-      domain_keys_[e.require_attr("id")] = {
+      ri_contexts[ctx.ri_id] = std::move(ctx);
+    } else if (key.starts_with("dom/")) {
+      xml::Element e = xml::parse(omadrm::to_string(rec.value));
+      if (e.name() != "domain-key") {
+        throw Error(ErrorKind::kFormat, "agent state: bad domain record");
+      }
+      const std::string& domain_id = e.require_attr("id");
+      if (domain_id != key.substr(4)) {
+        // A skewed record would load under one id but be addressed (and
+        // erased) under another — an undeletable stale domain key.
+        throw Error(ErrorKind::kFormat,
+                    "agent state: domain record key skew");
+      }
+      domain_keys[domain_id] = {
           base64_decode(e.text()),
           static_cast<std::uint32_t>(parse_u64_attr(e, "generation"))};
-    } else if (e.name() == "installed-ro") {
+    } else if (key.starts_with("ro/")) {
+      xml::Element e = xml::parse(omadrm::to_string(rec.value));
+      if (e.name() != "installed-ro") {
+        throw Error(ErrorKind::kFormat, "agent state: bad ro record");
+      }
       roap::ProtectedRo ro =
           roap::ProtectedRo::from_xml(e.require_child("roap:protectedRO"));
       Bytes c2dev = base64_decode(e.child_text("c2dev"));
       const std::string ro_id = ro.rights.ro_id;
+      if (ro_id != key.substr(3)) {
+        throw Error(ErrorKind::kFormat, "agent state: ro record key skew");
+      }
       const std::string content_id = ro.rights.content_id;
-      auto [it, inserted] =
-          installed_.emplace(ro_id, InstalledRo(std::move(ro),
-                                                std::move(c2dev)));
+      auto [it, inserted] = installed.emplace(
+          ro_id, InstalledRo(std::move(ro), std::move(c2dev)));
       if (!inserted) {
         throw Error(ErrorKind::kFormat, "agent state: duplicate RO");
       }
-      for (const xml::Element* st : e.children_named("state")) {
-        auto p = rel::permission_from_string(st->require_attr("permission"));
-        if (!p) {
-          throw Error(ErrorKind::kFormat, "agent state: bad permission");
-        }
-        rel::RightsEnforcer::State s;
-        s.used =
-            static_cast<std::uint32_t>(parse_u64_attr(*st, "used"));
-        if (st->attr("first-use")) {
-          s.first_use = parse_u64_attr(*st, "first-use");
-        }
-        s.accumulated = parse_u64_attr(*st, "accumulated");
-        it->second.enforcer.restore_state(*p, s);
-      }
-      by_content_[content_id].push_back(ro_id);
+      by_content[content_id].push_back(ro_id);
+    } else if (key.starts_with("st/")) {
+      state_records.push_back(&rec);
+    } else {
+      throw Error(ErrorKind::kFormat,
+                  "agent state: unknown record key '" + rec.key + "'");
     }
   }
+  if (!have_identity) {
+    throw Error(ErrorKind::kFormat, "agent state: missing identity record");
+  }
+  for (const store::Record* rec : state_records) {
+    auto it = installed.find(rec->key.substr(3));
+    if (it == installed.end()) {
+      throw Error(ErrorKind::kFormat,
+                  "agent state: constraint state for unknown RO '" +
+                      rec->key + "'");
+    }
+    restore_enforcer_state(it->second.enforcer, rec->value);
+  }
+  return out;
+}
+
+void DrmAgent::adopt(ParsedState&& parsed) {
+  device_id_ = std::move(parsed.device_id);
+  key_ = std::move(parsed.rsa_key);
+  certificate_der_ = std::move(parsed.certificate_der);
+  certificate_ = std::move(parsed.certificate);
+  ri_contexts_ = std::move(parsed.ri_contexts);
+  domain_keys_ = std::move(parsed.domain_keys);
+  installed_ = std::move(parsed.installed);
+  by_content_ = std::move(parsed.by_content);
+  // Verification verdicts belong to the pre-load identity; the loaded
+  // contexts re-verify (and re-populate the cache) on first interaction.
+  // Likewise the AES schedules: they derive from the replaced ROs' CEKs.
+  chain_verifier_.clear();
+  aes_cache_.clear();
+}
+
+void DrmAgent::load_from_records(
+    const std::vector<store::Record>& records) {
+  adopt(parse_records(records));
+}
+
+Result<> DrmAgent::bind_store_impl(store::StateStore& s,
+                                   bool require_identity) {
+  Result<std::vector<store::Record>> loaded = s.load();
+  if (!loaded.ok()) return Result<>(loaded.code(), loaded.context());
+
+  bool has_identity = false;
+  for (const store::Record& rec : *loaded) {
+    has_identity |= (rec.key == kIdentityKey);
+  }
+  if (has_identity) {
+    try {
+      load_from_records(*loaded);
+    } catch (const Error& e) {
+      // Unsealed fine but semantically unusable — same fail-closed class
+      // as a structural corruption.
+      return Result<>(StatusCode::kStoreCorrupt,
+                      std::string("agent: store image malformed: ") +
+                          e.what());
+    }
+    store_ = &s;
+    return Result<>();
+  }
+  if (require_identity) {
+    return Result<>(StatusCode::kNotProvisioned,
+                    "agent: store holds no agent identity");
+  }
+  if (!loaded->empty()) {
+    // Records but no identity: this is some other entity's store (or a
+    // mangled image). Seeding would tx.clear() state that is not ours —
+    // fail closed instead.
+    return Result<>(StatusCode::kStoreCorrupt,
+                    "agent: store holds foreign records, refusing to seed");
+  }
+  // Empty store: seed it with the agent's current state.
+  store::Transaction tx;
+  tx.clear();
+  std::vector<store::Record> records = render_records();
+  for (store::Record& rec : records) {
+    tx.put(rec.key, std::move(rec.value));
+  }
+  Result<> committed = s.commit(tx);
+  if (!committed.ok()) return committed;
+  store_ = &s;
+  return Result<>();
+}
+
+Result<> DrmAgent::bind_store(store::StateStore& s) {
+  return bind_store_impl(s, /*require_identity=*/false);
+}
+
+Result<DrmAgent> DrmAgent::from_store(store::StateStore& s, Bytes kdev,
+                                      pki::Certificate trust_root,
+                                      provider::CryptoProvider& crypto,
+                                      Rng& rng) {
+  DrmAgent agent(FromStoreTag{}, std::move(trust_root), crypto, rng,
+                 std::move(kdev));
+  Result<> bound = agent.bind_store_impl(s, /*require_identity=*/true);
+  if (!bound.ok()) return propagate<DrmAgent>(bound);
+  return Result<DrmAgent>(std::move(agent));
+}
+
+Bytes DrmAgent::export_state() const {
+  // The blob is K_DEV plus exactly the record set a bound store carries —
+  // export/import and store snapshots can never drift because they are
+  // the same encoding.
+  xml::Element root("agent-state");
+  root.add_text_child("kdev", base64_encode(kdev_));
+  for (const store::Record& rec : render_records()) {
+    xml::Element e("record");
+    e.set_attr("key", rec.key);
+    e.set_text(base64_encode(rec.value));
+    root.add_child(std::move(e));
+  }
+  return to_bytes(root.serialize());
+}
+
+void DrmAgent::import_state(ByteView blob) {
+  xml::Element root = xml::parse(omadrm::to_string(blob));
+  if (root.name() != "agent-state") {
+    throw Error(ErrorKind::kFormat, "agent state: wrong root element");
+  }
+  Bytes kdev = base64_decode(root.child_text("kdev"));
+  std::vector<store::Record> records;
+  for (const xml::Element& e : root.children()) {
+    if (e.name() == "record") {
+      records.push_back(
+          store::Record{e.require_attr("key"), base64_decode(e.text())});
+    } else if (e.name() != "kdev") {
+      throw Error(ErrorKind::kFormat,
+                  "agent state: unknown element <" + e.name() + ">");
+    }
+  }
+
+  // Parse first (throws kFormat on malformed input), then commit, then
+  // adopt: a refused commit must leave BOTH the live state and the
+  // store at the predecessor's image — adopting before committing would
+  // let the next reboot silently roll back the imported burns.
+  ParsedState parsed = parse_records(records);
+
+  if (store_ != nullptr) {
+    // Full-image replacement: the store must mirror the imported state,
+    // not blend it with the predecessor's records.
+    store::Transaction tx;
+    tx.clear();
+    for (const store::Record& rec : records) {
+      tx.put(rec.key, rec.value);
+    }
+    Result<> committed = store_->commit(tx);
+    if (!committed.ok()) {
+      throw Error(ErrorKind::kState,
+                  "agent: store refused imported image: " +
+                      committed.describe());
+    }
+  }
+
+  adopt(std::move(parsed));
+  kdev_ = std::move(kdev);
 }
 
 }  // namespace omadrm::agent

@@ -43,6 +43,7 @@
 #include "roap/envelope.h"
 #include "roap/messages.h"
 #include "roap/transport.h"
+#include "store/state_store.h"
 
 namespace omadrm::agent {
 
@@ -181,17 +182,55 @@ class DrmAgent {
       const std::string& domain_id) const;
 
   // -- Persistence -------------------------------------------------------------
+  // The agent's durable state is a set of store::Record units — identity
+  // ("id"), RI contexts ("ri/<id>"), domain keys ("dom/<id>"), installed
+  // ROs ("ro/<id>"), and per-RO constraint state ("st/<id>"). With a
+  // bound StateStore every mutation commits through it *before* the
+  // mutating call reports success; most critically, a stateful
+  // check_and_consume burn is durable before open_content returns its
+  // session, so a crash (or deliberate kill) at any point can never
+  // refund a delivered grant. export_state/import_state are thin
+  // wrappers over the same record set.
+
+  /// Binds the agent to a durable store. When the store already holds an
+  /// agent image (an "id" record) that image REPLACES this agent's state
+  /// — the reboot path; K_DEV itself is never in the store (it seals it:
+  /// construct the backend with derive_storage_key(device_key())). An
+  /// empty store is seeded with the agent's current state. Fails closed
+  /// (kStoreCorrupt / kStoreSealBroken / kStoreRollback / kStoreFailure)
+  /// without binding.
+  Result<> bind_store(store::StateStore& s);
+  store::StateStore* bound_store() const { return store_; }
+
+  /// "Reboot" entry point: reconstructs an agent whose entire persistent
+  /// state lives in `s`, without generating a throwaway RSA key. `kdev`
+  /// is the hardware-held device key (the one secret assumed to live in
+  /// tamper-resistant storage); the store must have been sealed under a
+  /// key derived from it. Fails with kNotProvisioned when the store holds
+  /// no agent identity.
+  static Result<DrmAgent> from_store(store::StateStore& s, Bytes kdev,
+                                     pki::Certificate trust_root,
+                                     provider::CryptoProvider& crypto,
+                                     Rng& rng);
+
+  /// The device key K_DEV — the root that seals installed ROs (C2dev) and
+  /// the bound store. Models the key a real terminal keeps in hardware
+  /// (which is why it is exposed: the reboot path needs to hand it back).
+  const Bytes& device_key() const { return kdev_; }
+
   /// Serializes the agent's full persistent state — device RSA key, K_DEV,
   /// certificate, RI contexts, installed ROs (with consumption state), and
-  /// domain keys — into an opaque blob. The OMA standard leaves storage to
-  /// the CA's robustness rules; this models the secure-storage image a
-  /// real terminal keeps across power cycles (it contains key material and
+  /// domain keys — into an opaque blob: K_DEV plus the same records a
+  /// bound store holds. The OMA standard leaves storage to the CA's
+  /// robustness rules; this models the secure-storage image a real
+  /// terminal keeps across power cycles (it contains key material and
   /// MUST live in protected memory). In-flight sessions are deliberately
   /// not part of the image: their nonces die with the session objects.
   Bytes export_state() const;
   /// Restores a blob produced by export_state(), replacing this agent's
-  /// identity and state (a reboot of the same physical device). Throws
-  /// omadrm::Error(kFormat) on malformed input.
+  /// identity and state (a reboot of the same physical device). When a
+  /// store is bound the imported image is committed through it as a full
+  /// replacement. Throws omadrm::Error(kFormat) on malformed input.
   void import_state(ByteView blob);
 
   /// Remaining uses for a count-constrained permission of an installed RO.
@@ -269,6 +308,36 @@ class DrmAgent {
   /// "verify prior to any interaction" rule at O(1) amortized cost.
   Result<> revalidate_context(RiContext& ctx, std::uint64_t now);
 
+  // -- Durable-state record units (shared by store commits and the
+  // export/import blob, so the two can never drift) ------------------------
+  struct FromStoreTag {};
+  DrmAgent(FromStoreTag, pki::Certificate trust_root,
+           provider::CryptoProvider& crypto, Rng& rng, Bytes kdev);
+
+  Bytes encode_identity() const;
+  static Bytes encode_ri_context(const RiContext& ctx);
+  static Bytes encode_domain_key(const std::string& domain_id,
+                                 const std::pair<Bytes, std::uint32_t>& entry);
+  static Bytes encode_installed_ro(const roap::ProtectedRo& ro,
+                                   const Bytes& c2dev);
+  static Bytes encode_enforcer_state(const rel::RightsEnforcer& enforcer);
+
+  /// The full record set a store snapshot (or export blob) carries.
+  std::vector<store::Record> render_records() const;
+  /// One fully parsed (not yet adopted) agent image; parsing is
+  /// separated from adoption so an image can be validated — and
+  /// committed — before any live state changes.
+  struct ParsedState;
+  /// Throws omadrm::Error(kFormat) on any malformed record.
+  static ParsedState parse_records(const std::vector<store::Record>& records);
+  /// Replaces the live state (identity included, K_DEV excluded) in one
+  /// step and drops the caches that belonged to the previous identity.
+  void adopt(ParsedState&& parsed);
+  /// parse_records + adopt. Throws omadrm::Error(kFormat) on malformed
+  /// records, leaving the live state untouched.
+  void load_from_records(const std::vector<store::Record>& records);
+  Result<> bind_store_impl(store::StateStore& s, bool require_identity);
+
   /// Full chain validation (field checks + one metered RSAVP1 per chain
   /// link) through the verdict cache, so the cost model sees exactly the
   /// RSA public-key operations the paper charges for certificate
@@ -290,6 +359,11 @@ class DrmAgent {
   pki::ChainVerifier chain_verifier_;
 
   AesContextCache aes_cache_;
+
+  /// Durable secure storage; mutations commit through it before they are
+  /// acknowledged. Null when unbound (RAM-only agent, the historical
+  /// behaviour).
+  store::StateStore* store_ = nullptr;
 
   std::map<std::string, RiContext> ri_contexts_;        // by ri_id
   std::map<std::string, InstalledRo> installed_;        // by ro_id

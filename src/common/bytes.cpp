@@ -68,4 +68,50 @@ std::uint64_t load_be64(const std::uint8_t* p) {
   return (static_cast<std::uint64_t>(load_be32(p)) << 32) | load_be32(p + 4);
 }
 
+void append_be32(Bytes& out, std::uint32_t v) {
+  std::uint8_t buf[4];
+  store_be32(v, buf);
+  out.insert(out.end(), buf, buf + 4);
+}
+
+void append_be64(Bytes& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  store_be64(v, buf);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+std::optional<std::uint64_t> parse_u64_dec(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (kMax - digit) / 10) return std::nullopt;
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+bool ByteReader::take_u32(std::uint32_t& v) {
+  if (remaining() < 4) return false;
+  v = load_be32(data.data() + pos);
+  pos += 4;
+  return true;
+}
+
+bool ByteReader::take_u64(std::uint64_t& v) {
+  if (remaining() < 8) return false;
+  v = load_be64(data.data() + pos);
+  pos += 8;
+  return true;
+}
+
+bool ByteReader::take_bytes(std::size_t n, ByteView& v) {
+  if (remaining() < n) return false;
+  v = data.subspan(pos, n);
+  pos += n;
+  return true;
+}
+
 }  // namespace omadrm

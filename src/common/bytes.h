@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -45,5 +46,27 @@ void store_be64(std::uint64_t v, std::uint8_t* out);
 /// Big-endian load of 4/8 bytes.
 std::uint32_t load_be32(const std::uint8_t* p);
 std::uint64_t load_be64(const std::uint8_t* p);
+
+/// Appends the big-endian encoding of a 32/64-bit integer to `out`.
+void append_be32(Bytes& out, std::uint32_t v);
+void append_be64(Bytes& out, std::uint64_t v);
+
+/// Strict base-10 uint64 parse: nullopt on empty input, any non-digit,
+/// or overflow past 2^64-1 (an attacker-sized number must be rejected,
+/// never silently wrapped into a small one).
+std::optional<std::uint64_t> parse_u64_dec(std::string_view s);
+
+/// Bounds-checked forward reader over untrusted serialized bytes: each
+/// take_* returns false (cursor unmoved) instead of reading past the
+/// end, so truncation surfaces as a typed failure, never UB.
+struct ByteReader {
+  ByteView data;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return data.size() - pos; }
+  bool take_u32(std::uint32_t& v);
+  bool take_u64(std::uint64_t& v);
+  bool take_bytes(std::size_t n, ByteView& v);
+};
 
 }  // namespace omadrm

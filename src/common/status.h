@@ -47,6 +47,15 @@ enum class StatusCode : std::uint8_t {
   kTransportFailure,     // envelope lost in transit / peer unreachable
   kMalformedMessage,     // reply did not parse as a ROAP document
   kUnexpectedMessage,    // parsed, but not the message the session awaits
+
+  // -- secure storage -------------------------------------------------------
+  // The durable-store codes are deliberately distinct so corruption
+  // classes are diagnosable: a truncated image, a record whose seal (MAC)
+  // fails, and a replayed stale snapshot each fail closed differently.
+  kStoreFailure,         // backend I/O failure; durability not guaranteed
+  kStoreCorrupt,         // structurally invalid / truncated store image
+  kStoreSealBroken,      // a sealed record failed its HMAC (tamper / wrong key)
+  kStoreRollback,        // generation regression: stale state replayed
 };
 
 inline const char* to_string(StatusCode s) {
@@ -74,6 +83,10 @@ inline const char* to_string(StatusCode s) {
     case StatusCode::kTransportFailure: return "transport-failure";
     case StatusCode::kMalformedMessage: return "malformed-message";
     case StatusCode::kUnexpectedMessage: return "unexpected-message";
+    case StatusCode::kStoreFailure: return "store-failure";
+    case StatusCode::kStoreCorrupt: return "store-corrupt";
+    case StatusCode::kStoreSealBroken: return "store-seal-broken";
+    case StatusCode::kStoreRollback: return "store-rollback";
   }
   return "?";
 }

@@ -44,16 +44,16 @@ const char* to_string(Decision d) {
 namespace {
 
 std::uint64_t parse_u64(std::string_view s) {
-  if (s.empty()) throw Error(ErrorKind::kFormat, "rel: empty number");
-  std::uint64_t v = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') {
-      throw Error(ErrorKind::kFormat,
-                  "rel: invalid number '" + std::string(s) + "'");
-    }
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  // Strict decimal with overflow rejection: an attacker-sized budget
+  // like 99999999999999999999999 must be refused, not silently wrapped
+  // modulo 2^64 into a small one.
+  std::optional<std::uint64_t> v = parse_u64_dec(s);
+  if (!v) {
+    throw Error(ErrorKind::kFormat,
+                "rel: invalid or overflowing number '" + std::string(s) +
+                    "'");
   }
-  return v;
+  return *v;
 }
 
 // Field extraction is written once, generically, against the shared
@@ -258,16 +258,30 @@ Decision RightsEnforcer::check_and_consume(PermissionType type,
   State& st = state_[static_cast<std::size_t>(type)];
   const Constraint& c = perm->constraint;
 
+  // Datetime-window boundaries are inclusive on both ends, matching the
+  // ODRL semantics OMA REL profiles (<o-dd:start>/<o-dd:end> name the
+  // first and last valid instants): now == not_before and now ==
+  // not_after both grant. The interval window is likewise inclusive at
+  // its end: the access at exactly first_use + interval_secs still
+  // grants, the next second does not. Pinned by the boundary-value tests
+  // in tests/test_rel.cpp — change those deliberately or not at all.
   if (c.not_before && now < *c.not_before) return Decision::kNotYetValid;
   if (c.not_after && now > *c.not_after) return Decision::kExpired;
-  if (c.interval_secs && st.first_use &&
-      now > *st.first_use + *c.interval_secs) {
+  // Compare as elapsed-vs-budget, not now-vs-(anchor + budget): a huge
+  // <o-dd:interval> must behave as unlimited, not wrap modulo 2^64 into
+  // an already-elapsed window.
+  if (c.interval_secs && st.first_use && now > *st.first_use &&
+      now - *st.first_use > *c.interval_secs) {
     return Decision::kIntervalElapsed;
   }
   if (c.count && st.used >= *c.count) return Decision::kCountExhausted;
-  if (c.accumulated_secs &&
-      st.accumulated + duration_secs > *c.accumulated_secs) {
-    return Decision::kAccumulatedExhausted;
+  if (c.accumulated_secs) {
+    // Subtractive form: spent + duration must not wrap past the budget
+    // (a 2^64-scale duration_secs would otherwise overflow into a grant).
+    const std::uint64_t budget = *c.accumulated_secs;
+    if (st.accumulated > budget || duration_secs > budget - st.accumulated) {
+      return Decision::kAccumulatedExhausted;
+    }
   }
 
   // Grant: consume budgets.

@@ -32,6 +32,18 @@ std::optional<PermissionType> permission_from_string(std::string_view s);
 
 /// Constraints attached to one permission. Absent optional = unconstrained
 /// in that dimension.
+///
+/// Boundary semantics (audited and pinned by boundary-value tests in
+/// tests/test_rel.cpp; see RightsEnforcer::check_and_consume):
+///   not_before / not_after   inclusive instants — now == not_before and
+///                            now == not_after both grant; the first
+///                            kNotYetValid instant is not_before - 1 and
+///                            the first kExpired instant not_after + 1.
+///   interval_secs            window [first_use, first_use +
+///                            interval_secs], inclusive at both ends.
+///   accumulated_secs         a hard budget: a playback that would spend
+///                            past it is denied, one that lands exactly
+///                            on it grants.
 struct Constraint {
   std::optional<std::uint32_t> count;             // total allowed uses
   std::optional<std::uint64_t> not_before;        // unix seconds

@@ -1,5 +1,7 @@
 #include "ri/rights_issuer.h"
 
+#include <cstring>
+
 #include "common/error.h"
 
 namespace omadrm::ri {
@@ -7,6 +9,52 @@ namespace omadrm::ri {
 using omadrm::Error;
 using omadrm::ErrorKind;
 using roap::Status;
+
+namespace {
+
+// Store record keys: "sess/<session-id>" pending registration nonces,
+// "dev/<device-id>" registered device certificates (raw DER), and
+// "domain/<id>" domain key + membership; "meta" the session-id counter.
+std::string sess_record_key(const std::string& id) { return "sess/" + id; }
+std::string dev_record_key(const std::string& id) { return "dev/" + id; }
+std::string domain_record_key(const std::string& id) {
+  return "domain/" + id;
+}
+constexpr const char* kMetaKey = "meta";
+
+void put_lv(Bytes& out, ByteView v) {
+  append_be32(out, static_cast<std::uint32_t>(v.size()));
+  out.insert(out.end(), v.begin(), v.end());
+}
+
+/// Throwing wrapper over the shared bounds-checked ByteReader: any short
+/// read is a malformed image (kFormat, surfaced as kStoreCorrupt).
+struct Reader {
+  ByteReader r;
+
+  explicit Reader(ByteView data) : r{data} {}
+  std::size_t pos() const { return r.pos; }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    if (!r.take_u32(v)) throw Error(ErrorKind::kFormat, "ri state: short");
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    if (!r.take_u64(v)) throw Error(ErrorKind::kFormat, "ri state: short");
+    return v;
+  }
+  ByteView lv() {
+    const std::uint32_t n = u32();
+    ByteView v;
+    if (!r.take_bytes(n, v)) {
+      throw Error(ErrorKind::kFormat, "ri state: short");
+    }
+    return v;
+  }
+};
+
+}  // namespace
 
 RightsIssuer::RightsIssuer(std::string ri_id, std::string url,
                            pki::CertificationAuthority& ca,
@@ -28,6 +76,140 @@ RightsIssuer::RightsIssuer(std::string ri_id, std::string url,
   } else {
     cert_ = ca_.issue(ri_id_, key_.public_key(), validity, rng_);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durable replay/registration state
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Bytes encode_pending(const Bytes& ri_nonce, const std::string& device_id,
+                     std::uint64_t created_at) {
+  Bytes out;
+  append_be64(out, created_at);
+  put_lv(out, ri_nonce);
+  out.insert(out.end(), device_id.begin(), device_id.end());
+  return out;
+}
+
+Bytes encode_domain(const Domain& d) {
+  Bytes out;
+  put_lv(out, d.key);
+  append_be32(out, d.generation);
+  append_be32(out, static_cast<std::uint32_t>(d.max_members));
+  append_be32(out, static_cast<std::uint32_t>(d.members.size()));
+  for (const std::string& m : d.members) {
+    put_lv(out, to_bytes(m));
+  }
+  return out;
+}
+
+Bytes encode_meta(std::uint64_t next_session) {
+  Bytes out;
+  append_be64(out, next_session);
+  return out;
+}
+
+}  // namespace
+
+void RightsIssuer::persist(const store::Transaction& tx) {
+  if (store_ == nullptr || tx.empty()) return;
+  Result<> committed = store_->commit(tx);
+  if (!committed.ok()) {
+    throw Error(ErrorKind::kState,
+                "ri: store refused commit: " + committed.describe());
+  }
+}
+
+Result<> RightsIssuer::bind_store(store::StateStore& s) {
+  Result<std::vector<store::Record>> loaded = s.load();
+  if (!loaded.ok()) return Result<>(loaded.code(), loaded.context());
+
+  bool has_meta = false;
+  for (const store::Record& rec : *loaded) has_meta |= (rec.key == kMetaKey);
+
+  if (has_meta) {
+    // Restart path: the store image replaces this instance's replay
+    // state. In-flight handshakes stay completable; consumed sessions
+    // stay consumed.
+    std::map<std::string, PendingSession> sessions;
+    std::map<std::string, pki::Certificate> devices;
+    std::map<std::string, Domain> domains;
+    std::uint64_t next_session = 1;
+    try {
+      for (const store::Record& rec : *loaded) {
+        const std::string_view key = rec.key;
+        if (key == kMetaKey) {
+          Reader r(ByteView(rec.value));
+          next_session = r.u64();
+        } else if (key.starts_with("sess/")) {
+          Reader r(ByteView(rec.value));
+          PendingSession p;
+          p.created_at = r.u64();
+          ByteView nonce = r.lv();
+          p.ri_nonce = Bytes(nonce.begin(), nonce.end());
+          ByteView rest = ByteView(rec.value).subspan(r.pos());
+          p.device_id = std::string(rest.begin(), rest.end());
+          sessions[std::string(key.substr(5))] = std::move(p);
+        } else if (key.starts_with("dev/")) {
+          devices[std::string(key.substr(4))] =
+              pki::Certificate::from_der(rec.value);
+        } else if (key.starts_with("domain/")) {
+          Reader r(ByteView(rec.value));
+          Domain d;
+          d.domain_id = std::string(key.substr(7));
+          ByteView dk = r.lv();
+          d.key = Bytes(dk.begin(), dk.end());
+          d.generation = r.u32();
+          d.max_members = r.u32();
+          const std::uint32_t count = r.u32();
+          for (std::uint32_t i = 0; i < count; ++i) {
+            ByteView m = r.lv();
+            d.members.push_back(std::string(m.begin(), m.end()));
+          }
+          domains[d.domain_id] = std::move(d);
+        } else {
+          throw Error(ErrorKind::kFormat,
+                      "ri state: unknown record key '" + rec.key + "'");
+        }
+      }
+    } catch (const Error& e) {
+      return Result<>(StatusCode::kStoreCorrupt,
+                      std::string("ri: store image malformed: ") + e.what());
+    }
+    sessions_ = std::move(sessions);
+    devices_ = std::move(devices);
+    domains_ = std::move(domains);
+    next_session_ = next_session;
+    store_ = &s;
+    return Result<>();
+  }
+
+  if (!loaded->empty()) {
+    // Records but no meta: another entity's store (or a mangled image);
+    // seeding would tx.clear() state that is not ours — fail closed.
+    return Result<>(StatusCode::kStoreCorrupt,
+                    "ri: store holds foreign records, refusing to seed");
+  }
+  // Empty store: seed it with the current state.
+  store::Transaction tx;
+  tx.clear();
+  tx.put(kMetaKey, encode_meta(next_session_));
+  for (const auto& [id, p] : sessions_) {
+    tx.put(sess_record_key(id),
+           encode_pending(p.ri_nonce, p.device_id, p.created_at));
+  }
+  for (const auto& [id, cert] : devices_) {
+    tx.put(dev_record_key(id), cert.to_der());
+  }
+  for (const auto& [id, d] : domains_) {
+    tx.put(domain_record_key(id), encode_domain(d));
+  }
+  Result<> committed = s.commit(tx);
+  if (!committed.ok()) return committed;
+  store_ = &s;
+  return Result<>();
 }
 
 void RightsIssuer::add_offer(LicenseOffer offer) {
@@ -57,6 +239,9 @@ void RightsIssuer::create_domain(const std::string& domain_id,
   d.key = rng_.bytes(16);
   d.generation = 1;
   d.max_members = max_members;
+  store::Transaction tx;
+  tx.put(domain_record_key(domain_id), encode_domain(d));
+  persist(tx);
   domains_.emplace(domain_id, std::move(d));
 }
 
@@ -70,11 +255,19 @@ void RightsIssuer::upgrade_domain(const std::string& domain_id) {
   if (it == domains_.end()) {
     throw Error(ErrorKind::kNotFound, "ri: no such domain: " + domain_id);
   }
-  Domain& d = it->second;
-  d.key = rng_.bytes(16);
-  ++d.generation;
+  // Persist the re-keyed domain before the live state changes
+  // (create_domain's order): a refused commit must not leave RAM at
+  // generation N+1 while the store — and therefore the next restart —
+  // resurrects the old (possibly compromised) key and membership.
+  Domain upgraded = it->second;
+  upgraded.key = rng_.bytes(16);
+  ++upgraded.generation;
   // Every member must re-join to pick up the new generation's key.
-  d.members.clear();
+  upgraded.members.clear();
+  store::Transaction tx;
+  tx.put(domain_record_key(upgraded.domain_id), encode_domain(upgraded));
+  persist(tx);
+  it->second = std::move(upgraded);
 }
 
 roap::RoAcquisitionTrigger RightsIssuer::make_trigger(
@@ -96,10 +289,12 @@ bool RightsIssuer::is_registered(const std::string& device_id) const {
   return devices_.count(device_id) > 0;
 }
 
-void RightsIssuer::expire_sessions(std::uint64_t now) {
+void RightsIssuer::expire_sessions(std::uint64_t now,
+                                   store::Transaction& tx) {
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (now >= it->second.created_at &&
         now - it->second.created_at > kPendingSessionTtl) {
+      tx.erase(sess_record_key(it->first));
       it = sessions_.erase(it);
     } else {
       ++it;
@@ -116,9 +311,11 @@ roap::RiHello RightsIssuer::on_device_hello(const roap::DeviceHello& hello,
   // device's in-flight handshake — the deliberate tradeoff for bounding
   // per-device pending state to one entry; the aborted device just
   // restarts from DeviceHello. Real authentication lands in pass 3.
-  expire_sessions(now);
+  store::Transaction tx;
+  expire_sessions(now, tx);
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->second.device_id == hello.device_id) {
+      tx.erase(sess_record_key(it->first));
       it = sessions_.erase(it);
     } else {
       ++it;
@@ -135,17 +332,35 @@ roap::RiHello RightsIssuer::on_device_hello(const roap::DeviceHello& hello,
   out.ri_nonce = rng_.bytes(roap::kNonceLen);
   sessions_[out.session_id] =
       PendingSession{out.ri_nonce, hello.device_id, now};
+  // The pending nonce (and the counter that names sessions) must survive
+  // an RI restart, or every in-flight handshake dies with the process.
+  tx.put(sess_record_key(out.session_id),
+         encode_pending(out.ri_nonce, hello.device_id, now));
+  tx.put(kMetaKey, encode_meta(next_session_));
+  persist(tx);
   return out;
 }
 
 roap::RegistrationResponse RightsIssuer::on_registration_request(
     const roap::RegistrationRequest& request, std::uint64_t now) {
+  store::Transaction tx;
+  roap::RegistrationResponse out = do_registration_request(request, now, tx);
+  // Session consumption (and device admission) is durable before the
+  // response leaves: a replayed RegistrationRequest against a restarted
+  // RI must still find its one-shot session consumed.
+  persist(tx);
+  return out;
+}
+
+roap::RegistrationResponse RightsIssuer::do_registration_request(
+    const roap::RegistrationRequest& request, std::uint64_t now,
+    store::Transaction& tx) {
   roap::RegistrationResponse out;
   out.session_id = request.session_id;
   out.ri_id = ri_id_;
   out.ri_url = url_;
 
-  expire_sessions(now);
+  expire_sessions(now, tx);
   auto session = sessions_.find(request.session_id);
   if (session == sessions_.end() ||
       !ct_equal(session->second.ri_nonce, request.ri_nonce)) {
@@ -154,6 +369,7 @@ roap::RegistrationResponse RightsIssuer::on_registration_request(
   }
   // The handshake is consumed one-shot: whatever the outcome below, a
   // retry must restart from DeviceHello with fresh nonces.
+  tx.erase(sess_record_key(session->first));
   sessions_.erase(session);
 
   // Verify the device certificate chain and the message signature.
@@ -194,6 +410,7 @@ roap::RegistrationResponse RightsIssuer::on_registration_request(
   }
 
   devices_[request.device_id] = device_cert;
+  tx.put(dev_record_key(request.device_id), device_cert.to_der());
 
   // Staple a fresh OCSP response for our own certificate, bound to the
   // nonce the device supplied.
@@ -323,6 +540,13 @@ roap::JoinDomainResponse RightsIssuer::on_join_domain(
     }
     d.members.push_back(request.device_id);
   }
+  // Persisted on EVERY successful join, not just first admission: if a
+  // prior join mutated RAM but its commit failed (response never left),
+  // the retry hits the already-member path — it must still make the
+  // membership durable before K_D is handed out.
+  store::Transaction tx;
+  tx.put(domain_record_key(d.domain_id), encode_domain(d));
+  persist(tx);
 
   out.status = Status::kSuccess;
   out.generation = d.generation;
@@ -357,8 +581,15 @@ roap::LeaveDomainResponse RightsIssuer::on_leave_domain(
     out.status = Status::kAccessDenied;
     return out;
   }
-  auto& members = it->second.members;
-  std::erase(members, request.device_id);
+  std::erase(it->second.members, request.device_id);
+  // Persisted on EVERY successful leave (mirroring on_join_domain): if a
+  // prior leave erased the member from RAM but its commit failed (the
+  // response never left), the retry finds nothing to erase — it must
+  // still make the removal durable before success is signed, or an RI
+  // restart resurrects the departed member.
+  store::Transaction tx;
+  tx.put(domain_record_key(it->second.domain_id), encode_domain(it->second));
+  persist(tx);
 
   out.status = Status::kSuccess;
   out.signature = crypto_.pss_sign(key_, out.payload(), rng_);

@@ -23,6 +23,7 @@
 #include "rel/rights.h"
 #include "roap/envelope.h"
 #include "roap/messages.h"
+#include "store/state_store.h"
 
 namespace omadrm::ri {
 
@@ -121,6 +122,21 @@ class RightsIssuer {
   /// Domain ROs"). Exercised by the ablation benchmark.
   void set_sign_device_ros(bool v) { sign_device_ros_ = v; }
 
+  // -- Durable state --------------------------------------------------------
+  /// Binds the RI's replay-relevant state to a durable store: pending
+  /// registration nonces ("sess/<session-id>"), registered devices
+  /// ("dev/<device-id>"), domains with their membership ("domain/<id>"),
+  /// and the session-id counter ("meta"). When the store already holds an
+  /// RI image it REPLACES this instance's state — a service restart keeps
+  /// in-flight handshakes completable and consumed (one-shot) sessions
+  /// consumed. Identity (RSA key, certificate) and the license catalog
+  /// are provisioning config and deliberately not stored. After binding,
+  /// every mutation commits through the store before the triggering ROAP
+  /// response leaves; a refused commit throws omadrm::Error(kState)
+  /// (fail closed — the RI must not acknowledge state it cannot keep).
+  Result<> bind_store(store::StateStore& s);
+  store::StateStore* bound_store() const { return store_; }
+
  private:
   roap::RiHello on_device_hello(const roap::DeviceHello& hello,
                                 std::uint64_t now);
@@ -134,8 +150,18 @@ class RightsIssuer {
       const roap::LeaveDomainRequest& request, std::uint64_t now);
 
   /// Drops pending registration sessions whose DeviceHello is older than
-  /// kPendingSessionTtl.
-  void expire_sessions(std::uint64_t now);
+  /// kPendingSessionTtl, appending the matching store erases to `tx`.
+  void expire_sessions(std::uint64_t now, store::Transaction& tx);
+
+  /// on_registration_request body; the caller commits `tx` (session
+  /// consumption + device admission) before the response leaves.
+  roap::RegistrationResponse do_registration_request(
+      const roap::RegistrationRequest& request, std::uint64_t now,
+      store::Transaction& tx);
+
+  /// Commits `tx` when a store is bound; throws omadrm::Error(kState) on
+  /// a refused commit (the RI must not answer with unkept state).
+  void persist(const store::Transaction& tx);
 
   roap::ProtectedRo build_protected_ro(const LicenseOffer& offer,
                                        const rsa::PublicKey& device_key);
@@ -164,6 +190,7 @@ class RightsIssuer {
   std::map<std::string, LicenseOffer> offers_;        // ro id -> offer
   std::map<std::string, Domain> domains_;
   std::uint64_t next_session_ = 1;
+  store::StateStore* store_ = nullptr;
 };
 
 /// How long an RI keeps a pending registration session alive while

@@ -1,0 +1,38 @@
+#include "store/memory_store.h"
+
+namespace omadrm::store {
+
+Result<> MemoryStore::commit(const Transaction& tx) {
+  if (fail_commits_ > 0) {
+    --fail_commits_;
+    return Result<>(StatusCode::kStoreFailure,
+                    "memory store: injected commit failure");
+  }
+  if (tx.empty()) return Result<>();
+  for (const Transaction::Op& op : tx.ops()) {
+    switch (op.kind) {
+      case Transaction::Op::kPut:
+        records_[op.key] = op.value;
+        break;
+      case Transaction::Op::kErase:
+        records_.erase(op.key);
+        break;
+      case Transaction::Op::kClear:
+        records_.clear();
+        break;
+    }
+  }
+  ++generation_;
+  return Result<>();
+}
+
+Result<std::vector<Record>> MemoryStore::load() {
+  std::vector<Record> out;
+  out.reserve(records_.size());
+  for (const auto& [key, value] : records_) {
+    out.push_back(Record{key, value});
+  }
+  return Result<std::vector<Record>>(std::move(out));
+}
+
+}  // namespace omadrm::store

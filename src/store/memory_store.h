@@ -1,0 +1,37 @@
+// Trusted-RAM StateStore backend.
+//
+// Backs tests and benchmarks, and any deployment whose secure storage is
+// genuinely battery-backed RAM. No sealing: the medium itself is trusted
+// (the FileStore is the backend that must defend its medium). Supports
+// injected commit failures so callers' fail-closed paths are testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "store/state_store.h"
+
+namespace omadrm::store {
+
+class MemoryStore final : public StateStore {
+ public:
+  MemoryStore() = default;
+
+  Result<> commit(const Transaction& tx) override;
+  Result<std::vector<Record>> load() override;
+  std::uint64_t generation() const override { return generation_; }
+
+  /// The next `n` commits fail with kStoreFailure without applying
+  /// anything — exercises callers' refuse-to-grant-on-commit-failure
+  /// paths.
+  void fail_next_commits(std::uint64_t n) { fail_commits_ = n; }
+
+  std::size_t record_count() const { return records_.size(); }
+
+ private:
+  std::map<std::string, Bytes, std::less<>> records_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t fail_commits_ = 0;
+};
+
+}  // namespace omadrm::store

@@ -1,0 +1,13 @@
+#include "store/state_store.h"
+
+#include "crypto/kdf2.h"
+
+namespace omadrm::store {
+
+Bytes derive_storage_key(ByteView device_key) {
+  static constexpr char kLabel[] = "omadrm:store:seal";
+  return crypto::kdf2_sha1(device_key, 16,
+                           to_bytes(std::string_view(kLabel)));
+}
+
+}  // namespace omadrm::store

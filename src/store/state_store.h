@@ -1,0 +1,115 @@
+// Durable secure storage for stateful DRM entities.
+//
+// OMA DRM 2's stateful constraints (count, interval anchors, accumulated
+// time) are only meaningful if a consumed use *stays* consumed across
+// power loss: an agent that burns budgets in RAM and re-exports later is
+// vulnerable to the classic stateful-license rollback — kill the process
+// between the grant and the export and the use is silently refunded. The
+// standard pushes the storage problem to the CA's robustness rules; the
+// paper's embedded terminal answers it with secure (integrity- and
+// rollback-protected) storage. This module models that layer:
+//
+//   StateStore    a tiny transactional key/value interface. A commit()
+//                 is atomic (all ops or none) and durable before it
+//                 returns; load() re-materializes every live record and
+//                 FAILS CLOSED on any integrity violation.
+//   MemoryStore   trusted-RAM backend for tests and benchmarks.
+//   FileStore     append-only sealed journal + atomic snapshot
+//                 compaction + a modeled monotonic hardware counter that
+//                 makes stale-snapshot rollback detectable.
+//
+// Records in the FileStore are sealed with HMAC-SHA1 under a storage key
+// derived (KDF2) from the device key K_DEV — the same root that protects
+// installed Rights Objects (paper §2.4.3 replaces the PKI protection with
+// protection under K_DEV; the store extends that umbrella to the agent's
+// mutable state). Sealing provides integrity/authenticity; secrecy of the
+// medium is modeled as "protected memory", as the export_state() blob
+// always has been.
+//
+// Distinct fail-closed outcomes (see common/status.h):
+//   kStoreCorrupt     truncated / structurally invalid image
+//   kStoreSealBroken  a record or frame failed its MAC
+//   kStoreRollback    generation regression vs the monotonic counter
+//   kStoreFailure     backend I/O error; durability cannot be guaranteed
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace omadrm::store {
+
+/// One live record: an opaque value under a unique key.
+struct Record {
+  std::string key;
+  Bytes value;
+
+  bool operator==(const Record&) const = default;
+};
+
+/// An ordered batch of mutations applied atomically by commit().
+class Transaction {
+ public:
+  struct Op {
+    enum Kind : std::uint8_t { kPut = 1, kErase = 2, kClear = 3 };
+    Kind kind;
+    std::string key;
+    Bytes value;  // kPut only
+  };
+
+  Transaction& put(std::string_view key, Bytes value) {
+    ops_.push_back(Op{Op::kPut, std::string(key), std::move(value)});
+    return *this;
+  }
+  Transaction& erase(std::string_view key) {
+    ops_.push_back(Op{Op::kErase, std::string(key), {}});
+    return *this;
+  }
+  /// Drops every record before the following ops apply (full-image
+  /// replacement, e.g. import_state).
+  Transaction& clear() {
+    ops_.push_back(Op{Op::kClear, {}, {}});
+    return *this;
+  }
+
+  bool empty() const { return ops_.empty(); }
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// The secure-storage seam. One instance holds one entity's state (a DRM
+/// Agent's, a Rights Issuer's); callers commit whole consistency units —
+/// notably a stateful constraint burn commits BEFORE the grant is
+/// delivered, so a crash can lose an undelivered grant but can never
+/// refund a delivered one.
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  /// Applies `tx` atomically; on kOk the ops are durable and the
+  /// generation counter has advanced by one. A failed commit leaves the
+  /// store (and its on-medium image) at the previous generation.
+  virtual Result<> commit(const Transaction& tx) = 0;
+
+  /// (Re)loads every live record from the backing medium, sorted by key.
+  /// Fails closed with one of the distinct kStore* codes above; a failure
+  /// never yields partial records.
+  virtual Result<std::vector<Record>> load() = 0;
+
+  /// Number of commits applied over the store's lifetime (rollback
+  /// epoch). 0 for a fresh store.
+  virtual std::uint64_t generation() const = 0;
+};
+
+/// Derives the 128-bit storage sealing key from the device key K_DEV via
+/// KDF2-SHA1 with a dedicated label, so the seal key can never collide
+/// with the KEKs KDF2 derives during RO installation.
+Bytes derive_storage_key(ByteView device_key);
+
+}  // namespace omadrm::store

@@ -79,6 +79,56 @@ TEST(RightsXml, RejectsUnknownPermission) {
   EXPECT_THROW(Rights::parse(doc), Error);
 }
 
+// ---------------------------------------------------------------------------
+// parse_u64 overflow (regression: a 2^64-wrapping value must be rejected,
+// not accepted as a small budget)
+// ---------------------------------------------------------------------------
+
+std::string rights_doc_with_constraint(const std::string& constraint_xml) {
+  return "<o-ex:rights o-ex:id=\"r\"><o-ex:agreement><o-ex:asset>"
+         "<o-ex:context>cid:x</o-ex:context><ds:DigestValue></ds:DigestValue>"
+         "</o-ex:asset><o-ex:permission><o-dd:play><o-dd:constraint>" +
+         constraint_xml +
+         "</o-dd:constraint></o-dd:play></o-ex:permission>"
+         "</o-ex:agreement></o-ex:rights>";
+}
+
+TEST(ParseOverflow, WrappingCountRejected) {
+  // 99999999999999999999999 mod 2^64 = 1529599999999754 — without the
+  // overflow check this parses as a "small" (but huge) budget; worse,
+  // values wrapping to tiny numbers silently shrink or inflate licenses.
+  EXPECT_THROW(Rights::parse(rights_doc_with_constraint(
+                   "<o-dd:count>99999999999999999999999</o-dd:count>")),
+               Error);
+}
+
+TEST(ParseOverflow, WrappingIntervalAndAccumulatedRejected) {
+  for (const char* field : {"o-dd:interval", "o-dd:accumulated"}) {
+    std::string doc = rights_doc_with_constraint(
+        std::string("<") + field + ">18446744073709551616</" + field + ">");
+    EXPECT_THROW(Rights::parse(doc), Error) << field;
+  }
+  EXPECT_THROW(
+      Rights::parse(rights_doc_with_constraint(
+          "<o-dd:datetime><o-dd:start>340282366920938463463374607431768211456"
+          "</o-dd:start></o-dd:datetime>")),
+      Error);
+}
+
+TEST(ParseOverflow, ExactU64MaxStillParses) {
+  // The overflow guard must not reject the largest representable value.
+  Rights r = Rights::parse(rights_doc_with_constraint(
+      "<o-dd:interval>18446744073709551615</o-dd:interval>"));
+  EXPECT_EQ(*r.permissions[0].constraint.interval_secs,
+            18446744073709551615ull);
+}
+
+TEST(ParseOverflow, CountAboveU32StillRejected) {
+  EXPECT_THROW(Rights::parse(rights_doc_with_constraint(
+                   "<o-dd:count>4294967296</o-dd:count>")),
+               Error);
+}
+
 TEST(Enforcer, UnconstrainedAlwaysGrants) {
   Rights r = sample_rights();
   RightsEnforcer e(r);
@@ -136,6 +186,90 @@ TEST(Enforcer, IntervalAnchorsAtFirstUse) {
             Decision::kGranted);
   EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 5101),
             Decision::kIntervalElapsed);
+}
+
+// ---------------------------------------------------------------------------
+// Boundary-value pinning for the datetime window and interval semantics
+// (both ends inclusive — see the Constraint doc block in rel/rights.h).
+// Changing any expectation here is a deliberate REL semantics change.
+// ---------------------------------------------------------------------------
+
+TEST(EnforcerBoundaries, NotBeforeIsInclusive) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.not_before = 1000;
+  RightsEnforcer e(r);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 999),
+            Decision::kNotYetValid);  // last invalid instant
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 1000),
+            Decision::kGranted);      // first valid instant
+}
+
+TEST(EnforcerBoundaries, NotAfterIsInclusive) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.not_after = 2000;
+  RightsEnforcer e(r);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 2000),
+            Decision::kGranted);      // last valid instant
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 2001),
+            Decision::kExpired);      // first expired instant
+}
+
+TEST(EnforcerBoundaries, ZeroWidthWindowGrantsExactlyAtTheInstant) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.not_before = 1500;
+  r.permissions[0].constraint.not_after = 1500;
+  RightsEnforcer e(r);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 1499),
+            Decision::kNotYetValid);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 1500),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 1501),
+            Decision::kExpired);
+}
+
+TEST(EnforcerBoundaries, IntervalEndIsInclusive) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.interval_secs = 100;
+  RightsEnforcer e(r);
+  ASSERT_EQ(e.check_and_consume(PermissionType::kPlay, 5000),
+            Decision::kGranted);  // anchors first_use = 5000
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 5100),
+            Decision::kGranted);  // exactly first_use + interval
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 5101),
+            Decision::kIntervalElapsed);  // one second past
+}
+
+TEST(EnforcerBoundaries, HugeIntervalDoesNotWrapIntoElapsed) {
+  // first_use + interval_secs would overflow 2^64; the subtractive form
+  // must treat it as effectively unlimited instead.
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.interval_secs = ~std::uint64_t{0} - 5;
+  RightsEnforcer e(r);
+  ASSERT_EQ(e.check_and_consume(PermissionType::kPlay, 1000),
+            Decision::kGranted);
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 2000000000ull),
+            Decision::kGranted);
+}
+
+TEST(EnforcerBoundaries, HugeDurationDoesNotWrapPastAccumulatedBudget) {
+  Rights r = sample_rights();
+  r.permissions[0].constraint = Constraint{};
+  r.permissions[0].constraint.accumulated_secs = 600;
+  RightsEnforcer e(r);
+  ASSERT_EQ(e.check_and_consume(PermissionType::kPlay, 0, 500),
+            Decision::kGranted);
+  // 500 + (2^64 - 100) wraps to 400 without the subtractive check.
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 0,
+                                ~std::uint64_t{0} - 100),
+            Decision::kAccumulatedExhausted);
+  // Budget intact after the denial.
+  EXPECT_EQ(e.check_and_consume(PermissionType::kPlay, 0, 100),
+            Decision::kGranted);
 }
 
 TEST(Enforcer, AccumulatedTimeBudget) {
