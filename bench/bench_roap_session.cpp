@@ -53,6 +53,7 @@
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
 #include "roap/envelope.h"
+#include "roap/retry.h"
 #include "roap/transport.h"
 #include "rsa/pss.h"
 #include "rsa/rsa.h"
@@ -368,9 +369,17 @@ MultiAgentResult run_multi_agent(Session& s, std::size_t n_agents,
     agents.push_back(std::move(dev));
   }
 
+  // The fleet runs the production stack: every envelope goes through the
+  // ReliableTransport decorator and every session through the retry-policy
+  // driver. On this fault-free loopback both layers must be pure overhead
+  // accounting (no resends) — CI gates the throughput against the
+  // pre-retry baseline.
+  roap::RetryPolicy policy;
+  roap::ReliableTransport reliable(s.transport, policy, s.rng);
+
   const auto reg_start = Clock::now();
   for (auto& dev : agents) {
-    if (!dev->register_with(s.transport, kNow).ok()) {
+    if (!dev->register_with(reliable, kNow, policy).ok()) {
       std::fprintf(stderr, "fleet registration failed\n");
       std::exit(1);
     }
@@ -385,7 +394,8 @@ MultiAgentResult run_multi_agent(Session& s, std::size_t n_agents,
   for (std::size_t round = 0; round < acqs_per_agent; ++round) {
     for (auto& dev : agents) {
       const auto t0 = Clock::now();
-      if (!dev->acquire_ro(s.transport, "ri:bench", "ro:bench", kNow).ok()) {
+      if (!dev->acquire_ro(reliable, "ri:bench", "ro:bench", kNow, policy)
+               .ok()) {
         std::fprintf(stderr, "fleet acquisition failed\n");
         std::exit(1);
       }

@@ -196,6 +196,13 @@ Result<> DrmAgent::register_with(roap::Transport& transport,
   return RegistrationSession(*this, now).run(transport);
 }
 
+Result<> DrmAgent::register_with(roap::Transport& transport,
+                                 std::uint64_t now,
+                                 const roap::RetryPolicy& policy,
+                                 roap::RetryClock* clock) {
+  return RegistrationSession(*this, now).run(transport, policy, rng_, clock);
+}
+
 Result<> DrmAgent::accept_registration_response(
     const roap::RegistrationResponse& response,
     const PendingRegistration& pending, std::uint64_t now) {
@@ -346,6 +353,14 @@ Result<roap::ProtectedRo> DrmAgent::acquire_ro(roap::Transport& transport,
                                                const std::string& ro_id,
                                                std::uint64_t now) {
   return AcquisitionSession(*this, ri_id, ro_id, now).run(transport);
+}
+
+Result<roap::ProtectedRo> DrmAgent::acquire_ro(
+    roap::Transport& transport, const std::string& ri_id,
+    const std::string& ro_id, std::uint64_t now,
+    const roap::RetryPolicy& policy, roap::RetryClock* clock) {
+  return AcquisitionSession(*this, ri_id, ro_id, now)
+      .run(transport, policy, rng_, clock);
 }
 
 // ---------------------------------------------------------------------------
@@ -736,6 +751,27 @@ Result<> DrmAgent::leave_domain(roap::Transport& transport,
       .run(transport);
 }
 
+Result<> DrmAgent::join_domain(roap::Transport& transport,
+                               const std::string& ri_id,
+                               const std::string& domain_id, std::uint64_t now,
+                               const roap::RetryPolicy& policy,
+                               roap::RetryClock* clock) {
+  return DomainSession(*this, DomainSession::Kind::kJoin, ri_id, domain_id,
+                       now)
+      .run(transport, policy, rng_, clock);
+}
+
+Result<> DrmAgent::leave_domain(roap::Transport& transport,
+                                const std::string& ri_id,
+                                const std::string& domain_id,
+                                std::uint64_t now,
+                                const roap::RetryPolicy& policy,
+                                roap::RetryClock* clock) {
+  return DomainSession(*this, DomainSession::Kind::kLeave, ri_id, domain_id,
+                       now)
+      .run(transport, policy, rng_, clock);
+}
+
 Result<roap::ProtectedRo> DrmAgent::handle_trigger(
     roap::Transport& transport, const roap::RoAcquisitionTrigger& trigger,
     std::uint64_t now) {
@@ -745,6 +781,19 @@ Result<roap::ProtectedRo> DrmAgent::handle_trigger(
     if (!join.ok()) return propagate<roap::ProtectedRo>(join);
   }
   return acquire_ro(transport, trigger.ri_id, trigger.ro_id, now);
+}
+
+Result<roap::ProtectedRo> DrmAgent::handle_trigger(
+    roap::Transport& transport, const roap::RoAcquisitionTrigger& trigger,
+    std::uint64_t now, const roap::RetryPolicy& policy,
+    roap::RetryClock* clock) {
+  if (!trigger.domain_id.empty() && !has_domain_key(trigger.domain_id)) {
+    Result<> join = join_domain(transport, trigger.ri_id, trigger.domain_id,
+                                now, policy, clock);
+    if (!join.ok()) return propagate<roap::ProtectedRo>(join);
+  }
+  return acquire_ro(transport, trigger.ri_id, trigger.ro_id, now, policy,
+                    clock);
 }
 
 bool DrmAgent::has_domain_key(const std::string& domain_id) const {

@@ -42,6 +42,7 @@
 #include "rel/rights.h"
 #include "roap/envelope.h"
 #include "roap/messages.h"
+#include "roap/retry.h"
 #include "roap/transport.h"
 #include "store/state_store.h"
 
@@ -117,6 +118,14 @@ class DrmAgent {
   /// Runs one 4-pass registration over the transport (a thin wrapper
   /// around RegistrationSession).
   Result<> register_with(roap::Transport& transport, std::uint64_t now);
+  /// Fault-tolerant registration: passes are retried with backoff under
+  /// `policy` (paced by this agent's rng on `clock`, or a deterministic
+  /// virtual clock when null) and an expired RI session restarts the
+  /// handshake from DeviceHello with fresh nonces. See
+  /// RegistrationSession::run(transport, policy).
+  Result<> register_with(roap::Transport& transport, std::uint64_t now,
+                         const roap::RetryPolicy& policy,
+                         roap::RetryClock* clock = nullptr);
   bool has_ri_context(const std::string& ri_id) const;
   const RiContext* ri_context(const std::string& ri_id) const;
 
@@ -127,6 +136,13 @@ class DrmAgent {
                                        const std::string& ri_id,
                                        const std::string& ro_id,
                                        std::uint64_t now);
+  /// Fault-tolerant acquisition (retry semantics as register_with).
+  Result<roap::ProtectedRo> acquire_ro(roap::Transport& transport,
+                                       const std::string& ri_id,
+                                       const std::string& ro_id,
+                                       std::uint64_t now,
+                                       const roap::RetryPolicy& policy,
+                                       roap::RetryClock* clock = nullptr);
 
   // -- Phase 3: Installation -------------------------------------------------
   AgentStatus install_ro(const roap::ProtectedRo& ro, std::uint64_t now);
@@ -169,6 +185,12 @@ class DrmAgent {
   Result<roap::ProtectedRo> handle_trigger(
       roap::Transport& transport, const roap::RoAcquisitionTrigger& trigger,
       std::uint64_t now);
+  /// Fault-tolerant trigger handling: the join (when needed) and the
+  /// acquisition each run under `policy`.
+  Result<roap::ProtectedRo> handle_trigger(
+      roap::Transport& transport, const roap::RoAcquisitionTrigger& trigger,
+      std::uint64_t now, const roap::RetryPolicy& policy,
+      roap::RetryClock* clock = nullptr);
 
   // -- Domains ---------------------------------------------------------------
   Result<> join_domain(roap::Transport& transport, const std::string& ri_id,
@@ -176,6 +198,16 @@ class DrmAgent {
   /// Leaves a domain: discards K_D and uninstalls that domain's ROs.
   Result<> leave_domain(roap::Transport& transport, const std::string& ri_id,
                         const std::string& domain_id, std::uint64_t now);
+  /// Fault-tolerant domain membership changes (retry semantics as
+  /// register_with).
+  Result<> join_domain(roap::Transport& transport, const std::string& ri_id,
+                       const std::string& domain_id, std::uint64_t now,
+                       const roap::RetryPolicy& policy,
+                       roap::RetryClock* clock = nullptr);
+  Result<> leave_domain(roap::Transport& transport, const std::string& ri_id,
+                        const std::string& domain_id, std::uint64_t now,
+                        const roap::RetryPolicy& policy,
+                        roap::RetryClock* clock = nullptr);
   bool has_domain_key(const std::string& domain_id) const;
   /// Generation of the held domain key (nullopt if not a member).
   std::optional<std::uint32_t> domain_generation(

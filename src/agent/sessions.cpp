@@ -21,6 +21,8 @@ std::optional<StatusCode> transport_status(const Error& e) {
   switch (e.kind()) {
     case ErrorKind::kTransport: return StatusCode::kTransportFailure;
     case ErrorKind::kFormat: return StatusCode::kMalformedMessage;
+    case ErrorKind::kTimeout: return StatusCode::kTimeout;
+    case ErrorKind::kExhausted: return StatusCode::kRetriesExhausted;
     default: return std::nullopt;
   }
 }
@@ -57,6 +59,46 @@ Result<Msg> open_expected(const Envelope& envelope) {
   }
 }
 
+/// True when retrying cannot change the outcome — the shared taxonomy of
+/// roap::RetryPolicy. Failure sites use this to decide between parking
+/// the session (kFailed) and leaving it re-drivable.
+bool terminal(StatusCode code) {
+  return roap::RetryPolicy::classify(code) == roap::FaultClass::kTerminal;
+}
+
+/// Drives one request/response pass under a retry policy: send the SAME
+/// request envelope, classify the outcome through `conclude`, and retry
+/// retriable failures with backoff until the attempt budget or the
+/// deadline (measured from `start_ms` on `clock`, shared across a
+/// session's passes) runs out. `conclude` must be re-invokable — the
+/// session halves guarantee that by staying in their awaiting state on
+/// retriable outcomes.
+template <typename T, typename ConcludeFn>
+Result<T> drive_pass(roap::Transport& transport, const Envelope& request_env,
+                     const roap::RetryPolicy& policy, Rng& rng,
+                     roap::RetryClock& clock, std::uint64_t start_ms,
+                     ConcludeFn&& conclude) {
+  std::string last;
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (policy.deadline_ms != 0 &&
+        clock.now_ms() - start_ms >= policy.deadline_ms) {
+      return Result<T>(
+          StatusCode::kTimeout,
+          "retry deadline exceeded after " + std::to_string(attempt - 1) +
+              " attempts" + (last.empty() ? "" : "; last: " + last));
+    }
+    if (attempt > 1) clock.sleep_ms(policy.backoff_ms(attempt - 1, rng));
+    Result<Envelope> response = exchange(transport, request_env);
+    Result<T> out =
+        response.ok() ? conclude(*response) : propagate<T>(response);
+    if (out.ok() || terminal(out.code())) return out;
+    last = out.describe();
+  }
+  return Result<T>(StatusCode::kRetriesExhausted,
+                   "gave up after " + std::to_string(policy.max_attempts) +
+                       " attempts; last: " + last);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -88,7 +130,9 @@ Result<Envelope> RegistrationSession::request(const Envelope& ri_hello) {
   }
   Result<roap::RiHello> msg = open_expected<roap::RiHello>(ri_hello);
   if (!msg.ok()) {
-    state_ = State::kFailed;
+    // A damaged or stale delivery is retriable: stay in kAwaitRiHello so
+    // the same DeviceHello can be answered again.
+    if (terminal(msg.code())) state_ = State::kFailed;
     return propagate<Envelope>(msg);
   }
   return request(*msg);
@@ -100,11 +144,13 @@ Result<Envelope> RegistrationSession::request(const roap::RiHello& ri_hello) {
                 "registration session: request() out of order");
   }
   if (ri_hello.status != roap::Status::kSuccess) {
-    state_ = State::kFailed;
+    // kStoreFailure (degraded RI) is retriable — keep awaiting so the
+    // hello can be resent once the RI's store recovers.
+    const StatusCode code = roap::status_code(ri_hello.status);
+    if (terminal(code)) state_ = State::kFailed;
     return Result<Envelope>(
-        roap::status_code(ri_hello.status),
-        std::string("RI reported ") + roap::to_string(ri_hello.status) +
-            " in RIHello");
+        code, std::string("RI reported ") + roap::to_string(ri_hello.status) +
+                  " in RIHello");
   }
   Envelope out =
       Envelope::wrap(agent_.make_registration_request(ri_hello, pending_));
@@ -120,7 +166,7 @@ Result<> RegistrationSession::conclude(const Envelope& response) {
   Result<roap::RegistrationResponse> msg =
       open_expected<roap::RegistrationResponse>(response);
   if (!msg.ok()) {
-    state_ = State::kFailed;
+    if (terminal(msg.code())) state_ = State::kFailed;
     return propagate<void>(msg);
   }
   return conclude(*msg);
@@ -133,8 +179,18 @@ Result<> RegistrationSession::conclude(
                 "registration session: conclude() out of order");
   }
   Result<> out = agent_.accept_registration_response(response, pending_, now_);
-  state_ = out.ok() ? State::kComplete : State::kFailed;
+  // accept_* is pure until its commit-then-apply tail, so a retriable
+  // verification failure (corrupt / replayed response, agent-side store
+  // refusal) leaves the session re-drivable with the same request.
+  state_ = out.ok() ? State::kComplete
+                    : (terminal(out.code()) ? State::kFailed
+                                            : State::kAwaitResponse);
   return out;
+}
+
+void RegistrationSession::reset() {
+  pending_ = DrmAgent::PendingRegistration{};
+  state_ = State::kStart;
 }
 
 Result<> RegistrationSession::run(roap::Transport& transport) {
@@ -148,14 +204,60 @@ Result<> RegistrationSession::run(roap::Transport& transport) {
   }
 
   Result<Envelope> request_env = request(*ri_hello);
-  if (!request_env.ok()) return propagate<void>(request_env);
+  if (!request_env.ok()) {
+    state_ = State::kFailed;  // single-shot semantics: any failure parks
+    return propagate<void>(request_env);
+  }
 
   Result<Envelope> response = exchange(transport, *request_env);
   if (!response.ok()) {
     state_ = State::kFailed;
     return propagate<void>(response);
   }
-  return conclude(*response);
+  Result<> out = conclude(*response);
+  if (!out.ok()) state_ = State::kFailed;
+  return out;
+}
+
+Result<> RegistrationSession::run(roap::Transport& transport,
+                                  const roap::RetryPolicy& policy, Rng& rng,
+                                  roap::RetryClock* clock) {
+  roap::VirtualRetryClock owned;
+  roap::RetryClock& clk = clock != nullptr ? *clock : owned;
+  const std::uint64_t start = clk.now_ms();
+
+  Result<> out(StatusCode::kRetriesExhausted, "never attempted");
+  for (std::size_t round = 0; round <= policy.max_restarts; ++round) {
+    if (round > 0) reset();  // restart from DeviceHello, fresh nonces
+
+    Result<Envelope> hello_env = hello();
+    if (!hello_env.ok()) return propagate<void>(hello_env);
+
+    // Pass 1+2: DeviceHello → RiHello. A retriable outcome resends the
+    // SAME hello; the RI's replay cache answers exact duplicates with
+    // the same session instead of minting a new one per resend.
+    Result<Envelope> request_env = drive_pass<Envelope>(
+        transport, *hello_env, policy, rng, clk, start,
+        [this](const Envelope& ri_hello) { return request(ri_hello); });
+    if (!request_env.ok()) {
+      if (terminal(request_env.code())) state_ = State::kFailed;
+      return propagate<void>(request_env);
+    }
+
+    // Pass 3+4: RegistrationRequest → RegistrationResponse.
+    out = drive_pass<void>(
+        transport, *request_env, policy, rng, clk, start,
+        [this](const Envelope& response) -> Result<void> {
+          Result<> done = conclude(response);
+          return done;
+        });
+    if (out.code() != StatusCode::kSessionExpired) break;
+    // The RI garbage-collected our pending session while we retried —
+    // the one terminal-for-the-pass outcome that is recoverable for the
+    // SESSION: restart the whole handshake with fresh nonces.
+  }
+  if (!out.ok() && terminal(out.code())) state_ = State::kFailed;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -204,7 +306,7 @@ Result<roap::ProtectedRo> AcquisitionSession::conclude(
   }
   Result<roap::RoResponse> msg = open_expected<roap::RoResponse>(response);
   if (!msg.ok()) {
-    state_ = State::kFailed;
+    if (terminal(msg.code())) state_ = State::kFailed;
     return propagate<roap::ProtectedRo>(msg);
   }
   return conclude(*msg);
@@ -218,7 +320,9 @@ Result<roap::ProtectedRo> AcquisitionSession::conclude(
   }
   Result<roap::ProtectedRo> out =
       agent_.accept_ro_response(response, ri_id_, device_nonce_, now_);
-  state_ = out.ok() ? State::kComplete : State::kFailed;
+  state_ = out.ok() ? State::kComplete
+                    : (terminal(out.code()) ? State::kFailed
+                                            : State::kAwaitResponse);
   return out;
 }
 
@@ -231,7 +335,25 @@ Result<roap::ProtectedRo> AcquisitionSession::run(roap::Transport& transport) {
     state_ = State::kFailed;
     return propagate<roap::ProtectedRo>(response);
   }
-  return conclude(*response);
+  Result<roap::ProtectedRo> out = conclude(*response);
+  if (!out.ok()) state_ = State::kFailed;  // single-shot semantics
+  return out;
+}
+
+Result<roap::ProtectedRo> AcquisitionSession::run(
+    roap::Transport& transport, const roap::RetryPolicy& policy, Rng& rng,
+    roap::RetryClock* clock) {
+  roap::VirtualRetryClock owned;
+  roap::RetryClock& clk = clock != nullptr ? *clock : owned;
+
+  Result<Envelope> request_env = request();
+  if (!request_env.ok()) return propagate<roap::ProtectedRo>(request_env);
+
+  Result<roap::ProtectedRo> out = drive_pass<roap::ProtectedRo>(
+      transport, *request_env, policy, rng, clk, clk.now_ms(),
+      [this](const Envelope& response) { return conclude(response); });
+  if (!out.ok() && terminal(out.code())) state_ = State::kFailed;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -284,7 +406,7 @@ Result<> DomainSession::conclude(const Envelope& response) {
     Result<roap::JoinDomainResponse> msg =
         open_expected<roap::JoinDomainResponse>(response);
     if (!msg.ok()) {
-      state_ = State::kFailed;
+      if (terminal(msg.code())) state_ = State::kFailed;
       return propagate<void>(msg);
     }
     out = agent_.accept_join_domain_response(*msg, ri_id_, domain_id_,
@@ -293,13 +415,15 @@ Result<> DomainSession::conclude(const Envelope& response) {
     Result<roap::LeaveDomainResponse> msg =
         open_expected<roap::LeaveDomainResponse>(response);
     if (!msg.ok()) {
-      state_ = State::kFailed;
+      if (terminal(msg.code())) state_ = State::kFailed;
       return propagate<void>(msg);
     }
     out = agent_.accept_leave_domain_response(*msg, ri_id_, domain_id_,
                                               device_nonce_);
   }
-  state_ = out.ok() ? State::kComplete : State::kFailed;
+  state_ = out.ok() ? State::kComplete
+                    : (terminal(out.code()) ? State::kFailed
+                                            : State::kAwaitResponse);
   return out;
 }
 
@@ -312,7 +436,27 @@ Result<> DomainSession::run(roap::Transport& transport) {
     state_ = State::kFailed;
     return propagate<void>(response);
   }
-  return conclude(*response);
+  Result<> out = conclude(*response);
+  if (!out.ok()) state_ = State::kFailed;  // single-shot semantics
+  return out;
+}
+
+Result<> DomainSession::run(roap::Transport& transport,
+                            const roap::RetryPolicy& policy, Rng& rng,
+                            roap::RetryClock* clock) {
+  roap::VirtualRetryClock owned;
+  roap::RetryClock& clk = clock != nullptr ? *clock : owned;
+
+  Result<Envelope> request_env = request();
+  if (!request_env.ok()) return propagate<void>(request_env);
+
+  Result<> out = drive_pass<void>(
+      transport, *request_env, policy, rng, clk, clk.now_ms(),
+      [this](const Envelope& response) -> Result<void> {
+        return conclude(response);
+      });
+  if (!out.ok() && terminal(out.code())) state_ = State::kFailed;
+  return out;
 }
 
 }  // namespace omadrm::agent

@@ -23,8 +23,20 @@
 // Calling a half out of order is a programming error and throws
 // omadrm::Error(kProtocol). Bad *peer* behaviour (malformed envelope,
 // wrong message type, failed verification) is an expected runtime
-// outcome and comes back as a failed Result; the session then parks in
-// State::kFailed and a fresh session must be started (retry = new
+// outcome and comes back as a failed Result. Terminal outcomes (an
+// authoritative RI refusal, a failed certificate verdict) park the
+// session in State::kFailed; *retriable* outcomes — the lost, stale, or
+// damaged deliveries roap::RetryPolicy::classify names — leave the
+// state machine where it was, so the same pass can be driven again with
+// a fresh delivery of the same request.
+//
+// The run(transport, policy, rng) overloads do exactly that: each pass
+// is retried with backoff under the policy's attempt/deadline budget,
+// and a registration whose pending RI session expired mid-flight
+// (Status::kSessionExpired) is restarted from DeviceHello with fresh
+// nonces, up to policy.max_restarts times. The plain run(transport)
+// keeps the historical single-shot semantics: any failed pass parks the
+// session in kFailed and a fresh session must be started (retry = new
 // nonces, never reuse).
 #pragma once
 
@@ -32,8 +44,10 @@
 #include <string>
 
 #include "agent/drm_agent.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "roap/envelope.h"
+#include "roap/retry.h"
 #include "roap/transport.h"
 
 namespace omadrm::agent {
@@ -64,10 +78,26 @@ class RegistrationSession {
   Result<> conclude(const roap::Envelope& response);
   Result<> conclude(const roap::RegistrationResponse& response);
 
-  /// Drives all four passes over the transport.
+  /// Drives all four passes over the transport (single-shot: any failed
+  /// pass parks the session in kFailed).
   Result<> run(roap::Transport& transport);
 
+  /// Fault-tolerant drive: each pass is retried under `policy` (backoff
+  /// paced by `rng` on `clock`, or a deterministic VirtualRetryClock when
+  /// null), resending the *same* request on a retriable outcome. When the
+  /// RI answers kSessionExpired — its pending session died while we
+  /// retried — the whole handshake restarts from DeviceHello with fresh
+  /// nonces, up to policy.max_restarts times. Fails with kTimeout /
+  /// kRetriesExhausted (attempt counts in the context) when the budget
+  /// runs out.
+  Result<> run(roap::Transport& transport, const roap::RetryPolicy& policy,
+               Rng& rng, roap::RetryClock* clock = nullptr);
+
  private:
+  /// Back to kStart with no pending state — the restart-from-DeviceHello
+  /// edge of the policy driver.
+  void reset();
+
   DrmAgent& agent_;
   std::uint64_t now_;
   State state_ = State::kStart;
@@ -100,6 +130,12 @@ class AcquisitionSession {
 
   Result<roap::ProtectedRo> run(roap::Transport& transport);
 
+  /// Fault-tolerant drive of the single request/response pass (see
+  /// RegistrationSession::run(policy) for the retry semantics).
+  Result<roap::ProtectedRo> run(roap::Transport& transport,
+                                const roap::RetryPolicy& policy, Rng& rng,
+                                roap::RetryClock* clock = nullptr);
+
  private:
   DrmAgent& agent_;
   std::string ri_id_;
@@ -131,6 +167,11 @@ class DomainSession {
   Result<> conclude(const roap::Envelope& response);
 
   Result<> run(roap::Transport& transport);
+
+  /// Fault-tolerant drive of the single request/response pass (see
+  /// RegistrationSession::run(policy) for the retry semantics).
+  Result<> run(roap::Transport& transport, const roap::RetryPolicy& policy,
+               Rng& rng, roap::RetryClock* clock = nullptr);
 
  private:
   DrmAgent& agent_;

@@ -20,6 +20,8 @@ enum class ErrorKind {
   kState,     // object used before initialization or after invalidation
   kNotFound,  // lookup failure for a required entity
   kTransport, // envelope lost / peer unreachable at the wire boundary
+  kTimeout,   // retry deadline exceeded at the transport boundary
+  kExhausted, // transport retry budget spent without a delivery
 };
 
 /// Converts an ErrorKind to a stable human-readable tag ("format", ...).
@@ -46,6 +48,8 @@ inline const char* to_string(ErrorKind kind) {
     case ErrorKind::kState: return "state";
     case ErrorKind::kNotFound: return "not-found";
     case ErrorKind::kTransport: return "transport";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kExhausted: return "exhausted";
   }
   return "unknown";
 }

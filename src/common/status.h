@@ -48,6 +48,15 @@ enum class StatusCode : std::uint8_t {
   kMalformedMessage,     // reply did not parse as a ROAP document
   kUnexpectedMessage,    // parsed, but not the message the session awaits
 
+  // -- retry / recovery ----------------------------------------------------
+  // Outcomes of the fault-tolerant session driver (roap/retry.h): a pass
+  // that keeps failing retriably eventually terminates with one of these
+  // instead of leaking the last transient code as if it were final.
+  kTimeout,              // retry deadline exceeded before the pass finished
+  kRetriesExhausted,     // attempt budget spent; context carries the count
+  kSessionExpired,       // RI garbage-collected the pending handshake (TTL);
+                         // recovery = restart from DeviceHello, fresh nonces
+
   // -- secure storage -------------------------------------------------------
   // The durable-store codes are deliberately distinct so corruption
   // classes are diagnosable: a truncated image, a record whose seal (MAC)
@@ -83,6 +92,9 @@ inline const char* to_string(StatusCode s) {
     case StatusCode::kTransportFailure: return "transport-failure";
     case StatusCode::kMalformedMessage: return "malformed-message";
     case StatusCode::kUnexpectedMessage: return "unexpected-message";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kRetriesExhausted: return "retries-exhausted";
+    case StatusCode::kSessionExpired: return "session-expired";
     case StatusCode::kStoreFailure: return "store-failure";
     case StatusCode::kStoreCorrupt: return "store-corrupt";
     case StatusCode::kStoreSealBroken: return "store-seal-broken";

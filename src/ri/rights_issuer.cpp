@@ -1,8 +1,10 @@
 #include "ri/rights_issuer.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
+#include "crypto/sha1.h"
 
 namespace omadrm::ri {
 
@@ -289,17 +291,26 @@ bool RightsIssuer::is_registered(const std::string& device_id) const {
   return devices_.count(device_id) > 0;
 }
 
-void RightsIssuer::expire_sessions(std::uint64_t now,
-                                   store::Transaction& tx) {
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now >= it->second.created_at &&
-        now - it->second.created_at > kPendingSessionTtl) {
-      tx.erase(sess_record_key(it->first));
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
+std::vector<std::string> RightsIssuer::stale_sessions(
+    std::uint64_t now, const std::string* superseded_device) const {
+  std::vector<std::string> out;
+  for (const auto& [id, p] : sessions_) {
+    const bool expired =
+        now >= p.created_at && now - p.created_at > kPendingSessionTtl;
+    const bool superseded =
+        superseded_device != nullptr && p.device_id == *superseded_device;
+    if (expired || superseded) out.push_back(id);
   }
+  return out;
+}
+
+std::size_t RightsIssuer::expire_pending_sessions(std::uint64_t now) {
+  const std::vector<std::string> doomed = stale_sessions(now, nullptr);
+  store::Transaction tx;
+  for (const std::string& id : doomed) tx.erase(sess_record_key(id));
+  persist(tx);
+  for (const std::string& id : doomed) sessions_.erase(id);
+  return doomed.size();
 }
 
 roap::RiHello RightsIssuer::on_device_hello(const roap::DeviceHello& hello,
@@ -311,106 +322,131 @@ roap::RiHello RightsIssuer::on_device_hello(const roap::DeviceHello& hello,
   // device's in-flight handshake — the deliberate tradeoff for bounding
   // per-device pending state to one entry; the aborted device just
   // restarts from DeviceHello. Real authentication lands in pass 3.
-  store::Transaction tx;
-  expire_sessions(now, tx);
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second.device_id == hello.device_id) {
-      tx.erase(sess_record_key(it->first));
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  const std::vector<std::string> doomed =
+      stale_sessions(now, &hello.device_id);
 
   roap::RiHello out;
   out.ri_id = ri_id_;
-  out.session_id = ri_id_ + "-session-" + std::to_string(next_session_++);
+  const std::uint64_t session_number = next_session_;
+  out.session_id = ri_id_ + "-session-" + std::to_string(session_number);
   // Capability negotiation: the standard's mandatory suite always wins
   // unless the device advertises nothing (paper §2.4.1).
   out.algorithms = {"SHA-1", "HMAC-SHA1", "AES-128-CBC", "AES-WRAP",
                     "RSA-1024", "RSA-PSS", "KDF2"};
   out.ri_nonce = rng_.bytes(roap::kNonceLen);
-  sessions_[out.session_id] =
-      PendingSession{out.ri_nonce, hello.device_id, now};
+
   // The pending nonce (and the counter that names sessions) must survive
   // an RI restart, or every in-flight handshake dies with the process.
+  // Persist BEFORE touching RAM: a refused commit (degraded mode) must
+  // leave no half-created session and no superseded-but-alive entries.
+  store::Transaction tx;
+  for (const std::string& id : doomed) tx.erase(sess_record_key(id));
   tx.put(sess_record_key(out.session_id),
          encode_pending(out.ri_nonce, hello.device_id, now));
-  tx.put(kMetaKey, encode_meta(next_session_));
+  tx.put(kMetaKey, encode_meta(session_number + 1));
   persist(tx);
+
+  for (const std::string& id : doomed) sessions_.erase(id);
+  sessions_[out.session_id] =
+      PendingSession{out.ri_nonce, hello.device_id, now};
+  next_session_ = session_number + 1;
   return out;
 }
 
 roap::RegistrationResponse RightsIssuer::on_registration_request(
     const roap::RegistrationRequest& request, std::uint64_t now) {
-  store::Transaction tx;
-  roap::RegistrationResponse out = do_registration_request(request, now, tx);
-  // Session consumption (and device admission) is durable before the
-  // response leaves: a replayed RegistrationRequest against a restarted
-  // RI must still find its one-shot session consumed.
-  persist(tx);
-  return out;
-}
-
-roap::RegistrationResponse RightsIssuer::do_registration_request(
-    const roap::RegistrationRequest& request, std::uint64_t now,
-    store::Transaction& tx) {
   roap::RegistrationResponse out;
   out.session_id = request.session_id;
   out.ri_id = ri_id_;
   out.ri_url = url_;
 
-  expire_sessions(now, tx);
+  // TTL sweep staged up front; its RAM erases apply only after the
+  // commit below succeeds (compute → persist → apply, like every
+  // handler — a refused commit must leave RAM and store agreeing).
+  std::vector<std::string> doomed = stale_sessions(now, nullptr);
+  const auto is_doomed = [&doomed](const std::string& id) {
+    return std::find(doomed.begin(), doomed.end(), id) != doomed.end();
+  };
+
   auto session = sessions_.find(request.session_id);
-  if (session == sessions_.end() ||
-      !ct_equal(session->second.ri_nonce, request.ri_nonce)) {
+  if (session == sessions_.end() || is_doomed(session->first)) {
+    // The pending session is gone — TTL garbage collection, supersession
+    // by a newer hello, or an RI restart raced this retry. Not a refusal:
+    // the device did nothing wrong and must simply restart from
+    // DeviceHello with fresh nonces. kSessionExpired is that clean
+    // restart signal (kAbort stays reserved for genuine refusals).
+    store::Transaction tx;
+    for (const std::string& id : doomed) tx.erase(sess_record_key(id));
+    persist(tx);
+    for (const std::string& id : doomed) sessions_.erase(id);
+    out.status = Status::kSessionExpired;
+    return out;
+  }
+  if (!ct_equal(session->second.ri_nonce, request.ri_nonce)) {
+    // A live session but the wrong nonce: a forgery or a cross-wired
+    // handshake. Refused without consuming the session — the honest
+    // device's in-flight request can still land.
     out.status = Status::kAbort;
     return out;
   }
   // The handshake is consumed one-shot: whatever the outcome below, a
-  // retry must restart from DeviceHello with fresh nonces.
-  tx.erase(sess_record_key(session->first));
-  sessions_.erase(session);
+  // retry must restart from DeviceHello with fresh nonces. (A *byte
+  // identical* retry is instead served by the replay cache upstream and
+  // never reaches this point while the entry lives.)
+  doomed.push_back(session->first);
 
-  // Verify the device certificate chain and the message signature.
+  // Verify the device certificate chain and the message signature — all
+  // pure computation against the request; no state changes yet.
+  Status verdict = Status::kSuccess;
   pki::Certificate device_cert;
   try {
     device_cert = pki::Certificate::from_der(request.certificate_der);
   } catch (const Error&) {
-    out.status = Status::kAbort;
-    return out;
+    verdict = Status::kAbort;
   }
-  // Chain walk through the verdict cache: a device re-registering (or
-  // retrying under load) costs zero RSA operations here.
-  if (device_chain_verifier_.verify({device_cert}, now)->status !=
-      pki::CertStatus::kValid) {
-    out.status = Status::kAbort;
-    return out;
+  if (verdict == Status::kSuccess) {
+    // Chain walk through the verdict cache: a device re-registering (or
+    // retrying under load) costs zero RSA operations here.
+    if (device_chain_verifier_.verify({device_cert}, now)->status !=
+        pki::CertStatus::kValid) {
+      verdict = Status::kAbort;
+    } else if (ca_.is_revoked(device_cert.serial())) {
+      device_chain_verifier_.invalidate_serial(device_cert.serial());
+      verdict = Status::kAbort;
+    } else if (!crypto_.pss_verify(device_cert.subject_key(),
+                                   request.payload(), request.signature)) {
+      verdict = Status::kSignatureInvalid;
+    }
   }
-  if (ca_.is_revoked(device_cert.serial())) {
-    device_chain_verifier_.invalidate_serial(device_cert.serial());
-    out.status = Status::kAbort;
-    return out;
-  }
-  if (!crypto_.pss_verify(device_cert.subject_key(), request.payload(),
-                          request.signature)) {
-    out.status = Status::kSignatureInvalid;
-    return out;
-  }
-
   // A revoked issuing intermediate must stop the service: the single
   // OCSP staple below covers only the RI leaf, so the devices cannot see
   // intermediate revocation themselves (multi-staple support is a
   // protocol extension this profile does not carry yet).
-  for (const pki::Certificate& intermediate : intermediates_) {
-    if (ca_.is_revoked(intermediate.serial())) {
-      out.status = Status::kAbort;
-      return out;
+  if (verdict == Status::kSuccess) {
+    for (const pki::Certificate& intermediate : intermediates_) {
+      if (ca_.is_revoked(intermediate.serial())) {
+        verdict = Status::kAbort;
+        break;
+      }
     }
   }
 
+  // Session consumption (and device admission) is durable before the
+  // response leaves: a replayed RegistrationRequest against a restarted
+  // RI must still find its one-shot session consumed.
+  store::Transaction tx;
+  for (const std::string& id : doomed) tx.erase(sess_record_key(id));
+  if (verdict == Status::kSuccess) {
+    tx.put(dev_record_key(request.device_id), device_cert.to_der());
+  }
+  persist(tx);
+  for (const std::string& id : doomed) sessions_.erase(id);
+  if (verdict != Status::kSuccess) {
+    out.status = verdict;
+    return out;
+  }
   devices_[request.device_id] = device_cert;
-  tx.put(dev_record_key(request.device_id), device_cert.to_der());
+  ++counters_.registrations;
 
   // Staple a fresh OCSP response for our own certificate, bound to the
   // nonce the device supplied.
@@ -505,6 +541,7 @@ roap::RoResponse RightsIssuer::on_ro_request(
   out.ros.push_back(
       build_protected_ro(offer->second, device->second.subject_key()));
   out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
+  ++counters_.ros_issued;
   return out;
 }
 
@@ -530,23 +567,31 @@ roap::JoinDomainResponse RightsIssuer::on_join_domain(
     out.status = Status::kAccessDenied;
     return out;
   }
-  Domain& d = it->second;
+  // Compute the post-join membership on a copy, persist it, and only then
+  // let it replace the live domain: a refused commit (degraded mode) must
+  // leave RAM still agreeing with the store.
+  Domain joined = it->second;
   bool already_member = false;
-  for (const auto& m : d.members) already_member |= (m == request.device_id);
+  for (const auto& m : joined.members) {
+    already_member |= (m == request.device_id);
+  }
   if (!already_member) {
-    if (d.members.size() >= d.max_members) {
+    if (joined.members.size() >= joined.max_members) {
       out.status = Status::kAccessDenied;
       return out;
     }
-    d.members.push_back(request.device_id);
+    joined.members.push_back(request.device_id);
   }
   // Persisted on EVERY successful join, not just first admission: if a
-  // prior join mutated RAM but its commit failed (response never left),
-  // the retry hits the already-member path — it must still make the
-  // membership durable before K_D is handed out.
+  // prior join's commit failed (the response never left), the retry hits
+  // the already-member path — it must still make the membership durable
+  // before K_D is handed out.
   store::Transaction tx;
-  tx.put(domain_record_key(d.domain_id), encode_domain(d));
+  tx.put(domain_record_key(joined.domain_id), encode_domain(joined));
   persist(tx);
+  it->second = std::move(joined);
+  const Domain& d = it->second;
+  ++counters_.domain_joins;
 
   out.status = Status::kSuccess;
   out.generation = d.generation;
@@ -581,19 +626,147 @@ roap::LeaveDomainResponse RightsIssuer::on_leave_domain(
     out.status = Status::kAccessDenied;
     return out;
   }
-  std::erase(it->second.members, request.device_id);
+  // Same copy → persist → apply discipline as on_join_domain.
+  Domain left = it->second;
+  std::erase(left.members, request.device_id);
   // Persisted on EVERY successful leave (mirroring on_join_domain): if a
-  // prior leave erased the member from RAM but its commit failed (the
-  // response never left), the retry finds nothing to erase — it must
-  // still make the removal durable before success is signed, or an RI
-  // restart resurrects the departed member.
+  // prior leave's commit failed (the response never left), the retry
+  // finds nothing to erase — it must still make the removal durable
+  // before success is signed, or an RI restart resurrects the departed
+  // member.
   store::Transaction tx;
-  tx.put(domain_record_key(it->second.domain_id), encode_domain(it->second));
+  tx.put(domain_record_key(left.domain_id), encode_domain(left));
   persist(tx);
+  it->second = std::move(left);
+  ++counters_.domain_leaves;
 
   out.status = Status::kSuccess;
   out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Idempotent replay cache + degraded-mode dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Replay-cache keys: message-type prefix + requester identity + the
+/// request's freshness token. The raw nonce bytes go straight into the
+/// key (they never leave the process); the stored digest pins the entry
+/// to the exact request bytes anyway, so even a colliding key can never
+/// serve a wrong response — it just misses.
+std::string replay_key(const char* prefix, const std::string& id,
+                       const Bytes& nonce) {
+  std::string key = prefix;
+  key += id;
+  key += '/';
+  key.append(nonce.begin(), nonce.end());
+  return key;
+}
+
+Bytes wire_digest(const std::string& wire) {
+  return crypto::Sha1::hash(
+      ByteView(reinterpret_cast<const std::uint8_t*>(wire.data()),
+               wire.size()));
+}
+
+}  // namespace
+
+void RightsIssuer::set_replay_cache_capacity(std::size_t n) {
+  replay_capacity_ = n;
+  while (replay_.size() > replay_capacity_) {
+    replay_.erase(replay_lru_.back());
+    replay_lru_.pop_back();
+    ++replay_stats_.evictions;
+  }
+}
+
+std::optional<roap::Envelope> RightsIssuer::replay_lookup(
+    const std::string& key, const std::string& request_wire,
+    std::uint64_t now) {
+  if (!replay_enabled_) return std::nullopt;
+  auto it = replay_.find(key);
+  if (it == replay_.end()) {
+    ++replay_stats_.misses;
+    return std::nullopt;
+  }
+  ReplayEntry& entry = it->second;
+  if (now >= entry.created_at && now - entry.created_at > replay_ttl_) {
+    replay_lru_.erase(entry.lru_it);
+    replay_.erase(it);
+    ++replay_stats_.expirations;
+    ++replay_stats_.misses;
+    return std::nullopt;
+  }
+  if (entry.request_digest != wire_digest(request_wire)) {
+    // Same key, different bytes — e.g. a nonce collision or a tampered
+    // resend. Never serve the stale answer; process it fresh.
+    ++replay_stats_.mismatches;
+    ++replay_stats_.misses;
+    return std::nullopt;
+  }
+  replay_lru_.splice(replay_lru_.begin(), replay_lru_, entry.lru_it);
+  ++replay_stats_.hits;
+  return roap::Envelope::from_wire(entry.response_wire);
+}
+
+void RightsIssuer::replay_insert(const std::string& key,
+                                 const std::string& request_wire,
+                                 std::string response_wire,
+                                 std::uint64_t now) {
+  if (!replay_enabled_ || replay_capacity_ == 0) return;
+  auto it = replay_.find(key);
+  if (it != replay_.end()) {
+    // Key reuse with different bytes (the lookup above missed on digest):
+    // the newer exchange supersedes the remembered one.
+    it->second.request_digest = wire_digest(request_wire);
+    it->second.response_wire = std::move(response_wire);
+    it->second.created_at = now;
+    replay_lru_.splice(replay_lru_.begin(), replay_lru_, it->second.lru_it);
+    return;
+  }
+  while (replay_.size() >= replay_capacity_) {
+    replay_.erase(replay_lru_.back());
+    replay_lru_.pop_back();
+    ++replay_stats_.evictions;
+  }
+  replay_lru_.push_front(key);
+  ReplayEntry entry;
+  entry.request_digest = wire_digest(request_wire);
+  entry.response_wire = std::move(response_wire);
+  entry.created_at = now;
+  entry.lru_it = replay_lru_.begin();
+  replay_.emplace(key, std::move(entry));
+  ++replay_stats_.insertions;
+}
+
+template <typename Handler, typename Refusal>
+roap::Envelope RightsIssuer::serve(const std::string& key,
+                                   const roap::Envelope& request,
+                                   std::uint64_t now, Handler&& handler,
+                                   Refusal&& refusal) {
+  if (std::optional<roap::Envelope> cached =
+          replay_lookup(key, request.wire(), now)) {
+    // Duplicate of a recently served request: the response goes back
+    // byte-for-byte with zero RSA operations and zero state changes.
+    return *std::move(cached);
+  }
+  roap::Envelope response;
+  try {
+    response = handler();
+  } catch (const Error& e) {
+    if (e.kind() != ErrorKind::kState) throw;
+    // Degraded mode: the durable store refused the commit this request
+    // needed. Every handler persists before touching RAM, so nothing
+    // changed — answer with a typed retriable refusal instead of
+    // unwinding through the transport. Deliberately not cached: a retry
+    // after the store heals must be re-processed, not re-refused.
+    ++counters_.degraded_refusals;
+    return refusal();
+  }
+  replay_insert(key, request.wire(), response.wire(), now);
+  return response;
 }
 
 roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
@@ -601,21 +774,74 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
   using roap::Envelope;
   using roap::MessageType;
   switch (request.type()) {
-    case MessageType::kDeviceHello:
-      return Envelope::wrap(
-          on_device_hello(request.open<roap::DeviceHello>(), now));
-    case MessageType::kRegistrationRequest:
-      return Envelope::wrap(on_registration_request(
-          request.open<roap::RegistrationRequest>(), now));
-    case MessageType::kRoRequest:
-      return Envelope::wrap(
-          on_ro_request(request.open<roap::RoRequest>(), now));
-    case MessageType::kJoinDomainRequest:
-      return Envelope::wrap(
-          on_join_domain(request.open<roap::JoinDomainRequest>(), now));
-    case MessageType::kLeaveDomainRequest:
-      return Envelope::wrap(
-          on_leave_domain(request.open<roap::LeaveDomainRequest>(), now));
+    case MessageType::kDeviceHello: {
+      const auto msg = request.open<roap::DeviceHello>();
+      return serve(
+          replay_key("dh/", msg.device_id, msg.device_nonce), request, now,
+          [&] { return Envelope::wrap(on_device_hello(msg, now)); },
+          [&] {
+            roap::RiHello out;
+            out.status = Status::kStoreFailure;
+            out.ri_id = ri_id_;
+            return Envelope::wrap(out);
+          });
+    }
+    case MessageType::kRegistrationRequest: {
+      const auto msg = request.open<roap::RegistrationRequest>();
+      return serve(
+          replay_key("rr/", msg.session_id, msg.device_nonce), request, now,
+          [&] { return Envelope::wrap(on_registration_request(msg, now)); },
+          [&] {
+            roap::RegistrationResponse out;
+            out.status = Status::kStoreFailure;
+            out.session_id = msg.session_id;
+            out.ri_id = ri_id_;
+            out.ri_url = url_;
+            return Envelope::wrap(out);
+          });
+    }
+    case MessageType::kRoRequest: {
+      const auto msg = request.open<roap::RoRequest>();
+      return serve(
+          replay_key("ro/", msg.device_id, msg.device_nonce), request, now,
+          [&] { return Envelope::wrap(on_ro_request(msg, now)); },
+          [&] {
+            // RO issuing persists nothing, but keep the refusal builder:
+            // future stateful extensions (metered ROs) land here safely.
+            roap::RoResponse out;
+            out.status = Status::kStoreFailure;
+            out.device_id = msg.device_id;
+            out.ri_id = ri_id_;
+            out.device_nonce = msg.device_nonce;
+            return Envelope::wrap(out);
+          });
+    }
+    case MessageType::kJoinDomainRequest: {
+      const auto msg = request.open<roap::JoinDomainRequest>();
+      return serve(
+          replay_key("jd/", msg.device_id, msg.device_nonce), request, now,
+          [&] { return Envelope::wrap(on_join_domain(msg, now)); },
+          [&] {
+            roap::JoinDomainResponse out;
+            out.status = Status::kStoreFailure;
+            out.domain_id = msg.domain_id;
+            out.device_nonce = msg.device_nonce;
+            return Envelope::wrap(out);
+          });
+    }
+    case MessageType::kLeaveDomainRequest: {
+      const auto msg = request.open<roap::LeaveDomainRequest>();
+      return serve(
+          replay_key("ld/", msg.device_id, msg.device_nonce), request, now,
+          [&] { return Envelope::wrap(on_leave_domain(msg, now)); },
+          [&] {
+            roap::LeaveDomainResponse out;
+            out.status = Status::kStoreFailure;
+            out.domain_id = msg.domain_id;
+            out.device_nonce = msg.device_nonce;
+            return Envelope::wrap(out);
+          });
+    }
     default:
       throw Error(ErrorKind::kProtocol,
                   std::string("ri: ") + roap::to_string(request.type()) +

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,27 @@ struct Domain {
   std::uint32_t generation = 0;
   std::vector<std::string> members;  // device ids
   std::size_t max_members = 8;
+};
+
+/// Observability for the idempotent replay cache.
+struct ReplayCacheStats {
+  std::uint64_t hits = 0;         // duplicate served from cache (0 RSA ops)
+  std::uint64_t misses = 0;       // includes expirations and mismatches
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;    // LRU capacity pressure
+  std::uint64_t expirations = 0;  // entry outlived its TTL
+  std::uint64_t mismatches = 0;   // same key, different request bytes
+};
+
+/// Issuance accounting — what the RI actually *did*, as opposed to what
+/// it was asked. The chaos soak reconciles these against client-side
+/// grant counts: a replay served from cache must not move any of them.
+struct RiCounters {
+  std::uint64_t registrations = 0;      // devices admitted (fresh handshakes)
+  std::uint64_t ros_issued = 0;         // ProtectedRos freshly minted
+  std::uint64_t domain_joins = 0;
+  std::uint64_t domain_leaves = 0;
+  std::uint64_t degraded_refusals = 0;  // kStoreFailure responses served
 };
 
 class RightsIssuer {
@@ -102,6 +125,15 @@ class RightsIssuer {
   /// returns the response envelope. Throws omadrm::Error(kProtocol) when
   /// the envelope is not a request message (a response or trigger), and
   /// omadrm::Error(kFormat) when its content is malformed.
+  ///
+  /// Fault tolerance built into this entry point:
+  ///   - an exact duplicate of a recently served request is answered from
+  ///     the idempotent replay cache (byte-identical response, zero RSA
+  ///     operations, zero state changes) — see the replay-cache section;
+  ///   - a refused StateStore commit does NOT unwind: the RI answers with
+  ///     a typed Status::kStoreFailure refusal, having changed nothing
+  ///     (degraded mode: no new grants, but stateless service — notably
+  ///     RO issuing, which persists nothing — keeps working).
   roap::Envelope handle(const roap::Envelope& request, std::uint64_t now);
 
   /// Raw-bytes entry point: parses the serialized request document,
@@ -116,6 +148,31 @@ class RightsIssuer {
   /// DeviceHello, are superseded by a newer hello from the same device,
   /// and are consumed (success or failure) by the RegistrationRequest.
   std::size_t pending_session_count() const { return sessions_.size(); }
+
+  /// Garbage-collects every pending session older than kPendingSessionTtl
+  /// (normally a side effect of traffic; exposed so idle periods — and
+  /// leak assertions — can force the sweep). Returns how many died.
+  std::size_t expire_pending_sessions(std::uint64_t now);
+
+  // -- Idempotent replay cache ----------------------------------------------
+  // handle() remembers its recent responses keyed by (request type,
+  // device, session-id/nonce) plus a digest of the exact request bytes.
+  // A device resending a request whose response was lost in transit gets
+  // the cached response back byte-for-byte: ZERO additional RSA
+  // operations, no double-issued RO, no double-bumped counter, no
+  // consumed-session refusal. Entries expire after the TTL and the table
+  // is LRU-bounded; the cache is RAM-only (a restarted RI serves
+  // duplicates from its durable one-shot session state instead, which is
+  // slower but equally safe). kStoreFailure refusals are never cached —
+  // a retry after the store heals must be re-processed.
+  void set_replay_cache_enabled(bool v) { replay_enabled_ = v; }
+  void set_replay_cache_capacity(std::size_t n);
+  void set_replay_cache_ttl(std::uint64_t seconds) { replay_ttl_ = seconds; }
+  std::size_t replay_cache_size() const { return replay_.size(); }
+  const ReplayCacheStats& replay_cache_stats() const { return replay_stats_; }
+
+  /// Issuance counters (see RiCounters).
+  const RiCounters& counters() const { return counters_; }
 
   /// When true, Device ROs are also RI-signed (allowed but not mandated by
   /// the standard; the paper notes the signature "is mandatory only for
@@ -149,19 +206,37 @@ class RightsIssuer {
   roap::LeaveDomainResponse on_leave_domain(
       const roap::LeaveDomainRequest& request, std::uint64_t now);
 
-  /// Drops pending registration sessions whose DeviceHello is older than
-  /// kPendingSessionTtl, appending the matching store erases to `tx`.
-  void expire_sessions(std::uint64_t now, store::Transaction& tx);
-
-  /// on_registration_request body; the caller commits `tx` (session
-  /// consumption + device admission) before the response leaves.
-  roap::RegistrationResponse do_registration_request(
-      const roap::RegistrationRequest& request, std::uint64_t now,
-      store::Transaction& tx);
+  /// Pending sessions that are past their TTL at `now` — and, when
+  /// `superseded_device` is non-null, that device's sessions too (only
+  /// its newest hello may stay live). Pure: the caller stages the store
+  /// erases, commits, and only then applies the RAM erases, so a refused
+  /// commit leaves RAM and store agreeing.
+  std::vector<std::string> stale_sessions(
+      std::uint64_t now, const std::string* superseded_device) const;
 
   /// Commits `tx` when a store is bound; throws omadrm::Error(kState) on
-  /// a refused commit (the RI must not answer with unkept state).
+  /// a refused commit (the RI must not answer with unkept state). Every
+  /// handler orders its work compute → persist → apply-to-RAM, so the
+  /// throw is always raised before any live state changed; handle()
+  /// catches it and answers with a typed Status::kStoreFailure refusal
+  /// (degraded mode) instead of unwinding through the transport.
   void persist(const store::Transaction& tx);
+
+  /// Replay-cache core: serve `key` if it holds a fresh entry whose
+  /// request digest matches `request_wire` byte-for-byte.
+  std::optional<roap::Envelope> replay_lookup(const std::string& key,
+                                              const std::string& request_wire,
+                                              std::uint64_t now);
+  void replay_insert(const std::string& key, const std::string& request_wire,
+                     std::string response_wire, std::uint64_t now);
+
+  /// handle() per-type skeleton: replay-cache lookup → handler → cache
+  /// the response; a refused store commit (Error(kState)) from inside the
+  /// handler is converted into the typed refusal `refusal()` builds.
+  template <typename Handler, typename Refusal>
+  roap::Envelope serve(const std::string& key, const roap::Envelope& request,
+                       std::uint64_t now, Handler&& handler,
+                       Refusal&& refusal);
 
   roap::ProtectedRo build_protected_ro(const LicenseOffer& offer,
                                        const rsa::PublicKey& device_key);
@@ -191,6 +266,25 @@ class RightsIssuer {
   std::map<std::string, Domain> domains_;
   std::uint64_t next_session_ = 1;
   store::StateStore* store_ = nullptr;
+
+  /// One remembered response. The digest pins the entry to the *exact*
+  /// request bytes: a different request that happens to reuse the key
+  /// (e.g. a nonce collision) is processed fresh, never served a stale
+  /// answer.
+  struct ReplayEntry {
+    Bytes request_digest;       // SHA-1 of the request wire bytes
+    std::string response_wire;
+    std::uint64_t created_at = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  bool replay_enabled_ = true;
+  std::size_t replay_capacity_ = 1024;
+  std::uint64_t replay_ttl_ = 600;  // seconds; mirrors kPendingSessionTtl
+  std::map<std::string, ReplayEntry> replay_;
+  std::list<std::string> replay_lru_;  // front = most recently used
+  ReplayCacheStats replay_stats_;
+  RiCounters counters_;
 };
 
 /// How long an RI keeps a pending registration session alive while

@@ -20,6 +20,8 @@ const char* to_string(Status s) {
     case Status::kSignatureInvalid: return "SignatureInvalid";
     case Status::kUnknownRoId: return "UnknownRoId";
     case Status::kAccessDenied: return "AccessDenied";
+    case Status::kSessionExpired: return "SessionExpired";
+    case Status::kStoreFailure: return "StoreFailure";
   }
   return "Abort";
 }
@@ -32,6 +34,8 @@ omadrm::StatusCode status_code(Status s) {
     case Status::kSignatureInvalid: return StatusCode::kSignatureInvalid;
     case Status::kUnknownRoId: return StatusCode::kUnknownRoId;
     case Status::kAccessDenied: return StatusCode::kAccessDenied;
+    case Status::kSessionExpired: return StatusCode::kSessionExpired;
+    case Status::kStoreFailure: return StatusCode::kStoreFailure;
   }
   return StatusCode::kRiAborted;
 }
@@ -43,6 +47,8 @@ Status status_from_string(std::string_view s) {
   if (s == "SignatureInvalid") return Status::kSignatureInvalid;
   if (s == "UnknownRoId") return Status::kUnknownRoId;
   if (s == "AccessDenied") return Status::kAccessDenied;
+  if (s == "SessionExpired") return Status::kSessionExpired;
+  if (s == "StoreFailure") return Status::kStoreFailure;
   throw Error(ErrorKind::kFormat,
               "roap: unknown status '" + std::string(s) + "'");
 }

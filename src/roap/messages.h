@@ -36,6 +36,16 @@ enum class Status : std::uint8_t {
   kSignatureInvalid,
   kUnknownRoId,
   kAccessDenied,
+  /// The pending registration session named by the request no longer
+  /// exists (TTL garbage collection, supersession, or an RI restart that
+  /// lost the RAM-only half). Distinct from kAbort so a retrying device
+  /// knows to restart cleanly from DeviceHello with fresh nonces instead
+  /// of treating the handshake as refused.
+  kSessionExpired,
+  /// The RI's durable store refused the commit this request required; no
+  /// state changed and no grant was made. Retriable: the device may try
+  /// again once the store recovers. Stateless service is unaffected.
+  kStoreFailure,
 };
 
 const char* to_string(Status s);

@@ -33,20 +33,36 @@ FaultyTransport::FaultyTransport(Transport& inner, Rng& rng)
 
 void FaultyTransport::inject(Fault fault) { injected_.push_back(fault); }
 
+void FaultyTransport::set_schedule(std::vector<Fault> schedule) {
+  schedule_.assign(schedule.begin(), schedule.end());
+}
+
 FaultyTransport::Fault FaultyTransport::next_fault() {
   if (!injected_.empty()) {
     Fault f = injected_.front();
     injected_.pop_front();
     return f;
   }
-  // Probabilistic mode with 1/2^32 resolution.
+  if (!schedule_.empty()) {
+    Fault f = schedule_.front();
+    schedule_.pop_front();
+    ++stats_.scheduled;
+    return f;
+  }
+  // Probabilistic mode with 1/2^32 resolution; the four rates slice one
+  // uniform draw so each request suffers at most one fault.
   const double draw =
       static_cast<double>(rng_.uniform(std::uint64_t{1} << 32)) /
       static_cast<double>(std::uint64_t{1} << 32);
   if (draw < drop_rate_) {
     return rng_.uniform(2) == 0 ? Fault::kDropRequest : Fault::kDropResponse;
   }
-  if (draw < drop_rate_ + corrupt_rate_) return Fault::kCorruptResponse;
+  double band = drop_rate_ + corrupt_rate_;
+  if (draw < band) return Fault::kCorruptResponse;
+  band += replay_rate_;
+  if (draw < band) return Fault::kReplayResponse;
+  band += delay_rate_;
+  if (draw < band) return Fault::kDelayResponse;
   return Fault::kNone;
 }
 
@@ -65,6 +81,7 @@ std::string FaultyTransport::corrupt(std::string wire) {
 Envelope FaultyTransport::request(const Envelope& request) {
   ++stats_.requests;
   const Fault fault = next_fault();
+  fault_log_.push_back(fault);
 
   switch (fault) {
     case Fault::kDropRequest:

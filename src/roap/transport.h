@@ -24,6 +24,7 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "roap/envelope.h"
@@ -79,23 +80,39 @@ class FaultyTransport final : public Transport {
     std::size_t corrupted = 0;
     std::size_t replayed = 0;
     std::size_t delayed = 0;
+    std::size_t scheduled = 0;  // faults consumed from set_schedule()
   };
 
   FaultyTransport(Transport& inner, Rng& rng);
 
   /// Queues a one-shot fault consumed by the next request (FIFO). With an
-  /// empty queue the probabilistic rates below apply.
+  /// empty queue the schedule, then the probabilistic rates below, apply.
   void inject(Fault fault);
-  /// Probability in [0,1] of dropping / corrupting an exchange when no
-  /// injected fault is pending.
+  /// Installs a scripted fault sequence, one entry per request, consumed
+  /// after any inject()ed faults and before the probabilistic mode. Feed
+  /// a recorded fault_log() back in to replay an observed run exactly.
+  void set_schedule(std::vector<Fault> schedule);
+  std::size_t schedule_remaining() const { return schedule_.size(); }
+  /// Probability in [0,1] of dropping / corrupting / replaying / delaying
+  /// an exchange when no injected or scheduled fault is pending. The
+  /// rates are cumulative slices of one uniform draw, so their sum must
+  /// stay <= 1.
   void set_drop_rate(double p) { drop_rate_ = p; }
   void set_corrupt_rate(double p) { corrupt_rate_ = p; }
+  void set_replay_rate(double p) { replay_rate_ = p; }
+  void set_delay_rate(double p) { delay_rate_ = p; }
 
   /// Discards responses still queued by kDelayResponse — the network
   /// "timing out" the stale packets so in-order delivery resumes.
   void discard_delayed() { delayed_.clear(); }
 
   const Stats& stats() const { return stats_; }
+
+  /// Every fault applied so far, one entry per request() in order
+  /// (kNone for honest deliveries) — the exact scenario a probabilistic
+  /// run produced, replayable via set_schedule().
+  const std::vector<Fault>& fault_log() const { return fault_log_; }
+  void clear_fault_log() { fault_log_.clear(); }
 
   Envelope request(const Envelope& request) override;
 
@@ -106,10 +123,14 @@ class FaultyTransport final : public Transport {
   Transport& inner_;
   Rng& rng_;
   std::deque<Fault> injected_;
+  std::deque<Fault> schedule_;
   std::deque<Envelope> delayed_;
   std::optional<Envelope> last_response_;
   double drop_rate_ = 0;
   double corrupt_rate_ = 0;
+  double replay_rate_ = 0;
+  double delay_rate_ = 0;
+  std::vector<Fault> fault_log_;
   Stats stats_;
 };
 

@@ -294,7 +294,10 @@ TEST_F(AgentExtended, SessionsEnforceOrdering) {
   ASSERT_EQ(acq.request(), AgentStatus::kOk);
   EXPECT_EQ(acq.conclude(roap::Envelope::wrap(roap::JoinDomainResponse{})),
             AgentStatus::kUnexpectedMessage);
-  EXPECT_EQ(acq.state(), agent::AcquisitionSession::State::kFailed);
+  // A wrong-type delivery is retriable (a stale or reordered packet): the
+  // session stays re-drivable instead of parking kFailed, so a fresh
+  // delivery can still conclude it — here with the real response.
+  EXPECT_EQ(acq.state(), agent::AcquisitionSession::State::kAwaitResponse);
 }
 
 TEST_F(AgentExtended, AbandonedSessionLeavesNoPendingState) {
@@ -380,7 +383,11 @@ TEST_F(AgentExtended, PendingRiSessionsExpireAndSupersede) {
 TEST_F(AgentExtended, StaleRiSessionCannotCompleteRegistration) {
   setup_content("stalegc", 100);
   // Start a handshake, then let it sit past the RI's TTL before sending
-  // the RegistrationRequest: the RI must refuse (one-shot, fresh nonces).
+  // the RegistrationRequest: the RI must not complete it (one-shot, fresh
+  // nonces) — but the answer is the typed restart-from-DeviceHello signal
+  // (kSessionExpired), NOT a kAbort refusal: a device whose retry raced
+  // the TTL did nothing wrong and must know to restart cleanly instead of
+  // treating the RI as hostile.
   agent::RegistrationSession reg(*device_, kNow);
   auto hello = reg.hello();
   ASSERT_EQ(hello, AgentStatus::kOk);
@@ -390,8 +397,18 @@ TEST_F(AgentExtended, StaleRiSessionCannotCompleteRegistration) {
 
   tx().set_now(kNow + ri::kPendingSessionTtl + 60);
   roap::Envelope resp = tx().request(*req);
-  EXPECT_EQ(reg.conclude(resp), AgentStatus::kRiAborted);
+  EXPECT_EQ(reg.conclude(resp), AgentStatus::kSessionExpired);
+  EXPECT_EQ(reg.state(), agent::RegistrationSession::State::kFailed);
   EXPECT_FALSE(device_->has_ri_context("ri.example"));
+
+  // The policy driver turns that signal into an automatic restart with
+  // fresh nonces — the whole handshake succeeds in one run() call.
+  agent::RegistrationSession retry(*device_,
+                                   kNow + ri::kPendingSessionTtl + 60);
+  roap::RetryPolicy policy;
+  DeterministicRng pacing(0xFEED);
+  EXPECT_EQ(retry.run(tx(), policy, pacing), AgentStatus::kOk);
+  EXPECT_TRUE(device_->has_ri_context("ri.example"));
 }
 
 // ---------------------------------------------------------------------------

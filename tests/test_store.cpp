@@ -983,8 +983,13 @@ TEST_F(RiPersistence, ConsumedSessionStaysConsumedAcrossRestart) {
 
   roap::InProcessTransport tx2(ri2, kNow);
   roap::Envelope replayed = tx2.request(*req);
+  // The restarted RI's replay cache is RAM-only and therefore empty, so
+  // the duplicate reaches the handler, finds its one-shot session
+  // consumed, and answers with the clean restart-from-DeviceHello signal
+  // (kSessionExpired, not a kAbort refusal — the device did nothing
+  // wrong).
   EXPECT_EQ(replayed.open<roap::RegistrationResponse>().status,
-            roap::Status::kAbort);
+            roap::Status::kSessionExpired);
 }
 
 }  // namespace

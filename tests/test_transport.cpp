@@ -306,6 +306,58 @@ TEST_F(TransportRobustness, FaultyTransportIsTransparentWhenHonest) {
   EXPECT_EQ(st.dropped + st.corrupted + st.replayed + st.delayed, 0u);
 }
 
+TEST_F(TransportRobustness, ScheduledFaultsConsumeInOrderAndCount) {
+  net().set_schedule({Fault::kDropRequest, Fault::kNone, Fault::kDropRequest});
+  EXPECT_EQ(net().schedule_remaining(), 3u);
+  EXPECT_EQ(device_->register_with(net(), kNow),
+            AgentStatus::kTransportFailure);  // entry 1: hello dropped
+  EXPECT_EQ(net().schedule_remaining(), 2u);
+  EXPECT_EQ(device_->register_with(net(), kNow),
+            AgentStatus::kTransportFailure);  // entry 2 honest, 3 drops
+  EXPECT_EQ(net().schedule_remaining(), 0u);
+  EXPECT_EQ(net().stats().scheduled, 3u);
+  // Schedule exhausted: traffic is honest again (rates are all zero).
+  EXPECT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+}
+
+TEST_F(TransportRobustness, ReplayAndDelayRatesProduceTheirFaults) {
+  ASSERT_EQ(device_->register_with(net(), kNow), AgentStatus::kOk);
+  net().set_replay_rate(0.3);
+  net().set_delay_rate(0.3);
+  for (int i = 0; i < 60; ++i) {
+    net().discard_delayed();
+    auto acq = device_->acquire_ro(net(), "ri.example", "ro:net", kNow);
+    if (acq.ok()) {
+      EXPECT_EQ(device_->install_ro(*acq, kNow), AgentStatus::kOk);
+    }
+  }
+  EXPECT_GT(net().stats().replayed, 0u);
+  EXPECT_GT(net().stats().delayed, 0u);
+  EXPECT_EQ(net().stats().dropped + net().stats().corrupted, 0u);
+}
+
+TEST_F(TransportRobustness, FaultLogReplaysAnObservedRunExactly) {
+  // Probabilistic run: record what the network actually did.
+  net().set_drop_rate(0.4);
+  auto first = device_->register_with(net(), kNow);
+  const std::vector<Fault> observed = net().fault_log();
+  ASSERT_FALSE(observed.empty());
+
+  // Feed the log back as a schedule: the second run sees the identical
+  // fault sequence — the replay mechanism the chaos soak prints on
+  // violation ("rerun with --seed N") rests on this.
+  net().set_drop_rate(0);
+  net().clear_fault_log();
+  DrmAgent replay_device("device-02", ca_->root_certificate(),
+                         provider::plain_provider(), *rng_);
+  replay_device.provision(
+      ca_->issue("device-02", replay_device.public_key(), kValidity, *rng_));
+  net().set_schedule(observed);
+  auto second = replay_device.register_with(net(), kNow);
+  EXPECT_EQ(second.code(), first.code());
+  EXPECT_EQ(net().fault_log(), observed);
+}
+
 TEST_F(TransportRobustness, InProcessTransportRoundTripsEnvelopes) {
   // The loopback transport performs a full serialize→parse round trip:
   // what comes back is a well-typed envelope, not a shared object.
