@@ -1,0 +1,354 @@
+// Networked fleet benchmark: a real ri_server process on localhost,
+// N threaded device agents driving it through net::SocketTransport.
+//
+// This is the PR 2 seam cashing out: the agents run the exact
+// production stack — AcquisitionSession state machines under the
+// retry-policy driver, roap::ReliableTransport, and now a framed-TCP
+// transport instead of the in-process one — against a server they only
+// share a PKI seed with (net::Realm), not an address space.
+//
+// Per agent-count scale: every agent owns one persistent connection,
+// registers (4-pass), then streams RO acquisitions; the acquisition
+// phase starts on a barrier so the throughput window measures N truly
+// concurrent clients. Reported per scale: exchanges/s at the server,
+// p50/p95/p99 acquisition latency, mean registration time. The bench
+// asserts zero transport errors and zero server refusals across the
+// whole run — on a quiet loopback the retry stack must be pure
+// accounting — then SIGTERMs the server and asserts a clean drain
+// (exit status 0).
+//
+// Output: human summary on stdout + JSON (default BENCH_net.json) for
+// scripts/check_bench_regression.py (bench kind "net_fleet").
+//
+// Usage: bench_net_fleet [--quick] [--json <path>] [--server <path>]
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agent/drm_agent.h"
+#include "common/random.h"
+#include "net/realm.h"
+#include "net/socket_transport.h"
+#include "roap/retry.h"
+#include "roap/transport.h"
+
+namespace {
+
+using namespace omadrm;  // NOLINT
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(
+                             static_cast<double>(sorted.size()) * p));
+  return sorted[idx];
+}
+
+// ---------------------------------------------------------------------------
+// Server process control.
+// ---------------------------------------------------------------------------
+
+struct ServerProc {
+  pid_t pid = -1;
+  int out_fd = -1;  // server stdout (the LISTENING line)
+  std::uint16_t port = 0;
+};
+
+ServerProc spawn_server(const std::string& binary, std::uint64_t seed) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    const std::string seed_str = std::to_string(seed);
+    ::execl(binary.c_str(), binary.c_str(), "--port", "0", "--seed",
+            seed_str.c_str(), "--stats", static_cast<char*>(nullptr));
+    std::fprintf(stderr, "exec %s: %s\n", binary.c_str(),
+                 std::strerror(errno));
+    std::_Exit(127);
+  }
+  ::close(pipefd[1]);
+
+  // Parse "LISTENING <port>\n" from the child's stdout.
+  std::string line;
+  char c;
+  while (::read(pipefd[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+  unsigned port = 0;
+  if (std::sscanf(line.c_str(), "LISTENING %u", &port) != 1 || port == 0) {
+    std::fprintf(stderr, "server did not report a port (got \"%s\")\n",
+                 line.c_str());
+    ::kill(pid, SIGKILL);
+    std::exit(1);
+  }
+  ServerProc sp;
+  sp.pid = pid;
+  sp.out_fd = pipefd[0];
+  sp.port = static_cast<std::uint16_t>(port);
+  return sp;
+}
+
+/// SIGTERM + waitpid; returns true when the server drained and exited 0.
+bool stop_server(ServerProc& sp) {
+  ::kill(sp.pid, SIGTERM);
+  int status = 0;
+  if (::waitpid(sp.pid, &status, 0) != sp.pid) return false;
+  ::close(sp.out_fd);
+  sp.pid = -1;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet run at one agent-count scale.
+// ---------------------------------------------------------------------------
+
+struct ScaleResult {
+  std::size_t agents = 0;
+  std::size_t acqs_per_agent = 0;
+  double registration_ms_avg = 0;
+  double exchanges_per_s = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t server_refusals = 0;
+  std::uint64_t reconnects = 0;
+  bool ok = true;
+};
+
+ScaleResult run_scale(net::Realm& realm, std::uint16_t port,
+                      std::size_t n_agents, std::size_t acqs) {
+  ScaleResult out;
+  out.agents = n_agents;
+  out.acqs_per_agent = acqs;
+
+  // Agents are minted on the main thread (the realm rng is not
+  // thread-safe); each worker thread then owns its agent + connection.
+  std::vector<std::unique_ptr<agent::DrmAgent>> agents;
+  agents.reserve(n_agents);
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    agents.push_back(realm.make_agent("dev:fleet-" + std::to_string(i) + "-" +
+                                      std::to_string(n_agents)));
+  }
+
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  std::size_t registered = 0;
+  bool go = false;
+
+  std::vector<std::vector<double>> latencies(n_agents);
+  std::vector<double> reg_ms(n_agents, 0);
+  std::atomic<bool> failed{false};
+  std::atomic<std::uint64_t> transport_errors{0}, refusals{0}, reconnects{0};
+
+  auto worker = [&](std::size_t idx) {
+    net::SocketTransport::Config tc;
+    tc.port = port;
+    net::SocketTransport sock(tc);
+    roap::RetryPolicy policy;
+    DeterministicRng rng(0x5EED0 + idx);
+    roap::ReliableTransport reliable(sock, policy, rng);
+    agent::DrmAgent& dev = *agents[idx];
+
+    const auto reg_start = Clock::now();
+    if (!dev.register_with(reliable, net::kRealmNow, policy).ok()) {
+      failed.store(true);
+    }
+    reg_ms[idx] = ms_since(reg_start);
+
+    {
+      std::unique_lock<std::mutex> lock(barrier_mu);
+      ++registered;
+      barrier_cv.notify_all();
+      barrier_cv.wait(lock, [&] { return go; });
+    }
+    if (failed.load()) return;
+
+    latencies[idx].reserve(acqs);
+    for (std::size_t a = 0; a < acqs; ++a) {
+      const auto t0 = Clock::now();
+      if (!dev.acquire_ro(reliable, net::kRealmRiId, net::kRealmRoId,
+                          net::kRealmNow, policy)
+               .ok()) {
+        failed.store(true);
+        return;
+      }
+      latencies[idx].push_back(ms_since(t0));
+    }
+    transport_errors.fetch_add(sock.stats().transport_errors);
+    refusals.fetch_add(sock.stats().server_refusals);
+    reconnects.fetch_add(sock.stats().reconnects);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_agents);
+  for (std::size_t i = 0; i < n_agents; ++i) threads.emplace_back(worker, i);
+
+  Clock::time_point acq_start;
+  {
+    std::unique_lock<std::mutex> lock(barrier_mu);
+    barrier_cv.wait(lock, [&] { return registered == n_agents; });
+    go = true;
+    acq_start = Clock::now();
+    barrier_cv.notify_all();
+  }
+  for (std::thread& t : threads) t.join();
+  const double acq_total_ms = ms_since(acq_start);
+
+  if (failed.load()) {
+    out.ok = false;
+    return out;
+  }
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.p50 = percentile(all, 0.50);
+  out.p95 = percentile(all, 0.95);
+  out.p99 = percentile(all, 0.99);
+  out.exchanges_per_s =
+      static_cast<double>(all.size()) / (acq_total_ms / 1000.0);
+  for (double r : reg_ms) out.registration_ms_avg += r;
+  out.registration_ms_avg /= static_cast<double>(n_agents);
+  out.transport_errors = transport_errors.load();
+  out.server_refusals = refusals.load();
+  out.reconnects = reconnects.load();
+  return out;
+}
+
+std::string default_server_path(const char* argv0) {
+  std::string path(argv0);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "./ri_server";
+  return path.substr(0, slash + 1) + "ri_server";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_net.json";
+  std::string server_path = default_server_path(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json <path>] [--server <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const std::uint64_t seed = net::kDefaultRealmSeed;
+  std::vector<std::size_t> scales =
+      quick ? std::vector<std::size_t>{8}
+            : std::vector<std::size_t>{1, 8, 32, 64};
+  const std::size_t acqs = quick ? 4 : 16;
+
+  std::printf("=== networked fleet benchmark (framed TCP, RSA-%zu) ===\n\n",
+              net::kRealmRsaBits);
+  std::printf("spawning %s ...\n", server_path.c_str());
+  ServerProc server = spawn_server(server_path, seed);
+  std::printf("server pid %d listening on 127.0.0.1:%u\n\n",
+              static_cast<int>(server.pid),
+              static_cast<unsigned>(server.port));
+
+  // The client-side realm replays the server's trust prefix from the
+  // same seed; this is the cross-process half of the handshake.
+  net::Realm realm(seed);
+
+  std::vector<ScaleResult> results;
+  bool all_ok = true;
+  for (std::size_t n : scales) {
+    ScaleResult r = run_scale(realm, server.port, n, acqs);
+    if (!r.ok || r.transport_errors != 0 || r.server_refusals != 0) {
+      std::fprintf(stderr,
+                   "FAIL: scale %zu agents: ok=%d transport_errors=%llu "
+                   "refusals=%llu\n",
+                   n, r.ok ? 1 : 0,
+                   static_cast<unsigned long long>(r.transport_errors),
+                   static_cast<unsigned long long>(r.server_refusals));
+      all_ok = false;
+    }
+    std::printf("%3zu agents x %2zu acq: %8.1f exch/s   p50 %7.2f ms   "
+                "p95 %7.2f ms   p99 %7.2f ms   reg %7.1f ms/agent\n",
+                r.agents, r.acqs_per_agent, r.exchanges_per_s, r.p50, r.p95,
+                r.p99, r.registration_ms_avg);
+    results.push_back(r);
+  }
+
+  const bool clean_exit = stop_server(server);
+  std::printf("\nserver drain on SIGTERM: %s\n",
+              clean_exit ? "clean (exit 0)" : "FAILED");
+  if (!clean_exit) all_ok = false;
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"net_fleet\",\n"
+       << "  \"config\": {\"rsa_bits\": " << net::kRealmRsaBits
+       << ", \"transport\": \"framed_tcp\", \"crc\": true, \"quick\": "
+       << (quick ? "true" : "false") << "},\n"
+       << "  \"server_clean_exit\": " << (clean_exit ? "true" : "false")
+       << ",\n"
+       << "  \"scales\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"agents\": %zu, \"acquisitions_per_agent\": %zu, "
+                  "\"exchanges_per_s\": %.1f, \"acquisition_ms_p50\": %.3f, "
+                  "\"acquisition_ms_p95\": %.3f, \"acquisition_ms_p99\": "
+                  "%.3f, \"registration_ms_avg\": %.2f, "
+                  "\"transport_errors\": %llu, \"server_refusals\": %llu, "
+                  "\"reconnects\": %llu}%s\n",
+                  r.agents, r.acqs_per_agent, r.exchanges_per_s, r.p50, r.p95,
+                  r.p99, r.registration_ms_avg,
+                  static_cast<unsigned long long>(r.transport_errors),
+                  static_cast<unsigned long long>(r.server_refusals),
+                  static_cast<unsigned long long>(r.reconnects),
+                  i + 1 < results.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return all_ok ? 0 : 1;
+}

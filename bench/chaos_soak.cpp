@@ -28,9 +28,19 @@
 //
 // Usage: chaos_soak [--seed S | --seeds N] [--agents N] [--ops N]
 //                   [--drop P] [--corrupt P] [--replay P] [--delay P]
-//                   [--store-fail P] [--kill P] [--quick]
+//                   [--store-fail P] [--kill P] [--quick] [--socket]
 //                   [--json <path>]
 // Env:   CHAOS_SEED=S  equivalent to --seed S (CI replay hook).
+//
+// --socket swaps the in-process loopback for the real network stack: an
+// in-process net::RiServer (ephemeral port, worker pool) wrapping the
+// same RightsIssuer, with the FaultyTransport layered over a
+// net::SocketTransport. Every drop/corrupt/replay/delay fault then
+// happens against real framed-TCP exchanges — corrupted requests cross
+// the wire and come back as server refusal frames — while the soak's
+// invariants (termination, leaks, conservation, reconciliation) stay
+// bit-for-bit the same contract. The server is drained before the final
+// invariant sweep so the RI is quiescent when inspected.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +57,9 @@
 #include "common/error.h"
 #include "common/random.h"
 #include "dcf/dcf.h"
+#include "net/concurrent_issuer.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
 #include "pki/authority.h"
 #include "provider/provider.h"
 #include "ri/rights_issuer.h"
@@ -72,6 +85,7 @@ struct Options {
   double delay = 0.02;         // combined wire fault rate: 14%
   double store_fail = 0.05;    // per-op chance a store refuses its commit
   double kill = 0.05;          // per-op chance of a mid-handshake kill
+  bool socket = false;         // faults over real framed TCP
   std::string json_path = "BENCH_chaos.json";
 };
 
@@ -135,6 +149,10 @@ class SeedRun {
   std::unique_ptr<ri::RightsIssuer> ri_;
   std::unique_ptr<store::MemoryStore> ri_store_;
   std::unique_ptr<roap::InProcessTransport> loopback_;
+  // --socket mode: server + client transport, destroyed before the RI.
+  std::unique_ptr<net::ConcurrentIssuer> cissuer_;
+  std::unique_ptr<net::RiServer> server_;
+  std::unique_ptr<net::SocketTransport> sock_;
   std::unique_ptr<roap::FaultyTransport> net_;
   dcf::Dcf dcf_;
   roap::RetryPolicy policy_;
@@ -273,6 +291,10 @@ void SeedRun::step(AgentSlot& slot) {
 }
 
 bool SeedRun::final_invariants(std::vector<AgentSlot>& fleet) {
+  // In socket mode, drain the server first: the invariant sweep below
+  // inspects the RI directly and needs it quiescent.
+  if (server_) server_->stop();
+
   // 1. No pending-session leaks: after the TTL passes, the sweep leaves
   // nothing behind — killed and abandoned handshakes all die.
   net_->discard_delayed();
@@ -376,8 +398,28 @@ bool SeedRun::run() {
   offer.kcek = *ci_->kcek_for(headers.content_id);
   ri_->add_offer(offer);
 
-  loopback_ = std::make_unique<roap::InProcessTransport>(*ri_, kNow);
-  net_ = std::make_unique<roap::FaultyTransport>(*loopback_, rng_);
+  if (opt_.socket) {
+    // The real network stack wrapping the same RI: an in-process server
+    // on an ephemeral port, and the fault injector over framed TCP.
+    cissuer_ = std::make_unique<net::ConcurrentIssuer>(*ri_);
+    net::RiServer::Config sc;
+    sc.now = kNow;
+    sc.workers = 2;
+    server_ = std::make_unique<net::RiServer>(*cissuer_, sc);
+    try {
+      server_->start();
+    } catch (const Error& e) {
+      violation("setup", std::string("RiServer start: ") + e.what());
+      return false;
+    }
+    net::SocketTransport::Config tc;
+    tc.port = server_->port();
+    sock_ = std::make_unique<net::SocketTransport>(tc);
+    net_ = std::make_unique<roap::FaultyTransport>(*sock_, rng_);
+  } else {
+    loopback_ = std::make_unique<roap::InProcessTransport>(*ri_, kNow);
+    net_ = std::make_unique<roap::FaultyTransport>(*loopback_, rng_);
+  }
   net_->set_drop_rate(opt_.drop);
   net_->set_corrupt_rate(opt_.corrupt);
   net_->set_replay_rate(opt_.replay);
@@ -464,6 +506,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--store-fail") == 0 &&
                rate(opt.store_fail)) {
     } else if (std::strcmp(argv[i], "--kill") == 0 && rate(opt.kill)) {
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      opt.socket = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       opt.agents = 8;
       opt.seeds = 2;
@@ -475,7 +519,8 @@ int main(int argc, char** argv) {
           stderr,
           "usage: %s [--seed S | --seeds N] [--agents N] [--ops N]\n"
           "          [--drop P] [--corrupt P] [--replay P] [--delay P]\n"
-          "          [--store-fail P] [--kill P] [--quick] [--json <path>]\n",
+          "          [--store-fail P] [--kill P] [--quick] [--socket]\n"
+          "          [--json <path>]\n",
           argv[0]);
       return 2;
     }
@@ -484,9 +529,10 @@ int main(int argc, char** argv) {
 
   std::printf("chaos soak: %zu seed(s) from %" PRIu64
               ", %zu agents x %zu ops, faults drop=%g corrupt=%g replay=%g "
-              "delay=%g store-fail=%g kill=%g\n",
+              "delay=%g store-fail=%g kill=%g, transport=%s\n",
               opt.seeds, opt.seed, opt.agents, opt.ops, opt.drop, opt.corrupt,
-              opt.replay, opt.delay, opt.store_fail, opt.kill);
+              opt.replay, opt.delay, opt.store_fail, opt.kill,
+              opt.socket ? "framed-tcp" : "in-process");
 
   std::size_t clean = 0;
   std::uint64_t total_ops = 0, total_ok = 0, total_kills = 0;

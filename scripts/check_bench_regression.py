@@ -15,6 +15,13 @@ field:
                  wall-clock commits/s swings 2x with machine load while
                  the p50 stays within a few percent, and the fsync-on
                  figure is disk hardware, so both only print.
+  net_fleet      gates on exchanges/s through the framed-TCP server at
+                 the largest agent count present in BOTH documents
+                 (quick CI runs only measure the 8-agent point the full
+                 baseline also carries). Also fails outright when the
+                 current run saw transport errors, server refusals, or
+                 an unclean server drain — those are correctness, not
+                 noise.
 
 Latency-style fields are printed for context but only throughput gates.
 
@@ -42,6 +49,12 @@ def dcf_throughput(doc: dict, payload_bytes: int) -> tuple[float, str, str]:
 def store_throughput(doc: dict) -> tuple[float, str, str]:
     value = 1e6 / float(doc["file_buffered"]["commit_us_p50"])
     return value, "buffered store commit rate (1/p50)", "commits/s"
+
+
+def net_throughput(doc: dict, agents: int) -> tuple[float, str, str]:
+    entry = next(s for s in doc["scales"] if s["agents"] == agents)
+    label = f"fleet throughput over TCP ({agents} agents)"
+    return float(entry["exchanges_per_s"]), label, "exch/s"
 
 
 def main() -> int:
@@ -75,6 +88,26 @@ def main() -> int:
     elif kind == "state_store":
         base, base_label, unit = store_throughput(baseline)
         cur, cur_label, _ = store_throughput(current)
+    elif kind == "net_fleet":
+        if not current.get("server_clean_exit", False):
+            print("FAIL: server did not drain cleanly on SIGTERM",
+                  file=sys.stderr)
+            return 1
+        errors = sum(int(s.get("transport_errors", 0)) +
+                     int(s.get("server_refusals", 0))
+                     for s in current["scales"])
+        if errors:
+            print(f"FAIL: {errors} transport errors / server refusals on a "
+                  f"quiet loopback", file=sys.stderr)
+            return 1
+        shared = (set(s["agents"] for s in baseline["scales"]) &
+                  set(s["agents"] for s in current["scales"]))
+        if not shared:
+            print("FAIL: no agent count measured in both documents",
+                  file=sys.stderr)
+            return 1
+        base, base_label, unit = net_throughput(baseline, max(shared))
+        cur, cur_label, _ = net_throughput(current, max(shared))
     else:
         base, base_label, unit = roap_throughput(baseline)
         cur, cur_label, _ = roap_throughput(current)
@@ -99,6 +132,13 @@ def main() -> int:
               f"(p50 {durable.get('commit_us_p50')} us); "
               f"crash-safe burn overhead {agent.get('overhead_us')} "
               f"us/grant")
+    elif kind == "net_fleet":
+        peak = max(current["scales"], key=lambda s: s["agents"])
+        print(f"current peak scale ({peak['agents']} agents): "
+              f"p50 {peak.get('acquisition_ms_p50')} ms, "
+              f"p95 {peak.get('acquisition_ms_p95')} ms, "
+              f"p99 {peak.get('acquisition_ms_p99')} ms, "
+              f"{peak.get('reconnects')} reconnects")
     else:
         cached = current.get("ro_acquisition", {}).get("cached", {})
         if cached:

@@ -1,0 +1,21 @@
+#include "net/concurrent_issuer.h"
+
+namespace omadrm::net {
+
+roap::Envelope ConcurrentIssuer::handle(const roap::Envelope& request,
+                                        std::uint64_t now) {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    ++stats_.contended;
+  }
+  ++stats_.exchanges;
+  return ri_.handle(request, now);
+}
+
+ConcurrentIssuer::Stats ConcurrentIssuer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace omadrm::net

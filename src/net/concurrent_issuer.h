@@ -1,0 +1,62 @@
+// Concurrency-safe front end over a RightsIssuer.
+//
+// RightsIssuer::handle is single-threaded by design: every handler
+// mutates shared tables (pending sessions, registered devices, domains,
+// the replay cache's LRU — which moves even on a *lookup* — and the
+// chain-verdict cache). This front end is the one object the server's
+// worker pool shares; it serializes handle() calls under one mutex, so
+// behind it the RI, its replay cache, and its chain verifier run
+// exactly the single-threaded code the rest of the repo tests.
+//
+// Why coarse, not striped: striping by device-id hash only helps when
+// per-device state is disjoint, but every request type crosses device
+// boundaries — the replay cache and session-id counter are global, a
+// domain join touches shared domain membership, and the store commit
+// path is one journal. Striping the lock without sharding the state
+// underneath would be a correctness bug wearing a performance hat. The
+// real unlock is a sharded RightsIssuer core (the ROADMAP's next item);
+// this class is deliberately the smallest thing that makes today's RI
+// safe to put behind a worker pool, with a contention counter so the
+// moment the lock becomes the bottleneck is measured, not guessed.
+//
+// The process-wide Montgomery-context cache (bigint/mont_cache) is
+// independently mutex-guarded and safe for the *client* threads that
+// share this process in benchmarks; it needs no help from this lock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "ri/rights_issuer.h"
+#include "roap/envelope.h"
+
+namespace omadrm::net {
+
+class ConcurrentIssuer {
+ public:
+  struct Stats {
+    std::uint64_t exchanges = 0;  // handle() calls completed or thrown
+    std::uint64_t contended = 0;  // calls that found the lock held
+  };
+
+  explicit ConcurrentIssuer(ri::RightsIssuer& ri) : ri_(ri) {}
+
+  /// Thread-safe RightsIssuer::handle. Exceptions (kProtocol for
+  /// non-request envelopes, kFormat for malformed content) propagate to
+  /// the caller — the server turns them into error frames.
+  roap::Envelope handle(const roap::Envelope& request, std::uint64_t now);
+
+  /// The wrapped issuer. Callers must not touch it while server workers
+  /// are live except through handle(); configuration (offers, domains)
+  /// belongs before start() or after stop().
+  ri::RightsIssuer& issuer() { return ri_; }
+
+  Stats stats() const;
+
+ private:
+  ri::RightsIssuer& ri_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace omadrm::net

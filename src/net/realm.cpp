@@ -1,0 +1,43 @@
+#include "net/realm.h"
+
+#include "common/bytes.h"
+#include "rel/rights.h"
+
+namespace omadrm::net {
+
+Realm::Realm(std::uint64_t seed)
+    : rng_(seed),
+      seed_(seed),
+      validity_{kRealmNow - 86400, kRealmNow + 365 * 86400},
+      ca_("CMLA Root", kRealmRsaBits, validity_, rng_),
+      ica_("CMLA Intermediate", kRealmRsaBits, ca_, validity_, rng_),
+      ri_(kRealmRiId, "http://ri.net/roap", ca_, validity_, provider_, rng_,
+          &ica_, kRealmRsaBits) {
+  // The default offer every realm agent can acquire. kcek draws from the
+  // rng *after* the shared trust prefix; the server side is the only one
+  // that uses it, so client-side divergence here is harmless.
+  ri::LicenseOffer offer;
+  offer.ro_id = kRealmRoId;
+  offer.content_id = kRealmContentId;
+  offer.dcf_hash = Bytes(20, 0xab);
+  rel::Permission play;
+  play.type = rel::PermissionType::kPlay;
+  offer.permissions = {play};
+  offer.kcek = rng_.bytes(16);
+  ri_.add_offer(offer);
+}
+
+std::unique_ptr<agent::DrmAgent> Realm::make_agent(
+    const std::string& device_id) {
+  // Per-agent generator: disjoint from the realm stream and from every
+  // other agent, so concurrently-driven agents never share rng state.
+  agent_rngs_.emplace_back(seed_ ^ (0x9E3779B97F4A7C15ull *
+                                    (agent_rngs_.size() + 1)));
+  DeterministicRng& rng = agent_rngs_.back();
+  auto dev = std::make_unique<agent::DrmAgent>(
+      device_id, ca_.root_certificate(), provider_, rng, kRealmRsaBits);
+  dev->provision(ca_.issue(device_id, dev->public_key(), validity_, rng));
+  return dev;
+}
+
+}  // namespace omadrm::net

@@ -1,0 +1,529 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "common/error.h"
+
+namespace omadrm::net {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+// ---------------------------------------------------------------------------
+// Pollers
+// ---------------------------------------------------------------------------
+
+#ifdef __linux__
+namespace {
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {
+    if (epfd_ < 0) {
+      throw Error(ErrorKind::kState,
+                  std::string("net: epoll_create1: ") + std::strerror(errno));
+    }
+  }
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void add(int fd, bool want_write) override { ctl(EPOLL_CTL_ADD, fd, want_write); }
+  void update(int fd, bool want_write) override { ctl(EPOLL_CTL_MOD, fd, want_write); }
+  void remove(int fd) override {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);  // tolerant: fd may be gone
+  }
+
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    epoll_event evs[128];
+    int n = ::epoll_wait(epfd_, evs, 128, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw Error(ErrorKind::kState,
+                  std::string("net: epoll_wait: ") + std::strerror(errno));
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = evs[i].data.fd;
+      e.readable = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.hangup = (evs[i].events & EPOLLERR) != 0;
+      out.push_back(e);
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, op, fd, &ev);  // tolerant on MOD-after-close races
+  }
+
+  int epfd_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> make_epoll_poller() {
+  return std::make_unique<EpollPoller>();
+}
+#else
+std::unique_ptr<Poller> make_epoll_poller() { return nullptr; }
+#endif
+
+namespace {
+
+class PollPoller final : public Poller {
+ public:
+  void add(int fd, bool want_write) override { wanted_[fd] = want_write; }
+  void update(int fd, bool want_write) override {
+    auto it = wanted_.find(fd);
+    if (it != wanted_.end()) it->second = want_write;
+  }
+  void remove(int fd) override { wanted_.erase(fd); }
+
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    fds_.clear();
+    for (const auto& [fd, want_write] : wanted_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+      fds_.push_back(p);
+    }
+    int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw Error(ErrorKind::kState,
+                  std::string("net: poll: ") + std::strerror(errno));
+    }
+    if (n == 0) return;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.hangup = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(e);
+    }
+  }
+
+ private:
+  std::unordered_map<int, bool> wanted_;  // fd -> write interest
+  std::vector<pollfd> fds_;               // reused scratch
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> make_poll_poller() {
+  return std::make_unique<PollPoller>();
+}
+
+// ---------------------------------------------------------------------------
+// RiServer
+// ---------------------------------------------------------------------------
+
+RiServer::RiServer(ConcurrentIssuer& issuer, Config config)
+    : issuer_(issuer), config_(std::move(config)) {}
+
+RiServer::~RiServer() { stop(); }
+
+void RiServer::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw Error(ErrorKind::kState, "net: server already running");
+  }
+  if (config_.workers == 0) {
+    throw Error(ErrorKind::kState, "net: server needs at least one worker");
+  }
+
+  listen_ = listen_tcp(config_.bind_address, config_.port, config_.backlog,
+                       &port_);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    listen_.close();
+    throw Error(ErrorKind::kState,
+                std::string("net: pipe: ") + std::strerror(errno));
+  }
+  set_nonblocking(pipefd[0]);
+  set_nonblocking(pipefd[1]);
+  wake_read_ = Socket(pipefd[0]);
+  wake_write_ = Socket(pipefd[1]);
+
+  poller_ = config_.use_epoll ? make_epoll_poller() : nullptr;
+  if (!poller_) poller_ = make_poll_poller();
+  poller_->add(listen_.fd(), false);
+  poller_->add(wake_read_.fd(), false);
+
+  stopping_.store(false, std::memory_order_release);
+  loop_exit_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  loop_thread_ = std::thread([this] { event_loop(); });
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void RiServer::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+
+  // 1. Stop intake: the loop drops the listen fd and ignores further
+  //    reads, so the job queue can only shrink from here.
+  stopping_.store(true, std::memory_order_release);
+  wake();
+
+  // 2. Serve everything already accepted: queued and executing jobs.
+  {
+    std::unique_lock<std::mutex> lock(jobs_mu_);
+    jobs_done_cv_.wait(lock,
+                       [this] { return jobs_.empty() && jobs_executing_ == 0; });
+  }
+  jobs_cv_.notify_all();  // workers exit: stopping_ && queue empty
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  // 3. Flush every outbox, bounded by drain_timeout_ms. The event loop
+  //    is still running and owns the writes; we just watch and poke.
+  const std::uint64_t deadline = steady_ms() + config_.drain_timeout_ms;
+  for (;;) {
+    bool pending = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& [fd, conn] : conns_) {
+        std::lock_guard<std::mutex> cl(conn->mu);
+        if (!conn->dead && conn->outpos < conn->outbox.size()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending || steady_ms() >= deadline) break;
+    wake();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 4. Retire the loop, then close whatever connections remain.
+  loop_exit_.store(true, std::memory_order_release);
+  wake();
+  loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [fd, conn] : conns_) {
+      std::lock_guard<std::mutex> cl(conn->mu);
+      if (!conn->dead) {
+        ::close(conn->fd);
+        conn->dead = true;
+        stats_.closed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    conns_.clear();
+  }
+
+  poller_.reset();
+  wake_read_.close();
+  wake_write_.close();
+  listen_.close();
+  {
+    std::lock_guard<std::mutex> lock(replies_mu_);
+    replies_.clear();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+std::size_t RiServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+void RiServer::wake() {
+  if (!wake_write_.valid()) return;
+  char b = 1;
+  // EAGAIN means a poke is already pending — exactly what we want.
+  (void)::write(wake_write_.fd(), &b, 1);
+}
+
+// ------------------------------- event loop --------------------------------
+
+void RiServer::event_loop() {
+  std::vector<Poller::Event> events;
+  bool accepting = true;
+  std::uint64_t last_sweep = steady_ms();
+
+  while (!loop_exit_.load(std::memory_order_acquire)) {
+    if (accepting && stopping_.load(std::memory_order_acquire)) {
+      poller_->remove(listen_.fd());
+      listen_.close();
+      accepting = false;
+    }
+
+    poller_->wait(events, 100);
+
+    for (const Poller::Event& ev : events) {
+      if (accepting && ev.fd == listen_.fd()) {
+        accept_ready();
+        continue;
+      }
+      if (ev.fd == wake_read_.fd()) {
+        char drain[256];
+        while (::read(wake_read_.fd(), drain, sizeof drain) > 0) {
+        }
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto it = conns_.find(ev.fd);
+        if (it == conns_.end()) continue;  // closed earlier in this batch
+        conn = it->second;
+      }
+      if (ev.hangup) {
+        close_conn(conn, false);
+        continue;
+      }
+      if (ev.readable) read_ready(conn);
+      if (ev.writable && !conn->dead) {
+        if (!flush(conn)) close_conn(conn, false);
+      }
+    }
+
+    // Worker replies since the last pass: flush each touched connection.
+    std::deque<std::shared_ptr<Conn>> fresh;
+    {
+      std::lock_guard<std::mutex> lock(replies_mu_);
+      fresh.swap(replies_);
+    }
+    for (const std::shared_ptr<Conn>& conn : fresh) {
+      if (conn->dead) continue;
+      if (!flush(conn)) close_conn(conn, false);
+    }
+
+    // Idle sweep on the monotonic clock, ~2x per timeout granularity.
+    const std::uint64_t now = steady_ms();
+    if (now - last_sweep >= 500) {
+      last_sweep = now;
+      std::vector<std::shared_ptr<Conn>> idle;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (const auto& [fd, conn] : conns_) {
+          if (now - conn->last_active_ms < config_.idle_timeout_ms) continue;
+          std::lock_guard<std::mutex> cl(conn->mu);
+          if (conn->inflight == 0 && conn->outpos >= conn->outbox.size()) {
+            idle.push_back(conn);
+          }
+        }
+      }
+      for (const std::shared_ptr<Conn>& conn : idle) close_conn(conn, true);
+    }
+  }
+}
+
+void RiServer::accept_ready() {
+  for (;;) {
+    int fd = ::accept(listen_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the loop will retry
+    }
+    std::size_t active;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active = conns_.size();
+    }
+    if (active >= config_.max_connections) {
+      ::close(fd);
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    set_nonblocking(fd);
+    set_tcp_nodelay(fd);
+    auto conn = std::make_shared<Conn>(fd, config_.max_frame_payload);
+    conn->last_active_ms = steady_ms();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace(fd, conn);
+    }
+    poller_->add(fd, false);
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
+  // A draining connection had a frame-layer protocol error: its input is
+  // shut down and we only live to flush the error frame.
+  if (conn->draining) return;
+  if (stopping_.load(std::memory_order_acquire)) return;
+
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->last_active_ms = steady_ms();
+      conn->decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      try {
+        while (std::optional<Frame> frame = conn->decoder.next()) {
+          stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> cl(conn->mu);
+            ++conn->inflight;
+          }
+          {
+            std::lock_guard<std::mutex> lock(jobs_mu_);
+            jobs_.push_back(Job{conn, std::move(frame->payload), frame->crc});
+          }
+          jobs_cv_.notify_one();
+        }
+      } catch (const Error& e) {
+        // Frame-layer desync: the stream is unrecoverable. Tell the peer
+        // why, stop reading, close once the error frame is out.
+        stats_.frame_desyncs.fetch_add(1, std::memory_order_relaxed);
+        std::string err;
+        encode_frame(kErrorFrameType, e.what(), err, true);
+        {
+          std::lock_guard<std::mutex> cl(conn->mu);
+          conn->outbox.append(err);
+          conn->draining = true;
+        }
+        ::shutdown(conn->fd, SHUT_RD);
+        if (!flush(conn)) close_conn(conn, false);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      close_conn(conn, false);  // peer EOF; late replies will be dropped
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(conn, false);
+    return;
+  }
+}
+
+bool RiServer::flush(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> cl(conn->mu);
+  if (conn->dead) return true;
+  while (conn->outpos < conn->outbox.size()) {
+    ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->outpos,
+                       conn->outbox.size() - conn->outpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outpos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer reset mid-write
+  }
+  if (conn->outpos >= conn->outbox.size()) {
+    conn->outbox.clear();
+    conn->outpos = 0;
+    if (conn->draining) return false;  // error frame delivered; close now
+    poller_->update(conn->fd, false);
+  } else {
+    poller_->update(conn->fd, true);  // arm write-readiness for the rest
+  }
+  return true;
+}
+
+void RiServer::close_conn(const std::shared_ptr<Conn>& conn, bool idle) {
+  {
+    std::lock_guard<std::mutex> cl(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+    conn->outbox.clear();
+    conn->outpos = 0;
+  }
+  poller_->remove(conn->fd);
+  ::close(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn->fd);
+  }
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  if (idle) stats_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+// -------------------------------- workers ----------------------------------
+
+void RiServer::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] {
+        return !jobs_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (jobs_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;  // spurious
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++jobs_executing_;
+    }
+
+    std::string reply;
+    try {
+      roap::Envelope env = roap::Envelope::from_wire(job.payload);
+      roap::Envelope out = issuer_.handle(env, config_.now);
+      encode_frame(static_cast<std::uint8_t>(out.type()), out.wire(), reply,
+                   job.reply_with_crc);
+      stats_.served.fetch_add(1, std::memory_order_relaxed);
+    } catch (const Error& e) {
+      encode_frame(kErrorFrameType, e.what(), reply, job.reply_with_crc);
+      stats_.refusals.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      encode_frame(kErrorFrameType,
+                   std::string("internal error: ") + e.what(), reply,
+                   job.reply_with_crc);
+      stats_.refusals.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    deliver(job.conn, reply);
+
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      --jobs_executing_;
+    }
+    jobs_done_cv_.notify_all();
+  }
+}
+
+void RiServer::deliver(const std::shared_ptr<Conn>& conn,
+                       const std::string& bytes) {
+  bool enqueue = false;
+  {
+    std::lock_guard<std::mutex> cl(conn->mu);
+    if (conn->inflight > 0) --conn->inflight;
+    if (!conn->dead) {
+      conn->outbox.append(bytes);
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    {
+      std::lock_guard<std::mutex> lock(replies_mu_);
+      replies_.push_back(conn);
+    }
+    wake();
+  }
+}
+
+}  // namespace omadrm::net

@@ -1,0 +1,190 @@
+// ri_server core: event-loop TCP front end + worker pool over a
+// ConcurrentIssuer.
+//
+// Threading model (one acceptor/IO thread + N workers):
+//
+//   event loop   owns every fd. epoll (poll(2) fallback) over the
+//                listen socket, a wakeup pipe, and all connections.
+//                Accepts (up to max_connections, excess closed on
+//                arrival), reads into per-connection FrameDecoders —
+//                partial frames simply stay buffered, the read state
+//                machine *is* the decoder — and enqueues one job per
+//                complete frame. All fd writes happen here too: worker
+//                replies land in the connection's outbox and the loop
+//                flushes it, arming write-readiness only while bytes
+//                remain (the partial-write state machine).
+//   workers      pop jobs from the shared MPMC queue (mutex+condvar),
+//                parse the payload into an Envelope, call
+//                ConcurrentIssuer::handle, frame the reply. A request
+//                the issuer refuses to parse becomes an error frame
+//                (kErrorFrameType + reason) instead of a dead air —
+//                clients see a retriable refusal, not a timeout.
+//
+// Connections are shared_ptr'd between the loop and in-flight jobs; a
+// connection the loop closes (peer EOF, idle timeout, frame-layer
+// desync) flips `dead` under its mutex and late worker replies are
+// dropped instead of written to a recycled fd.
+//
+// Idle connections are swept on the monotonic clock (net::steady_ms):
+// no request for idle_timeout_ms — and nothing in flight — closes the
+// socket, bounding fd usage under abandoned-agent churn.
+//
+// stop() drains gracefully: stop accepting, finish every queued and
+// in-flight job, flush every outbox (bounded by drain_timeout_ms), then
+// close. The ri_server binary wires SIGINT/SIGTERM to stop(), so a
+// TERM'd server answers everything it accepted before exiting 0.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/concurrent_issuer.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace omadrm::net {
+
+/// Readiness-notification seam: epoll on Linux, poll(2) everywhere (and
+/// under test, so both implementations run the same suite).
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual void add(int fd, bool want_write) = 0;
+  virtual void update(int fd, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+  /// Blocks up to timeout_ms; fills `out` with ready fds.
+  virtual void wait(std::vector<Event>& out, int timeout_ms) = 0;
+};
+
+/// nullptr when the platform has no epoll.
+std::unique_ptr<Poller> make_epoll_poller();
+std::unique_ptr<Poller> make_poll_poller();
+
+class RiServer {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; read the choice via port()
+    std::size_t workers = 4;
+    std::size_t max_connections = 256;
+    std::uint64_t idle_timeout_ms = 30000;
+    std::uint64_t drain_timeout_ms = 2000;
+    std::size_t max_frame_payload = kDefaultMaxFramePayload;
+    int backlog = 128;
+    /// Protocol clock handed to RightsIssuer::handle (certificate
+    /// validation, session TTLs) — the repo's virtual protocol time,
+    /// distinct from the monotonic clock that paces socket timeouts.
+    std::uint64_t now = 0;
+    /// false forces the poll(2) event loop even where epoll exists.
+    bool use_epoll = true;
+  };
+
+  struct Stats {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};       // over max_connections
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> frames_in{0};      // complete request frames
+    std::atomic<std::uint64_t> served{0};         // replies written to outboxes
+    std::atomic<std::uint64_t> refusals{0};       // error frames sent
+    std::atomic<std::uint64_t> frame_desyncs{0};  // frame-layer kFormat closes
+  };
+
+  RiServer(ConcurrentIssuer& issuer, Config config);
+  ~RiServer();
+
+  RiServer(const RiServer&) = delete;
+  RiServer& operator=(const RiServer&) = delete;
+
+  /// Binds, listens, and spawns the event loop + workers. Throws
+  /// omadrm::Error(kState) on bind failure or misconfiguration.
+  void start();
+  /// Graceful drain (see file comment). Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after start(); meaningful with Config::port == 0).
+  std::uint16_t port() const { return port_; }
+  std::size_t active_connections() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    explicit Conn(int fd_in, std::size_t max_payload)
+        : fd(fd_in), decoder(max_payload) {}
+
+    const int fd;
+    FrameDecoder decoder;   // event-loop only
+    std::uint64_t last_active_ms = 0;  // event-loop only, monotonic
+
+    std::mutex mu;          // guards everything below
+    std::string outbox;     // framed replies awaiting write
+    std::size_t outpos = 0; // flushed prefix of outbox
+    std::size_t inflight = 0;  // jobs queued or executing for this conn
+    bool dead = false;      // fd closed; late replies are dropped
+    bool draining = false;  // close once outbox empties (protocol error)
+  };
+
+  struct Job {
+    std::shared_ptr<Conn> conn;
+    std::string payload;
+    bool reply_with_crc = false;
+  };
+
+  void event_loop();
+  void worker_loop();
+  void accept_ready();
+  void read_ready(const std::shared_ptr<Conn>& conn);
+  /// Flushes the outbox; returns false when the conn should close now.
+  bool flush(const std::shared_ptr<Conn>& conn);
+  void close_conn(const std::shared_ptr<Conn>& conn, bool idle);
+  /// Appends a reply (worker thread) and pokes the event loop.
+  void deliver(const std::shared_ptr<Conn>& conn, const std::string& bytes);
+  void wake();
+
+  ConcurrentIssuer& issuer_;
+  Config config_;
+  Stats stats_;
+
+  Socket listen_;
+  std::uint16_t port_ = 0;
+  Socket wake_read_, wake_write_;  // self-pipe: workers poke the loop
+  std::unique_ptr<Poller> poller_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};   // no new accepts / reads / jobs
+  std::atomic<bool> loop_exit_{false};  // event loop leaves its wait loop
+  std::mutex stop_mu_;                  // serializes stop() callers
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // by fd
+
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::condition_variable jobs_done_cv_;
+  std::deque<Job> jobs_;
+  std::size_t jobs_executing_ = 0;
+
+  std::mutex replies_mu_;
+  std::deque<std::shared_ptr<Conn>> replies_;  // conns with fresh outbox bytes
+};
+
+}  // namespace omadrm::net

@@ -1,0 +1,210 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace omadrm::net {
+
+using omadrm::Error;
+using omadrm::ErrorKind;
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw Error(ErrorKind::kState, "net: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  // Advisory: a kernel without the option just leaves Nagle on.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port,
+                      ErrorKind bad_host_kind) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error(bad_host_kind, "net: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+/// poll() for `events` on one fd until `deadline` (steady_ms). Returns
+/// true when the fd is ready, false when the deadline passed.
+bool wait_fd(int fd, short events, std::uint64_t deadline) {
+  for (;;) {
+    const std::uint64_t now = steady_ms();
+    if (now >= deadline) return false;
+    const std::uint64_t left = deadline - now;
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(
+        &pfd, 1, static_cast<int>(left > 60000 ? 60000 : left));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorKind::kTransport,
+                  std::string("net: poll failed: ") + std::strerror(errno));
+    }
+    if (rc > 0) return true;
+  }
+}
+
+}  // namespace
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::uint64_t timeout_ms) {
+  const sockaddr_in addr = make_addr(host, port, ErrorKind::kTransport);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throw Error(ErrorKind::kTransport,
+                std::string("net: socket() failed: ") + std::strerror(errno));
+  }
+  set_nonblocking(sock.fd());
+  const std::uint64_t deadline = steady_ms() + timeout_ms;
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    if (errno != EINPROGRESS) {
+      throw Error(ErrorKind::kTransport, std::string("net: connect to ") +
+                                             host + ": " +
+                                             std::strerror(errno));
+    }
+    if (!wait_fd(sock.fd(), POLLOUT, deadline)) {
+      throw Error(ErrorKind::kTransport,
+                  "net: connect to " + host + ":" + std::to_string(port) +
+                      " timed out after " + std::to_string(timeout_ms) +
+                      " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      throw Error(ErrorKind::kTransport,
+                  std::string("net: connect to ") + host + ":" +
+                      std::to_string(port) + ": " +
+                      std::strerror(err != 0 ? err : errno));
+    }
+  }
+  set_tcp_nodelay(sock.fd());
+  return sock;
+}
+
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                  std::uint16_t* bound_port) {
+  const sockaddr_in addr = make_addr(host, port, ErrorKind::kState);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throw Error(ErrorKind::kState,
+                std::string("net: socket() failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw Error(ErrorKind::kState, "net: bind " + host + ":" +
+                                       std::to_string(port) + ": " +
+                                       std::strerror(errno));
+  }
+  if (::listen(sock.fd(), backlog) < 0) {
+    throw Error(ErrorKind::kState,
+                std::string("net: listen failed: ") + std::strerror(errno));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof got;
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&got), &len) <
+        0) {
+      throw Error(ErrorKind::kState, "net: getsockname failed");
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  set_nonblocking(sock.fd());
+  return sock;
+}
+
+void send_all(int fd, std::string_view data, std::uint64_t timeout_ms) {
+  const std::uint64_t deadline = steady_ms() + timeout_ms;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd, POLLOUT, deadline)) {
+        throw Error(ErrorKind::kTransport,
+                    "net: send timed out with " +
+                        std::to_string(data.size() - sent) +
+                        " bytes unwritten");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Error(ErrorKind::kTransport,
+                std::string("net: send failed: ") + std::strerror(errno));
+  }
+}
+
+std::size_t recv_some_until(int fd, char* buf, std::size_t cap,
+                            std::uint64_t deadline) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_fd(fd, POLLIN, deadline)) {
+        throw Error(ErrorKind::kTransport, "net: read timed out");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw Error(ErrorKind::kTransport,
+                std::string("net: recv failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace omadrm::net

@@ -1,0 +1,74 @@
+// Thin POSIX TCP helpers: an RAII file descriptor plus timed
+// connect/send/recv built on non-blocking sockets and poll(2).
+//
+// Every network wait in this subsystem is bounded — a peer that stalls
+// mid-frame costs the configured timeout, never a hung thread — and
+// every deadline is measured on the monotonic clock (steady_ms), so a
+// wall-clock step (NTP, suspend/resume) can neither extend nor collapse
+// a timeout.
+//
+// Failure model: helpers that move bytes throw omadrm::Error(kTransport)
+// on connection failure, peer reset, EOF mid-operation, or timeout —
+// the code the ROAP retry stack (roap/retry.h) classifies as retriable.
+// Helpers that set up local resources (listen_tcp) throw Error(kState):
+// a bad bind address is a configuration bug, not weather.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace omadrm::net {
+
+/// Milliseconds on the monotonic clock (std::chrono::steady_clock).
+/// The time base for every connect/read/write deadline and the server's
+/// idle-connection sweep.
+std::uint64_t steady_ms();
+
+/// RAII TCP socket (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close() noexcept;
+  /// Detaches and returns the descriptor without closing it.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (numeric IPv4 address) within `timeout_ms`,
+/// returning a non-blocking socket with TCP_NODELAY set. Throws
+/// omadrm::Error(kTransport) on refusal, unreachability, or timeout.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::uint64_t timeout_ms);
+
+/// Binds and listens on host:port (SO_REUSEADDR, non-blocking). Pass
+/// port 0 for an ephemeral port; the chosen one is written to
+/// `bound_port`. Throws omadrm::Error(kState) on failure.
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                  std::uint16_t* bound_port);
+
+/// Writes all of `data`, waiting (poll) up to `timeout_ms` overall.
+/// Throws omadrm::Error(kTransport) on error, peer close, or timeout.
+void send_all(int fd, std::string_view data, std::uint64_t timeout_ms);
+
+/// Reads up to `cap` bytes, waiting up to `deadline` (absolute,
+/// steady_ms). Returns 0 on orderly EOF. Throws omadrm::Error(kTransport)
+/// on socket error or when the deadline passes with nothing readable.
+std::size_t recv_some_until(int fd, char* buf, std::size_t cap,
+                            std::uint64_t deadline);
+
+void set_nonblocking(int fd);
+void set_tcp_nodelay(int fd);
+
+}  // namespace omadrm::net

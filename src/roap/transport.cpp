@@ -24,6 +24,13 @@ Envelope InProcessTransport::request(const Envelope& request) {
   return ri_.handle(request, now_);
 }
 
+Envelope InProcessTransport::request_raw(std::string_view wire) {
+  // The bytes go to the RI's wire entry point unexamined — client-side
+  // parsing would reject damaged documents before the server ever saw
+  // them, which no real network does.
+  return Envelope::from_wire(ri_.handle_wire(std::string(wire), now_));
+}
+
 // ---------------------------------------------------------------------------
 // FaultyTransport
 // ---------------------------------------------------------------------------
@@ -98,11 +105,14 @@ Envelope FaultyTransport::request(const Envelope& request) {
 
     case Fault::kCorruptRequest: {
       ++stats_.corrupted;
-      // The RI sees garbage; whatever it makes of it, the caller gets no
-      // usable answer — either the bytes no longer parse or the RI
-      // refuses the mangled document. Both surface as a lost exchange.
+      // The mangled bytes are shipped through the raw seam, so they
+      // genuinely reach the peer's parser over any inner transport —
+      // in-process or socket. Whatever the peer makes of them, the
+      // caller gets no usable answer — the bytes no longer parse, the
+      // peer refuses the document, or a server refusal frame comes
+      // back. All of it surfaces as a lost exchange.
       try {
-        (void)inner_.request(Envelope::from_wire(corrupt(request.wire())));
+        (void)inner_.request_raw(corrupt(request.wire()));
       } catch (const Error&) {
       }
       throw Error(ErrorKind::kTransport,

@@ -43,6 +43,20 @@ class Transport {
   /// Throws omadrm::Error(kTransport) when the exchange is lost and
   /// omadrm::Error(kFormat) when the returned bytes do not parse.
   virtual Envelope request(const Envelope& request) = 0;
+
+  /// Carries pre-serialized wire bytes — possibly damaged ones — to the
+  /// peer. A real network delivers whatever bytes the medium produced
+  /// and lets the *server* refuse them; this seam preserves that
+  /// semantics for fault injectors (FaultyTransport's corrupt-request
+  /// fault ships the mangled document through here, so over a
+  /// SocketTransport the garbage genuinely crosses the wire and over an
+  /// InProcessTransport it reaches RightsIssuer::handle_wire). The
+  /// default for transports without a raw byte path parses locally and
+  /// forwards, throwing omadrm::Error(kFormat) when the bytes are
+  /// beyond delivery.
+  virtual Envelope request_raw(std::string_view wire) {
+    return request(Envelope::from_wire(wire));
+  }
 };
 
 class InProcessTransport final : public Transport {
@@ -55,6 +69,9 @@ class InProcessTransport final : public Transport {
   std::uint64_t now() const { return now_; }
 
   Envelope request(const Envelope& request) override;
+  /// Hands raw bytes to the RI's wire entry point — garbage reaches the
+  /// server-side parser exactly as it would over a real link.
+  Envelope request_raw(std::string_view wire) override;
 
  private:
   ri::RightsIssuer& ri_;

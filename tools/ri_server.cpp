@@ -1,0 +1,133 @@
+// ri_server: standalone Rights Issuer daemon speaking framed ROAP over
+// TCP (src/net/frame.h layout).
+//
+// The PKI realm is regenerated from --seed (net::Realm), so any client
+// process constructed from the same seed trusts this server's RI chain
+// and can mint device certificates this server accepts — deterministic
+// cross-process trust with zero key files.
+//
+// Prints exactly one line to stdout once ready:
+//
+//   LISTENING <port>
+//
+// (ephemeral --port 0 is resolved by then), which is what the fleet
+// bench and the CI smoke step parse. SIGINT/SIGTERM trigger a graceful
+// drain: stop accepting, answer everything already accepted, flush,
+// exit 0. A second signal exits immediately.
+//
+// Usage:
+//   ri_server [--port N] [--host A] [--workers N] [--max-connections N]
+//             [--idle-timeout-ms N] [--drain-timeout-ms N] [--seed N]
+//             [--poll] [--stats]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <thread>
+
+#include "net/concurrent_issuer.h"
+#include "net/realm.h"
+#include "net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signals = 0;
+
+void on_signal(int) { ++g_signals; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--host A] [--workers N] "
+               "[--max-connections N] [--idle-timeout-ms N] "
+               "[--drain-timeout-ms N] [--seed N] [--poll] [--stats]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace omadrm;  // NOLINT
+
+  net::RiServer::Config config;
+  config.now = net::kRealmNow;
+  std::uint64_t seed = net::kDefaultRealmSeed;
+  bool print_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      config.port = static_cast<std::uint16_t>(std::atoi(next("--port")));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      config.bind_address = next("--host");
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      config.workers = static_cast<std::size_t>(std::atoi(next("--workers")));
+    } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+      config.max_connections =
+          static_cast<std::size_t>(std::atoi(next("--max-connections")));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      config.idle_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(next("--idle-timeout-ms")));
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0) {
+      config.drain_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(next("--drain-timeout-ms")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--poll") == 0) {
+      config.use_epoll = false;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  net::Realm realm(seed);
+  net::ConcurrentIssuer issuer(realm.issuer());
+  net::RiServer server(issuer, config);
+  try {
+    server.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ri_server: start failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  while (g_signals == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  if (print_stats) {
+    const net::RiServer::Stats& st = server.stats();
+    const net::ConcurrentIssuer::Stats is = issuer.stats();
+    std::fprintf(stderr,
+                 "ri_server: accepted=%llu rejected=%llu closed=%llu "
+                 "idle_closed=%llu frames_in=%llu served=%llu refusals=%llu "
+                 "desyncs=%llu exchanges=%llu contended=%llu\n",
+                 static_cast<unsigned long long>(st.accepted.load()),
+                 static_cast<unsigned long long>(st.rejected.load()),
+                 static_cast<unsigned long long>(st.closed.load()),
+                 static_cast<unsigned long long>(st.idle_closed.load()),
+                 static_cast<unsigned long long>(st.frames_in.load()),
+                 static_cast<unsigned long long>(st.served.load()),
+                 static_cast<unsigned long long>(st.refusals.load()),
+                 static_cast<unsigned long long>(st.frame_desyncs.load()),
+                 static_cast<unsigned long long>(is.exchanges),
+                 static_cast<unsigned long long>(is.contended));
+  }
+  return 0;
+}
