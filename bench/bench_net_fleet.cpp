@@ -11,11 +11,20 @@
 // registers (4-pass), then streams RO acquisitions; the acquisition
 // phase starts on a barrier so the throughput window measures N truly
 // concurrent clients. Reported per scale: exchanges/s at the server,
-// p50/p95/p99 acquisition latency, mean registration time. The bench
-// asserts zero transport errors and zero server refusals across the
-// whole run — on a quiet loopback the retry stack must be pure
-// accounting — then SIGTERMs the server and asserts a clean drain
+// p50/p95 acquisition latency (p99 only when the sample count supports
+// a distinct tail — >= kP99MinSamples — so a 16-sample run never
+// reports p95 == p99 noise as a tail figure), mean registration time.
+// The bench asserts zero transport errors and zero server refusals
+// across the whole run — on a quiet loopback the retry stack must be
+// pure accounting — then SIGTERMs the server and asserts a clean drain
 // (exit status 0).
+//
+// After the agent-count scales, a worker sweep respawns the server at
+// --workers 1/2/4/8 and drives the peak agent count against each,
+// emitting exchanges_per_s_vs_workers — the scaling curve of the
+// sharded RI core (on a multi-core host it rises with workers; on a
+// single hardware thread it measures the overhead of concurrency,
+// honestly flat).
 //
 // Output: human summary on stdout + JSON (default BENCH_net.json) for
 // scripts/check_bench_regression.py (bench kind "net_fleet").
@@ -76,7 +85,12 @@ struct ServerProc {
   std::uint16_t port = 0;
 };
 
-ServerProc spawn_server(const std::string& binary, std::uint64_t seed) {
+/// Tail percentiles need enough samples to be distinct from p95; below
+/// this, p99 is omitted from the report rather than echoing the max.
+constexpr std::size_t kP99MinSamples = 100;
+
+ServerProc spawn_server(const std::string& binary, std::uint64_t seed,
+                        std::size_t workers) {
   int pipefd[2];
   if (::pipe(pipefd) != 0) {
     std::perror("pipe");
@@ -92,8 +106,10 @@ ServerProc spawn_server(const std::string& binary, std::uint64_t seed) {
     ::close(pipefd[0]);
     ::close(pipefd[1]);
     const std::string seed_str = std::to_string(seed);
+    const std::string workers_str = std::to_string(workers);
     ::execl(binary.c_str(), binary.c_str(), "--port", "0", "--seed",
-            seed_str.c_str(), "--stats", static_cast<char*>(nullptr));
+            seed_str.c_str(), "--workers", workers_str.c_str(), "--stats",
+            static_cast<char*>(nullptr));
     std::fprintf(stderr, "exec %s: %s\n", binary.c_str(),
                  std::strerror(errno));
     std::_Exit(127);
@@ -135,9 +151,11 @@ bool stop_server(ServerProc& sp) {
 struct ScaleResult {
   std::size_t agents = 0;
   std::size_t acqs_per_agent = 0;
+  std::size_t samples = 0;  // total acquisition latencies collected
   double registration_ms_avg = 0;
   double exchanges_per_s = 0;
   double p50 = 0, p95 = 0, p99 = 0;
+  bool p99_valid = false;  // samples >= kP99MinSamples
   std::uint64_t transport_errors = 0;
   std::uint64_t server_refusals = 0;
   std::uint64_t reconnects = 0;
@@ -145,17 +163,22 @@ struct ScaleResult {
 };
 
 ScaleResult run_scale(net::Realm& realm, std::uint16_t port,
-                      std::size_t n_agents, std::size_t acqs) {
+                      std::size_t n_agents, std::size_t acqs,
+                      const std::string& tag) {
   ScaleResult out;
   out.agents = n_agents;
   out.acqs_per_agent = acqs;
 
   // Agents are minted on the main thread (the realm rng is not
   // thread-safe); each worker thread then owns its agent + connection.
+  // `tag` keeps device ids unique per measurement point so every point
+  // registers a fresh population (no replay-cache crosstalk between
+  // sweep points).
   std::vector<std::unique_ptr<agent::DrmAgent>> agents;
   agents.reserve(n_agents);
   for (std::size_t i = 0; i < n_agents; ++i) {
-    agents.push_back(realm.make_agent("dev:fleet-" + std::to_string(i) + "-" +
+    agents.push_back(realm.make_agent("dev:fleet-" + tag + "-" +
+                                      std::to_string(i) + "-" +
                                       std::to_string(n_agents)));
   }
 
@@ -231,9 +254,11 @@ ScaleResult run_scale(net::Realm& realm, std::uint16_t port,
   std::vector<double> all;
   for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
   std::sort(all.begin(), all.end());
+  out.samples = all.size();
   out.p50 = percentile(all, 0.50);
   out.p95 = percentile(all, 0.95);
-  out.p99 = percentile(all, 0.99);
+  out.p99_valid = all.size() >= kP99MinSamples;
+  if (out.p99_valid) out.p99 = percentile(all, 0.99);
   out.exchanges_per_s =
       static_cast<double>(all.size()) / (acq_total_ms / 1000.0);
   for (double r : reg_ms) out.registration_ms_avg += r;
@@ -278,11 +303,15 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::size_t>{8}
             : std::vector<std::size_t>{1, 8, 32, 64};
   const std::size_t acqs = quick ? 4 : 16;
+  // The lone agent gets extra acquisitions: its sample count is
+  // agents * acqs, and 16 samples cannot support a tail percentile.
+  const std::size_t solo_acqs = quick ? 4 : 128;
+  const std::size_t default_workers = 4;  // RiServer::Config default
 
   std::printf("=== networked fleet benchmark (framed TCP, RSA-%zu) ===\n\n",
               net::kRealmRsaBits);
   std::printf("spawning %s ...\n", server_path.c_str());
-  ServerProc server = spawn_server(server_path, seed);
+  ServerProc server = spawn_server(server_path, seed, default_workers);
   std::printf("server pid %d listening on 127.0.0.1:%u\n\n",
               static_cast<int>(server.pid),
               static_cast<unsigned>(server.port));
@@ -291,30 +320,74 @@ int main(int argc, char** argv) {
   // same seed; this is the cross-process half of the handshake.
   net::Realm realm(seed);
 
-  std::vector<ScaleResult> results;
   bool all_ok = true;
-  for (std::size_t n : scales) {
-    ScaleResult r = run_scale(realm, server.port, n, acqs);
+  const auto check = [&all_ok](const ScaleResult& r, const char* what) {
     if (!r.ok || r.transport_errors != 0 || r.server_refusals != 0) {
       std::fprintf(stderr,
-                   "FAIL: scale %zu agents: ok=%d transport_errors=%llu "
+                   "FAIL: %s %zu agents: ok=%d transport_errors=%llu "
                    "refusals=%llu\n",
-                   n, r.ok ? 1 : 0,
+                   what, r.agents, r.ok ? 1 : 0,
                    static_cast<unsigned long long>(r.transport_errors),
                    static_cast<unsigned long long>(r.server_refusals));
       all_ok = false;
     }
-    std::printf("%3zu agents x %2zu acq: %8.1f exch/s   p50 %7.2f ms   "
-                "p95 %7.2f ms   p99 %7.2f ms   reg %7.1f ms/agent\n",
+  };
+  const auto print_scale = [](const ScaleResult& r) {
+    char p99[32];
+    if (r.p99_valid) {
+      std::snprintf(p99, sizeof p99, "%7.2f ms", r.p99);
+    } else {
+      std::snprintf(p99, sizeof p99, "   (n=%zu)", r.samples);
+    }
+    std::printf("%3zu agents x %3zu acq: %8.1f exch/s   p50 %7.2f ms   "
+                "p95 %7.2f ms   p99 %s   reg %7.1f ms/agent\n",
                 r.agents, r.acqs_per_agent, r.exchanges_per_s, r.p50, r.p95,
-                r.p99, r.registration_ms_avg);
+                p99, r.registration_ms_avg);
+  };
+
+  std::vector<ScaleResult> results;
+  for (std::size_t n : scales) {
+    ScaleResult r = run_scale(realm, server.port, n,
+                              n == 1 ? solo_acqs : acqs, "s");
+    check(r, "scale");
+    print_scale(r);
     results.push_back(r);
   }
 
-  const bool clean_exit = stop_server(server);
+  bool clean_exit = stop_server(server);
   std::printf("\nserver drain on SIGTERM: %s\n",
               clean_exit ? "clean (exit 0)" : "FAILED");
   if (!clean_exit) all_ok = false;
+
+  // Worker sweep: same agent fleet size, one server per worker count.
+  // Each point gets a fresh server process (and a fresh device
+  // population via the tag) so the points are independent.
+  const std::size_t sweep_agents = quick ? 8 : 64;
+  const std::size_t sweep_acqs = quick ? 4 : 8;
+  std::vector<std::size_t> worker_counts =
+      quick ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  struct SweepPoint {
+    std::size_t workers = 0;
+    ScaleResult r;
+  };
+  std::vector<SweepPoint> sweep;
+  std::printf("\n--- exchanges/s vs server workers (%zu agents) ---\n",
+              sweep_agents);
+  for (std::size_t w : worker_counts) {
+    ServerProc sp = spawn_server(server_path, seed, w);
+    ScaleResult r = run_scale(realm, sp.port, sweep_agents, sweep_acqs,
+                              "w" + std::to_string(w));
+    check(r, "sweep");
+    if (!stop_server(sp)) {
+      std::fprintf(stderr, "FAIL: unclean drain at %zu workers\n", w);
+      clean_exit = false;
+      all_ok = false;
+    }
+    std::printf("%2zu workers: %8.1f exch/s   p50 %6.2f ms\n", w,
+                r.exchanges_per_s, r.p50);
+    sweep.push_back(SweepPoint{w, r});
+  }
 
   std::ofstream json(json_path);
   if (!json) {
@@ -331,20 +404,43 @@ int main(int argc, char** argv) {
        << "  \"scales\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScaleResult& r = results[i];
-    char buf[512];
+    // p99 is emitted only when the sample count supports a tail distinct
+    // from p95; consumers treat an absent key as "not measured".
+    char p99[64] = "";
+    if (r.p99_valid) {
+      std::snprintf(p99, sizeof p99, "\"acquisition_ms_p99\": %.3f, ",
+                    r.p99);
+    }
+    char buf[640];
     std::snprintf(buf, sizeof buf,
                   "    {\"agents\": %zu, \"acquisitions_per_agent\": %zu, "
+                  "\"samples\": %zu, "
                   "\"exchanges_per_s\": %.1f, \"acquisition_ms_p50\": %.3f, "
-                  "\"acquisition_ms_p95\": %.3f, \"acquisition_ms_p99\": "
-                  "%.3f, \"registration_ms_avg\": %.2f, "
+                  "\"acquisition_ms_p95\": %.3f, %s"
+                  "\"registration_ms_avg\": %.2f, "
                   "\"transport_errors\": %llu, \"server_refusals\": %llu, "
                   "\"reconnects\": %llu}%s\n",
-                  r.agents, r.acqs_per_agent, r.exchanges_per_s, r.p50, r.p95,
-                  r.p99, r.registration_ms_avg,
+                  r.agents, r.acqs_per_agent, r.samples, r.exchanges_per_s,
+                  r.p50, r.p95, p99, r.registration_ms_avg,
                   static_cast<unsigned long long>(r.transport_errors),
                   static_cast<unsigned long long>(r.server_refusals),
                   static_cast<unsigned long long>(r.reconnects),
                   i + 1 < results.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ],\n"
+       << "  \"workers_sweep_agents\": " << sweep_agents << ",\n"
+       << "  \"exchanges_per_s_vs_workers\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"workers\": %zu, \"exchanges_per_s\": %.1f, "
+                  "\"transport_errors\": %llu, \"server_refusals\": %llu}%s\n",
+                  p.workers, p.r.exchanges_per_s,
+                  static_cast<unsigned long long>(p.r.transport_errors),
+                  static_cast<unsigned long long>(p.r.server_refusals),
+                  i + 1 < sweep.size() ? "," : "");
     json << buf;
   }
   json << "  ]\n}\n";

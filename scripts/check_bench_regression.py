@@ -18,10 +18,15 @@ field:
   net_fleet      gates on exchanges/s through the framed-TCP server at
                  the largest agent count present in BOTH documents
                  (quick CI runs only measure the 8-agent point the full
-                 baseline also carries). Also fails outright when the
-                 current run saw transport errors, server refusals, or
-                 an unclean server drain — those are correctness, not
-                 noise.
+                 baseline also carries), and — when both documents carry
+                 an exchanges_per_s_vs_workers sweep — additionally on
+                 the largest shared worker count of that sweep, so a
+                 regression that only shows up multi-worker (a new
+                 serialization point in the sharded RI) cannot hide
+                 behind a healthy aggregate number. Also fails outright
+                 when the current run saw transport errors, server
+                 refusals, or an unclean server drain — those are
+                 correctness, not noise.
 
 Latency-style fields are printed for context but only throughput gates.
 
@@ -55,6 +60,43 @@ def net_throughput(doc: dict, agents: int) -> tuple[float, str, str]:
     entry = next(s for s in doc["scales"] if s["agents"] == agents)
     label = f"fleet throughput over TCP ({agents} agents)"
     return float(entry["exchanges_per_s"]), label, "exch/s"
+
+
+def net_worker_throughput(doc: dict, workers: int) -> float:
+    entry = next(p for p in doc["exchanges_per_s_vs_workers"]
+                 if p["workers"] == workers)
+    return float(entry["exchanges_per_s"])
+
+
+def check_net_worker_sweep(baseline: dict, current: dict,
+                           tolerance: float) -> bool:
+    """Secondary net_fleet gate: exchanges/s at the largest worker count
+    measured in BOTH documents' exchanges_per_s_vs_workers sweeps.
+    Returns False on a regression beyond tolerance. Documents predating
+    the sweep (or with disjoint worker counts) skip the gate."""
+    base_sweep = baseline.get("exchanges_per_s_vs_workers")
+    cur_sweep = current.get("exchanges_per_s_vs_workers")
+    if not base_sweep or not cur_sweep:
+        return True
+    shared = (set(p["workers"] for p in base_sweep) &
+              set(p["workers"] for p in cur_sweep))
+    if not shared:
+        return True
+    workers = max(shared)
+    base = net_worker_throughput(baseline, workers)
+    cur = net_worker_throughput(current, workers)
+    floor = base * (1.0 - tolerance)
+    print(f"baseline worker-sweep throughput ({workers} workers): "
+          f"{base:10.1f} exch/s")
+    print(f"current  worker-sweep throughput ({workers} workers): "
+          f"{cur:10.1f} exch/s")
+    print(f"floor (-{tolerance:.0%}): {floor:10.1f} exch/s")
+    if cur < floor:
+        print(f"FAIL: {workers}-worker throughput regressed more than "
+              f"{tolerance:.0%} vs the checked-in baseline",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def main() -> int:
@@ -95,7 +137,8 @@ def main() -> int:
             return 1
         errors = sum(int(s.get("transport_errors", 0)) +
                      int(s.get("server_refusals", 0))
-                     for s in current["scales"])
+                     for s in (current["scales"] +
+                               current.get("exchanges_per_s_vs_workers", [])))
         if errors:
             print(f"FAIL: {errors} transport errors / server refusals on a "
                   f"quiet loopback", file=sys.stderr)
@@ -151,6 +194,9 @@ def main() -> int:
         print(f"FAIL: throughput regressed more than "
               f"{args.tolerance:.0%} vs the checked-in baseline",
               file=sys.stderr)
+        return 1
+    if kind == "net_fleet" and not check_net_worker_sweep(
+            baseline, current, args.tolerance):
         return 1
     print("OK")
     return 0

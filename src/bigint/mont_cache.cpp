@@ -1,12 +1,14 @@
 #include "bigint/mont_cache.h"
 
+#include <array>
+#include <atomic>
 #include <list>
-
-#include "common/error.h"
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "common/error.h"
 
 namespace omadrm::bigint {
 
@@ -21,14 +23,33 @@ std::string modulus_key(const BigInt& m) {
                      limbs.size() * sizeof(limbs[0]));
 }
 
-struct MontCache {
+/// The cache is striped by modulus hash so concurrent verifiers working
+/// different keys (distinct device moduli across RI shards) never touch
+/// the same mutex, and the LRU churn of one stripe cannot evict another
+/// stripe's hot context. Capacity splits evenly: kMontCacheCapacity
+/// total across kStripes LRUs. Repeated lookups of one modulus always
+/// land on one stripe, so single-modulus hit/miss/eviction counts are
+/// identical to the old process-wide LRU.
+constexpr std::size_t kStripes = 8;
+static_assert(kMontCacheCapacity % kStripes == 0);
+constexpr std::size_t kStripeCapacity = kMontCacheCapacity / kStripes;
+
+struct Stripe {
   using Entry = std::pair<std::string, std::shared_ptr<const MontgomeryCtx>>;
 
   std::mutex mu;
-  bool enabled = true;
   MontCacheStats stats;
   std::list<Entry> lru;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index;
+};
+
+struct MontCache {
+  std::atomic<bool> enabled{true};
+  std::array<Stripe, kStripes> stripes;
+
+  Stripe& stripe_for(const std::string& key) {
+    return stripes[std::hash<std::string>{}(key) & (kStripes - 1)];
+  }
 
   static MontCache& instance() {
     static MontCache cache;
@@ -47,17 +68,18 @@ std::shared_ptr<const MontgomeryCtx> shared_montgomery_ctx(const BigInt& m) {
   }
   MontCache& cache = MontCache::instance();
   const std::string key = modulus_key(m);
+  Stripe& stripe = cache.stripe_for(key);
   {
-    std::lock_guard<std::mutex> lock(cache.mu);
-    if (cache.enabled) {
-      auto it = cache.index.find(key);
-      if (it != cache.index.end()) {
-        ++cache.stats.hits;
-        cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (cache.enabled.load(std::memory_order_relaxed)) {
+      auto it = stripe.index.find(key);
+      if (it != stripe.index.end()) {
+        ++stripe.stats.hits;
+        stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
         return it->second->second;
       }
     }
-    ++cache.stats.misses;
+    ++stripe.stats.misses;
   }
 
   // Build outside the lock: context construction is the expensive part and
@@ -65,56 +87,60 @@ std::shared_ptr<const MontgomeryCtx> shared_montgomery_ctx(const BigInt& m) {
   // harmless (last one wins; both contexts are equivalent).
   auto ctx = std::make_shared<const MontgomeryCtx>(m);
 
-  std::lock_guard<std::mutex> lock(cache.mu);
-  if (!cache.enabled) return ctx;
-  auto it = cache.index.find(key);
-  if (it != cache.index.end()) {
-    cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (!cache.enabled.load(std::memory_order_relaxed)) return ctx;
+  auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) {
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
     return it->second->second;
   }
-  cache.lru.emplace_front(key, ctx);
-  cache.index[key] = cache.lru.begin();
-  if (cache.lru.size() > kMontCacheCapacity) {
-    cache.index.erase(cache.lru.back().first);
-    cache.lru.pop_back();
-    ++cache.stats.evictions;
+  stripe.lru.emplace_front(key, ctx);
+  stripe.index[key] = stripe.lru.begin();
+  if (stripe.lru.size() > kStripeCapacity) {
+    stripe.index.erase(stripe.lru.back().first);
+    stripe.lru.pop_back();
+    ++stripe.stats.evictions;
   }
   return ctx;
 }
 
 void set_montgomery_cache_enabled(bool enabled) {
   MontCache& cache = MontCache::instance();
-  std::lock_guard<std::mutex> lock(cache.mu);
-  cache.enabled = enabled;
-  if (!enabled) {
-    cache.lru.clear();
-    cache.index.clear();
-  }
+  cache.enabled.store(enabled, std::memory_order_relaxed);
+  if (!enabled) clear_montgomery_cache();
 }
 
 bool montgomery_cache_enabled() {
-  MontCache& cache = MontCache::instance();
-  std::lock_guard<std::mutex> lock(cache.mu);
-  return cache.enabled;
+  return MontCache::instance().enabled.load(std::memory_order_relaxed);
 }
 
 void clear_montgomery_cache() {
   MontCache& cache = MontCache::instance();
-  std::lock_guard<std::mutex> lock(cache.mu);
-  cache.lru.clear();
-  cache.index.clear();
+  for (Stripe& stripe : cache.stripes) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.lru.clear();
+    stripe.index.clear();
+  }
 }
 
 MontCacheStats montgomery_cache_stats() {
   MontCache& cache = MontCache::instance();
-  std::lock_guard<std::mutex> lock(cache.mu);
-  return cache.stats;
+  MontCacheStats out;
+  for (Stripe& stripe : cache.stripes) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    out.hits += stripe.stats.hits;
+    out.misses += stripe.stats.misses;
+    out.evictions += stripe.stats.evictions;
+  }
+  return out;
 }
 
 void reset_montgomery_cache_stats() {
   MontCache& cache = MontCache::instance();
-  std::lock_guard<std::mutex> lock(cache.mu);
-  cache.stats = MontCacheStats{};
+  for (Stripe& stripe : cache.stripes) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.stats = MontCacheStats{};
+  }
 }
 
 }  // namespace omadrm::bigint

@@ -8,10 +8,13 @@
 // the hot path. This is the software analogue of the paper's
 // "precomputation in the RI context" recommendation.
 //
-// The cache is thread-safe and bounded (kMontCacheCapacity entries, LRU
-// eviction); transient moduli from prime generation churn through without
-// displacing more than a window of live keys. Benchmarks can disable it to
-// measure the uncached baseline.
+// The cache is thread-safe and bounded (kMontCacheCapacity entries total,
+// LRU eviction); transient moduli from prime generation churn through
+// without displacing more than a window of live keys. Internally it is
+// striped by modulus hash — concurrent verifiers on different moduli
+// (distinct device keys across RI shards) hit disjoint mutexes instead of
+// one process-wide lock. Benchmarks can disable it to measure the
+// uncached baseline.
 #pragma once
 
 #include <cstdint>

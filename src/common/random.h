@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/bytes.h"
 
@@ -45,6 +46,31 @@ class DeterministicRng final : public Rng {
 
  private:
   std::uint64_t state_[4];
+};
+
+/// Mutex-serialized view over another Rng. The draw *sequence* stays that
+/// of the wrapped generator — single-threaded callers see identical
+/// output — but concurrent callers interleave safely instead of racing
+/// the generator state. Which caller gets which draw is then scheduling-
+/// dependent, so wrap only generators whose consumers tolerate divergence
+/// (e.g. the RI's nonce/key draws after net::Realm's shared trust
+/// prefix). The wrapped generator must outlive the wrapper.
+class LockedRng final : public Rng {
+ public:
+  explicit LockedRng(Rng& inner) : inner_(inner) {}
+
+  void fill(std::uint8_t* out, std::size_t len) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_.fill(out, len);
+  }
+  std::uint64_t next_u64() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_.next_u64();
+  }
+
+ private:
+  std::mutex mu_;
+  Rng& inner_;
 };
 
 }  // namespace omadrm

@@ -1,21 +1,65 @@
 #include "net/concurrent_issuer.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace omadrm::net {
 
 roap::Envelope ConcurrentIssuer::handle(const roap::Envelope& request,
                                         std::uint64_t now) {
-  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    lock.lock();
-    ++stats_.contended;
-  }
-  ++stats_.exchanges;
+  // Counted before dispatch so thrown calls (non-request envelopes the
+  // server turns into error frames) still register as exchanges.
+  exchanges_.fetch_add(1, std::memory_order_relaxed);
   return ri_.handle(request, now);
 }
 
 ConcurrentIssuer::Stats ConcurrentIssuer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out;
+  out.exchanges = exchanges_.load(std::memory_order_relaxed);
+  for (const auto& sh : ri_.shard_stats()) out.contended += sh.contended;
+  return out;
+}
+
+std::string format_issuer_stats(const ConcurrentIssuer& issuer) {
+  const ConcurrentIssuer::Stats total = issuer.stats();
+  const auto shards = issuer.shard_stats();
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& sh : shards) {
+    hits += sh.replay_hits;
+    misses += sh.replay_misses;
+  }
+  const auto rate = [](std::uint64_t h, std::uint64_t m) {
+    const std::uint64_t lookups = h + m;
+    return lookups == 0 ? 0.0
+                        : 100.0 * static_cast<double>(h) /
+                              static_cast<double>(lookups);
+  };
+
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "issuer: exchanges=%" PRIu64 " contended=%" PRIu64
+                " replay_hits=%" PRIu64 " replay_misses=%" PRIu64
+                " hit_rate=%.1f%%\n",
+                total.exchanges, total.contended, hits, misses,
+                rate(hits, misses));
+  std::string out = line;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& sh = shards[i];
+    // Idle shards (no fleet traffic hashed there) are elided so a
+    // two-device test prints two lines, not kShardCount.
+    if (sh.exchanges == 0 && sh.replay_hits == 0 && sh.replay_misses == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "shard[%02zu]: exchanges=%" PRIu64 " contended=%" PRIu64
+                  " replay_hits=%" PRIu64 " replay_misses=%" PRIu64
+                  " hit_rate=%.1f%%\n",
+                  i, sh.exchanges, sh.contended, sh.replay_hits,
+                  sh.replay_misses, rate(sh.replay_hits, sh.replay_misses));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace omadrm::net

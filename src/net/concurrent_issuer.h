@@ -1,31 +1,39 @@
-// Concurrency-safe front end over a RightsIssuer.
+// Concurrency front end over a RightsIssuer.
 //
-// RightsIssuer::handle is single-threaded by design: every handler
-// mutates shared tables (pending sessions, registered devices, domains,
-// the replay cache's LRU — which moves even on a *lookup* — and the
-// chain-verdict cache). This front end is the one object the server's
-// worker pool shares; it serializes handle() calls under one mutex, so
-// behind it the RI, its replay cache, and its chain verifier run
-// exactly the single-threaded code the rest of the repo tests.
+// Since the sharded-RI rework, RightsIssuer::handle is itself
+// thread-safe: per-device state (pending sessions, registered devices,
+// replay-cache LRUs) lives in kShardCount independently locked shards
+// keyed by device-id hash, so requests for different devices proceed in
+// parallel and only same-shard traffic serializes. The pieces that cross
+// device boundaries are concurrent on their own terms:
 //
-// Why coarse, not striped: striping by device-id hash only helps when
-// per-device state is disjoint, but every request type crosses device
-// boundaries — the replay cache and session-id counter are global, a
-// domain join touches shared domain membership, and the store commit
-// path is one journal. Striping the lock without sharding the state
-// underneath would be a correctness bug wearing a performance hat. The
-// real unlock is a sharded RightsIssuer core (the ROADMAP's next item);
-// this class is deliberately the smallest thing that makes today's RI
-// safe to put behind a worker pool, with a contention counter so the
-// moment the lock becomes the bottleneck is measured, not guessed.
+//   - session-id counter: atomic reservation + persisted lease blocks
+//     ("meta" extends by kSessionLeaseBlock under its own mutex);
+//   - domain membership: its own striped table (joins cross device
+//     shards), stripe lock held across compute → persist → apply;
+//   - replay cache: per-shard LRUs, with the shard lock spanning
+//     lookup → handler → insert so a duplicate racing its original on
+//     another worker gets the one byte-identical cached reply;
+//   - chain-verdict cache: reader-biased (shared_mutex) — concurrent
+//     cache hits take only a shared lock;
+//   - Montgomery-context cache: striped by modulus hash;
+//   - store commits: optionally batched by store::GroupCommitStore so
+//     concurrent shard commits share one journal append + fsync.
 //
-// The process-wide Montgomery-context cache (bigint/mont_cache) is
-// independently mutex-guarded and safe for the *client* threads that
-// share this process in benchmarks; it needs no help from this lock.
+// Lock order everywhere: device shard → domain stripe → store; never two
+// shards or two stripes at once (the cross-shard TTL sweep locks one
+// shard at a time).
+//
+// This class is therefore a thin pass-through that (a) keeps the
+// server↔issuer seam stable, and (b) owns the fleet-wide exchange
+// counter plus aggregation of the RI's per-shard contention stats, which
+// ri_server --stats reports.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <string>
+#include <vector>
 
 #include "ri/rights_issuer.h"
 #include "roap/envelope.h"
@@ -36,7 +44,7 @@ class ConcurrentIssuer {
  public:
   struct Stats {
     std::uint64_t exchanges = 0;  // handle() calls completed or thrown
-    std::uint64_t contended = 0;  // calls that found the lock held
+    std::uint64_t contended = 0;  // shard-lock acquisitions that blocked
   };
 
   explicit ConcurrentIssuer(ri::RightsIssuer& ri) : ri_(ri) {}
@@ -46,17 +54,28 @@ class ConcurrentIssuer {
   /// the caller — the server turns them into error frames.
   roap::Envelope handle(const roap::Envelope& request, std::uint64_t now);
 
-  /// The wrapped issuer. Callers must not touch it while server workers
-  /// are live except through handle(); configuration (offers, domains)
-  /// belongs before start() or after stop().
+  /// The wrapped issuer. handle() and the RI's snapshot accessors are
+  /// safe while server workers are live; configuration (offers, domains,
+  /// bind_store) belongs before start() or after stop().
   ri::RightsIssuer& issuer() { return ri_; }
 
   Stats stats() const;
 
+  /// Per-shard counters straight from the RI (exchanges, contention,
+  /// replay hits/misses) — what `ri_server --stats` prints.
+  std::vector<ri::RightsIssuer::ShardStats> shard_stats() const {
+    return ri_.shard_stats();
+  }
+
  private:
   ri::RightsIssuer& ri_;
-  mutable std::mutex mu_;
-  Stats stats_;
+  std::atomic<std::uint64_t> exchanges_{0};
 };
+
+/// Renders the `--stats` block ri_server prints on exit: a fleet summary
+/// line followed by one line per non-idle shard with its exchange,
+/// contention, and replay-cache hit-rate counters. Format is covered by
+/// test_net.cpp.
+std::string format_issuer_stats(const ConcurrentIssuer& issuer);
 
 }  // namespace omadrm::net

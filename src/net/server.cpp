@@ -450,14 +450,16 @@ void RiServer::close_conn(const std::shared_ptr<Conn>& conn, bool idle) {
     conn->outbox.clear();
     conn->outpos = 0;
   }
+  // Counters first: the peer observes EOF the instant close() runs, and
+  // a stats reader woken by that EOF must already see this close counted.
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  if (idle) stats_.idle_closed.fetch_add(1, std::memory_order_relaxed);
   poller_->remove(conn->fd);
   ::close(conn->fd);
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.erase(conn->fd);
   }
-  stats_.closed.fetch_add(1, std::memory_order_relaxed);
-  if (idle) stats_.idle_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
 // -------------------------------- workers ----------------------------------

@@ -135,21 +135,27 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::verify(
   if (chain.empty()) {
     throw Error(ErrorKind::kProtocol, "chain verifier: empty chain");
   }
+  State& st = *state_;
   std::string fp = chain_fingerprint(chain);
 
   std::vector<std::string> serials;
   serials.reserve(chain.size());
   for (const Certificate& cert : chain) serials.push_back(cert.serial().to_dec());
 
+  // Reader-biased fast path: denylist check + cache hit take only the
+  // shared lock, so concurrent hits (the steady state — every repeat
+  // device) never serialize. Everything that mutates the map runs under
+  // the writer lock below.
   std::uint64_t epoch_observed;
+  bool stale_entry = false;
   {
-    std::lock_guard<std::mutex> lock(*mu_);
-    epoch_observed = epoch_;
+    std::shared_lock<std::shared_mutex> lock(st.mu);
+    epoch_observed = st.epoch.load(std::memory_order_relaxed);
     // Durable revocation: a denylisted serial anywhere in the chain
     // short-circuits before any RSA work, and the verdict is never
     // cached (the denylist itself is the persistent record).
     for (const std::string& serial : serials) {
-      if (revoked_serials_.count(serial)) {
+      if (st.revoked_serials.count(serial)) {
         auto revoked = std::make_shared<ChainVerdict>();
         revoked->status = CertStatus::kRevoked;
         revoked->fingerprint = std::move(fp);
@@ -159,46 +165,56 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::verify(
         return revoked;
       }
     }
-    if (enabled_) {
-      auto it = cache_.find(fp);
-      if (it != cache_.end()) {
+    if (st.enabled.load(std::memory_order_relaxed)) {
+      auto it = st.cache.find(fp);
+      if (it != st.cache.end()) {
         if (now >= it->second->valid_from && now <= it->second->valid_until) {
-          ++stats_.hits;
+          st.hits.fetch_add(1, std::memory_order_relaxed);
           // A surviving entry has outlived any invalidation that bumped
           // the epoch — re-stamp it so handle-based revalidation works
-          // again for its holders.
-          it->second->epoch = epoch_;
+          // again for its holders. (Writers are excluded by our shared
+          // lock, so epoch_observed is still the current epoch.)
+          it->second->epoch.store(epoch_observed, std::memory_order_relaxed);
           return it->second;
         }
         // The chain aged out of (or has not yet entered) its window; the
         // stale verdict must not shadow the fresh, failing verification.
-        std::erase(insertion_order_, it->first);
-        cache_.erase(it);
-        ++stats_.invalidations;
+        stale_entry = true;
       }
     }
-    ++stats_.misses;
   }
+  if (stale_entry) {
+    std::unique_lock<std::shared_mutex> lock(st.mu);
+    auto it = st.cache.find(fp);
+    if (it != st.cache.end() &&
+        !(now >= it->second->valid_from && now <= it->second->valid_until)) {
+      std::erase(st.insertion_order, it->first);
+      st.cache.erase(it);
+      st.invalidations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  st.misses.fetch_add(1, std::memory_order_relaxed);
 
   // Full walk outside the lock: the RSA work is the expensive part and may
   // go through a caller-provided (metered) primitive.
   std::shared_ptr<ChainVerdict> verdict = verify_full(chain, now, fp);
 
   if (verdict->status == CertStatus::kValid) {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::unique_lock<std::shared_mutex> lock(st.mu);
     // An invalidation that raced the (unlocked) walk must win: caching a
     // verdict computed before the epoch moved could resurrect a chain
     // that was just revoked.
-    if (enabled_ && epoch_ == epoch_observed) {
-      verdict->epoch = epoch_;
-      if (cache_.emplace(verdict->fingerprint, verdict).second) {
-        insertion_order_.push_back(verdict->fingerprint);
+    if (st.enabled.load(std::memory_order_relaxed) &&
+        st.epoch.load(std::memory_order_relaxed) == epoch_observed) {
+      verdict->epoch.store(epoch_observed, std::memory_order_relaxed);
+      if (st.cache.emplace(verdict->fingerprint, verdict).second) {
+        st.insertion_order.push_back(verdict->fingerprint);
       }
       // FIFO bound. The queue mirrors the map exactly (every erase also
       // purges its queue entry), so the front really is the oldest.
-      while (cache_.size() > kCacheCapacity && !insertion_order_.empty()) {
-        cache_.erase(insertion_order_.front());
-        insertion_order_.pop_front();
+      while (st.cache.size() > kCacheCapacity && !st.insertion_order.empty()) {
+        st.cache.erase(st.insertion_order.front());
+        st.insertion_order.pop_front();
       }
     }
   }
@@ -208,11 +224,14 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::verify(
 std::shared_ptr<const ChainVerdict> ChainVerifier::revalidate(
     const std::shared_ptr<const ChainVerdict>& handle,
     const std::vector<Certificate>& chain, std::uint64_t now) {
+  State& st = *state_;
   if (handle && handle->status == CertStatus::kValid &&
       now >= handle->valid_from && now <= handle->valid_until) {
-    std::lock_guard<std::mutex> lock(*mu_);
-    if (enabled_ && handle->epoch == epoch_) {
-      ++stats_.hits;
+    std::shared_lock<std::shared_mutex> lock(st.mu);
+    if (st.enabled.load(std::memory_order_relaxed) &&
+        handle->epoch.load(std::memory_order_relaxed) ==
+            st.epoch.load(std::memory_order_relaxed)) {
+      st.hits.fetch_add(1, std::memory_order_relaxed);
       return handle;
     }
   }
@@ -220,15 +239,16 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::revalidate(
 }
 
 void ChainVerifier::invalidate_serial(const bigint::BigInt& serial) {
+  State& st = *state_;
   const std::string needle = serial.to_dec();
-  std::lock_guard<std::mutex> lock(*mu_);
-  revoked_serials_.insert(needle);
-  for (auto it = cache_.begin(); it != cache_.end();) {
+  std::unique_lock<std::shared_mutex> lock(st.mu);
+  st.revoked_serials.insert(needle);
+  for (auto it = st.cache.begin(); it != st.cache.end();) {
     const auto& serials = it->second->serials;
     if (std::find(serials.begin(), serials.end(), needle) != serials.end()) {
-      std::erase(insertion_order_, it->first);
-      it = cache_.erase(it);
-      ++stats_.invalidations;
+      std::erase(st.insertion_order, it->first);
+      it = st.cache.erase(it);
+      st.invalidations.fetch_add(1, std::memory_order_relaxed);
     } else {
       ++it;
     }
@@ -236,39 +256,46 @@ void ChainVerifier::invalidate_serial(const bigint::BigInt& serial) {
   // Unconditional: also fences any walk currently in flight (it will see
   // the moved epoch and decline to cache its pre-revocation verdict) and
   // retires outstanding handles.
-  ++epoch_;
+  st.epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ChainVerifier::clear() {
-  std::lock_guard<std::mutex> lock(*mu_);
-  cache_.clear();
-  insertion_order_.clear();
-  ++epoch_;
+  State& st = *state_;
+  std::unique_lock<std::shared_mutex> lock(st.mu);
+  st.cache.clear();
+  st.insertion_order.clear();
+  st.epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ChainVerifier::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  enabled_ = enabled;
+  State& st = *state_;
+  std::unique_lock<std::shared_mutex> lock(st.mu);
+  st.enabled.store(enabled, std::memory_order_relaxed);
   if (!enabled) {
-    cache_.clear();
-    insertion_order_.clear();
-    ++epoch_;
+    st.cache.clear();
+    st.insertion_order.clear();
+    st.epoch.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 bool ChainVerifier::enabled() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return enabled_;
+  return state_->enabled.load(std::memory_order_relaxed);
 }
 
 ChainCacheStats ChainVerifier::stats() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return stats_;
+  const State& st = *state_;
+  ChainCacheStats out;
+  out.hits = st.hits.load(std::memory_order_relaxed);
+  out.misses = st.misses.load(std::memory_order_relaxed);
+  out.invalidations = st.invalidations.load(std::memory_order_relaxed);
+  return out;
 }
 
 void ChainVerifier::reset_stats() {
-  std::lock_guard<std::mutex> lock(*mu_);
-  stats_ = ChainCacheStats{};
+  State& st = *state_;
+  st.hits.store(0, std::memory_order_relaxed);
+  st.misses.store(0, std::memory_order_relaxed);
+  st.invalidations.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace omadrm::pki

@@ -10,19 +10,28 @@
 // fingerprint for as long as `now` stays inside the chain's validity
 // window. Revocation invalidates by serial.
 //
+// Thread-safe with reader bias: the cache-hit path (the steady state of
+// a busy RI — every re-registering device) takes only a shared lock, so
+// concurrent hits from different RI shards never serialize; counters are
+// atomics. Insertions, expiry erases, revocation, clear() and
+// set_enabled() take the writer lock. The verdict cache is FIFO (no
+// LRU-on-lookup mutation), which is what makes the shared-lock hit path
+// sound.
+//
 // The RSA verification primitive is injected (VerifyFn) so callers can
 // route it through a metered CryptoProvider — cache hits then charge
 // exactly zero RSA operations to the cycle ledger, which is the effect the
 // paper predicts for RI-context caching.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +44,8 @@ class CryptoProvider;
 namespace omadrm::pki {
 
 /// Outcome of a full chain walk. Cached only when status == kValid.
+/// Shared by handle (std::shared_ptr) — not copyable, by design: every
+/// holder sees the one instance whose epoch stamp the verifier refreshes.
 struct ChainVerdict {
   CertStatus status = CertStatus::kBadSignature;
   /// Intersection of every chain certificate's validity window; a cached
@@ -46,7 +57,8 @@ struct ChainVerdict {
   std::string fingerprint;           // hex SHA-1 over chain DERs + anchor
   /// Issuing verifier's invalidation epoch at creation time; lets
   /// revalidate() accept the handle without recomputing the fingerprint.
-  std::uint64_t epoch = 0;
+  /// Atomic because cache hits re-stamp it under the *shared* lock.
+  std::atomic<std::uint64_t> epoch{0};
 };
 
 struct ChainCacheStats {
@@ -124,22 +136,29 @@ class ChainVerifier {
       const std::vector<Certificate>& chain, std::uint64_t now,
       std::string fp) const;
 
+  /// Everything shared across threads, heap-held in one block so the
+  /// verifier (and agents embedding it) stays movable despite the
+  /// non-movable mutex and atomics.
+  struct State {
+    std::shared_mutex mu;
+    std::atomic<bool> enabled{true};
+    // Bumped on every invalidation, clear, or disable: conservatively
+    // retires all outstanding verdict handles at once. Cache hits
+    // re-stamp the surviving verdict to the current epoch.
+    std::atomic<std::uint64_t> epoch{1};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> invalidations{0};
+    std::map<std::string, std::shared_ptr<ChainVerdict>> cache;
+    std::deque<std::string> insertion_order;  // FIFO eviction queue
+    std::set<std::string> revoked_serials;    // decimal; durable denylist
+  };
+
   Certificate trust_root_;
   Bytes trust_root_der_;  // encoded once at construction
   VerifyFn verify_fn_;
-
-  // Heap-held so the verifier (and agents embedding it) stays movable.
-  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
-  bool enabled_ = true;
-  // Bumped on every invalidation, clear, or disable: conservatively
-  // retires all outstanding verdict handles at once. Cache hits re-stamp
-  // the surviving verdict to the current epoch.
-  std::uint64_t epoch_ = 1;
   bool root_self_ok_ = false;
-  ChainCacheStats stats_;
-  std::map<std::string, std::shared_ptr<ChainVerdict>> cache_;
-  std::deque<std::string> insertion_order_;  // FIFO eviction queue
-  std::set<std::string> revoked_serials_;    // decimal; durable denylist
+  mutable std::unique_ptr<State> state_ = std::make_unique<State>();
 };
 
 }  // namespace omadrm::pki

@@ -16,7 +16,7 @@ namespace {
 
 // Store record keys: "sess/<session-id>" pending registration nonces,
 // "dev/<device-id>" registered device certificates (raw DER), and
-// "domain/<id>" domain key + membership; "meta" the session-id counter.
+// "domain/<id>" domain key + membership; "meta" the session-id lease.
 std::string sess_record_key(const std::string& id) { return "sess/" + id; }
 std::string dev_record_key(const std::string& id) { return "dev/" + id; }
 std::string domain_record_key(const std::string& id) {
@@ -56,7 +56,34 @@ struct Reader {
   }
 };
 
+/// FNV-1a — deterministic across processes (shard assignment is not an
+/// ABI, but determinism keeps multi-process debugging sane).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::size_t RightsIssuer::shard_of(std::string_view device_id) {
+  static_assert((kShardCount & (kShardCount - 1)) == 0);
+  return fnv1a(device_id) & (kShardCount - 1);
+}
+
+RightsIssuer::DomainStripe& RightsIssuer::stripe_for(
+    std::string_view domain_id) {
+  static_assert((kDomainStripes & (kDomainStripes - 1)) == 0);
+  return domain_stripes_[fnv1a(domain_id) & (kDomainStripes - 1)];
+}
+
+const RightsIssuer::DomainStripe& RightsIssuer::stripe_for(
+    std::string_view domain_id) const {
+  return const_cast<RightsIssuer*>(this)->stripe_for(domain_id);
+}
 
 RightsIssuer::RightsIssuer(std::string ri_id, std::string url,
                            pki::CertificationAuthority& ca,
@@ -107,9 +134,9 @@ Bytes encode_domain(const Domain& d) {
   return out;
 }
 
-Bytes encode_meta(std::uint64_t next_session) {
+Bytes encode_meta(std::uint64_t session_lease) {
   Bytes out;
-  append_be64(out, next_session);
+  append_be64(out, session_lease);
   return out;
 }
 
@@ -134,17 +161,19 @@ Result<> RightsIssuer::bind_store(store::StateStore& s) {
   if (has_meta) {
     // Restart path: the store image replaces this instance's replay
     // state. In-flight handshakes stay completable; consumed sessions
-    // stay consumed.
+    // stay consumed. The decoded image is staged whole, then installed
+    // into the shards/stripes — bind_store is config-time (no handler
+    // traffic), so no shard locks are needed.
     std::map<std::string, PendingSession> sessions;
     std::map<std::string, pki::Certificate> devices;
     std::map<std::string, Domain> domains;
-    std::uint64_t next_session = 1;
+    std::uint64_t session_lease = 1;
     try {
       for (const store::Record& rec : *loaded) {
         const std::string_view key = rec.key;
         if (key == kMetaKey) {
           Reader r(ByteView(rec.value));
-          next_session = r.u64();
+          session_lease = r.u64();
         } else if (key.starts_with("sess/")) {
           Reader r(ByteView(rec.value));
           PendingSession p;
@@ -180,10 +209,29 @@ Result<> RightsIssuer::bind_store(store::StateStore& s) {
       return Result<>(StatusCode::kStoreCorrupt,
                       std::string("ri: store image malformed: ") + e.what());
     }
-    sessions_ = std::move(sessions);
-    devices_ = std::move(devices);
-    domains_ = std::move(domains);
-    next_session_ = next_session;
+    for (Shard& sh : shards_) {
+      sh.sessions.clear();
+      sh.devices.clear();
+      sh.oldest_session.store(kNoSessions, std::memory_order_relaxed);
+    }
+    for (DomainStripe& ds : domain_stripes_) ds.domains.clear();
+    for (auto& [id, p] : sessions) {
+      shard_for(p.device_id).sessions[id] = std::move(p);
+    }
+    for (auto& [id, cert] : devices) {
+      shard_for(id).devices[id] = std::move(cert);
+    }
+    for (auto& [id, d] : domains) {
+      stripe_for(id).domains[id] = std::move(d);
+    }
+    for (Shard& sh : shards_) refresh_oldest(sh);
+    // The persisted lease bounds every id the previous process may have
+    // handed out; resuming *at* the bound can never collide.
+    next_session_.store(session_lease, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      session_lease_ = session_lease;
+    }
     store_ = &s;
     return Result<>();
   }
@@ -197,19 +245,27 @@ Result<> RightsIssuer::bind_store(store::StateStore& s) {
   // Empty store: seed it with the current state.
   store::Transaction tx;
   tx.clear();
-  tx.put(kMetaKey, encode_meta(next_session_));
-  for (const auto& [id, p] : sessions_) {
-    tx.put(sess_record_key(id),
-           encode_pending(p.ri_nonce, p.device_id, p.created_at));
+  tx.put(kMetaKey, encode_meta(next_session_.load(std::memory_order_relaxed)));
+  for (const Shard& sh : shards_) {
+    for (const auto& [id, p] : sh.sessions) {
+      tx.put(sess_record_key(id),
+             encode_pending(p.ri_nonce, p.device_id, p.created_at));
+    }
+    for (const auto& [id, cert] : sh.devices) {
+      tx.put(dev_record_key(id), cert.to_der());
+    }
   }
-  for (const auto& [id, cert] : devices_) {
-    tx.put(dev_record_key(id), cert.to_der());
-  }
-  for (const auto& [id, d] : domains_) {
-    tx.put(domain_record_key(id), encode_domain(d));
+  for (const DomainStripe& ds : domain_stripes_) {
+    for (const auto& [id, d] : ds.domains) {
+      tx.put(domain_record_key(id), encode_domain(d));
+    }
   }
   Result<> committed = s.commit(tx);
   if (!committed.ok()) return committed;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    session_lease_ = next_session_.load(std::memory_order_relaxed);
+  }
   store_ = &s;
   return Result<>();
 }
@@ -235,7 +291,9 @@ bool RightsIssuer::has_offer(const std::string& ro_id) const {
 
 void RightsIssuer::create_domain(const std::string& domain_id,
                                  std::size_t max_members) {
-  if (domains_.count(domain_id)) return;
+  DomainStripe& ds = stripe_for(domain_id);
+  std::lock_guard<std::mutex> lock(ds.mu);
+  if (ds.domains.count(domain_id)) return;
   Domain d;
   d.domain_id = domain_id;
   d.key = rng_.bytes(16);
@@ -244,17 +302,30 @@ void RightsIssuer::create_domain(const std::string& domain_id,
   store::Transaction tx;
   tx.put(domain_record_key(domain_id), encode_domain(d));
   persist(tx);
-  domains_.emplace(domain_id, std::move(d));
+  ds.domains.emplace(domain_id, std::move(d));
 }
 
 const Domain* RightsIssuer::domain(const std::string& domain_id) const {
-  auto it = domains_.find(domain_id);
-  return it == domains_.end() ? nullptr : &it->second;
+  const DomainStripe& ds = stripe_for(domain_id);
+  std::lock_guard<std::mutex> lock(ds.mu);
+  auto it = ds.domains.find(domain_id);
+  return it == ds.domains.end() ? nullptr : &it->second;
+}
+
+std::optional<Domain> RightsIssuer::domain_snapshot(
+    const std::string& domain_id) const {
+  const DomainStripe& ds = stripe_for(domain_id);
+  std::lock_guard<std::mutex> lock(ds.mu);
+  auto it = ds.domains.find(domain_id);
+  if (it == ds.domains.end()) return std::nullopt;
+  return it->second;
 }
 
 void RightsIssuer::upgrade_domain(const std::string& domain_id) {
-  auto it = domains_.find(domain_id);
-  if (it == domains_.end()) {
+  DomainStripe& ds = stripe_for(domain_id);
+  std::lock_guard<std::mutex> lock(ds.mu);
+  auto it = ds.domains.find(domain_id);
+  if (it == ds.domains.end()) {
     throw Error(ErrorKind::kNotFound, "ri: no such domain: " + domain_id);
   }
   // Persist the re-keyed domain before the live state changes
@@ -288,13 +359,25 @@ roap::RoAcquisitionTrigger RightsIssuer::make_trigger(
 }
 
 bool RightsIssuer::is_registered(const std::string& device_id) const {
-  return devices_.count(device_id) > 0;
+  const Shard& sh = shards_[shard_of(device_id)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.devices.count(device_id) > 0;
+}
+
+std::size_t RightsIssuer::pending_session_count() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    total += sh.sessions.size();
+  }
+  return total;
 }
 
 std::vector<std::string> RightsIssuer::stale_sessions(
-    std::uint64_t now, const std::string* superseded_device) const {
+    const Shard& sh, std::uint64_t now,
+    const std::string* superseded_device) const {
   std::vector<std::string> out;
-  for (const auto& [id, p] : sessions_) {
+  for (const auto& [id, p] : sh.sessions) {
     const bool expired =
         now >= p.created_at && now - p.created_at > kPendingSessionTtl;
     const bool superseded =
@@ -304,30 +387,76 @@ std::vector<std::string> RightsIssuer::stale_sessions(
   return out;
 }
 
-std::size_t RightsIssuer::expire_pending_sessions(std::uint64_t now) {
-  const std::vector<std::string> doomed = stale_sessions(now, nullptr);
-  store::Transaction tx;
-  for (const std::string& id : doomed) tx.erase(sess_record_key(id));
-  persist(tx);
-  for (const std::string& id : doomed) sessions_.erase(id);
-  return doomed.size();
+void RightsIssuer::refresh_oldest(Shard& sh) {
+  std::uint64_t oldest = kNoSessions;
+  for (const auto& [id, p] : sh.sessions) {
+    oldest = std::min(oldest, p.created_at);
+  }
+  sh.oldest_session.store(oldest, std::memory_order_relaxed);
 }
 
-roap::RiHello RightsIssuer::on_device_hello(const roap::DeviceHello& hello,
+std::size_t RightsIssuer::sweep_stale_shards(std::uint64_t now,
+                                             const Shard* skip) {
+  std::size_t total = 0;
+  for (Shard& sh : shards_) {
+    if (&sh == skip) continue;
+    // Lock-free fast path: nothing old enough to die in this shard.
+    const std::uint64_t oldest =
+        sh.oldest_session.load(std::memory_order_relaxed);
+    if (oldest == kNoSessions || now < oldest ||
+        now - oldest <= kPendingSessionTtl) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const std::vector<std::string> doomed = stale_sessions(sh, now, nullptr);
+    if (doomed.empty()) continue;
+    store::Transaction tx;
+    for (const std::string& id : doomed) tx.erase(sess_record_key(id));
+    try {
+      persist(tx);
+    } catch (const Error& e) {
+      if (e.kind() != ErrorKind::kState) throw;
+      // Degraded store: leave the stale sessions for a later sweep
+      // rather than failing the request that merely triggered the GC.
+      continue;
+    }
+    for (const std::string& id : doomed) sh.sessions.erase(id);
+    refresh_oldest(sh);
+    total += doomed.size();
+  }
+  return total;
+}
+
+std::size_t RightsIssuer::expire_pending_sessions(std::uint64_t now) {
+  return sweep_stale_shards(now, nullptr);
+}
+
+roap::RiHello RightsIssuer::on_device_hello(Shard& sh,
+                                            const roap::DeviceHello& hello,
                                             std::uint64_t now) {
-  // Garbage-collect abandoned handshakes, then supersede any pending
-  // session of this same device: only its newest hello stays live.
-  // DeviceHello is unauthenticated (nothing in pass 1 is signed, per the
-  // protocol), so a peer spoofing another device's id can abort that
-  // device's in-flight handshake — the deliberate tradeoff for bounding
-  // per-device pending state to one entry; the aborted device just
-  // restarts from DeviceHello. Real authentication lands in pass 3.
+  // Garbage-collect this shard's abandoned handshakes, then supersede any
+  // pending session of this same device: only its newest hello stays
+  // live. (Other shards were swept in handle() before the shard lock was
+  // taken.) DeviceHello is unauthenticated (nothing in pass 1 is signed,
+  // per the protocol), so a peer spoofing another device's id can abort
+  // that device's in-flight handshake — the deliberate tradeoff for
+  // bounding per-device pending state to one entry; the aborted device
+  // just restarts from DeviceHello. Real authentication lands in pass 3.
   const std::vector<std::string> doomed =
-      stale_sessions(now, &hello.device_id);
+      stale_sessions(sh, now, &hello.device_id);
+
+  // Session-id reservation is lock-free; the persisted lease bound in
+  // "meta" is what a restart resumes from, re-extended (under meta_mu_,
+  // inside this hello's transaction) only when the reservation crosses
+  // the current bound — roughly one meta write per kSessionLeaseBlock
+  // hellos instead of one per hello, and never a stale smaller bound
+  // overwriting a larger one. A reservation burned by a refused commit
+  // is simply skipped: ids need uniqueness, not density.
+  const std::uint64_t session_number =
+      next_session_.fetch_add(1, std::memory_order_relaxed);
 
   roap::RiHello out;
   out.ri_id = ri_id_;
-  const std::uint64_t session_number = next_session_;
   out.session_id = ri_id_ + "-session-" + std::to_string(session_number);
   // Capability negotiation: the standard's mandatory suite always wins
   // unless the device advertises nothing (paper §2.4.1).
@@ -335,50 +464,65 @@ roap::RiHello RightsIssuer::on_device_hello(const roap::DeviceHello& hello,
                     "RSA-1024", "RSA-PSS", "KDF2"};
   out.ri_nonce = rng_.bytes(roap::kNonceLen);
 
-  // The pending nonce (and the counter that names sessions) must survive
-  // an RI restart, or every in-flight handshake dies with the process.
-  // Persist BEFORE touching RAM: a refused commit (degraded mode) must
-  // leave no half-created session and no superseded-but-alive entries.
+  // The pending nonce (and the lease that bounds session ids) must
+  // survive an RI restart, or every in-flight handshake dies with the
+  // process. Persist BEFORE touching RAM: a refused commit (degraded
+  // mode) must leave no half-created session and no superseded-but-alive
+  // entries.
   store::Transaction tx;
   for (const std::string& id : doomed) tx.erase(sess_record_key(id));
   tx.put(sess_record_key(out.session_id),
          encode_pending(out.ri_nonce, hello.device_id, now));
-  tx.put(kMetaKey, encode_meta(session_number + 1));
-  persist(tx);
+  {
+    std::unique_lock<std::mutex> meta_lock(meta_mu_);
+    if (session_number + 1 > session_lease_) {
+      const std::uint64_t new_lease = session_number + kSessionLeaseBlock;
+      tx.put(kMetaKey, encode_meta(new_lease));
+      persist(tx);  // meta_mu_ held: lease extensions commit in order
+      session_lease_ = new_lease;
+    } else {
+      meta_lock.unlock();
+      persist(tx);
+    }
+  }
 
-  for (const std::string& id : doomed) sessions_.erase(id);
-  sessions_[out.session_id] =
+  for (const std::string& id : doomed) sh.sessions.erase(id);
+  sh.sessions[out.session_id] =
       PendingSession{out.ri_nonce, hello.device_id, now};
-  next_session_ = session_number + 1;
+  refresh_oldest(sh);
   return out;
 }
 
 roap::RegistrationResponse RightsIssuer::on_registration_request(
-    const roap::RegistrationRequest& request, std::uint64_t now) {
+    Shard& sh, const roap::RegistrationRequest& request, std::uint64_t now) {
   roap::RegistrationResponse out;
   out.session_id = request.session_id;
   out.ri_id = ri_id_;
   out.ri_url = url_;
 
-  // TTL sweep staged up front; its RAM erases apply only after the
-  // commit below succeeds (compute → persist → apply, like every
-  // handler — a refused commit must leave RAM and store agreeing).
-  std::vector<std::string> doomed = stale_sessions(now, nullptr);
+  // Shard-local TTL sweep staged up front; its RAM erases apply only
+  // after the commit below succeeds (compute → persist → apply, like
+  // every handler — a refused commit must leave RAM and store agreeing).
+  std::vector<std::string> doomed = stale_sessions(sh, now, nullptr);
   const auto is_doomed = [&doomed](const std::string& id) {
     return std::find(doomed.begin(), doomed.end(), id) != doomed.end();
   };
 
-  auto session = sessions_.find(request.session_id);
-  if (session == sessions_.end() || is_doomed(session->first)) {
+  auto session = sh.sessions.find(request.session_id);
+  if (session == sh.sessions.end() || is_doomed(session->first)) {
     // The pending session is gone — TTL garbage collection, supersession
-    // by a newer hello, or an RI restart raced this retry. Not a refusal:
-    // the device did nothing wrong and must simply restart from
-    // DeviceHello with fresh nonces. kSessionExpired is that clean
-    // restart signal (kAbort stays reserved for genuine refusals).
+    // by a newer hello, an RI restart racing this retry, or a request
+    // whose device id does not match the hello's (a session lives in its
+    // device's shard, so a cross-device forgery simply finds nothing
+    // here). Not a refusal: an honest device did nothing wrong and must
+    // simply restart from DeviceHello with fresh nonces. kSessionExpired
+    // is that clean restart signal (kAbort stays reserved for genuine
+    // refusals).
     store::Transaction tx;
     for (const std::string& id : doomed) tx.erase(sess_record_key(id));
     persist(tx);
-    for (const std::string& id : doomed) sessions_.erase(id);
+    for (const std::string& id : doomed) sh.sessions.erase(id);
+    refresh_oldest(sh);
     out.status = Status::kSessionExpired;
     return out;
   }
@@ -440,13 +584,14 @@ roap::RegistrationResponse RightsIssuer::on_registration_request(
     tx.put(dev_record_key(request.device_id), device_cert.to_der());
   }
   persist(tx);
-  for (const std::string& id : doomed) sessions_.erase(id);
+  for (const std::string& id : doomed) sh.sessions.erase(id);
+  refresh_oldest(sh);
   if (verdict != Status::kSuccess) {
     out.status = verdict;
     return out;
   }
-  devices_[request.device_id] = device_cert;
-  ++counters_.registrations;
+  sh.devices[request.device_id] = device_cert;
+  counters_.registrations.fetch_add(1, std::memory_order_relaxed);
 
   // Staple a fresh OCSP response for our own certificate, bound to the
   // nonce the device supplied.
@@ -464,7 +609,8 @@ roap::RegistrationResponse RightsIssuer::on_registration_request(
 }
 
 roap::ProtectedRo RightsIssuer::build_protected_ro(
-    const LicenseOffer& offer, const rsa::PublicKey& device_key) {
+    const LicenseOffer& offer, const rsa::PublicKey& device_key,
+    const Domain* domain_state) {
   roap::ProtectedRo ro;
   ro.rights.ro_id = offer.ro_id;
   ro.rights.content_id = offer.content_id;
@@ -481,7 +627,10 @@ roap::ProtectedRo RightsIssuer::build_protected_ro(
   ro.enc_kcek = crypto_.aes_wrap(krek, offer.kcek);
 
   if (offer.domain_ro) {
-    const Domain& d = domains_.at(offer.domain_id);
+    // `domain_state` is the caller's snapshot (copied under the stripe
+    // lock): key + generation are read from one consistent instant even
+    // while a concurrent upgrade_domain re-keys the live table.
+    const Domain& d = *domain_state;
     ro.is_domain_ro = true;
     ro.domain_id = offer.domain_id;
     ro.domain_generation = d.generation;
@@ -502,15 +651,15 @@ roap::ProtectedRo RightsIssuer::build_protected_ro(
 }
 
 roap::RoResponse RightsIssuer::on_ro_request(
-    const roap::RoRequest& request, std::uint64_t now) {
+    Shard& sh, const roap::RoRequest& request, std::uint64_t now) {
   (void)now;
   roap::RoResponse out;
   out.device_id = request.device_id;
   out.ri_id = ri_id_;
   out.device_nonce = request.device_nonce;
 
-  auto device = devices_.find(request.device_id);
-  if (device == devices_.end()) {
+  auto device = sh.devices.find(request.device_id);
+  if (device == sh.devices.end()) {
     out.status = Status::kNotRegistered;
     return out;
   }
@@ -524,12 +673,16 @@ roap::RoResponse RightsIssuer::on_ro_request(
     out.status = Status::kUnknownRoId;
     return out;
   }
+  std::optional<Domain> dsnap;
   if (offer->second.domain_ro) {
-    // Domain ROs are only handed to current members of the domain.
-    const Domain* d = domain(offer->second.domain_id);
+    // Domain ROs are only handed to current members of the domain. The
+    // snapshot (one copy under the stripe lock) is both the membership
+    // check and the key/generation source for the RO below — one
+    // consistent view even against a racing join/upgrade.
+    dsnap = domain_snapshot(offer->second.domain_id);
     bool member = false;
-    if (d) {
-      for (const auto& m : d->members) member |= (m == request.device_id);
+    if (dsnap) {
+      for (const auto& m : dsnap->members) member |= (m == request.device_id);
     }
     if (!member) {
       out.status = Status::kAccessDenied;
@@ -538,22 +691,23 @@ roap::RoResponse RightsIssuer::on_ro_request(
   }
 
   out.status = Status::kSuccess;
-  out.ros.push_back(
-      build_protected_ro(offer->second, device->second.subject_key()));
+  out.ros.push_back(build_protected_ro(offer->second,
+                                       device->second.subject_key(),
+                                       dsnap ? &*dsnap : nullptr));
   out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
-  ++counters_.ros_issued;
+  counters_.ros_issued.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 
 roap::JoinDomainResponse RightsIssuer::on_join_domain(
-    const roap::JoinDomainRequest& request, std::uint64_t now) {
+    Shard& sh, const roap::JoinDomainRequest& request, std::uint64_t now) {
   (void)now;
   roap::JoinDomainResponse out;
   out.domain_id = request.domain_id;
   out.device_nonce = request.device_nonce;
 
-  auto device = devices_.find(request.device_id);
-  if (device == devices_.end()) {
+  auto device = sh.devices.find(request.device_id);
+  if (device == sh.devices.end()) {
     out.status = Status::kNotRegistered;
     return out;
   }
@@ -562,57 +716,68 @@ roap::JoinDomainResponse RightsIssuer::on_join_domain(
     out.status = Status::kSignatureInvalid;
     return out;
   }
-  auto it = domains_.find(request.domain_id);
-  if (it == domains_.end()) {
-    out.status = Status::kAccessDenied;
-    return out;
-  }
-  // Compute the post-join membership on a copy, persist it, and only then
-  // let it replace the live domain: a refused commit (degraded mode) must
-  // leave RAM still agreeing with the store.
-  Domain joined = it->second;
-  bool already_member = false;
-  for (const auto& m : joined.members) {
-    already_member |= (m == request.device_id);
-  }
-  if (!already_member) {
-    if (joined.members.size() >= joined.max_members) {
+  // Joins cross device shards, so membership lives in its own striped
+  // table. The stripe lock is held across compute → persist → apply: two
+  // concurrent joins to one domain serialize here, so neither's
+  // membership write can swallow the other's (lock order: device shard →
+  // domain stripe → store; never two stripes).
+  Domain joined_snapshot;
+  {
+    DomainStripe& ds = stripe_for(request.domain_id);
+    std::lock_guard<std::mutex> stripe_lock(ds.mu);
+    auto it = ds.domains.find(request.domain_id);
+    if (it == ds.domains.end()) {
       out.status = Status::kAccessDenied;
       return out;
     }
-    joined.members.push_back(request.device_id);
+    // Compute the post-join membership on a copy, persist it, and only
+    // then let it replace the live domain: a refused commit (degraded
+    // mode) must leave RAM still agreeing with the store.
+    Domain joined = it->second;
+    bool already_member = false;
+    for (const auto& m : joined.members) {
+      already_member |= (m == request.device_id);
+    }
+    if (!already_member) {
+      if (joined.members.size() >= joined.max_members) {
+        out.status = Status::kAccessDenied;
+        return out;
+      }
+      joined.members.push_back(request.device_id);
+    }
+    // Persisted on EVERY successful join, not just first admission: if a
+    // prior join's commit failed (the response never left), the retry
+    // hits the already-member path — it must still make the membership
+    // durable before K_D is handed out.
+    store::Transaction tx;
+    tx.put(domain_record_key(joined.domain_id), encode_domain(joined));
+    persist(tx);
+    it->second = std::move(joined);
+    joined_snapshot = it->second;
   }
-  // Persisted on EVERY successful join, not just first admission: if a
-  // prior join's commit failed (the response never left), the retry hits
-  // the already-member path — it must still make the membership durable
-  // before K_D is handed out.
-  store::Transaction tx;
-  tx.put(domain_record_key(joined.domain_id), encode_domain(joined));
-  persist(tx);
-  it->second = std::move(joined);
-  const Domain& d = it->second;
-  ++counters_.domain_joins;
+  counters_.domain_joins.fetch_add(1, std::memory_order_relaxed);
 
   out.status = Status::kSuccess;
-  out.generation = d.generation;
-  // Transport K_D to the device with the same RSA-KEM chain as RO keys.
+  out.generation = joined_snapshot.generation;
+  // Transport K_D to the device with the same RSA-KEM chain as RO keys
+  // (RSA work deliberately outside the stripe lock).
   rsa::KemEncapsulation enc =
       crypto_.kem_encapsulate(device->second.subject_key(), rng_);
-  Bytes c2 = crypto_.aes_wrap(enc.kek, d.key);
+  Bytes c2 = crypto_.aes_wrap(enc.kek, joined_snapshot.key);
   out.wrapped_domain_key = concat({enc.c1, c2});
   out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
   return out;
 }
 
 roap::LeaveDomainResponse RightsIssuer::on_leave_domain(
-    const roap::LeaveDomainRequest& request, std::uint64_t now) {
+    Shard& sh, const roap::LeaveDomainRequest& request, std::uint64_t now) {
   (void)now;
   roap::LeaveDomainResponse out;
   out.domain_id = request.domain_id;
   out.device_nonce = request.device_nonce;
 
-  auto device = devices_.find(request.device_id);
-  if (device == devices_.end()) {
+  auto device = sh.devices.find(request.device_id);
+  if (device == sh.devices.end()) {
     out.status = Status::kNotRegistered;
     return out;
   }
@@ -621,24 +786,29 @@ roap::LeaveDomainResponse RightsIssuer::on_leave_domain(
     out.status = Status::kSignatureInvalid;
     return out;
   }
-  auto it = domains_.find(request.domain_id);
-  if (it == domains_.end()) {
-    out.status = Status::kAccessDenied;
-    return out;
+  {
+    // Same stripe-lock-across-copy→persist→apply discipline as
+    // on_join_domain.
+    DomainStripe& ds = stripe_for(request.domain_id);
+    std::lock_guard<std::mutex> stripe_lock(ds.mu);
+    auto it = ds.domains.find(request.domain_id);
+    if (it == ds.domains.end()) {
+      out.status = Status::kAccessDenied;
+      return out;
+    }
+    Domain left = it->second;
+    std::erase(left.members, request.device_id);
+    // Persisted on EVERY successful leave (mirroring on_join_domain): if
+    // a prior leave's commit failed (the response never left), the retry
+    // finds nothing to erase — it must still make the removal durable
+    // before success is signed, or an RI restart resurrects the departed
+    // member.
+    store::Transaction tx;
+    tx.put(domain_record_key(left.domain_id), encode_domain(left));
+    persist(tx);
+    it->second = std::move(left);
   }
-  // Same copy → persist → apply discipline as on_join_domain.
-  Domain left = it->second;
-  std::erase(left.members, request.device_id);
-  // Persisted on EVERY successful leave (mirroring on_join_domain): if a
-  // prior leave's commit failed (the response never left), the retry
-  // finds nothing to erase — it must still make the removal durable
-  // before success is signed, or an RI restart resurrects the departed
-  // member.
-  store::Transaction tx;
-  tx.put(domain_record_key(left.domain_id), encode_domain(left));
-  persist(tx);
-  it->second = std::move(left);
-  ++counters_.domain_leaves;
+  counters_.domain_leaves.fetch_add(1, std::memory_order_relaxed);
 
   out.status = Status::kSuccess;
   out.signature = crypto_.pss_sign(key_, out.payload(), rng_);
@@ -674,80 +844,147 @@ Bytes wire_digest(const std::string& wire) {
 }  // namespace
 
 void RightsIssuer::set_replay_cache_capacity(std::size_t n) {
-  replay_capacity_ = n;
-  while (replay_.size() > replay_capacity_) {
-    replay_.erase(replay_lru_.back());
-    replay_lru_.pop_back();
-    ++replay_stats_.evictions;
+  replay_capacity_.store(n, std::memory_order_relaxed);
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    while (sh.replay.size() > n) {
+      sh.replay.erase(sh.replay_lru.back());
+      sh.replay_lru.pop_back();
+      ++sh.replay_stats.evictions;
+    }
   }
 }
 
+std::size_t RightsIssuer::replay_cache_size() const {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    total += sh.replay.size();
+  }
+  return total;
+}
+
+ReplayCacheStats RightsIssuer::replay_cache_stats() const {
+  ReplayCacheStats out;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    out.hits += sh.replay_stats.hits;
+    out.misses += sh.replay_stats.misses;
+    out.insertions += sh.replay_stats.insertions;
+    out.evictions += sh.replay_stats.evictions;
+    out.expirations += sh.replay_stats.expirations;
+    out.mismatches += sh.replay_stats.mismatches;
+  }
+  return out;
+}
+
+RiCounters RightsIssuer::counters() const {
+  RiCounters out;
+  out.registrations = counters_.registrations.load(std::memory_order_relaxed);
+  out.ros_issued = counters_.ros_issued.load(std::memory_order_relaxed);
+  out.domain_joins = counters_.domain_joins.load(std::memory_order_relaxed);
+  out.domain_leaves = counters_.domain_leaves.load(std::memory_order_relaxed);
+  out.degraded_refusals =
+      counters_.degraded_refusals.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<RightsIssuer::ShardStats> RightsIssuer::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(kShardCount);
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    ShardStats s;
+    s.exchanges = sh.exchanges;
+    s.contended = sh.contended;
+    s.replay_hits = sh.replay_stats.hits;
+    s.replay_misses = sh.replay_stats.misses;
+    out.push_back(s);
+  }
+  return out;
+}
+
 std::optional<roap::Envelope> RightsIssuer::replay_lookup(
-    const std::string& key, const std::string& request_wire,
+    Shard& sh, const std::string& key, const std::string& request_wire,
     std::uint64_t now) {
-  if (!replay_enabled_) return std::nullopt;
-  auto it = replay_.find(key);
-  if (it == replay_.end()) {
-    ++replay_stats_.misses;
+  if (!replay_enabled_.load(std::memory_order_relaxed)) return std::nullopt;
+  auto it = sh.replay.find(key);
+  if (it == sh.replay.end()) {
+    ++sh.replay_stats.misses;
     return std::nullopt;
   }
   ReplayEntry& entry = it->second;
-  if (now >= entry.created_at && now - entry.created_at > replay_ttl_) {
-    replay_lru_.erase(entry.lru_it);
-    replay_.erase(it);
-    ++replay_stats_.expirations;
-    ++replay_stats_.misses;
+  const std::uint64_t ttl = replay_ttl_.load(std::memory_order_relaxed);
+  if (now >= entry.created_at && now - entry.created_at > ttl) {
+    sh.replay_lru.erase(entry.lru_it);
+    sh.replay.erase(it);
+    ++sh.replay_stats.expirations;
+    ++sh.replay_stats.misses;
     return std::nullopt;
   }
   if (entry.request_digest != wire_digest(request_wire)) {
     // Same key, different bytes — e.g. a nonce collision or a tampered
     // resend. Never serve the stale answer; process it fresh.
-    ++replay_stats_.mismatches;
-    ++replay_stats_.misses;
+    ++sh.replay_stats.mismatches;
+    ++sh.replay_stats.misses;
     return std::nullopt;
   }
-  replay_lru_.splice(replay_lru_.begin(), replay_lru_, entry.lru_it);
-  ++replay_stats_.hits;
+  sh.replay_lru.splice(sh.replay_lru.begin(), sh.replay_lru, entry.lru_it);
+  ++sh.replay_stats.hits;
   return roap::Envelope::from_wire(entry.response_wire);
 }
 
-void RightsIssuer::replay_insert(const std::string& key,
+void RightsIssuer::replay_insert(Shard& sh, const std::string& key,
                                  const std::string& request_wire,
                                  std::string response_wire,
                                  std::uint64_t now) {
-  if (!replay_enabled_ || replay_capacity_ == 0) return;
-  auto it = replay_.find(key);
-  if (it != replay_.end()) {
+  const std::size_t capacity =
+      replay_capacity_.load(std::memory_order_relaxed);
+  if (!replay_enabled_.load(std::memory_order_relaxed) || capacity == 0) {
+    return;
+  }
+  auto it = sh.replay.find(key);
+  if (it != sh.replay.end()) {
     // Key reuse with different bytes (the lookup above missed on digest):
     // the newer exchange supersedes the remembered one.
     it->second.request_digest = wire_digest(request_wire);
     it->second.response_wire = std::move(response_wire);
     it->second.created_at = now;
-    replay_lru_.splice(replay_lru_.begin(), replay_lru_, it->second.lru_it);
+    sh.replay_lru.splice(sh.replay_lru.begin(), sh.replay_lru,
+                         it->second.lru_it);
     return;
   }
-  while (replay_.size() >= replay_capacity_) {
-    replay_.erase(replay_lru_.back());
-    replay_lru_.pop_back();
-    ++replay_stats_.evictions;
+  while (sh.replay.size() >= capacity) {
+    sh.replay.erase(sh.replay_lru.back());
+    sh.replay_lru.pop_back();
+    ++sh.replay_stats.evictions;
   }
-  replay_lru_.push_front(key);
+  sh.replay_lru.push_front(key);
   ReplayEntry entry;
   entry.request_digest = wire_digest(request_wire);
   entry.response_wire = std::move(response_wire);
   entry.created_at = now;
-  entry.lru_it = replay_lru_.begin();
-  replay_.emplace(key, std::move(entry));
-  ++replay_stats_.insertions;
+  entry.lru_it = sh.replay_lru.begin();
+  sh.replay.emplace(key, std::move(entry));
+  ++sh.replay_stats.insertions;
 }
 
 template <typename Handler, typename Refusal>
-roap::Envelope RightsIssuer::serve(const std::string& key,
+roap::Envelope RightsIssuer::serve(Shard& sh, const std::string& key,
                                    const roap::Envelope& request,
                                    std::uint64_t now, Handler&& handler,
                                    Refusal&& refusal) {
+  // The shard lock spans lookup → handler → insert: a duplicate racing
+  // its original on another worker parks here, then hits the cache — one
+  // issuance, one byte-identical cached reply, by construction.
+  std::unique_lock<std::mutex> lock(sh.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock.lock();
+    ++sh.contended;
+  }
+  ++sh.exchanges;
   if (std::optional<roap::Envelope> cached =
-          replay_lookup(key, request.wire(), now)) {
+          replay_lookup(sh, key, request.wire(), now)) {
     // Duplicate of a recently served request: the response goes back
     // byte-for-byte with zero RSA operations and zero state changes.
     return *std::move(cached);
@@ -762,10 +999,10 @@ roap::Envelope RightsIssuer::serve(const std::string& key,
     // changed — answer with a typed retriable refusal instead of
     // unwinding through the transport. Deliberately not cached: a retry
     // after the store heals must be re-processed, not re-refused.
-    ++counters_.degraded_refusals;
+    counters_.degraded_refusals.fetch_add(1, std::memory_order_relaxed);
     return refusal();
   }
-  replay_insert(key, request.wire(), response.wire(), now);
+  replay_insert(sh, key, request.wire(), response.wire(), now);
   return response;
 }
 
@@ -776,9 +1013,14 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
   switch (request.type()) {
     case MessageType::kDeviceHello: {
       const auto msg = request.open<roap::DeviceHello>();
+      Shard& sh = shard_for(msg.device_id);
+      // Cross-shard TTL GC before this shard's lock is taken (lock order:
+      // one shard at a time, never two). The target shard's own sweep
+      // happens inside the handler, staged with its transaction.
+      sweep_stale_shards(now, &sh);
       return serve(
-          replay_key("dh/", msg.device_id, msg.device_nonce), request, now,
-          [&] { return Envelope::wrap(on_device_hello(msg, now)); },
+          sh, replay_key("dh/", msg.device_id, msg.device_nonce), request,
+          now, [&] { return Envelope::wrap(on_device_hello(sh, msg, now)); },
           [&] {
             roap::RiHello out;
             out.status = Status::kStoreFailure;
@@ -788,9 +1030,14 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
     }
     case MessageType::kRegistrationRequest: {
       const auto msg = request.open<roap::RegistrationRequest>();
+      Shard& sh = shard_for(msg.device_id);
+      sweep_stale_shards(now, &sh);
       return serve(
-          replay_key("rr/", msg.session_id, msg.device_nonce), request, now,
-          [&] { return Envelope::wrap(on_registration_request(msg, now)); },
+          sh, replay_key("rr/", msg.session_id, msg.device_nonce), request,
+          now,
+          [&] {
+            return Envelope::wrap(on_registration_request(sh, msg, now));
+          },
           [&] {
             roap::RegistrationResponse out;
             out.status = Status::kStoreFailure;
@@ -802,9 +1049,10 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
     }
     case MessageType::kRoRequest: {
       const auto msg = request.open<roap::RoRequest>();
+      Shard& sh = shard_for(msg.device_id);
       return serve(
-          replay_key("ro/", msg.device_id, msg.device_nonce), request, now,
-          [&] { return Envelope::wrap(on_ro_request(msg, now)); },
+          sh, replay_key("ro/", msg.device_id, msg.device_nonce), request,
+          now, [&] { return Envelope::wrap(on_ro_request(sh, msg, now)); },
           [&] {
             // RO issuing persists nothing, but keep the refusal builder:
             // future stateful extensions (metered ROs) land here safely.
@@ -818,9 +1066,10 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
     }
     case MessageType::kJoinDomainRequest: {
       const auto msg = request.open<roap::JoinDomainRequest>();
+      Shard& sh = shard_for(msg.device_id);
       return serve(
-          replay_key("jd/", msg.device_id, msg.device_nonce), request, now,
-          [&] { return Envelope::wrap(on_join_domain(msg, now)); },
+          sh, replay_key("jd/", msg.device_id, msg.device_nonce), request,
+          now, [&] { return Envelope::wrap(on_join_domain(sh, msg, now)); },
           [&] {
             roap::JoinDomainResponse out;
             out.status = Status::kStoreFailure;
@@ -831,9 +1080,10 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
     }
     case MessageType::kLeaveDomainRequest: {
       const auto msg = request.open<roap::LeaveDomainRequest>();
+      Shard& sh = shard_for(msg.device_id);
       return serve(
-          replay_key("ld/", msg.device_id, msg.device_nonce), request, now,
-          [&] { return Envelope::wrap(on_leave_domain(msg, now)); },
+          sh, replay_key("ld/", msg.device_id, msg.device_nonce), request,
+          now, [&] { return Envelope::wrap(on_leave_domain(sh, msg, now)); },
           [&] {
             roap::LeaveDomainResponse out;
             out.status = Status::kStoreFailure;

@@ -9,13 +9,52 @@
 // The RI performs its cryptography through a CryptoProvider; in the
 // paper's experiments it is given the *plain* provider because only
 // terminal-side (DRM Agent) cycles count toward the cost model.
+//
+// Concurrency model (the "millions of users" axis): every ROAP request
+// carries a device id, and per-device state is disjoint across devices,
+// so handle() is internally sharded — pending sessions, registered
+// devices, and the idempotent replay cache live in kShardCount
+// independently locked shards keyed by device-id hash. One shard's lock
+// is held across the whole replay-lookup → handler → replay-insert
+// sequence, which is what makes a duplicate request racing its original
+// on another worker come back byte-identical (the loser of the race
+// waits on the shard lock and then hits the cache). Cross-cutting state
+// is concurrent on its own terms:
+//
+//   session-id counter    atomic reservation + a persisted lease block
+//                         (see on_device_hello) so ids never repeat
+//                         across a restart without serializing hellos
+//                         on the store;
+//   domains               their own striped table (joins cross device
+//                         shards); a stripe lock is held across the
+//                         copy → persist → apply of a membership change
+//                         so concurrent joins to one domain never lose
+//                         an update. Lock order: device shard → domain
+//                         stripe → store — never two shards, never two
+//                         stripes;
+//   chain-verdict cache   ChainVerifier is internally reader-biased;
+//   rng                   draws go through a LockedRng;
+//   counters              atomics, read as snapshots.
+//
+// A store bound via bind_store() is committed to from every shard
+// concurrently and therefore must itself be thread-safe (MemoryStore
+// is; wrap others in store::GroupCommitStore, which also batches
+// concurrent commits into one backing append+fsync).
+//
+// Still single-threaded by contract: construction, bind_store(),
+// add_offer(), create_domain()/upgrade_domain(), and domain() — they
+// are provisioning/config, called before traffic or in quiescence.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
@@ -72,6 +111,24 @@ struct RiCounters {
 
 class RightsIssuer {
  public:
+  /// Device-id hash shards; power of two so the hash folds with a mask.
+  static constexpr std::size_t kShardCount = 16;
+  /// Domain-id stripes for the membership table.
+  static constexpr std::size_t kDomainStripes = 8;
+  /// Session-id lease block: "meta" persists an upper bound the counter
+  /// may reach, re-extended every kSessionLeaseBlock reservations, so a
+  /// restart resumes past every id ever handed out without each hello
+  /// serializing on a meta write.
+  static constexpr std::uint64_t kSessionLeaseBlock = 64;
+
+  /// Per-shard traffic/observability counters (see shard_stats()).
+  struct ShardStats {
+    std::uint64_t exchanges = 0;      // requests served by this shard
+    std::uint64_t contended = 0;      // lock acquisitions that had to wait
+    std::uint64_t replay_hits = 0;
+    std::uint64_t replay_misses = 0;
+  };
+
   /// Creates the RI with a fresh RSA identity (`key_bits`, default 1024).
   /// When `issuing_ca` is null the root `ca` certifies the RI directly;
   /// otherwise the intermediate signs the RI certificate and registration
@@ -104,6 +161,8 @@ class RightsIssuer {
 
   /// Creates a sharing domain; idempotent per id.
   void create_domain(const std::string& domain_id, std::size_t max_members = 8);
+  /// Quiescent-state observer: the returned pointer is only stable while
+  /// no handler traffic runs (the stripe lock is released on return).
   const Domain* domain(const std::string& domain_id) const;
 
   /// Rotates the domain key to a new generation (e.g. after expelling a
@@ -126,6 +185,11 @@ class RightsIssuer {
   /// the envelope is not a request message (a response or trigger), and
   /// omadrm::Error(kFormat) when its content is malformed.
   ///
+  /// Thread-safe: requests for different devices run concurrently on
+  /// their shards; requests for one device serialize on its shard lock
+  /// (which is also what guarantees replay-duplicate races resolve to
+  /// one issuance + one cached byte-identical reply).
+  ///
   /// Fault tolerance built into this entry point:
   ///   - an exact duplicate of a recently served request is answered from
   ///     the idempotent replay cache (byte-identical response, zero RSA
@@ -143,11 +207,12 @@ class RightsIssuer {
 
   bool is_registered(const std::string& device_id) const;
 
-  /// Registration handshakes currently awaiting their RegistrationRequest.
-  /// Bounded: entries expire kPendingSessionTtl seconds after the
-  /// DeviceHello, are superseded by a newer hello from the same device,
-  /// and are consumed (success or failure) by the RegistrationRequest.
-  std::size_t pending_session_count() const { return sessions_.size(); }
+  /// Registration handshakes currently awaiting their RegistrationRequest,
+  /// summed across shards. Bounded: entries expire kPendingSessionTtl
+  /// seconds after the DeviceHello, are superseded by a newer hello from
+  /// the same device, and are consumed (success or failure) by the
+  /// RegistrationRequest.
+  std::size_t pending_session_count() const;
 
   /// Garbage-collects every pending session older than kPendingSessionTtl
   /// (normally a side effect of traffic; exposed so idle periods — and
@@ -160,19 +225,35 @@ class RightsIssuer {
   // A device resending a request whose response was lost in transit gets
   // the cached response back byte-for-byte: ZERO additional RSA
   // operations, no double-issued RO, no double-bumped counter, no
-  // consumed-session refusal. Entries expire after the TTL and the table
-  // is LRU-bounded; the cache is RAM-only (a restarted RI serves
-  // duplicates from its durable one-shot session state instead, which is
-  // slower but equally safe). kStoreFailure refusals are never cached —
-  // a retry after the store heals must be re-processed.
-  void set_replay_cache_enabled(bool v) { replay_enabled_ = v; }
+  // consumed-session refusal. Entries live in the device's shard (the
+  // LRU mutates on lookup, so it rides the shard lock), expire after the
+  // TTL, and are LRU-bounded PER SHARD by the configured capacity; the
+  // cache is RAM-only (a restarted RI serves duplicates from its durable
+  // one-shot session state instead, which is slower but equally safe).
+  // kStoreFailure refusals are never cached — a retry after the store
+  // heals must be re-processed.
+  void set_replay_cache_enabled(bool v) {
+    replay_enabled_.store(v, std::memory_order_relaxed);
+  }
   void set_replay_cache_capacity(std::size_t n);
-  void set_replay_cache_ttl(std::uint64_t seconds) { replay_ttl_ = seconds; }
-  std::size_t replay_cache_size() const { return replay_.size(); }
-  const ReplayCacheStats& replay_cache_stats() const { return replay_stats_; }
+  void set_replay_cache_ttl(std::uint64_t seconds) {
+    replay_ttl_.store(seconds, std::memory_order_relaxed);
+  }
+  std::size_t replay_cache_size() const;
+  ReplayCacheStats replay_cache_stats() const;  // aggregated snapshot
 
-  /// Issuance counters (see RiCounters).
-  const RiCounters& counters() const { return counters_; }
+  /// Issuance counters, read as a consistent-enough snapshot (each field
+  /// is individually exact; cross-field skew is bounded by in-flight
+  /// handlers).
+  RiCounters counters() const;
+
+  /// Per-shard traffic snapshot (exchanges, lock contention, replay
+  /// hit/miss) — what `ri_server --stats` reports.
+  std::vector<ShardStats> shard_stats() const;
+
+  /// The shard a device id routes to (exposed so tests can pick device
+  /// ids that collide or spread).
+  static std::size_t shard_of(std::string_view device_id);
 
   /// When true, Device ROs are also RI-signed (allowed but not mandated by
   /// the standard; the paper notes the signature "is mandatory only for
@@ -183,75 +264,21 @@ class RightsIssuer {
   /// Binds the RI's replay-relevant state to a durable store: pending
   /// registration nonces ("sess/<session-id>"), registered devices
   /// ("dev/<device-id>"), domains with their membership ("domain/<id>"),
-  /// and the session-id counter ("meta"). When the store already holds an
-  /// RI image it REPLACES this instance's state — a service restart keeps
-  /// in-flight handshakes completable and consumed (one-shot) sessions
-  /// consumed. Identity (RSA key, certificate) and the license catalog
-  /// are provisioning config and deliberately not stored. After binding,
-  /// every mutation commits through the store before the triggering ROAP
-  /// response leaves; a refused commit throws omadrm::Error(kState)
-  /// (fail closed — the RI must not acknowledge state it cannot keep).
+  /// and the session-id lease bound ("meta"). When the store already
+  /// holds an RI image it REPLACES this instance's state — a service
+  /// restart keeps in-flight handshakes completable and consumed
+  /// (one-shot) sessions consumed. Identity (RSA key, certificate) and
+  /// the license catalog are provisioning config and deliberately not
+  /// stored. After binding, every mutation commits through the store
+  /// before the triggering ROAP response leaves; a refused commit throws
+  /// omadrm::Error(kState) (fail closed — the RI must not acknowledge
+  /// state it cannot keep). Config-time only (not safe against live
+  /// handler traffic); the bound store is then committed to from every
+  /// shard concurrently and must be thread-safe itself.
   Result<> bind_store(store::StateStore& s);
   store::StateStore* bound_store() const { return store_; }
 
  private:
-  roap::RiHello on_device_hello(const roap::DeviceHello& hello,
-                                std::uint64_t now);
-  roap::RegistrationResponse on_registration_request(
-      const roap::RegistrationRequest& request, std::uint64_t now);
-  roap::RoResponse on_ro_request(const roap::RoRequest& request,
-                                 std::uint64_t now);
-  roap::JoinDomainResponse on_join_domain(
-      const roap::JoinDomainRequest& request, std::uint64_t now);
-  roap::LeaveDomainResponse on_leave_domain(
-      const roap::LeaveDomainRequest& request, std::uint64_t now);
-
-  /// Pending sessions that are past their TTL at `now` — and, when
-  /// `superseded_device` is non-null, that device's sessions too (only
-  /// its newest hello may stay live). Pure: the caller stages the store
-  /// erases, commits, and only then applies the RAM erases, so a refused
-  /// commit leaves RAM and store agreeing.
-  std::vector<std::string> stale_sessions(
-      std::uint64_t now, const std::string* superseded_device) const;
-
-  /// Commits `tx` when a store is bound; throws omadrm::Error(kState) on
-  /// a refused commit (the RI must not answer with unkept state). Every
-  /// handler orders its work compute → persist → apply-to-RAM, so the
-  /// throw is always raised before any live state changed; handle()
-  /// catches it and answers with a typed Status::kStoreFailure refusal
-  /// (degraded mode) instead of unwinding through the transport.
-  void persist(const store::Transaction& tx);
-
-  /// Replay-cache core: serve `key` if it holds a fresh entry whose
-  /// request digest matches `request_wire` byte-for-byte.
-  std::optional<roap::Envelope> replay_lookup(const std::string& key,
-                                              const std::string& request_wire,
-                                              std::uint64_t now);
-  void replay_insert(const std::string& key, const std::string& request_wire,
-                     std::string response_wire, std::uint64_t now);
-
-  /// handle() per-type skeleton: replay-cache lookup → handler → cache
-  /// the response; a refused store commit (Error(kState)) from inside the
-  /// handler is converted into the typed refusal `refusal()` builds.
-  template <typename Handler, typename Refusal>
-  roap::Envelope serve(const std::string& key, const roap::Envelope& request,
-                       std::uint64_t now, Handler&& handler,
-                       Refusal&& refusal);
-
-  roap::ProtectedRo build_protected_ro(const LicenseOffer& offer,
-                                       const rsa::PublicKey& device_key);
-
-  std::string ri_id_;
-  std::string url_;
-  pki::CertificationAuthority& ca_;
-  provider::CryptoProvider& crypto_;
-  Rng& rng_;
-  rsa::PrivateKey key_;
-  pki::Certificate cert_;
-  std::vector<pki::Certificate> intermediates_;  // leaf-side first
-  pki::ChainVerifier device_chain_verifier_;
-  bool sign_device_ros_ = false;
-
   /// One in-flight registration handshake (between RIHello and
   /// RegistrationRequest).
   struct PendingSession {
@@ -259,13 +286,6 @@ class RightsIssuer {
     std::string device_id;
     std::uint64_t created_at = 0;
   };
-
-  std::map<std::string, PendingSession> sessions_;    // by session id
-  std::map<std::string, pki::Certificate> devices_;   // registered agents
-  std::map<std::string, LicenseOffer> offers_;        // ro id -> offer
-  std::map<std::string, Domain> domains_;
-  std::uint64_t next_session_ = 1;
-  store::StateStore* store_ = nullptr;
 
   /// One remembered response. The digest pins the entry to the *exact*
   /// request bytes: a different request that happens to reuse the key
@@ -278,13 +298,143 @@ class RightsIssuer {
     std::list<std::string>::iterator lru_it;
   };
 
-  bool replay_enabled_ = true;
-  std::size_t replay_capacity_ = 1024;
-  std::uint64_t replay_ttl_ = 600;  // seconds; mirrors kPendingSessionTtl
-  std::map<std::string, ReplayEntry> replay_;
-  std::list<std::string> replay_lru_;  // front = most recently used
-  ReplayCacheStats replay_stats_;
-  RiCounters counters_;
+  static constexpr std::uint64_t kNoSessions = ~std::uint64_t{0};
+
+  /// One device-hash shard: everything a single device's requests touch,
+  /// guarded by one mutex the dispatcher holds across the whole
+  /// replay-lookup → handler → replay-insert sequence.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, PendingSession> sessions;   // by session id
+    std::map<std::string, pki::Certificate> devices;  // registered agents
+    std::map<std::string, ReplayEntry> replay;
+    std::list<std::string> replay_lru;  // front = most recently used
+    ReplayCacheStats replay_stats;
+    std::uint64_t exchanges = 0;
+    std::uint64_t contended = 0;
+    /// Oldest pending-session timestamp (kNoSessions when empty),
+    /// maintained under mu, read lock-free by the cross-shard TTL sweep
+    /// so shards with nothing stale are skipped without locking.
+    std::atomic<std::uint64_t> oldest_session{kNoSessions};
+  };
+
+  struct DomainStripe {
+    mutable std::mutex mu;
+    std::map<std::string, Domain> domains;
+  };
+
+  Shard& shard_for(std::string_view device_id) {
+    return shards_[shard_of(device_id)];
+  }
+  DomainStripe& stripe_for(std::string_view domain_id);
+  const DomainStripe& stripe_for(std::string_view domain_id) const;
+
+  roap::RiHello on_device_hello(Shard& sh, const roap::DeviceHello& hello,
+                                std::uint64_t now);
+  roap::RegistrationResponse on_registration_request(
+      Shard& sh, const roap::RegistrationRequest& request, std::uint64_t now);
+  roap::RoResponse on_ro_request(Shard& sh, const roap::RoRequest& request,
+                                 std::uint64_t now);
+  roap::JoinDomainResponse on_join_domain(
+      Shard& sh, const roap::JoinDomainRequest& request, std::uint64_t now);
+  roap::LeaveDomainResponse on_leave_domain(
+      Shard& sh, const roap::LeaveDomainRequest& request, std::uint64_t now);
+
+  /// Pending sessions in `sh` past their TTL at `now` — and, when
+  /// `superseded_device` is non-null, that device's sessions too (only
+  /// its newest hello may stay live; a device's sessions always live in
+  /// its own shard). Pure: the caller stages the store erases, commits,
+  /// and only then applies the RAM erases, so a refused commit leaves
+  /// RAM and store agreeing. Caller holds sh.mu.
+  std::vector<std::string> stale_sessions(
+      const Shard& sh, std::uint64_t now,
+      const std::string* superseded_device) const;
+
+  /// Recomputes sh.oldest_session from sh.sessions (caller holds sh.mu).
+  void refresh_oldest(Shard& sh);
+
+  /// Cross-shard TTL sweep: for every shard (except `skip`, whose
+  /// sessions the in-handler sweep covers inside the handler's own
+  /// transaction) whose oldest pending session is past the TTL, erase
+  /// the stale entries — store first, RAM second, one shard lock at a
+  /// time (never two). A refused sweep commit skips that shard; the
+  /// sessions stay for a later sweep. Returns how many died.
+  std::size_t sweep_stale_shards(std::uint64_t now, const Shard* skip);
+
+  /// Commits `tx` when a store is bound; throws omadrm::Error(kState) on
+  /// a refused commit (the RI must not answer with unkept state). Every
+  /// handler orders its work compute → persist → apply-to-RAM, so the
+  /// throw is always raised before any live state changed; handle()
+  /// catches it and answers with a typed Status::kStoreFailure refusal
+  /// (degraded mode) instead of unwinding through the transport.
+  void persist(const store::Transaction& tx);
+
+  /// Replay-cache core: serve `key` if `sh` holds a fresh entry whose
+  /// request digest matches `request_wire` byte-for-byte. Caller holds
+  /// sh.mu.
+  std::optional<roap::Envelope> replay_lookup(Shard& sh,
+                                              const std::string& key,
+                                              const std::string& request_wire,
+                                              std::uint64_t now);
+  void replay_insert(Shard& sh, const std::string& key,
+                     const std::string& request_wire,
+                     std::string response_wire, std::uint64_t now);
+
+  /// handle() per-type skeleton: lock the shard (counting contention),
+  /// replay-cache lookup → handler → cache the response; a refused store
+  /// commit (Error(kState)) from inside the handler is converted into
+  /// the typed refusal `refusal()` builds.
+  template <typename Handler, typename Refusal>
+  roap::Envelope serve(Shard& sh, const std::string& key,
+                       const roap::Envelope& request, std::uint64_t now,
+                       Handler&& handler, Refusal&& refusal);
+
+  /// `domain_snapshot` copies the named domain out under its stripe lock
+  /// (nullopt when absent) so RO building reads a consistent key +
+  /// generation without holding the stripe across RSA work.
+  std::optional<Domain> domain_snapshot(const std::string& domain_id) const;
+
+  roap::ProtectedRo build_protected_ro(const LicenseOffer& offer,
+                                       const rsa::PublicKey& device_key,
+                                       const Domain* domain_state);
+
+  std::string ri_id_;
+  std::string url_;
+  pki::CertificationAuthority& ca_;
+  provider::CryptoProvider& crypto_;
+  LockedRng rng_;  // serialized view over the caller's generator
+  rsa::PrivateKey key_;
+  pki::Certificate cert_;
+  std::vector<pki::Certificate> intermediates_;  // leaf-side first
+  pki::ChainVerifier device_chain_verifier_;
+  bool sign_device_ros_ = false;
+
+  std::array<Shard, kShardCount> shards_;
+  std::array<DomainStripe, kDomainStripes> domain_stripes_;
+  std::map<std::string, LicenseOffer> offers_;  // config-time; read-only after
+
+  /// Session-id reservation is an atomic fetch-add; "meta" persists the
+  /// lease bound reservations may reach (extended under meta_mu_ inside
+  /// the extending hello's transaction). Ids skipped by a crash or a
+  /// refused commit are simply never used — uniqueness, not density.
+  std::atomic<std::uint64_t> next_session_{1};
+  std::uint64_t session_lease_ = 1;  // guarded by meta_mu_
+  std::mutex meta_mu_;
+
+  store::StateStore* store_ = nullptr;
+
+  std::atomic<bool> replay_enabled_{true};
+  std::atomic<std::size_t> replay_capacity_{1024};  // per shard
+  std::atomic<std::uint64_t> replay_ttl_{600};  // s; mirrors session TTL
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> registrations{0};
+    std::atomic<std::uint64_t> ros_issued{0};
+    std::atomic<std::uint64_t> domain_joins{0};
+    std::atomic<std::uint64_t> domain_leaves{0};
+    std::atomic<std::uint64_t> degraded_refusals{0};
+  };
+  AtomicCounters counters_;
 };
 
 /// How long an RI keeps a pending registration session alive while

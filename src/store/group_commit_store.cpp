@@ -1,0 +1,67 @@
+#include "store/group_commit_store.h"
+
+#include <algorithm>
+
+namespace omadrm::store {
+
+Result<> GroupCommitStore::commit(const Transaction& tx) {
+  if (tx.empty()) return Result<>();
+  Waiter self;
+  self.tx = &tx;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&self);
+  if (leader_active_) {
+    // A leader is already driving the backing store; it will pick this
+    // transaction up in its next batch. Park until it reports back.
+    cv_.wait(lock, [&] { return self.done; });
+    return self.result;
+  }
+
+  // Leadership: drain the queue in batches until it is empty, then hand
+  // the role back. The leader's own transaction rides the first batch.
+  leader_active_ = true;
+  while (!queue_.empty()) {
+    std::vector<Waiter*> batch;
+    batch.swap(queue_);
+    lock.unlock();
+
+    Transaction merged;
+    for (const Waiter* w : batch) {
+      for (const Transaction::Op& op : w->tx->ops()) {
+        switch (op.kind) {
+          case Transaction::Op::kPut:
+            merged.put(op.key, op.value);
+            break;
+          case Transaction::Op::kErase:
+            merged.erase(op.key);
+            break;
+          case Transaction::Op::kClear:
+            merged.clear();
+            break;
+        }
+      }
+    }
+    Result<> committed = backing_.commit(merged);
+
+    lock.lock();
+    ++stats_.batches;
+    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch,
+                                               batch.size());
+    if (committed.ok()) stats_.committed_txs += batch.size();
+    for (Waiter* w : batch) {
+      w->result = committed;
+      w->done = true;
+    }
+    cv_.notify_all();
+  }
+  leader_active_ = false;
+  return self.result;
+}
+
+GroupCommitStore::Stats GroupCommitStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace omadrm::store

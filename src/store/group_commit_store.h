@@ -1,0 +1,67 @@
+// Group-commit decorator over any StateStore.
+//
+// A durable backend pays one journal append + fsync per commit, so N
+// shards committing concurrently serialize into N fsyncs. This decorator
+// batches them: concurrent committers enqueue their transactions, one of
+// them becomes the batch leader, merges every queued transaction into a
+// single backing commit (one append, one fsync), and wakes the rest with
+// the shared result. Under contention the fsync cost is amortized across
+// the whole batch; a lone committer degrades to exactly one backing
+// commit with no extra latency.
+//
+// Semantics: ops apply in arrival order, each transaction stays intact
+// within the merged batch (atomicity per tx is preserved because the
+// whole batch is one atomic backing commit). The backing generation
+// advances once per BATCH, not per transaction — callers that need a
+// per-tx rollback epoch should read generation() through this decorator,
+// which reports batches. A failed backing commit fails every transaction
+// in the batch; since callers treat kStore* codes as "nothing was
+// applied" and the backing commit is atomic, that stays truthful.
+//
+// Only commit() is designed for concurrency. load() and generation()
+// forward to the backing store and belong to config time (bind_store,
+// restart) or after traffic drains, matching how every caller already
+// uses them.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "store/state_store.h"
+
+namespace omadrm::store {
+
+class GroupCommitStore final : public StateStore {
+ public:
+  struct Stats {
+    std::uint64_t batches = 0;        // backing commits issued
+    std::uint64_t committed_txs = 0;  // transactions in successful batches
+    std::uint64_t max_batch = 0;      // largest batch merged so far
+  };
+
+  explicit GroupCommitStore(StateStore& backing) : backing_(backing) {}
+
+  Result<> commit(const Transaction& tx) override;
+  Result<std::vector<Record>> load() override { return backing_.load(); }
+  std::uint64_t generation() const override { return backing_.generation(); }
+
+  Stats stats() const;
+
+ private:
+  struct Waiter {
+    const Transaction* tx = nullptr;
+    Result<> result;
+    bool done = false;
+  };
+
+  StateStore& backing_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Waiter*> queue_;
+  bool leader_active_ = false;
+  Stats stats_;
+};
+
+}  // namespace omadrm::store

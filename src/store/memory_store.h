@@ -4,10 +4,16 @@
 // genuinely battery-backed RAM. No sealing: the medium itself is trusted
 // (the FileStore is the backend that must defend its medium). Supports
 // injected commit failures so callers' fail-closed paths are testable.
+//
+// Thread-safe: commit/load/generation/record_count serialize on an
+// internal mutex, so one MemoryStore can back the sharded RI while
+// server workers commit from many shards at once. (fail_next_commits is
+// test setup — arm it before the concurrent traffic starts.)
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "store/state_store.h"
 
@@ -19,16 +25,26 @@ class MemoryStore final : public StateStore {
 
   Result<> commit(const Transaction& tx) override;
   Result<std::vector<Record>> load() override;
-  std::uint64_t generation() const override { return generation_; }
+  std::uint64_t generation() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
 
   /// The next `n` commits fail with kStoreFailure without applying
   /// anything — exercises callers' refuse-to-grant-on-commit-failure
   /// paths.
-  void fail_next_commits(std::uint64_t n) { fail_commits_ = n; }
+  void fail_next_commits(std::uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_commits_ = n;
+  }
 
-  std::size_t record_count() const { return records_.size(); }
+  std::size_t record_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Bytes, std::less<>> records_;
   std::uint64_t generation_ = 0;
   std::uint64_t fail_commits_ = 0;

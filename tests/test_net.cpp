@@ -509,5 +509,39 @@ TEST(ConcurrentIssuer, CountsExchangesAndSurvivesHammering) {
                   .ok());
 }
 
+TEST(ConcurrentIssuer, StatsBlockFormatsIssuerAndPerShardLines) {
+  // The format `ri_server --stats` prints: one aggregate line, then one
+  // line per shard that actually saw traffic (idle shards elided). A
+  // private realm keeps the shard population deterministic: one device
+  // registers, so exactly one shard line must appear.
+  Realm realm(0xFACE);
+  ConcurrentIssuer issuer(realm.issuer());
+  auto dev = realm.make_agent("dev:stats-format");
+  roap::InProcessTransport loop(realm.issuer(), kRealmNow);
+  roap::RetryPolicy policy;
+  ASSERT_TRUE(dev->register_with(loop, kRealmNow, policy).ok());
+
+  const std::string block = format_issuer_stats(issuer);
+  // Aggregate header with every counter the ops runbook greps for.
+  EXPECT_EQ(block.rfind("issuer: exchanges=", 0), 0u) << block;
+  for (const char* field :
+       {" contended=", " replay_hits=", " replay_misses=", " hit_rate="}) {
+    EXPECT_NE(block.find(field), std::string::npos) << block;
+  }
+  // One device → one active shard, formatted shard[NN]: with the same
+  // fields; the other kShardCount-1 idle shards are elided.
+  const auto shard_at = block.find("shard[");
+  ASSERT_NE(shard_at, std::string::npos) << block;
+  EXPECT_NE(block.find("]: exchanges=", shard_at), std::string::npos) << block;
+  EXPECT_NE(block.find("hit_rate=", shard_at), std::string::npos) << block;
+  std::size_t shard_lines = 0;
+  for (auto at = shard_at; at != std::string::npos;
+       at = block.find("shard[", at + 1)) {
+    ++shard_lines;
+  }
+  EXPECT_EQ(shard_lines, 1u);
+  EXPECT_EQ(block.back(), '\n');
+}
+
 }  // namespace
 }  // namespace omadrm::net

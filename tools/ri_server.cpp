@@ -128,6 +128,10 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(st.frame_desyncs.load()),
                  static_cast<unsigned long long>(is.exchanges),
                  static_cast<unsigned long long>(is.contended));
+    // Per-shard breakdown (exchanges, lock contention, replay hit rates)
+    // so "which shard is hot" is observable, not inferred. Format owned
+    // by net::format_issuer_stats and covered by test_net.
+    std::fputs(net::format_issuer_stats(issuer).c_str(), stderr);
   }
   return 0;
 }
