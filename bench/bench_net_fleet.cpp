@@ -26,6 +26,18 @@
 // single hardware thread it measures the overhead of concurrency,
 // honestly flat).
 //
+// Last, an overload sweep: the server is respawned throttled (--workers
+// 1 --max-queue-depth 2) and a fleet several times that capacity bursts
+// against it, so the bounded job queue MUST shed — every shed comes
+// back as a busy frame (kBusyFrameType -> kServerBusy) that the retry
+// stack absorbs with backoff. This point measures the loaded-shedding
+// path itself: shed rate, end-to-end acquisition p50/p99 through the
+// busy-retry storm, and that every session still completes. It reports
+// into a separate "overload" JSON section, exempt from the zero-refusal
+// assertion the quiet-loopback scales enforce (sheds here are the whole
+// point); the binary instead exits nonzero if any session failed
+// outright or if the throttled server never shed at all.
+//
 // Output: human summary on stdout + JSON (default BENCH_net.json) for
 // scripts/check_bench_regression.py (bench kind "net_fleet").
 //
@@ -90,7 +102,8 @@ struct ServerProc {
 constexpr std::size_t kP99MinSamples = 100;
 
 ServerProc spawn_server(const std::string& binary, std::uint64_t seed,
-                        std::size_t workers) {
+                        std::size_t workers,
+                        const std::vector<std::string>& extra_args = {}) {
   int pipefd[2];
   if (::pipe(pipefd) != 0) {
     std::perror("pipe");
@@ -107,9 +120,13 @@ ServerProc spawn_server(const std::string& binary, std::uint64_t seed,
     ::close(pipefd[1]);
     const std::string seed_str = std::to_string(seed);
     const std::string workers_str = std::to_string(workers);
-    ::execl(binary.c_str(), binary.c_str(), "--port", "0", "--seed",
-            seed_str.c_str(), "--workers", workers_str.c_str(), "--stats",
-            static_cast<char*>(nullptr));
+    std::vector<const char*> argv_vec = {
+        binary.c_str(), "--port",    "0",
+        "--seed",       seed_str.c_str(), "--workers",
+        workers_str.c_str(), "--stats"};
+    for (const std::string& a : extra_args) argv_vec.push_back(a.c_str());
+    argv_vec.push_back(nullptr);
+    ::execv(binary.c_str(), const_cast<char* const*>(argv_vec.data()));
     std::fprintf(stderr, "exec %s: %s\n", binary.c_str(),
                  std::strerror(errno));
     std::_Exit(127);
@@ -269,6 +286,124 @@ ScaleResult run_scale(net::Realm& realm, std::uint16_t port,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Overload sweep: a fleet bursting against a deliberately throttled
+// server, measuring the busy-shed path instead of asserting it silent.
+// ---------------------------------------------------------------------------
+
+struct OverloadResult {
+  std::size_t agents = 0;
+  std::size_t acqs_per_agent = 0;
+  std::size_t workers = 0;
+  std::size_t max_queue_depth = 0;
+  std::size_t samples = 0;
+  std::uint64_t sheds = 0;            // busy frames observed client-side
+  std::uint64_t sessions_failed = 0;  // sessions that failed outright
+  double shed_rate = 0;  // sheds / (sheds + served acquisitions)
+  double exchanges_per_s = 0;
+  double p50 = 0, p99 = 0;
+};
+
+OverloadResult run_overload(net::Realm& realm, std::uint16_t port,
+                            std::size_t n_agents, std::size_t acqs,
+                            std::size_t workers, std::size_t queue_depth) {
+  OverloadResult out;
+  out.agents = n_agents;
+  out.acqs_per_agent = acqs;
+  out.workers = workers;
+  out.max_queue_depth = queue_depth;
+
+  std::vector<std::unique_ptr<agent::DrmAgent>> agents;
+  agents.reserve(n_agents);
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    agents.push_back(
+        realm.make_agent("dev:overload-" + std::to_string(i)));
+  }
+
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  std::size_t registered = 0;
+  bool go = false;
+
+  std::vector<std::vector<double>> latencies(n_agents);
+  std::atomic<std::uint64_t> sheds{0}, failed{0};
+
+  auto worker = [&](std::size_t idx) {
+    net::SocketTransport::Config tc;
+    tc.port = port;
+    net::SocketTransport sock(tc);
+    // The whole point is riding out sheds, so the policy gets an
+    // effectively unbounded attempt budget under a wall-clock deadline:
+    // the exponential backoff (2ms -> 200ms) is what decongests the
+    // herd, and a session that cannot land within a minute means the
+    // server stopped serving, not "try harder".
+    roap::RetryPolicy policy;
+    policy.max_attempts = 1024;
+    policy.deadline_ms = 60000;
+    policy.base_backoff_ms = 2;
+    policy.max_backoff_ms = 200;
+    DeterministicRng rng(0x10AD + idx);
+    roap::ReliableTransport reliable(sock, policy, rng);
+    agent::DrmAgent& dev = *agents[idx];
+
+    if (!dev.register_with(reliable, net::kRealmNow, policy).ok()) {
+      failed.fetch_add(1);
+    }
+    {
+      std::unique_lock<std::mutex> lock(barrier_mu);
+      ++registered;
+      barrier_cv.notify_all();
+      barrier_cv.wait(lock, [&] { return go; });
+    }
+
+    latencies[idx].reserve(acqs);
+    for (std::size_t a = 0; a < acqs; ++a) {
+      const auto t0 = Clock::now();
+      if (!dev.acquire_ro(reliable, net::kRealmRiId, net::kRealmRoId,
+                          net::kRealmNow, policy)
+               .ok()) {
+        failed.fetch_add(1);
+        break;
+      }
+      latencies[idx].push_back(ms_since(t0));
+    }
+    sheds.fetch_add(sock.stats().server_busy);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_agents);
+  for (std::size_t i = 0; i < n_agents; ++i) threads.emplace_back(worker, i);
+
+  Clock::time_point acq_start;
+  {
+    std::unique_lock<std::mutex> lock(barrier_mu);
+    barrier_cv.wait(lock, [&] { return registered == n_agents; });
+    go = true;
+    acq_start = Clock::now();
+    barrier_cv.notify_all();
+  }
+  for (std::thread& t : threads) t.join();
+  const double acq_total_ms = ms_since(acq_start);
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.samples = all.size();
+  out.p50 = percentile(all, 0.50);
+  out.p99 = percentile(all, 0.99);
+  out.sheds = sheds.load();
+  out.sessions_failed = failed.load();
+  if (out.sheds + out.samples > 0) {
+    out.shed_rate = static_cast<double>(out.sheds) /
+                    static_cast<double>(out.sheds + out.samples);
+  }
+  if (acq_total_ms > 0) {
+    out.exchanges_per_s =
+        static_cast<double>(all.size()) / (acq_total_ms / 1000.0);
+  }
+  return out;
+}
+
 std::string default_server_path(const char* argv0) {
   std::string path(argv0);
   const std::size_t slash = path.find_last_of('/');
@@ -389,6 +524,45 @@ int main(int argc, char** argv) {
     sweep.push_back(SweepPoint{w, r});
   }
 
+  // Overload sweep: one worker, a 2-deep job queue, and a fleet whose
+  // burst is an order of magnitude over that capacity. Sheds are
+  // expected and measured here, not forbidden — the failure modes are a
+  // session that never completes or a throttled server that never says
+  // busy (i.e. the admission control is not actually engaging).
+  const std::size_t ov_agents = quick ? 12 : 24;
+  const std::size_t ov_acqs = quick ? 4 : 8;
+  const std::size_t ov_queue = 2;
+  std::printf("\n--- overload: %zu agents vs 1 worker, queue depth %zu ---\n",
+              ov_agents, ov_queue);
+  ServerProc ov_server =
+      spawn_server(server_path, seed, /*workers=*/1,
+                   {"--max-queue-depth", std::to_string(ov_queue)});
+  OverloadResult ov = run_overload(realm, ov_server.port, ov_agents, ov_acqs,
+                                   /*workers=*/1, ov_queue);
+  if (!stop_server(ov_server)) {
+    std::fprintf(stderr, "FAIL: unclean drain after overload sweep\n");
+    clean_exit = false;
+    all_ok = false;
+  }
+  std::printf("%3zu agents x %3zu acq: %8.1f exch/s   shed rate %5.1f%% "
+              "(%llu sheds)   p50 %7.2f ms   p99 %7.2f ms\n",
+              ov.agents, ov.acqs_per_agent, ov.exchanges_per_s,
+              100.0 * ov.shed_rate,
+              static_cast<unsigned long long>(ov.sheds), ov.p50, ov.p99);
+  if (ov.sessions_failed != 0) {
+    std::fprintf(stderr,
+                 "FAIL: overload: %llu session(s) failed outright — busy "
+                 "sheds must stay retriable\n",
+                 static_cast<unsigned long long>(ov.sessions_failed));
+    all_ok = false;
+  }
+  if (ov.sheds == 0) {
+    std::fprintf(stderr,
+                 "FAIL: overload: throttled server never shed — admission "
+                 "control did not engage\n");
+    all_ok = false;
+  }
+
   std::ofstream json(json_path);
   if (!json) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -443,7 +617,25 @@ int main(int argc, char** argv) {
                   i + 1 < sweep.size() ? "," : "");
     json << buf;
   }
-  json << "  ]\n}\n";
+  json << "  ],\n";
+  {
+    // The overload section is deliberately outside "scales": its sheds
+    // are by design, so the zero-refusal gate must not see them.
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"overload\": {\"agents\": %zu, \"acquisitions_per_agent\": %zu, "
+        "\"server_workers\": %zu, \"max_queue_depth\": %zu, "
+        "\"samples\": %zu, \"sheds\": %llu, \"sessions_failed\": %llu, "
+        "\"shed_rate\": %.4f, \"exchanges_per_s\": %.1f, "
+        "\"acquisition_ms_p50\": %.3f, \"acquisition_ms_p99\": %.3f}\n",
+        ov.agents, ov.acqs_per_agent, ov.workers, ov.max_queue_depth,
+        ov.samples, static_cast<unsigned long long>(ov.sheds),
+        static_cast<unsigned long long>(ov.sessions_failed), ov.shed_rate,
+        ov.exchanges_per_s, ov.p50, ov.p99);
+    json << buf;
+  }
+  json << "}\n";
   std::printf("wrote %s\n", json_path.c_str());
 
   return all_ok ? 0 : 1;

@@ -29,6 +29,7 @@
 // Usage: chaos_soak [--seed S | --seeds N] [--agents N] [--ops N]
 //                   [--drop P] [--corrupt P] [--replay P] [--delay P]
 //                   [--store-fail P] [--kill P] [--quick] [--socket]
+//                   [--ri-store-dir DIR] [--failpoints SPEC]
 //                   [--json <path>]
 // Env:   CHAOS_SEED=S  equivalent to --seed S (CI replay hook).
 //
@@ -41,10 +42,23 @@
 // invariants (termination, leaks, conservation, reconciliation) stay
 // bit-for-bit the same contract. The server is drained before the final
 // invariant sweep so the RI is quiescent when inspected.
+//
+// --ri-store-dir DIR swaps the RI's MemoryStore for a real sealed
+// FileStore (one fresh subdirectory per seed) behind a GroupCommitStore,
+// so every RI commit rides the journal + fsync path. --failpoints SPEC
+// arms the deterministic failpoint registry (common/failpoint.h) with a
+// "site=spec;site=spec" string before each seed — e.g.
+// "store.journal.write=error-every-5:ENOSPC" makes every 5th journal
+// append fail like a full disk. Injected store errors surface as refused
+// commits, which the soak already treats as degraded-mode behavior; the
+// failpoints are disarmed before the final invariant sweep (a healthy
+// store is the precondition for the leak/reconcile checks, exactly as
+// with fail_next_commits).
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -54,7 +68,9 @@
 #include "agent/drm_agent.h"
 #include "agent/sessions.h"
 #include "ci/content_issuer.h"
+#include "common/bytes.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "dcf/dcf.h"
 #include "net/concurrent_issuer.h"
@@ -65,7 +81,10 @@
 #include "ri/rights_issuer.h"
 #include "roap/retry.h"
 #include "roap/transport.h"
+#include "store/file_store.h"
+#include "store/group_commit_store.h"
 #include "store/memory_store.h"
+#include "store/state_store.h"
 
 namespace {
 
@@ -87,6 +106,8 @@ struct Options {
   double kill = 0.05;          // per-op chance of a mid-handshake kill
   bool socket = false;         // faults over real framed TCP
   std::size_t workers = 2;     // server worker threads in --socket mode
+  std::string ri_store_dir;    // non-empty: RI on a sealed FileStore
+  std::string failpoints;      // non-empty: armed before every seed
   std::string json_path = "BENCH_chaos.json";
 };
 
@@ -148,7 +169,13 @@ class SeedRun {
   std::unique_ptr<pki::CertificationAuthority> ca_;
   std::unique_ptr<ci::ContentIssuer> ci_;
   std::unique_ptr<ri::RightsIssuer> ri_;
+  // Exactly one of the two RI stores is live: the MemoryStore default,
+  // or (--ri-store-dir) a sealed FileStore behind a GroupCommitStore.
+  // ri_state_ points at whichever one the RI is bound to.
   std::unique_ptr<store::MemoryStore> ri_store_;
+  std::unique_ptr<store::FileStore> ri_file_store_;
+  std::unique_ptr<store::GroupCommitStore> ri_group_store_;
+  store::StateStore* ri_state_ = nullptr;
   std::unique_ptr<roap::InProcessTransport> loopback_;
   // --socket mode: server + client transport, destroyed before the RI.
   std::unique_ptr<net::ConcurrentIssuer> cissuer_;
@@ -172,6 +199,14 @@ void SeedRun::violation(const char* what, const std::string& detail) {
                what, detail.c_str(), seed_, seed_, opt_.agents, opt_.ops,
                opt_.drop, opt_.corrupt, opt_.replay, opt_.delay,
                opt_.store_fail, opt_.kill, seed_);
+  if (!opt_.ri_store_dir.empty() || !opt_.failpoints.empty()) {
+    std::fprintf(stderr, "  plus:%s%s%s%s%s\n",
+                 opt_.ri_store_dir.empty() ? "" : " --ri-store-dir ",
+                 opt_.ri_store_dir.c_str(),
+                 opt_.failpoints.empty() ? "" : " --failpoints \"",
+                 opt_.failpoints.c_str(),
+                 opt_.failpoints.empty() ? "" : "\"");
+  }
 }
 
 void SeedRun::check_outcome(const char* op, const AgentSlot& slot,
@@ -191,7 +226,10 @@ void SeedRun::check_outcome(const char* op, const AgentSlot& slot,
 }
 
 void SeedRun::arm_store_faults(AgentSlot& slot) {
-  if (chance(rng_, opt_.store_fail)) {
+  // File-backed RI stores fault through the failpoint registry instead
+  // of fail_next_commits; the draw is still made so the rng stream (and
+  // so every wire fault downstream) is identical across store backends.
+  if (chance(rng_, opt_.store_fail) && ri_store_) {
     ri_store_->fail_next_commits(1);
     ++tally_.store_faults_armed;
   }
@@ -302,8 +340,10 @@ bool SeedRun::final_invariants(std::vector<AgentSlot>& fleet) {
   // each op, and an op that never commits (RO issuing persists nothing,
   // a dropped request never reaches the RI) leaves it armed — a refused
   // sweep commit legitimately defers that shard's GC to a later sweep,
-  // which is degraded-mode behavior, not a leak.
-  ri_store_->fail_next_commits(0);
+  // which is degraded-mode behavior, not a leak. Armed failpoints are
+  // the file-backed equivalent and are disarmed for the same reason.
+  if (ri_store_) ri_store_->fail_next_commits(0);
+  failpoint::reset_all();
   net_->discard_delayed();
   (void)ri_->expire_pending_sessions(kNow + ri::kPendingSessionTtl + 1);
   if (ri_->pending_session_count() != 0) {
@@ -357,7 +397,7 @@ bool SeedRun::final_invariants(std::vector<AgentSlot>& fleet) {
   // sees the same registered-device set as the live instance.
   ri::RightsIssuer twin(ri_->ri_id(), ri_->url(), *ca_, validity_,
                         provider::plain_provider(), rng_);
-  auto bound = twin.bind_store(*ri_store_);
+  auto bound = twin.bind_store(*ri_state_);
   if (!bound.ok()) {
     violation("reconcile", "RI twin bind_store failed: " + bound.describe());
   } else {
@@ -380,10 +420,38 @@ bool SeedRun::run() {
   ri_ = std::make_unique<ri::RightsIssuer>("ri:soak", "http://ri/soak", *ca_,
                                            validity_,
                                            provider::plain_provider(), rng_);
-  ri_store_ = std::make_unique<store::MemoryStore>();
-  if (auto bound = ri_->bind_store(*ri_store_); !bound.ok()) {
+  if (opt_.ri_store_dir.empty()) {
+    ri_store_ = std::make_unique<store::MemoryStore>();
+    ri_state_ = ri_store_.get();
+  } else {
+    // One fresh sealed FileStore per seed: a stale journal from an
+    // earlier run would otherwise pre-register half the fleet.
+    const std::string dir =
+        opt_.ri_store_dir + "/seed-" + std::to_string(seed_);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    store::FileStore::Options fo;
+    fo.recover_torn_tail = true;
+    ri_file_store_ = std::make_unique<store::FileStore>(
+        dir,
+        store::derive_storage_key(
+            to_bytes("chaos-ri:" + std::to_string(seed_))),
+        fo);
+    ri_group_store_ = std::make_unique<store::GroupCommitStore>(
+        *ri_file_store_);
+    ri_state_ = ri_group_store_.get();
+  }
+  if (auto bound = ri_->bind_store(*ri_state_); !bound.ok()) {
     violation("setup", "RI bind_store: " + bound.describe());
     return false;
+  }
+  if (!opt_.failpoints.empty()) {
+    try {
+      failpoint::arm_from_spec(opt_.failpoints);
+    } catch (const Error& e) {
+      violation("setup", std::string("bad --failpoints: ") + e.what());
+      return false;
+    }
   }
   ri_->create_domain("domain:soak", /*max_members=*/16);
 
@@ -521,6 +589,10 @@ int main(int argc, char** argv) {
       opt.agents = 8;
       opt.seeds = 2;
       opt.ops = 5;
+    } else if (std::strcmp(argv[i], "--ri-store-dir") == 0 && i + 1 < argc) {
+      opt.ri_store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--failpoints") == 0 && i + 1 < argc) {
+      opt.failpoints = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opt.json_path = argv[++i];
     } else {
@@ -529,7 +601,8 @@ int main(int argc, char** argv) {
           "usage: %s [--seed S | --seeds N] [--agents N] [--ops N]\n"
           "          [--drop P] [--corrupt P] [--replay P] [--delay P]\n"
           "          [--store-fail P] [--kill P] [--quick] [--socket]\n"
-          "          [--workers N] [--json <path>]\n",
+          "          [--workers N] [--ri-store-dir DIR]\n"
+          "          [--failpoints \"site=spec;site=spec\"] [--json <path>]\n",
           argv[0]);
       return 2;
     }
@@ -542,13 +615,29 @@ int main(int argc, char** argv) {
               opt.seeds, opt.seed, opt.agents, opt.ops, opt.drop, opt.corrupt,
               opt.replay, opt.delay, opt.store_fail, opt.kill,
               opt.socket ? "framed-tcp" : "in-process");
+  if (!opt.ri_store_dir.empty()) {
+    std::printf("RI store: sealed FileStore under %s (one dir per seed)\n",
+                opt.ri_store_dir.c_str());
+  }
+  if (!opt.failpoints.empty()) {
+    std::printf("failpoints: %s\n", opt.failpoints.c_str());
+  }
 
   std::size_t clean = 0;
   std::uint64_t total_ops = 0, total_ok = 0, total_kills = 0;
   for (std::size_t i = 0; i < opt.seeds; ++i) {
     const std::uint64_t seed = opt.seed + i;
     SeedRun run(seed, opt);
-    const bool ok = run.run();
+    bool ok = false;
+    try {
+      ok = run.run();
+    } catch (const std::exception& e) {
+      // A store so broken that even fixture setup cannot commit (e.g.
+      // --failpoints error-every-1) fails the seed instead of the
+      // process.
+      std::fprintf(stderr, "chaos_soak: seed %" PRIu64 " aborted: %s\n",
+                   seed, e.what());
+    }
     print_tally(seed, run.tally(), ok);
     if (ok) ++clean;
     total_ops += run.tally().ops;
@@ -559,6 +648,9 @@ int main(int argc, char** argv) {
   std::ofstream json(opt.json_path);
   if (json) {
     json << "{\n  \"bench\": \"chaos_soak\",\n"
+         << "  \"ri_store\": \""
+         << (opt.ri_store_dir.empty() ? "memory" : "file") << "\",\n"
+         << "  \"failpoints\": \"" << opt.failpoints << "\",\n"
          << "  \"seeds\": " << opt.seeds << ",\n  \"first_seed\": " << opt.seed
          << ",\n  \"agents\": " << opt.agents << ",\n  \"ops\": " << opt.ops
          << ",\n  \"total_ops\": " << total_ops

@@ -26,7 +26,16 @@ field:
                  behind a healthy aggregate number. Also fails outright
                  when the current run saw transport errors, server
                  refusals, or an unclean server drain — those are
-                 correctness, not noise.
+                 correctness, not noise. The "overload" section (the
+                 throttled-server busy-shed sweep) is exempt from the
+                 zero-refusal sum — sheds there are the point — and is
+                 gated separately: sessions_failed must be 0 and sheds
+                 nonzero (correctness: admission control engaged and
+                 stayed retriable), and the acquisition p99 through the
+                 busy-retry storm must stay under 3x the baseline's —
+                 a deliberately loose absolute sanity bound, because
+                 tail latency under a 98% shed rate is mostly backoff
+                 scheduling, which jitters with runner load.
 
 Latency-style fields are printed for context but only throughput gates.
 
@@ -97,6 +106,47 @@ def check_net_worker_sweep(baseline: dict, current: dict,
               file=sys.stderr)
         return False
     return True
+
+
+def check_net_overload(baseline: dict, current: dict) -> bool:
+    """Gate the net_fleet overload section. Correctness first: the
+    throttled server must have shed (admission control engaged) and no
+    session may have failed outright (sheds stayed retriable). Then, when
+    the baseline also carries an overload section, the busy-storm
+    acquisition p99 gets a loose 3x absolute headroom bound. Documents
+    without the section (pre-overload baselines) skip cleanly."""
+    ov = current.get("overload")
+    if ov is None:
+        return True
+    ok = True
+    sheds = int(ov.get("sheds", 0))
+    failed = int(ov.get("sessions_failed", 0))
+    print(f"overload: {ov.get('agents')} agents vs "
+          f"{ov.get('server_workers')} worker(s), queue depth "
+          f"{ov.get('max_queue_depth')}: {sheds} sheds "
+          f"(rate {float(ov.get('shed_rate', 0)):.1%}), "
+          f"{failed} failed sessions, "
+          f"p50 {ov.get('acquisition_ms_p50')} ms, "
+          f"p99 {ov.get('acquisition_ms_p99')} ms")
+    if failed != 0:
+        print(f"FAIL: overload: {failed} session(s) failed outright — "
+              f"busy sheds must stay retriable", file=sys.stderr)
+        ok = False
+    if sheds == 0:
+        print("FAIL: overload: throttled server never shed — admission "
+              "control did not engage", file=sys.stderr)
+        ok = False
+    base_ov = baseline.get("overload")
+    base_p99 = (base_ov or {}).get("acquisition_ms_p99")
+    cur_p99 = ov.get("acquisition_ms_p99")
+    if base_p99 and cur_p99:
+        bound = float(base_p99) * 3.0
+        print(f"overload p99 bound (3x baseline): {bound:.1f} ms")
+        if float(cur_p99) > bound:
+            print(f"FAIL: overload acquisition p99 {cur_p99} ms exceeds "
+                  f"3x the baseline's {base_p99} ms", file=sys.stderr)
+            ok = False
+    return ok
 
 
 def main() -> int:
@@ -197,6 +247,8 @@ def main() -> int:
         return 1
     if kind == "net_fleet" and not check_net_worker_sweep(
             baseline, current, args.tolerance):
+        return 1
+    if kind == "net_fleet" and not check_net_overload(baseline, current):
         return 1
     print("OK")
     return 0

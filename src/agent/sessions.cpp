@@ -20,6 +20,7 @@ namespace {
 std::optional<StatusCode> transport_status(const Error& e) {
   switch (e.kind()) {
     case ErrorKind::kTransport: return StatusCode::kTransportFailure;
+    case ErrorKind::kBusy: return StatusCode::kServerBusy;
     case ErrorKind::kFormat: return StatusCode::kMalformedMessage;
     case ErrorKind::kTimeout: return StatusCode::kTimeout;
     case ErrorKind::kExhausted: return StatusCode::kRetriesExhausted;

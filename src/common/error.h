@@ -20,6 +20,7 @@ enum class ErrorKind {
   kState,     // object used before initialization or after invalidation
   kNotFound,  // lookup failure for a required entity
   kTransport, // envelope lost / peer unreachable at the wire boundary
+  kBusy,      // peer shed the request under overload; retry with backoff
   kTimeout,   // retry deadline exceeded at the transport boundary
   kExhausted, // transport retry budget spent without a delivery
 };
@@ -48,6 +49,7 @@ inline const char* to_string(ErrorKind kind) {
     case ErrorKind::kState: return "state";
     case ErrorKind::kNotFound: return "not-found";
     case ErrorKind::kTransport: return "transport";
+    case ErrorKind::kBusy: return "busy";
     case ErrorKind::kTimeout: return "timeout";
     case ErrorKind::kExhausted: return "exhausted";
   }

@@ -1,0 +1,112 @@
+// Deterministic failpoint registry: named fault-injection sites.
+//
+// A failpoint is a *named place* in production code where a test,
+// harness, or operator can deterministically inject a failure without
+// recompiling. The production fast path is one relaxed atomic load
+// (nothing armed anywhere -> zero-cost); an armed site evaluates its
+// mode under a mutex and tells the caller what to do:
+//
+//   kProceed   nothing injected; run the real operation
+//   kError     simulate the operation failing with Action::err (an errno
+//              value: EIO, ENOSPC, ...) — the site must NOT perform the
+//              real operation
+//   kCrash     die here, mid-operation. The site performs whatever
+//              partial effect models its crash window (e.g. writing half
+//              a journal frame) and then calls crash_now(), which
+//              _exit()s with kCrashExitCode — no atexit handlers, no
+//              buffered-IO flush, the closest a process gets to pulling
+//              its own plug.
+//
+// Arming — programmatic, CLI, or environment:
+//
+//   failpoint::arm("store.journal.write", "error-once:ENOSPC");
+//   ri_server --failpoint store.journal.fsync=crash
+//   OMADRM_FAILPOINTS="store.journal.write=error-every-3:EIO" ./binary
+//
+// The environment spec is parsed at static-init time in every binary
+// linking this library, which is what lets the crash-recovery matrix
+// arm a crash inside a forked+exec'd ri_server without new plumbing.
+//
+// Spec grammar (per site):   <mode>[:<errno-name>]
+//
+//   error-once        fail the next hit, then disarm
+//   error-every-N     fail every Nth hit (N >= 1)
+//   nth-hit-N         fail exactly the Nth hit after arming, then disarm
+//   crash             crash at the next hit
+//   crash-N           crash at the Nth hit after arming
+//   off               disarm the site (hit counting continues)
+//
+// The errno suffix (EIO default) applies to the error modes: EIO,
+// ENOSPC, EINTR, EINVAL, EPIPE, ECONNRESET, EAGAIN are understood.
+//
+// Hit counters count every fire() of a site while *any* site is armed
+// (the registry is dormant otherwise), so a harness can assert that a
+// workload actually reached the site it armed.
+//
+// The compiled-in site catalog lives in failpoint.cpp next to each
+// subsystem's wiring; catalog() enumerates it so coverage harnesses
+// (tests/test_crash_matrix.cpp) iterate registered sites instead of
+// hand-maintaining a list that drifts from the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omadrm::failpoint {
+
+/// Exit status of a crash-mode failpoint (distinct from every exit code
+/// the repo's binaries use, so a harness can tell "died at the armed
+/// site" from "died some other way").
+inline constexpr int kCrashExitCode = 86;
+
+enum class Op : std::uint8_t {
+  kProceed,  // nothing injected
+  kError,    // simulate failure with Action::err (an errno value)
+  kCrash,    // perform the site's partial effect, then crash_now()
+};
+
+struct Action {
+  Op op = Op::kProceed;
+  int err = 0;  // errno to simulate when op == kError
+};
+
+/// One site, described for catalogs and docs.
+struct SiteInfo {
+  const char* name;
+  const char* description;
+};
+
+/// Evaluates the site. Cost when nothing is armed anywhere: one relaxed
+/// atomic load. Thread-safe.
+Action fire(const char* site);
+
+/// fire() + default handling: crashes on kCrash, returns the errno to
+/// simulate on kError, 0 to proceed. For sites with no interesting
+/// partial-effect crash window.
+int check(const char* site);
+
+/// _exit(kCrashExitCode) — the crash-mode terminator. Never returns.
+[[noreturn]] void crash_now();
+
+/// Arms one site from a spec ("error-once:ENOSPC", "crash-2", ...).
+/// Throws omadrm::Error(kFormat) on an unparseable spec. Unknown site
+/// names are accepted (arming is decoupled from the catalog).
+void arm(std::string_view site, std::string_view spec);
+
+/// Arms a semicolon/comma-separated list of "<site>=<spec>" pairs — the
+/// CLI / OMADRM_FAILPOINTS form. Throws omadrm::Error(kFormat) on a
+/// malformed entry.
+void arm_from_spec(std::string_view multi_spec);
+
+/// Disarms every site and zeroes every hit counter.
+void reset_all();
+
+/// Hits observed at `site` since the registry last became active.
+std::uint64_t hits(std::string_view site);
+
+/// The compiled-in site catalog (stable order).
+const std::vector<SiteInfo>& catalog();
+
+}  // namespace omadrm::failpoint

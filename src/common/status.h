@@ -47,6 +47,9 @@ enum class StatusCode : std::uint8_t {
   kTransportFailure,     // envelope lost in transit / peer unreachable
   kMalformedMessage,     // reply did not parse as a ROAP document
   kUnexpectedMessage,    // parsed, but not the message the session awaits
+  kServerBusy,           // peer shed the request under overload (admission
+                         // control); retriable with backoff — the request
+                         // was never processed, so a resend is always safe
 
   // -- retry / recovery ----------------------------------------------------
   // Outcomes of the fault-tolerant session driver (roap/retry.h): a pass
@@ -92,6 +95,7 @@ inline const char* to_string(StatusCode s) {
     case StatusCode::kTransportFailure: return "transport-failure";
     case StatusCode::kMalformedMessage: return "malformed-message";
     case StatusCode::kUnexpectedMessage: return "unexpected-message";
+    case StatusCode::kServerBusy: return "server-busy";
     case StatusCode::kTimeout: return "timeout";
     case StatusCode::kRetriesExhausted: return "retries-exhausted";
     case StatusCode::kSessionExpired: return "session-expired";

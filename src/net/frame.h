@@ -7,9 +7,10 @@
 //   offset  size  field
 //   0       2     magic 0x4F 0x44 ("OD")
 //   2       1     protocol version (kFrameVersion)
-//   3       1     envelope type tag (roap::MessageType value, or
-//                 kErrorFrameType for a server refusal whose payload is
-//                 a human-readable reason)
+//   3       1     envelope type tag (roap::MessageType value,
+//                 kErrorFrameType for a server refusal, or kBusyFrameType
+//                 for an admission-control load shed; both carry a
+//                 human-readable reason as the payload)
 //   4       1     flags (bit 0: CRC-32 trailer present)
 //   5       4     payload length, big-endian, capped (max_payload)
 //   9       n     payload — the serialized ROAP XML document
@@ -42,6 +43,13 @@ inline constexpr std::uint8_t kFrameMagic1 = 0x44;  // 'D'
 inline constexpr std::uint8_t kFrameVersion = 1;
 /// Type tag of a server refusal frame (payload = ASCII reason).
 inline constexpr std::uint8_t kErrorFrameType = 0xFF;
+/// Type tag of a load-shed refusal: the server's admission control
+/// answered "busy" WITHOUT processing the request (payload = ASCII
+/// reason). Distinct from kErrorFrameType because the client-side
+/// contract differs: busy is retriable-with-backoff on the SAME healthy
+/// connection (StatusCode::kServerBusy), while an error frame poisons
+/// the exchange and forces a reconnect.
+inline constexpr std::uint8_t kBusyFrameType = 0xFE;
 inline constexpr std::size_t kFrameHeaderSize = 9;
 inline constexpr std::size_t kFrameTrailerSize = 4;
 /// Default hard cap on a frame payload. ROAP documents in this repo are
@@ -56,7 +64,7 @@ inline constexpr std::uint8_t kFrameFlagCrc = 0x01;
 std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
 
 struct Frame {
-  std::uint8_t type = 0;  // roap::MessageType value or kErrorFrameType
+  std::uint8_t type = 0;  // MessageType value, kErrorFrameType, kBusyFrameType
   bool crc = false;       // request carried the CRC trailer (echo it back)
   std::string payload;
 };

@@ -14,6 +14,7 @@
 #endif
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace omadrm::net {
 
@@ -310,6 +311,17 @@ void RiServer::event_loop() {
     }
     for (const std::shared_ptr<Conn>& conn : fresh) {
       if (conn->dead) continue;
+      bool kill;
+      {
+        std::lock_guard<std::mutex> cl(conn->mu);
+        kill = conn->kill;
+      }
+      if (kill) {
+        // A worker flagged this conn over its outbox cap (slow reader);
+        // fd ownership is the loop's, so the close happens here.
+        close_conn(conn, false);
+        continue;
+      }
       if (!flush(conn)) close_conn(conn, false);
     }
 
@@ -318,15 +330,30 @@ void RiServer::event_loop() {
     if (now - last_sweep >= 500) {
       last_sweep = now;
       std::vector<std::shared_ptr<Conn>> idle;
+      std::vector<std::shared_ptr<Conn>> stalled;
       {
         std::lock_guard<std::mutex> lock(conns_mu_);
         for (const auto& [fd, conn] : conns_) {
+          // Slow-loris: a partial frame counts as activity for the idle
+          // clock (bytes did arrive), so it gets its own, stricter
+          // deadline — complete the frame or lose the connection.
+          if (config_.read_progress_timeout_ms != 0 &&
+              conn->partial_since_ms != 0 &&
+              now - conn->partial_since_ms >=
+                  config_.read_progress_timeout_ms) {
+            stalled.push_back(conn);
+            continue;
+          }
           if (now - conn->last_active_ms < config_.idle_timeout_ms) continue;
           std::lock_guard<std::mutex> cl(conn->mu);
           if (conn->inflight == 0 && conn->outpos >= conn->outbox.size()) {
             idle.push_back(conn);
           }
         }
+      }
+      for (const std::shared_ptr<Conn>& conn : stalled) {
+        stats_.stalled_closed.fetch_add(1, std::memory_order_relaxed);
+        close_conn(conn, false);
       }
       for (const std::shared_ptr<Conn>& conn : idle) close_conn(conn, true);
     }
@@ -379,15 +406,52 @@ void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
       try {
         while (std::optional<Frame> frame = conn->decoder.next()) {
           stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
-          {
-            std::lock_guard<std::mutex> cl(conn->mu);
-            ++conn->inflight;
+          if (!admit(conn)) {
+            // Load shed: answer busy straight from the event loop — the
+            // payload is dropped unparsed and no worker is involved, so
+            // a flood beyond capacity costs one small frame per request,
+            // not queue memory. The busy frame echoes the request's CRC
+            // choice like any reply.
+            stats_.shed.fetch_add(1, std::memory_order_relaxed);
+            std::string busy;
+            encode_frame(kBusyFrameType,
+                         "server busy: request shed by admission control",
+                         busy, frame->crc);
+            bool over_cap = false;
+            {
+              std::lock_guard<std::mutex> cl(conn->mu);
+              conn->outbox.append(busy);
+              over_cap = config_.max_outbox_bytes != 0 &&
+                         conn->outbox.size() - conn->outpos >
+                             config_.max_outbox_bytes;
+            }
+            if (over_cap) {
+              // Flooding with requests while never reading replies: even
+              // the busy frames are piling up. Slow-reader disconnect.
+              stats_.slow_reader_closed.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              close_conn(conn, false);
+              return;
+            }
+            if (!flush(conn)) {
+              close_conn(conn, false);
+              return;
+            }
+            continue;
           }
           {
             std::lock_guard<std::mutex> lock(jobs_mu_);
             jobs_.push_back(Job{conn, std::move(frame->payload), frame->crc});
           }
           jobs_cv_.notify_one();
+        }
+        // Slow-loris bookkeeping: remember when a partial frame started
+        // waiting; the idle sweep closes conns whose partial frame never
+        // completes within read_progress_timeout_ms.
+        if (conn->decoder.buffered() == 0) {
+          conn->partial_since_ms = 0;
+        } else if (conn->partial_since_ms == 0) {
+          conn->partial_since_ms = steady_ms();
         }
       } catch (const Error& e) {
         // Frame-layer desync: the stream is unrecoverable. Tell the peer
@@ -417,10 +481,31 @@ void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
   }
 }
 
+/// Single producer: only the event-loop thread admits and enqueues, so
+/// between a true return and the push the queue can only shrink — the
+/// depth check cannot be raced past capacity.
+bool RiServer::admit(const std::shared_ptr<Conn>& conn) {
+  if (config_.max_queue_depth != 0) {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (jobs_.size() >= config_.max_queue_depth) return false;
+  }
+  std::lock_guard<std::mutex> cl(conn->mu);
+  if (config_.max_inflight_per_conn != 0 &&
+      conn->inflight >= config_.max_inflight_per_conn) {
+    return false;
+  }
+  ++conn->inflight;
+  return true;
+}
+
 bool RiServer::flush(const std::shared_ptr<Conn>& conn) {
   std::lock_guard<std::mutex> cl(conn->mu);
   if (conn->dead) return true;
   while (conn->outpos < conn->outbox.size()) {
+    if (int err = failpoint::check("net.server.send"); err != 0) {
+      errno = err;
+      return false;  // injected send failure: same path as a peer reset
+    }
     ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->outpos,
                        conn->outbox.size() - conn->outpos, MSG_NOSIGNAL);
     if (n > 0) {
@@ -511,13 +596,25 @@ void RiServer::worker_loop() {
 void RiServer::deliver(const std::shared_ptr<Conn>& conn,
                        const std::string& bytes) {
   bool enqueue = false;
+  bool first_kill = false;
   {
     std::lock_guard<std::mutex> cl(conn->mu);
     if (conn->inflight > 0) --conn->inflight;
     if (!conn->dead) {
       conn->outbox.append(bytes);
       enqueue = true;
+      // Slow-reader cap: replies are accumulating faster than the peer
+      // drains them. Flag the conn; the event loop (which owns the fd)
+      // closes it on the next pass instead of buffering without bound.
+      if (config_.max_outbox_bytes != 0 && !conn->kill &&
+          conn->outbox.size() - conn->outpos > config_.max_outbox_bytes) {
+        conn->kill = true;
+        first_kill = true;
+      }
     }
+  }
+  if (first_kill) {
+    stats_.slow_reader_closed.fetch_add(1, std::memory_order_relaxed);
   }
   if (enqueue) {
     {

@@ -20,6 +20,17 @@
 //                (kErrorFrameType + reason) instead of a dead air —
 //                clients see a retriable refusal, not a timeout.
 //
+// Overload protection (all knobs on Config): the job queue is bounded —
+// a frame arriving over max_queue_depth (or over the per-connection
+// inflight cap) is answered straight from the event loop with a
+// kBusyFrameType refusal and never buffered, so offered load beyond
+// capacity costs the server one small frame per shed, not memory. A
+// peer that won't drain replies trips max_outbox_bytes and is closed
+// (slow reader); a peer that drips a frame byte-by-byte trips
+// read_progress_timeout_ms and is closed (slow loris). Clients map the
+// busy frame to StatusCode::kServerBusy, which the retry stack treats
+// as retriable-with-backoff — shedding is invisible to a patient fleet.
+//
 // Connections are shared_ptr'd between the loop and in-flight jobs; a
 // connection the loop closes (peer EOF, idle timeout, frame-layer
 // desync) flips `dead` under its mutex and late worker replies are
@@ -86,6 +97,28 @@ class RiServer {
     std::uint64_t drain_timeout_ms = 2000;
     std::size_t max_frame_payload = kDefaultMaxFramePayload;
     int backlog = 128;
+    /// Overload protection. The job queue is BOUNDED: a complete request
+    /// frame arriving while max_queue_depth jobs are already queued is
+    /// answered immediately from the event loop with a kBusyFrameType
+    /// refusal (load shedding, not buffering) — the request is never
+    /// parsed, never reaches a worker, and the client's retry stack
+    /// backs off on the typed kServerBusy it maps to. 0 = unbounded
+    /// (the pre-overload-hardening behaviour, kept for benchmarks that
+    /// measure the queue itself).
+    std::size_t max_queue_depth = 1024;
+    /// Per-connection ceiling on jobs queued or executing; a pipelining
+    /// client over the cap gets busy frames for the excess.
+    std::size_t max_inflight_per_conn = 64;
+    /// Per-connection ceiling on unflushed outbox bytes. A peer that
+    /// sends requests but never drains replies (slow reader) is
+    /// disconnected when its outbox passes this — the server's memory is
+    /// bounded no matter how the fleet behaves. 0 = unbounded.
+    std::size_t max_outbox_bytes = 4u << 20;
+    /// A connection holding a PARTIAL frame must complete it within this
+    /// window or be closed (slow-loris defense: drip-feeding one byte
+    /// per sweep keeps a conn "active" but never yields a frame). 0 =
+    /// disabled.
+    std::uint64_t read_progress_timeout_ms = 10000;
     /// Protocol clock handed to RightsIssuer::handle (certificate
     /// validation, session TTLs) — the repo's virtual protocol time,
     /// distinct from the monotonic clock that paces socket timeouts.
@@ -103,6 +136,10 @@ class RiServer {
     std::atomic<std::uint64_t> served{0};         // replies written to outboxes
     std::atomic<std::uint64_t> refusals{0};       // error frames sent
     std::atomic<std::uint64_t> frame_desyncs{0};  // frame-layer kFormat closes
+    std::atomic<std::uint64_t> shed{0};           // busy frames sent (queue or
+                                                  // inflight cap hit)
+    std::atomic<std::uint64_t> slow_reader_closed{0};  // outbox cap closes
+    std::atomic<std::uint64_t> stalled_closed{0};  // read-progress timeouts
   };
 
   RiServer(ConcurrentIssuer& issuer, Config config);
@@ -132,6 +169,10 @@ class RiServer {
     const int fd;
     FrameDecoder decoder;   // event-loop only
     std::uint64_t last_active_ms = 0;  // event-loop only, monotonic
+    /// Monotonic instant the decoder last went empty->partial; 0 while no
+    /// partial frame is buffered. Event-loop only — the idle sweep closes
+    /// conns whose partial frame outlives read_progress_timeout_ms.
+    std::uint64_t partial_since_ms = 0;
 
     std::mutex mu;          // guards everything below
     std::string outbox;     // framed replies awaiting write
@@ -139,6 +180,7 @@ class RiServer {
     std::size_t inflight = 0;  // jobs queued or executing for this conn
     bool dead = false;      // fd closed; late replies are dropped
     bool draining = false;  // close once outbox empties (protocol error)
+    bool kill = false;      // slow reader: event loop closes on next pass
   };
 
   struct Job {
@@ -151,6 +193,9 @@ class RiServer {
   void worker_loop();
   void accept_ready();
   void read_ready(const std::shared_ptr<Conn>& conn);
+  /// Admission control for one decoded frame: true = enqueue a job,
+  /// false = the caller sheds (queue full or per-conn inflight cap).
+  bool admit(const std::shared_ptr<Conn>& conn);
   /// Flushes the outbox; returns false when the conn should close now.
   bool flush(const std::shared_ptr<Conn>& conn);
   void close_conn(const std::shared_ptr<Conn>& conn, bool idle);

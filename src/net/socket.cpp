@@ -106,7 +106,12 @@ Socket connect_tcp(const std::string& host, std::uint16_t port,
   const std::uint64_t deadline = steady_ms() + timeout_ms;
   if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof addr) < 0) {
-    if (errno != EINPROGRESS) {
+    // EINTR on connect() is NOT a failure: POSIX says the connection
+    // attempt continues asynchronously, exactly like EINPROGRESS — so
+    // both fall into the poll(POLLOUT) + SO_ERROR completion path.
+    // Retrying connect() after EINTR would misread the in-progress
+    // attempt (EALREADY, or worse a spurious EADDRINUSE) as an error.
+    if (errno != EINPROGRESS && errno != EINTR) {
       throw Error(ErrorKind::kTransport, std::string("net: connect to ") +
                                              host + ": " +
                                              std::strerror(errno));

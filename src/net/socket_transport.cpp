@@ -54,6 +54,15 @@ roap::Envelope SocketTransport::exchange(std::uint8_t type,
         throw;
       }
       if (frame) {
+        if (frame->type == kBusyFrameType) {
+          // Admission-control shed: answered straight from the server's
+          // event loop before any processing, so a resend races nothing.
+          // The stream stays in lockstep (one reply per request) — keep
+          // the connection; the retry stack backs off and resends on it.
+          ++stats_.server_busy;
+          throw Error(ErrorKind::kBusy,
+                      "net: server busy: " + frame->payload);
+        }
         if (frame->type == kErrorFrameType) {
           // The peer received our bytes and refused them (unparseable
           // document, protocol misuse, overload). For the layers above

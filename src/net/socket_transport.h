@@ -15,6 +15,9 @@
 //   connect refused / reset / EOF      Error(kTransport)  -> retriable,
 //   read or write timeout              Error(kTransport)     surfaces as
 //   server refusal frame (0xFF)        Error(kTransport)     kTransportFailure
+//   server busy frame (0xFE)           Error(kBusy)       -> retriable w/
+//                                                            backoff, surfaces
+//                                                            as kServerBusy
 //   reply delivered but unparseable    Error(kFormat)     -> session judges
 //                                                            (kMalformedMessage)
 //
@@ -24,7 +27,10 @@
 //
 // After any transport-level failure the connection is closed, so the
 // next attempt reconnects on a clean stream — a reply to a timed-out
-// request can never be mistaken for the reply to its resend.
+// request can never be mistaken for the reply to its resend. A busy
+// frame is the one exception: the server answered it from the event
+// loop — exactly one reply per request, stream still in lockstep — so
+// the connection stays open and the backed-off resend reuses it.
 //
 // All deadlines are measured on the monotonic clock (net::steady_ms).
 // The transport is single-session: one request at a time per instance
@@ -60,6 +66,7 @@ class SocketTransport final : public roap::Transport {
     std::uint64_t reconnects = 0;       // connects beyond the first
     std::uint64_t transport_errors = 0; // thrown kTransport failures
     std::uint64_t server_refusals = 0;  // error frames received
+    std::uint64_t server_busy = 0;      // busy (load-shed) frames received
   };
 
   explicit SocketTransport(Config config)

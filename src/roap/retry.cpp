@@ -39,6 +39,7 @@ FaultClass RetryPolicy::classify(StatusCode code) {
     case StatusCode::kNonceMismatch:     // replayed response, not bound to us
     case StatusCode::kSignatureInvalid:  // parseable but damaged response
     case StatusCode::kStoreFailure:      // peer store degraded; may recover
+    case StatusCode::kServerBusy:        // peer shed under overload; backoff
       return FaultClass::kRetriable;
     default:
       return FaultClass::kTerminal;
@@ -81,9 +82,16 @@ Envelope ReliableTransport::request(const Envelope& request) {
     try {
       return inner_.request(request);
     } catch (const Error& e) {
-      // Only a lost exchange is ours to absorb; delivered-but-damaged
-      // bytes (kFormat) and everything else belong to the caller.
-      if (e.kind() != ErrorKind::kTransport) throw;
+      // Ours to absorb: a lost exchange (kTransport) or a load-shed
+      // refusal (kBusy — the server answered "not now", which is a
+      // promise the request was never processed, so resending with
+      // backoff is always safe). Delivered-but-damaged bytes (kFormat)
+      // and everything else belong to the caller.
+      if (e.kind() == ErrorKind::kBusy) {
+        ++stats_.busy;
+      } else if (e.kind() != ErrorKind::kTransport) {
+        throw;
+      }
       last = e.what();
     }
     if (attempt < policy_.max_attempts) {

@@ -73,8 +73,10 @@ struct RetryPolicy {
   /// stale, or damaged delivery can produce: the transport boundary codes
   /// (kTransportFailure, kTimeout), parse/shape damage (kMalformedMessage,
   /// kUnexpectedMessage), verification failures a corrupted or replayed
-  /// response triggers (kNonceMismatch, kSignatureInvalid), and the peer's
-  /// transient kStoreFailure refusal. Everything else — authoritative RI
+  /// response triggers (kNonceMismatch, kSignatureInvalid), the peer's
+  /// transient kStoreFailure refusal, and the peer's kServerBusy load-shed
+  /// (admission control refused before processing — a resend with backoff
+  /// is always safe). Everything else — authoritative RI
   /// refusals, local preconditions, certificate verdicts, RO integrity —
   /// is terminal: a resend re-verifies and gets the same answer.
   /// kSessionExpired is terminal *for the pass*; the registration driver
@@ -119,9 +121,11 @@ class SystemRetryClock final : public RetryClock {
 /// future SocketTransport sits under: the socket reports loss by
 /// throwing Error(kTransport), and this layer turns "lost" into "late".
 ///
-/// Only *thrown* kTransport failures are retried here. A response that
-/// arrived but fails to parse or verify is the session layer's business —
-/// retrying it requires re-driving the pass, which a transport cannot do.
+/// Only *thrown* kTransport and kBusy failures are retried here (kBusy is
+/// a server's admission-control shed: answered before processing, so the
+/// resend races nothing). A response that arrived but fails to parse or
+/// verify is the session layer's business — retrying it requires
+/// re-driving the pass, which a transport cannot do.
 ///
 /// Throws Error(kExhausted) when the attempt budget is spent and
 /// Error(kTimeout) when the policy deadline passes, both carrying the
@@ -132,6 +136,7 @@ class ReliableTransport final : public Transport {
     std::size_t requests = 0;   // calls into this decorator
     std::size_t attempts = 0;   // sends to the inner transport
     std::size_t retries = 0;    // attempts beyond each request's first
+    std::size_t busy = 0;       // attempts shed by the peer (kBusy refusals)
     std::size_t exhausted = 0;  // requests that spent the attempt budget
     std::size_t timeouts = 0;   // requests that hit the deadline
   };

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/failpoint.h"
 #include "crypto/hmac.h"
 
 namespace omadrm::store {
@@ -34,6 +35,32 @@ std::string errno_context(const char* what) {
 Result<> io_fail(const char* what) {
   return Result<>(StatusCode::kStoreFailure, errno_context(what));
 }
+
+/// Evaluates a failpoint site; crash mode dies here, error mode returns
+/// the simulated errno (already stored into `errno` so io_fail's
+/// strerror reports the injected cause — EIO vs ENOSPC stays visible).
+bool injected_failure(const char* site) {
+  const int err = failpoint::check(site);
+  if (err == 0) return false;
+  errno = err;
+  return true;
+}
+
+/// The four failpoint sites of one atomic_replace call chain, as static
+/// literals so the production path never builds site-name strings.
+struct ReplaceSites {
+  const char* open;
+  const char* write;
+  const char* fsync;
+  const char* rename;
+};
+
+constexpr ReplaceSites kCounterReplaceSites{
+    "store.counter.replace.open", "store.counter.replace.write",
+    "store.counter.replace.fsync", "store.counter.replace.rename"};
+constexpr ReplaceSites kSnapshotReplaceSites{
+    "store.snapshot.replace.open", "store.snapshot.replace.write",
+    "store.snapshot.replace.fsync", "store.snapshot.replace.rename"};
 
 /// Seals `payload` under `key` with a one-byte domain-separation prefix
 /// ('J' journal frame, 'S' snapshot, 'C' counter) so a valid tag from one
@@ -110,21 +137,26 @@ Result<> pwrite_fully(int fd, ByteView data, off_t offset) {
 /// either the old file or the new one, never a torn mix.
 Result<> atomic_replace(const std::string& directory,
                         const std::string& final_path, ByteView data,
-                        bool durable) {
+                        bool durable, const ReplaceSites& sites) {
   const std::string tmp = final_path + ".tmp";
+  if (injected_failure(sites.open)) return io_fail("open temp for replace");
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0600);
   if (fd < 0) return io_fail("open temp for replace");
-  Result<> w = write_fully(fd, data);
-  if (w.ok() && durable && ::fsync(fd) != 0) {
-    w = io_fail("fsync temp for replace");
+  Result<> w = injected_failure(sites.write) ? io_fail("write temp")
+                                             : write_fully(fd, data);
+  if (w.ok() && durable) {
+    if (injected_failure(sites.fsync) || ::fsync(fd) != 0) {
+      w = io_fail("fsync temp for replace");
+    }
   }
   ::close(fd);
   if (!w.ok()) {
     ::unlink(tmp.c_str());
     return w;
   }
-  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+  if (injected_failure(sites.rename) ||
+      ::rename(tmp.c_str(), final_path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     return io_fail("rename over target");
   }
@@ -185,9 +217,25 @@ Result<> FileStore::append_journal(ByteView frame) {
       fault_budget_ -= frame.size();
     }
   }
+  const failpoint::Action fp = failpoint::fire("store.journal.write");
+  if (fp.op == failpoint::Op::kError) {
+    errno = fp.err;
+    return io_fail("journal append");
+  }
+  if (fp.op == failpoint::Op::kCrash) {
+    // Crash mid-append: half the frame reaches the fd, then the process
+    // dies — the torn-tail artifact Options::recover_torn_tail exists
+    // for, now producible in a real child process instead of only via
+    // the byte-budget hook.
+    (void)!::write(journal_fd_, to_write.data(), to_write.size() / 2);
+    failpoint::crash_now();
+  }
   if (Result<> r = write_fully(journal_fd_, to_write); !r.ok()) return r;
-  if (options_.durable_fsync && ::fsync(journal_fd_) != 0) {
-    return io_fail("fsync journal");
+  if (options_.durable_fsync) {
+    if (injected_failure("store.journal.fsync") ||
+        ::fsync(journal_fd_) != 0) {
+      return io_fail("fsync journal");
+    }
   }
   journal_size_ += to_write.size();
   if (inject_fault) {
@@ -216,13 +264,16 @@ Result<> FileStore::write_counter(std::uint64_t value) {
                            O_RDWR | O_CREAT | O_CLOEXEC, 0600);
       if (counter_fd_ < 0) return io_fail("open counter");
     }
+    if (injected_failure("store.counter.pwrite")) {
+      return io_fail("counter pwrite");
+    }
     return pwrite_fully(counter_fd_, data, 0);
   }
 
   // Temp-write + rename models the atomic bump of a hardware counter: a
   // power loss leaves either the old or the new value, never a torn one.
   return atomic_replace(directory_, path(kCounterFile), data,
-                        /*durable=*/true);
+                        /*durable=*/true, kCounterReplaceSites);
 }
 
 void FileStore::apply(const Transaction& tx) {
@@ -316,16 +367,23 @@ Result<> FileStore::compact() {
   data.insert(data.end(), tag.begin(), tag.end());
 
   if (Result<> r = atomic_replace(directory_, path(kSnapshotFile), data,
-                                  options_.durable_fsync);
+                                  options_.durable_fsync,
+                                  kSnapshotReplaceSites);
       !r.ok()) {
     return r;
   }
   // Only after the snapshot is durably in place may the journal shrink; a
   // crash in between just leaves folded frames that load() skips.
-  if (::ftruncate(journal_fd_, 0) != 0) return io_fail("truncate journal");
+  if (injected_failure("store.compact.truncate") ||
+      ::ftruncate(journal_fd_, 0) != 0) {
+    return io_fail("truncate journal");
+  }
   journal_size_ = 0;
-  if (options_.durable_fsync && ::fsync(journal_fd_) != 0) {
-    return io_fail("fsync truncated journal");
+  if (options_.durable_fsync) {
+    if (injected_failure("store.compact.fsync") ||
+        ::fsync(journal_fd_) != 0) {
+      return io_fail("fsync truncated journal");
+    }
   }
   return Result<>();
 }
@@ -573,6 +631,9 @@ Result<std::vector<Record>> FileStore::load() {
   }
   generation_ = last;
 
+  if (injected_failure("store.load.open")) {
+    return propagate<Out>(io_fail("open journal"));
+  }
   journal_fd_ = ::open(path(kJournalFile).c_str(),
                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0600);
   if (journal_fd_ < 0) return propagate<Out>(io_fail("open journal"));

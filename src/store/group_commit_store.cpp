@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace omadrm::store {
 
 Result<> GroupCommitStore::commit(const Transaction& tx) {
@@ -42,7 +44,19 @@ Result<> GroupCommitStore::commit(const Transaction& tx) {
         }
       }
     }
-    Result<> committed = backing_.commit(merged);
+    // Failpoint on the leader's backing commit: an injected failure (or
+    // crash) here hits the WHOLE merged batch — the truthfulness contract
+    // is that every parked waiter observes it, not just the leader.
+    Result<> committed;
+    const failpoint::Action fp =
+        failpoint::fire("store.group_commit.commit");
+    if (fp.op == failpoint::Op::kCrash) failpoint::crash_now();
+    if (fp.op == failpoint::Op::kError) {
+      committed = Result<>(StatusCode::kStoreFailure,
+                           "group commit: injected leader failure");
+    } else {
+      committed = backing_.commit(merged);
+    }
 
     lock.lock();
     ++stats_.batches;

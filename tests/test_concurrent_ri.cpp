@@ -27,6 +27,7 @@
 
 #include "agent/drm_agent.h"
 #include "agent/sessions.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "pki/authority.h"
 #include "provider/provider.h"
@@ -371,6 +372,57 @@ TEST(GroupCommitStore, RefusedBackingCommitFailsTheBatchTruthfully) {
   ASSERT_TRUE(gc.commit(retry).ok());
   EXPECT_EQ(backing.record_count(), 1u);
   EXPECT_EQ(gc.stats().committed_txs, 1u);
+}
+
+TEST(GroupCommitStore, InjectedLeaderFailureReachesEveryBatchedWaiter) {
+  // The truthfulness contract under fault injection: when the LEADER's
+  // backing commit fails (the store.group_commit.commit failpoint, armed
+  // to fail every batch), every thread whose transaction was merged into
+  // that batch — leader and parked waiters alike — observes the failure.
+  // Nobody is falsely acknowledged, and a rebuild of the backing store
+  // agrees: nothing landed.
+  store::MemoryStore backing;
+  store::GroupCommitStore gc(backing);
+  failpoint::arm("store.group_commit.commit", "error-every-1");
+
+  constexpr int kThreads = 8;
+  StartGate gate(kThreads);
+  std::atomic<int> failed{0}, acked{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.arrive_and_wait();
+      store::Transaction tx;
+      tx.put("w" + std::to_string(t), Bytes{static_cast<std::uint8_t>(t)});
+      const Result<> r = gc.commit(tx);
+      if (r.ok()) {
+        ++acked;
+      } else {
+        EXPECT_EQ(r.code(), StatusCode::kStoreFailure);
+        ++failed;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  failpoint::reset_all();
+
+  EXPECT_EQ(acked.load(), 0) << "a waiter was acknowledged for a batch the "
+                                "backing store never committed";
+  EXPECT_EQ(failed.load(), kThreads);
+  EXPECT_EQ(gc.stats().committed_txs, 0u);
+  // The rebuild agrees with the refusals: untouched image.
+  EXPECT_EQ(backing.generation(), 0u);
+  EXPECT_EQ(backing.record_count(), 0u);
+  auto records = gc.load();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+
+  // Disarmed, the same traffic lands: the failure mode was injected, not
+  // latent.
+  store::Transaction tx;
+  tx.put("healed", Bytes{1});
+  ASSERT_TRUE(gc.commit(tx).ok());
+  EXPECT_EQ(backing.record_count(), 1u);
 }
 
 TEST_F(ConcurrentRi, ConcurrentHellosReserveUniqueSessions) {

@@ -1,6 +1,13 @@
 // Network stack tests: frame codec hostility, socket transport failure
-// mapping, and RiServer lifecycle under concurrent clients.
+// mapping, RiServer lifecycle under concurrent clients, and the overload
+// machinery — load shedding, slow-reader/slow-loris disconnects, and the
+// busy-frame contract — plus EINTR-resilience of the socket helpers.
 #include <gtest/gtest.h>
+
+#include <csignal>
+#include <poll.h>
+#include <pthread.h>
+#include <sys/socket.h>
 
 #include <atomic>
 #include <chrono>
@@ -473,6 +480,230 @@ TEST(RiServer, OverCapacityConnectionsAreRejected) {
   // server: the next read sees EOF.
   EXPECT_EQ(recv_some_until(c.fd(), buf, sizeof buf, steady_ms() + 2000), 0u);
   EXPECT_GE(h.server->stats().rejected.load(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection: shedding, slow readers, slow loris, busy frames
+// ---------------------------------------------------------------------------
+
+TEST(RiServer, FloodedQueueShedsWithBusyFramesAndRecovers) {
+  RiServer::Config sc;
+  sc.workers = 1;
+  sc.max_queue_depth = 4;
+  sc.max_inflight_per_conn = 0;  // isolate queue-depth shedding
+  ServerHarness h(sc);
+
+  // One burst of 64 pipelined frames in a single send. The event loop
+  // decodes them in one pass; at most a handful fit the depth-4 queue,
+  // the rest MUST come back as busy frames — never buffered, never OOM.
+  constexpr std::size_t kFrames = 64;
+  Socket s = connect_tcp("127.0.0.1", h.server->port(), 1000);
+  std::string burst;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    encode_frame(1, "<flood/>", burst);
+  }
+  send_all(s.fd(), burst, 2000);
+
+  // Exactly one reply per request frame: busy (shed) or error (the
+  // worker's refusal of the unparseable document). Nothing is dropped.
+  FrameDecoder dec;
+  std::size_t busy = 0, error = 0;
+  char buf[16 * 1024];
+  const std::uint64_t deadline = steady_ms() + 5000;
+  while (busy + error < kFrames) {
+    const std::size_t n = recv_some_until(s.fd(), buf, sizeof buf, deadline);
+    ASSERT_GT(n, 0u) << "server closed mid-flood after " << (busy + error)
+                     << " replies";
+    dec.feed(std::string_view(buf, n));
+    while (auto f = dec.next()) {
+      if (f->type == kBusyFrameType) {
+        ++busy;
+      } else {
+        EXPECT_EQ(f->type, kErrorFrameType);
+        ++error;
+      }
+    }
+  }
+  EXPECT_GT(busy, 0u) << "a depth-4 queue absorbed a 64-frame burst?";
+  EXPECT_EQ(h.server->stats().shed.load(), busy);
+  EXPECT_EQ(h.server->stats().frames_in.load(), kFrames);
+  EXPECT_EQ(h.server->stats().refusals.load(), error);
+
+  // Shed is stateless: the same server immediately serves honest
+  // traffic once the burst passes.
+  SocketTransport t(h.client_config());
+  auto dev = shared_realm().make_agent("dev:after-flood");
+  roap::RetryPolicy policy;
+  ASSERT_TRUE(dev->register_with(t, kRealmNow, policy).ok());
+}
+
+TEST(RiServer, InflightCapShedsPipeliningConnection) {
+  RiServer::Config sc;
+  sc.workers = 1;
+  sc.max_queue_depth = 0;         // unbounded queue: isolate the conn cap
+  sc.max_inflight_per_conn = 2;
+  ServerHarness h(sc);
+
+  constexpr std::size_t kFrames = 32;
+  Socket s = connect_tcp("127.0.0.1", h.server->port(), 1000);
+  std::string burst;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    encode_frame(1, "<pipeline/>", burst);
+  }
+  send_all(s.fd(), burst, 2000);
+
+  FrameDecoder dec;
+  std::size_t replies = 0, busy = 0;
+  char buf[16 * 1024];
+  const std::uint64_t deadline = steady_ms() + 5000;
+  while (replies < kFrames) {
+    const std::size_t n = recv_some_until(s.fd(), buf, sizeof buf, deadline);
+    ASSERT_GT(n, 0u);
+    dec.feed(std::string_view(buf, n));
+    while (auto f = dec.next()) {
+      ++replies;
+      if (f->type == kBusyFrameType) ++busy;
+    }
+  }
+  EXPECT_GT(busy, 0u) << "inflight cap 2 absorbed a 32-frame pipeline?";
+  EXPECT_EQ(h.server->stats().shed.load(), busy);
+}
+
+TEST(RiServer, SlowReaderTripsOutboxCapAndIsDisconnected) {
+  RiServer::Config sc;
+  sc.workers = 2;
+  // Pathologically tiny cap: the FIRST undrained reply already exceeds
+  // it, making the trip deterministic instead of racing the flush.
+  sc.max_outbox_bytes = 16;
+  ServerHarness h(sc);
+
+  Socket s = connect_tcp("127.0.0.1", h.server->port(), 1000);
+  std::string one;
+  encode_frame(1, "<slow-reader/>", one);
+  send_all(s.fd(), one, 1000);
+
+  // The reply (~60 bytes) lands in the outbox, blows the cap at deliver
+  // time, and the event loop closes us: EOF, not a reply.
+  char buf[4096];
+  EXPECT_EQ(recv_some_until(s.fd(), buf, sizeof buf, steady_ms() + 3000), 0u);
+  EXPECT_EQ(h.server->stats().slow_reader_closed.load(), 1u);
+}
+
+TEST(RiServer, SlowLorisPartialFrameIsClosedOnReadProgressTimeout) {
+  RiServer::Config sc;
+  sc.read_progress_timeout_ms = 100;
+  sc.idle_timeout_ms = 60000;  // far away: the stall closes us, not idleness
+  ServerHarness h(sc);
+
+  Socket s = connect_tcp("127.0.0.1", h.server->port(), 1000);
+  send_all(s.fd(), "OD", 1000);  // valid magic, then... nothing
+  char buf[16];
+  EXPECT_EQ(recv_some_until(s.fd(), buf, sizeof buf, steady_ms() + 3000), 0u);
+  EXPECT_GE(h.server->stats().stalled_closed.load(), 1u);
+  EXPECT_EQ(h.server->stats().idle_closed.load(), 0u);
+}
+
+TEST(SocketTransport, BusyFrameThrowsKBusyAndKeepsTheConnection) {
+  // A hand-rolled peer that answers every frame with kBusyFrameType,
+  // deterministically — no queue race needed to observe the contract.
+  std::uint16_t port = 0;
+  Socket listener = listen_tcp("127.0.0.1", 0, 4, &port);
+  std::thread peer([&] {
+    pollfd pfd{listener.fd(), POLLIN, 0};
+    if (::poll(&pfd, 1, 5000) <= 0) return;
+    Socket conn(::accept(listener.fd(), nullptr, nullptr));
+    if (!conn.valid()) return;
+    FrameDecoder dec;
+    char buf[4096];
+    std::size_t answered = 0;
+    const std::uint64_t deadline = steady_ms() + 5000;
+    while (answered < 2) {
+      std::size_t n = 0;
+      try {
+        n = recv_some_until(conn.fd(), buf, sizeof buf, deadline);
+      } catch (const Error&) {
+        return;
+      }
+      if (n == 0) return;
+      dec.feed(std::string_view(buf, n));
+      while (auto f = dec.next()) {
+        std::string out;
+        encode_frame(kBusyFrameType, "server busy: test peer", out, f->crc);
+        send_all(conn.fd(), out, 1000);
+        ++answered;
+      }
+    }
+  });
+
+  SocketTransport::Config tc;
+  tc.port = port;
+  SocketTransport t(tc);
+  for (int i = 0; i < 2; ++i) {
+    try {
+      (void)t.request_raw("<x/>");
+      FAIL() << "expected kBusy";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kBusy);
+    }
+    // The stream answered in lockstep: the connection survives a shed
+    // and the backed-off resend reuses it instead of reconnecting.
+    EXPECT_TRUE(t.connected());
+  }
+  EXPECT_EQ(t.stats().server_busy, 2u);
+  EXPECT_EQ(t.stats().connects, 1u);
+  EXPECT_EQ(t.stats().reconnects, 0u);
+  peer.join();
+}
+
+// ---------------------------------------------------------------------------
+// EINTR resilience: the socket helpers under a signal storm
+// ---------------------------------------------------------------------------
+
+TEST(Socket, TransfersSurviveAnEintrSignalStorm) {
+  // A no-op handler installed WITHOUT SA_RESTART: every blocking syscall
+  // on the pounded thread really returns EINTR instead of restarting.
+  // The connect/send/recv/poll loops must absorb all of it.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  ServerHarness h;
+  std::atomic<bool> stop{false};
+  const pthread_t victim = ::pthread_self();
+  std::thread pounder([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ::pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  SocketTransport::Config tc = h.client_config();
+  tc.read_timeout_ms = 10000;
+  tc.write_timeout_ms = 10000;
+  SocketTransport t(tc);
+  // Large unparseable payloads force multi-chunk sends and reads under
+  // the storm; the server refuses each one (kTransport), which also
+  // exercises connect_tcp on every reconnect.
+  const std::string big(600 * 1024, 'x');
+  for (int i = 0; i < 4; ++i) {
+    try {
+      (void)t.request_raw(big);
+      FAIL() << "expected a refusal";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kTransport) << e.what();
+    }
+  }
+  // And an honest multi-pass session lands under the same storm.
+  auto dev = shared_realm().make_agent("dev:eintr-storm");
+  roap::RetryPolicy policy;
+  EXPECT_TRUE(dev->register_with(t, kRealmNow, policy).ok());
+
+  stop.store(true);
+  pounder.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
 }
 
 TEST(ConcurrentIssuer, CountsExchangesAndSurvivesHammering) {

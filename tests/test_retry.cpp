@@ -79,7 +79,7 @@ TEST(RetryPolicy, ClassifiesTransientVsTerminal) {
       StatusCode::kTransportFailure, StatusCode::kTimeout,
       StatusCode::kMalformedMessage, StatusCode::kUnexpectedMessage,
       StatusCode::kNonceMismatch,    StatusCode::kSignatureInvalid,
-      StatusCode::kStoreFailure,
+      StatusCode::kStoreFailure,     StatusCode::kServerBusy,
   };
   for (StatusCode c : retriable) {
     EXPECT_EQ(RetryPolicy::classify(c), FaultClass::kRetriable)
@@ -198,6 +198,55 @@ TEST_F(RetryProtocol, ReliableTransportHandsDamagedBytesUpward) {
   Result<> out = device_->register_with(reliable, kNow);
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(reliable.stats().retries, 0u);
+}
+
+// A decorator that sheds the first `sheds` requests with Error(kBusy) —
+// the overloaded-server refusal SocketTransport surfaces for a
+// kBusyFrameType frame — then delegates.
+struct BusyThenServe final : roap::Transport {
+  roap::Transport& inner;
+  std::size_t sheds;
+  std::size_t shed_count = 0;
+  explicit BusyThenServe(roap::Transport& t, std::size_t n)
+      : inner(t), sheds(n) {}
+  roap::Envelope request(const roap::Envelope& env) override {
+    if (shed_count < sheds) {
+      ++shed_count;
+      throw Error(ErrorKind::kBusy, "busy: admission control shed");
+    }
+    return inner.request(env);
+  }
+};
+
+TEST_F(RetryProtocol, BusySheddingIsAbsorbedWithBackoff) {
+  // Every pass's first delivery is shed; the decorator backs off and
+  // resends, and the session never notices the overload.
+  BusyThenServe busy(*loopback_, 2);
+  RetryPolicy p = quick_policy();
+  roap::VirtualRetryClock clock;
+  ReliableTransport reliable(busy, p, *rng_, &clock);
+  EXPECT_EQ(device_->register_with(reliable, kNow), AgentStatus::kOk);
+  EXPECT_TRUE(device_->has_ri_context("ri.example"));
+  EXPECT_EQ(reliable.stats().busy, 2u);
+  EXPECT_EQ(reliable.stats().retries, 2u);
+  // The backoff between shed and resend really elapsed on the clock —
+  // a shed fleet spreads out instead of hammering the server in place.
+  EXPECT_GE(clock.now_ms(), 2u * p.base_backoff_ms);
+}
+
+TEST_F(RetryProtocol, PersistentOverloadExhaustsAsRetriesExhausted) {
+  // A server that never stops shedding: the retry budget bounds the
+  // pestering and the session surfaces the typed terminal code.
+  BusyThenServe busy(*loopback_, std::size_t(-1));
+  RetryPolicy p = quick_policy();
+  p.max_attempts = 3;
+  ReliableTransport reliable(busy, p, *rng_);
+  Result<> out = device_->register_with(reliable, kNow);
+  EXPECT_EQ(out, AgentStatus::kRetriesExhausted);
+  EXPECT_EQ(reliable.stats().busy, 3u);
+  EXPECT_EQ(reliable.stats().exhausted, 1u);
+  EXPECT_EQ(busy.shed_count, 3u);  // exactly the budget, then we stopped
+  EXPECT_FALSE(device_->has_ri_context("ri.example"));
 }
 
 // ---------------------------------------------------------------------------
