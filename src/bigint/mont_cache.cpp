@@ -3,12 +3,13 @@
 #include <array>
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace omadrm::bigint {
 
@@ -37,10 +38,13 @@ constexpr std::size_t kStripeCapacity = kMontCacheCapacity / kStripes;
 struct Stripe {
   using Entry = std::pair<std::string, std::shared_ptr<const MontgomeryCtx>>;
 
-  std::mutex mu;
-  MontCacheStats stats;
-  std::list<Entry> lru;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  // Rank kMontStripe: reached mid-RSA with a shard lock held; context
+  // construction happens OUTSIDE the lock, so nothing nests under it.
+  OrderedMutex mu{LockRank::kMontStripe, "bigint.mont_stripe"};
+  MontCacheStats stats GUARDED_BY(mu);
+  std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index
+      GUARDED_BY(mu);
 };
 
 struct MontCache {
@@ -70,7 +74,7 @@ std::shared_ptr<const MontgomeryCtx> shared_montgomery_ctx(const BigInt& m) {
   const std::string key = modulus_key(m);
   Stripe& stripe = cache.stripe_for(key);
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     if (cache.enabled.load(std::memory_order_relaxed)) {
       auto it = stripe.index.find(key);
       if (it != stripe.index.end()) {
@@ -87,7 +91,7 @@ std::shared_ptr<const MontgomeryCtx> shared_montgomery_ctx(const BigInt& m) {
   // harmless (last one wins; both contexts are equivalent).
   auto ctx = std::make_shared<const MontgomeryCtx>(m);
 
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   if (!cache.enabled.load(std::memory_order_relaxed)) return ctx;
   auto it = stripe.index.find(key);
   if (it != stripe.index.end()) {
@@ -117,7 +121,7 @@ bool montgomery_cache_enabled() {
 void clear_montgomery_cache() {
   MontCache& cache = MontCache::instance();
   for (Stripe& stripe : cache.stripes) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.lru.clear();
     stripe.index.clear();
   }
@@ -127,7 +131,7 @@ MontCacheStats montgomery_cache_stats() {
   MontCache& cache = MontCache::instance();
   MontCacheStats out;
   for (Stripe& stripe : cache.stripes) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     out.hits += stripe.stats.hits;
     out.misses += stripe.stats.misses;
     out.evictions += stripe.stats.evictions;
@@ -138,7 +142,7 @@ MontCacheStats montgomery_cache_stats() {
 void reset_montgomery_cache_stats() {
   MontCache& cache = MontCache::instance();
   for (Stripe& stripe : cache.stripes) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.stats = MontCacheStats{};
   }
 }

@@ -7,9 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 
 #include "common/error.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace omadrm::failpoint {
 
@@ -35,14 +36,18 @@ struct SiteState {
 // thing production traffic ever pays — is one relaxed load of this.
 std::atomic<std::size_t> g_armed{0};
 
-std::mutex& registry_mu() {
-  static std::mutex mu;
-  return mu;
-}
+// Rank kFailpoint: sites fire under store locks (journal append paths)
+// and under a connection lock (net.server.send), so the registry lock
+// must outrank everything else in the tree. Function-local static keeps
+// the EnvArm static-init ordering safe.
+struct Registry {
+  OrderedMutex mu{LockRank::kFailpoint, "common.failpoint"};
+  std::map<std::string, SiteState, std::less<>> sites GUARDED_BY(mu);
+};
 
-std::map<std::string, SiteState, std::less<>>& registry() {
-  static std::map<std::string, SiteState, std::less<>> sites;
-  return sites;
+Registry& registry() {
+  static Registry r;
+  return r;
 }
 
 void disarm_locked(SiteState& s) {
@@ -119,8 +124,9 @@ struct EnvArm {
 Action fire(const char* site) {
   if (g_armed.load(std::memory_order_relaxed) == 0) return Action{};
 
-  std::lock_guard<std::mutex> lock(registry_mu());
-  SiteState& s = registry()[site];  // lazily created: unarmed sites count too
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  SiteState& s = r.sites[site];  // lazily created: unarmed sites count too
   ++s.hits;
   if (s.mode == Mode::kOff) return Action{};
   ++s.since_arm;
@@ -189,8 +195,9 @@ void arm(std::string_view site, std::string_view spec) {
                 "failpoint: unknown mode '" + std::string(mode_spec) + "'");
   }
 
-  std::lock_guard<std::mutex> lock(registry_mu());
-  SiteState& s = registry()[std::string(site)];
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  SiteState& s = r.sites[std::string(site)];
   const bool was_armed = s.mode != Mode::kOff;
   s.mode = mode;
   s.n = n;
@@ -227,15 +234,17 @@ void arm_from_spec(std::string_view multi_spec) {
 }
 
 void reset_all() {
-  std::lock_guard<std::mutex> lock(registry_mu());
-  for (auto& [name, s] : registry()) disarm_locked(s);
-  registry().clear();
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  for (auto& [name, s] : r.sites) disarm_locked(s);
+  r.sites.clear();
 }
 
 std::uint64_t hits(std::string_view site) {
-  std::lock_guard<std::mutex> lock(registry_mu());
-  auto it = registry().find(site);
-  return it == registry().end() ? 0 : it->second.hits;
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
 }
 
 const std::vector<SiteInfo>& catalog() {

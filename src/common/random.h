@@ -12,9 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "common/bytes.h"
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace omadrm {
 
@@ -60,17 +61,19 @@ class LockedRng final : public Rng {
   explicit LockedRng(Rng& inner) : inner_(inner) {}
 
   void fill(std::uint8_t* out, std::size_t len) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     inner_.fill(out, len);
   }
   std::uint64_t next_u64() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return inner_.next_u64();
   }
 
  private:
-  std::mutex mu_;
-  Rng& inner_;
+  // Rank kRng: drawn with a shard / stripe / meta lock held (nonce and
+  // key generation inside handlers), never the other way around.
+  OrderedMutex mu_{LockRank::kRng, "common.rng"};
+  Rng& inner_ GUARDED_BY(mu_);
 };
 
 }  // namespace omadrm

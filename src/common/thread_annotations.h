@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap Clang's `-Wthread-safety` capability attributes so the
+// repo's lock discipline — which lock guards which field, which private
+// helpers must be entered with a shard lock held — is machine-checked at
+// compile time instead of living in comments. Under any other compiler
+// (the local toolchain builds with GCC) every macro expands to nothing,
+// so annotations are free documentation there and hard build breaks in
+// the dedicated `-Werror=thread-safety` CI job.
+//
+// Conventions in this repo:
+//   - Every mutex member is an `omadrm::OrderedMutex` /
+//     `omadrm::OrderedSharedMutex` (common/ordered_mutex.h), which are
+//     CAPABILITY types; raw std::mutex members in headers are a lint
+//     error (scripts/lint_invariants.py, rule `mutex-header`).
+//   - Every field a mutex protects carries GUARDED_BY(that_mutex).
+//   - Private helpers documented "caller holds X" carry REQUIRES(X),
+//     turning the prose contract into an uncompilable-misuse contract.
+//   - Lambdas invoked through type-erased seams (handler templates,
+//     condition-variable predicates) open with `mu.assert_held()`, the
+//     runtime-checked ASSERT_CAPABILITY escape for call paths the static
+//     analysis cannot follow.
+#pragma once
+
+#if defined(__clang__)
+#define OMADRM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OMADRM_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+// A type that is a lockable capability (mutex wrappers).
+#define CAPABILITY(x) OMADRM_THREAD_ANNOTATION(capability(x))
+
+// RAII types whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY OMADRM_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members readable/writable only with the named capability held.
+#define GUARDED_BY(x) OMADRM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) OMADRM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Static lock-ordering hints (the runtime rank validator in
+// common/ordered_mutex.h is the enforced form; these document intent
+// where a pairwise relation is worth stating in the type system too).
+#define ACQUIRED_BEFORE(...) OMADRM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) OMADRM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function-entry contracts: the caller must hold the capability.
+#define REQUIRES(...) OMADRM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  OMADRM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Functions that acquire / release capabilities.
+#define ACQUIRE(...) OMADRM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  OMADRM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) OMADRM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  OMADRM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  OMADRM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  OMADRM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  OMADRM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (deadlock-by-reentry guard).
+#define EXCLUDES(...) OMADRM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime-verified assertion that the capability is held; the escape
+// hatch for call paths the analysis cannot follow (type-erased handlers,
+// condition-variable predicates).
+#define ASSERT_CAPABILITY(x) OMADRM_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  OMADRM_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) OMADRM_THREAD_ANNOTATION(lock_returned(x))
+
+// Opt a function out of the analysis entirely. Every use in this repo
+// must carry a comment saying why (config-time single-threaded access,
+// deliberate cross-object aliasing the analysis cannot express).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  OMADRM_THREAD_ANNOTATION(no_thread_safety_analysis)

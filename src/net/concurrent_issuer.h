@@ -20,9 +20,13 @@
 //   - store commits: optionally batched by store::GroupCommitStore so
 //     concurrent shard commits share one journal append + fsync.
 //
-// Lock order everywhere: device shard → domain stripe → store; never two
-// shards or two stripes at once (the cross-shard TTL sweep locks one
-// shard at a time).
+// Lock order everywhere: device shard → domain stripe → meta lease →
+// store; never two shards or two stripes at once (the cross-shard TTL
+// sweep locks one shard at a time). The full rank table lives in
+// common/ordered_mutex.h and debug builds abort on any inversion; the
+// coarse-lock era of this class is gone, so it carries a single atomic
+// and NO mutex of its own (ISSUE 10's "two unannotated mutex uses" had
+// already dissolved into the sharded RI).
 //
 // This class is therefore a thin pass-through that (a) keeps the
 // server↔issuer seam stable, and (b) owns the fleet-wide exchange

@@ -108,6 +108,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint32_t len = get_u32_be(p + 5);
   if (len > max_payload_) {
+    // coldpath: oversized-frame reject tears the connection down anyway.
     throw Error(ErrorKind::kFormat,
                 "net: frame payload length " + std::to_string(len) +
                     " exceeds cap " + std::to_string(max_payload_));

@@ -181,7 +181,7 @@ void RiServer::start() {
 }
 
 void RiServer::stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(stop_mu_);
   if (!running_.load(std::memory_order_acquire)) return;
 
   // 1. Stop intake: the loop drops the listen fd and ignores further
@@ -191,9 +191,11 @@ void RiServer::stop() {
 
   // 2. Serve everything already accepted: queued and executing jobs.
   {
-    std::unique_lock<std::mutex> lock(jobs_mu_);
-    jobs_done_cv_.wait(lock,
-                       [this] { return jobs_.empty() && jobs_executing_ == 0; });
+    UniqueLock lock(jobs_mu_);
+    jobs_done_cv_.wait(lock, [this] {
+      jobs_mu_.assert_held();  // wait() re-holds it around the predicate
+      return jobs_.empty() && jobs_executing_ == 0;
+    });
   }
   jobs_cv_.notify_all();  // workers exit: stopping_ && queue empty
   for (std::thread& w : workers_) w.join();
@@ -205,9 +207,9 @@ void RiServer::stop() {
   for (;;) {
     bool pending = false;
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       for (const auto& [fd, conn] : conns_) {
-        std::lock_guard<std::mutex> cl(conn->mu);
+        MutexLock cl(conn->mu);
         if (!conn->dead && conn->outpos < conn->outbox.size()) {
           pending = true;
           break;
@@ -224,9 +226,9 @@ void RiServer::stop() {
   wake();
   loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (auto& [fd, conn] : conns_) {
-      std::lock_guard<std::mutex> cl(conn->mu);
+      MutexLock cl(conn->mu);
       if (!conn->dead) {
         ::close(conn->fd);
         conn->dead = true;
@@ -241,14 +243,14 @@ void RiServer::stop() {
   wake_write_.close();
   listen_.close();
   {
-    std::lock_guard<std::mutex> lock(replies_mu_);
+    MutexLock lock(replies_mu_);
     replies_.clear();
   }
   running_.store(false, std::memory_order_release);
 }
 
 std::size_t RiServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   return conns_.size();
 }
 
@@ -288,7 +290,7 @@ void RiServer::event_loop() {
       }
       std::shared_ptr<Conn> conn;
       {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        MutexLock lock(conns_mu_);
         auto it = conns_.find(ev.fd);
         if (it == conns_.end()) continue;  // closed earlier in this batch
         conn = it->second;
@@ -298,7 +300,10 @@ void RiServer::event_loop() {
         continue;
       }
       if (ev.readable) read_ready(conn);
-      if (ev.writable && !conn->dead) {
+      // No bare `dead` peek here: it is guarded state (the TSA pass
+      // caught the old unlocked read racing close_conn); flush() checks
+      // it under the lock and answers "keep open" for a dead conn.
+      if (ev.writable) {
         if (!flush(conn)) close_conn(conn, false);
       }
     }
@@ -306,16 +311,21 @@ void RiServer::event_loop() {
     // Worker replies since the last pass: flush each touched connection.
     std::deque<std::shared_ptr<Conn>> fresh;
     {
-      std::lock_guard<std::mutex> lock(replies_mu_);
+      MutexLock lock(replies_mu_);
       fresh.swap(replies_);
     }
     for (const std::shared_ptr<Conn>& conn : fresh) {
-      if (conn->dead) continue;
+      bool dead;
       bool kill;
       {
-        std::lock_guard<std::mutex> cl(conn->mu);
+        // One locked snapshot of both flags — the old bare `dead` read
+        // raced close_conn() on a worker thread (caught by the TSA
+        // pass; GUARDED_BY now makes the misuse uncompilable).
+        MutexLock cl(conn->mu);
+        dead = conn->dead;
         kill = conn->kill;
       }
+      if (dead) continue;
       if (kill) {
         // A worker flagged this conn over its outbox cap (slow reader);
         // fd ownership is the loop's, so the close happens here.
@@ -332,7 +342,7 @@ void RiServer::event_loop() {
       std::vector<std::shared_ptr<Conn>> idle;
       std::vector<std::shared_ptr<Conn>> stalled;
       {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        MutexLock lock(conns_mu_);
         for (const auto& [fd, conn] : conns_) {
           // Slow-loris: a partial frame counts as activity for the idle
           // clock (bytes did arrive), so it gets its own, stricter
@@ -345,7 +355,7 @@ void RiServer::event_loop() {
             continue;
           }
           if (now - conn->last_active_ms < config_.idle_timeout_ms) continue;
-          std::lock_guard<std::mutex> cl(conn->mu);
+          MutexLock cl(conn->mu);
           if (conn->inflight == 0 && conn->outpos >= conn->outbox.size()) {
             idle.push_back(conn);
           }
@@ -370,7 +380,7 @@ void RiServer::accept_ready() {
     }
     std::size_t active;
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       active = conns_.size();
     }
     if (active >= config_.max_connections) {
@@ -383,7 +393,7 @@ void RiServer::accept_ready() {
     auto conn = std::make_shared<Conn>(fd, config_.max_frame_payload);
     conn->last_active_ms = steady_ms();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       conns_.emplace(fd, conn);
     }
     poller_->add(fd, false);
@@ -394,7 +404,10 @@ void RiServer::accept_ready() {
 void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
   // A draining connection had a frame-layer protocol error: its input is
   // shut down and we only live to flush the error frame.
-  if (conn->draining) return;
+  {
+    MutexLock cl(conn->mu);
+    if (conn->draining) return;
+  }
   if (stopping_.load(std::memory_order_acquire)) return;
 
   char buf[64 * 1024];
@@ -419,7 +432,7 @@ void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
                          busy, frame->crc);
             bool over_cap = false;
             {
-              std::lock_guard<std::mutex> cl(conn->mu);
+              MutexLock cl(conn->mu);
               conn->outbox.append(busy);
               over_cap = config_.max_outbox_bytes != 0 &&
                          conn->outbox.size() - conn->outpos >
@@ -440,7 +453,7 @@ void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
             continue;
           }
           {
-            std::lock_guard<std::mutex> lock(jobs_mu_);
+            MutexLock lock(jobs_mu_);
             jobs_.push_back(Job{conn, std::move(frame->payload), frame->crc});
           }
           jobs_cv_.notify_one();
@@ -460,7 +473,7 @@ void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
         std::string err;
         encode_frame(kErrorFrameType, e.what(), err, true);
         {
-          std::lock_guard<std::mutex> cl(conn->mu);
+          MutexLock cl(conn->mu);
           conn->outbox.append(err);
           conn->draining = true;
         }
@@ -486,10 +499,10 @@ void RiServer::read_ready(const std::shared_ptr<Conn>& conn) {
 /// depth check cannot be raced past capacity.
 bool RiServer::admit(const std::shared_ptr<Conn>& conn) {
   if (config_.max_queue_depth != 0) {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    MutexLock lock(jobs_mu_);
     if (jobs_.size() >= config_.max_queue_depth) return false;
   }
-  std::lock_guard<std::mutex> cl(conn->mu);
+  MutexLock cl(conn->mu);
   if (config_.max_inflight_per_conn != 0 &&
       conn->inflight >= config_.max_inflight_per_conn) {
     return false;
@@ -499,7 +512,7 @@ bool RiServer::admit(const std::shared_ptr<Conn>& conn) {
 }
 
 bool RiServer::flush(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard<std::mutex> cl(conn->mu);
+  MutexLock cl(conn->mu);
   if (conn->dead) return true;
   while (conn->outpos < conn->outbox.size()) {
     if (int err = failpoint::check("net.server.send"); err != 0) {
@@ -529,7 +542,7 @@ bool RiServer::flush(const std::shared_ptr<Conn>& conn) {
 
 void RiServer::close_conn(const std::shared_ptr<Conn>& conn, bool idle) {
   {
-    std::lock_guard<std::mutex> cl(conn->mu);
+    MutexLock cl(conn->mu);
     if (conn->dead) return;
     conn->dead = true;
     conn->outbox.clear();
@@ -542,7 +555,7 @@ void RiServer::close_conn(const std::shared_ptr<Conn>& conn, bool idle) {
   poller_->remove(conn->fd);
   ::close(conn->fd);
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     conns_.erase(conn->fd);
   }
 }
@@ -553,8 +566,9 @@ void RiServer::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(jobs_mu_);
+      UniqueLock lock(jobs_mu_);
       jobs_cv_.wait(lock, [this] {
+        jobs_mu_.assert_held();  // wait() re-holds it around the predicate
         return !jobs_.empty() || stopping_.load(std::memory_order_acquire);
       });
       if (jobs_.empty()) {
@@ -586,7 +600,7 @@ void RiServer::worker_loop() {
     deliver(job.conn, reply);
 
     {
-      std::lock_guard<std::mutex> lock(jobs_mu_);
+      MutexLock lock(jobs_mu_);
       --jobs_executing_;
     }
     jobs_done_cv_.notify_all();
@@ -598,7 +612,7 @@ void RiServer::deliver(const std::shared_ptr<Conn>& conn,
   bool enqueue = false;
   bool first_kill = false;
   {
-    std::lock_guard<std::mutex> cl(conn->mu);
+    MutexLock cl(conn->mu);
     if (conn->inflight > 0) --conn->inflight;
     if (!conn->dead) {
       conn->outbox.append(bytes);
@@ -618,7 +632,7 @@ void RiServer::deliver(const std::shared_ptr<Conn>& conn,
   }
   if (enqueue) {
     {
-      std::lock_guard<std::mutex> lock(replies_mu_);
+      MutexLock lock(replies_mu_);
       replies_.push_back(conn);
     }
     wake();

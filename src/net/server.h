@@ -51,12 +51,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "net/concurrent_issuer.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -174,13 +175,16 @@ class RiServer {
     /// conns whose partial frame outlives read_progress_timeout_ms.
     std::uint64_t partial_since_ms = 0;
 
-    std::mutex mu;          // guards everything below
-    std::string outbox;     // framed replies awaiting write
-    std::size_t outpos = 0; // flushed prefix of outbox
-    std::size_t inflight = 0;  // jobs queued or executing for this conn
-    bool dead = false;      // fd closed; late replies are dropped
-    bool draining = false;  // close once outbox empties (protocol error)
-    bool kill = false;      // slow reader: event loop closes on next pass
+    // Rank kNetConn: per-connection state lock, taken under conns_mu_
+    // (sweeps) or alone (workers); one conn at a time, enforced by the
+    // validator's two-of-a-kind rule.
+    OrderedMutex mu{LockRank::kNetConn, "net.conn"};
+    std::string outbox GUARDED_BY(mu);     // framed replies awaiting write
+    std::size_t outpos GUARDED_BY(mu) = 0;  // flushed prefix of outbox
+    std::size_t inflight GUARDED_BY(mu) = 0;  // jobs queued or executing
+    bool dead GUARDED_BY(mu) = false;  // fd closed; late replies dropped
+    bool draining GUARDED_BY(mu) = false;  // close once outbox empties
+    bool kill GUARDED_BY(mu) = false;  // slow reader: close on next pass
   };
 
   struct Job {
@@ -217,19 +221,23 @@ class RiServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};   // no new accepts / reads / jobs
   std::atomic<bool> loop_exit_{false};  // event loop leaves its wait loop
-  std::mutex stop_mu_;                  // serializes stop() callers
+  // Server lock band (ranks 110–150, common/ordered_mutex.h): workers
+  // hold NONE of these while calling the issuer, so the net band never
+  // nests into the RI band. stop() chains stop → conns → conn and
+  // stop → jobs; the event loop chains conns → conn.
+  OrderedMutex stop_mu_{LockRank::kNetStop, "net.stop"};  // stop() callers
 
-  mutable std::mutex conns_mu_;
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // by fd
+  mutable OrderedMutex conns_mu_{LockRank::kNetConns, "net.conns"};
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_ GUARDED_BY(conns_mu_);
 
-  std::mutex jobs_mu_;
-  std::condition_variable jobs_cv_;
-  std::condition_variable jobs_done_cv_;
-  std::deque<Job> jobs_;
-  std::size_t jobs_executing_ = 0;
+  OrderedMutex jobs_mu_{LockRank::kNetJobs, "net.jobs"};
+  std::condition_variable_any jobs_cv_;
+  std::condition_variable_any jobs_done_cv_;
+  std::deque<Job> jobs_ GUARDED_BY(jobs_mu_);
+  std::size_t jobs_executing_ GUARDED_BY(jobs_mu_) = 0;
 
-  std::mutex replies_mu_;
-  std::deque<std::shared_ptr<Conn>> replies_;  // conns with fresh outbox bytes
+  OrderedMutex replies_mu_{LockRank::kNetReplies, "net.replies"};
+  std::deque<std::shared_ptr<Conn>> replies_ GUARDED_BY(replies_mu_);
 };
 
 }  // namespace omadrm::net

@@ -149,7 +149,7 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::verify(
   std::uint64_t epoch_observed;
   bool stale_entry = false;
   {
-    std::shared_lock<std::shared_mutex> lock(st.mu);
+    ReaderLock lock(st.mu);
     epoch_observed = st.epoch.load(std::memory_order_relaxed);
     // Durable revocation: a denylisted serial anywhere in the chain
     // short-circuits before any RSA work, and the verdict is never
@@ -184,7 +184,7 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::verify(
     }
   }
   if (stale_entry) {
-    std::unique_lock<std::shared_mutex> lock(st.mu);
+    WriterLock lock(st.mu);
     auto it = st.cache.find(fp);
     if (it != st.cache.end() &&
         !(now >= it->second->valid_from && now <= it->second->valid_until)) {
@@ -200,7 +200,7 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::verify(
   std::shared_ptr<ChainVerdict> verdict = verify_full(chain, now, fp);
 
   if (verdict->status == CertStatus::kValid) {
-    std::unique_lock<std::shared_mutex> lock(st.mu);
+    WriterLock lock(st.mu);
     // An invalidation that raced the (unlocked) walk must win: caching a
     // verdict computed before the epoch moved could resurrect a chain
     // that was just revoked.
@@ -227,7 +227,7 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::revalidate(
   State& st = *state_;
   if (handle && handle->status == CertStatus::kValid &&
       now >= handle->valid_from && now <= handle->valid_until) {
-    std::shared_lock<std::shared_mutex> lock(st.mu);
+    ReaderLock lock(st.mu);
     if (st.enabled.load(std::memory_order_relaxed) &&
         handle->epoch.load(std::memory_order_relaxed) ==
             st.epoch.load(std::memory_order_relaxed)) {
@@ -241,7 +241,7 @@ std::shared_ptr<const ChainVerdict> ChainVerifier::revalidate(
 void ChainVerifier::invalidate_serial(const bigint::BigInt& serial) {
   State& st = *state_;
   const std::string needle = serial.to_dec();
-  std::unique_lock<std::shared_mutex> lock(st.mu);
+  WriterLock lock(st.mu);
   st.revoked_serials.insert(needle);
   for (auto it = st.cache.begin(); it != st.cache.end();) {
     const auto& serials = it->second->serials;
@@ -261,7 +261,7 @@ void ChainVerifier::invalidate_serial(const bigint::BigInt& serial) {
 
 void ChainVerifier::clear() {
   State& st = *state_;
-  std::unique_lock<std::shared_mutex> lock(st.mu);
+  WriterLock lock(st.mu);
   st.cache.clear();
   st.insertion_order.clear();
   st.epoch.fetch_add(1, std::memory_order_relaxed);
@@ -269,7 +269,7 @@ void ChainVerifier::clear() {
 
 void ChainVerifier::set_enabled(bool enabled) {
   State& st = *state_;
-  std::unique_lock<std::shared_mutex> lock(st.mu);
+  WriterLock lock(st.mu);
   st.enabled.store(enabled, std::memory_order_relaxed);
   if (!enabled) {
     st.cache.clear();

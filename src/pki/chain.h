@@ -31,10 +31,11 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "pki/certificate.h"
 
 namespace omadrm::provider {
@@ -140,7 +141,10 @@ class ChainVerifier {
   /// verifier (and agents embedding it) stays movable despite the
   /// non-movable mutex and atomics.
   struct State {
-    std::shared_mutex mu;
+    // Rank kChainVerdict: taken with a shard lock held (handler-path
+    // verification); the expensive RSA walk runs OUTSIDE this lock, so
+    // only map/deque bookkeeping nests under it.
+    OrderedSharedMutex mu{LockRank::kChainVerdict, "pki.chain_verdict"};
     std::atomic<bool> enabled{true};
     // Bumped on every invalidation, clear, or disable: conservatively
     // retires all outstanding verdict handles at once. Cache hits
@@ -149,9 +153,10 @@ class ChainVerifier {
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> invalidations{0};
-    std::map<std::string, std::shared_ptr<ChainVerdict>> cache;
-    std::deque<std::string> insertion_order;  // FIFO eviction queue
-    std::set<std::string> revoked_serials;    // decimal; durable denylist
+    std::map<std::string, std::shared_ptr<ChainVerdict>> cache
+        GUARDED_BY(mu);
+    std::deque<std::string> insertion_order GUARDED_BY(mu);  // FIFO eviction
+    std::set<std::string> revoked_serials GUARDED_BY(mu);  // durable denylist
   };
 
   Certificate trust_root_;

@@ -229,7 +229,7 @@ Result<> RightsIssuer::bind_store(store::StateStore& s) {
     // handed out; resuming *at* the bound can never collide.
     next_session_.store(session_lease, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      MutexLock lock(meta_mu_);
       session_lease_ = session_lease;
     }
     store_ = &s;
@@ -263,7 +263,7 @@ Result<> RightsIssuer::bind_store(store::StateStore& s) {
   Result<> committed = s.commit(tx);
   if (!committed.ok()) return committed;
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    MutexLock lock(meta_mu_);
     session_lease_ = next_session_.load(std::memory_order_relaxed);
   }
   store_ = &s;
@@ -292,7 +292,7 @@ bool RightsIssuer::has_offer(const std::string& ro_id) const {
 void RightsIssuer::create_domain(const std::string& domain_id,
                                  std::size_t max_members) {
   DomainStripe& ds = stripe_for(domain_id);
-  std::lock_guard<std::mutex> lock(ds.mu);
+  MutexLock lock(ds.mu);
   if (ds.domains.count(domain_id)) return;
   Domain d;
   d.domain_id = domain_id;
@@ -307,7 +307,7 @@ void RightsIssuer::create_domain(const std::string& domain_id,
 
 const Domain* RightsIssuer::domain(const std::string& domain_id) const {
   const DomainStripe& ds = stripe_for(domain_id);
-  std::lock_guard<std::mutex> lock(ds.mu);
+  MutexLock lock(ds.mu);
   auto it = ds.domains.find(domain_id);
   return it == ds.domains.end() ? nullptr : &it->second;
 }
@@ -315,7 +315,7 @@ const Domain* RightsIssuer::domain(const std::string& domain_id) const {
 std::optional<Domain> RightsIssuer::domain_snapshot(
     const std::string& domain_id) const {
   const DomainStripe& ds = stripe_for(domain_id);
-  std::lock_guard<std::mutex> lock(ds.mu);
+  MutexLock lock(ds.mu);
   auto it = ds.domains.find(domain_id);
   if (it == ds.domains.end()) return std::nullopt;
   return it->second;
@@ -323,7 +323,7 @@ std::optional<Domain> RightsIssuer::domain_snapshot(
 
 void RightsIssuer::upgrade_domain(const std::string& domain_id) {
   DomainStripe& ds = stripe_for(domain_id);
-  std::lock_guard<std::mutex> lock(ds.mu);
+  MutexLock lock(ds.mu);
   auto it = ds.domains.find(domain_id);
   if (it == ds.domains.end()) {
     throw Error(ErrorKind::kNotFound, "ri: no such domain: " + domain_id);
@@ -360,14 +360,14 @@ roap::RoAcquisitionTrigger RightsIssuer::make_trigger(
 
 bool RightsIssuer::is_registered(const std::string& device_id) const {
   const Shard& sh = shards_[shard_of(device_id)];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  MutexLock lock(sh.mu);
   return sh.devices.count(device_id) > 0;
 }
 
 std::size_t RightsIssuer::pending_session_count() const {
   std::size_t total = 0;
   for (const Shard& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     total += sh.sessions.size();
   }
   return total;
@@ -407,7 +407,7 @@ std::size_t RightsIssuer::sweep_stale_shards(std::uint64_t now,
         now - oldest <= kPendingSessionTtl) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     const std::vector<std::string> doomed = stale_sessions(sh, now, nullptr);
     if (doomed.empty()) continue;
     store::Transaction tx;
@@ -474,7 +474,7 @@ roap::RiHello RightsIssuer::on_device_hello(Shard& sh,
   tx.put(sess_record_key(out.session_id),
          encode_pending(out.ri_nonce, hello.device_id, now));
   {
-    std::unique_lock<std::mutex> meta_lock(meta_mu_);
+    UniqueLock meta_lock(meta_mu_);
     if (session_number + 1 > session_lease_) {
       const std::uint64_t new_lease = session_number + kSessionLeaseBlock;
       tx.put(kMetaKey, encode_meta(new_lease));
@@ -724,7 +724,7 @@ roap::JoinDomainResponse RightsIssuer::on_join_domain(
   Domain joined_snapshot;
   {
     DomainStripe& ds = stripe_for(request.domain_id);
-    std::lock_guard<std::mutex> stripe_lock(ds.mu);
+    MutexLock stripe_lock(ds.mu);
     auto it = ds.domains.find(request.domain_id);
     if (it == ds.domains.end()) {
       out.status = Status::kAccessDenied;
@@ -790,7 +790,7 @@ roap::LeaveDomainResponse RightsIssuer::on_leave_domain(
     // Same stripe-lock-across-copy→persist→apply discipline as
     // on_join_domain.
     DomainStripe& ds = stripe_for(request.domain_id);
-    std::lock_guard<std::mutex> stripe_lock(ds.mu);
+    MutexLock stripe_lock(ds.mu);
     auto it = ds.domains.find(request.domain_id);
     if (it == ds.domains.end()) {
       out.status = Status::kAccessDenied;
@@ -846,7 +846,7 @@ Bytes wire_digest(const std::string& wire) {
 void RightsIssuer::set_replay_cache_capacity(std::size_t n) {
   replay_capacity_.store(n, std::memory_order_relaxed);
   for (Shard& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     while (sh.replay.size() > n) {
       sh.replay.erase(sh.replay_lru.back());
       sh.replay_lru.pop_back();
@@ -858,7 +858,7 @@ void RightsIssuer::set_replay_cache_capacity(std::size_t n) {
 std::size_t RightsIssuer::replay_cache_size() const {
   std::size_t total = 0;
   for (const Shard& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     total += sh.replay.size();
   }
   return total;
@@ -867,7 +867,7 @@ std::size_t RightsIssuer::replay_cache_size() const {
 ReplayCacheStats RightsIssuer::replay_cache_stats() const {
   ReplayCacheStats out;
   for (const Shard& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     out.hits += sh.replay_stats.hits;
     out.misses += sh.replay_stats.misses;
     out.insertions += sh.replay_stats.insertions;
@@ -893,7 +893,7 @@ std::vector<RightsIssuer::ShardStats> RightsIssuer::shard_stats() const {
   std::vector<ShardStats> out;
   out.reserve(kShardCount);
   for (const Shard& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     ShardStats s;
     s.exchanges = sh.exchanges;
     s.contended = sh.contended;
@@ -977,11 +977,16 @@ roap::Envelope RightsIssuer::serve(Shard& sh, const std::string& key,
   // The shard lock spans lookup → handler → insert: a duplicate racing
   // its original on another worker parks here, then hits the cache — one
   // issuance, one byte-identical cached reply, by construction.
-  std::unique_lock<std::mutex> lock(sh.mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    lock.lock();
-    ++sh.contended;
+  // try_lock-then-lock keeps the contended counter exact; the adopting
+  // scoped guard then owns the release (the annotated equivalent of the
+  // old unique_lock try_to_lock dance).
+  bool was_contended = false;
+  if (!sh.mu.try_lock()) {
+    sh.mu.lock();
+    was_contended = true;
   }
+  MutexLock lock(sh.mu, std::adopt_lock);
+  if (was_contended) ++sh.contended;
   ++sh.exchanges;
   if (std::optional<roap::Envelope> cached =
           replay_lookup(sh, key, request.wire(), now)) {
@@ -1020,7 +1025,10 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
       sweep_stale_shards(now, &sh);
       return serve(
           sh, replay_key("dh/", msg.device_id, msg.device_nonce), request,
-          now, [&] { return Envelope::wrap(on_device_hello(sh, msg, now)); },
+          now, [&] {
+            sh.mu.assert_held();  // serve() holds it; TSA can't see through the seam
+            return Envelope::wrap(on_device_hello(sh, msg, now));
+          },
           [&] {
             roap::RiHello out;
             out.status = Status::kStoreFailure;
@@ -1036,6 +1044,7 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
           sh, replay_key("rr/", msg.session_id, msg.device_nonce), request,
           now,
           [&] {
+            sh.mu.assert_held();
             return Envelope::wrap(on_registration_request(sh, msg, now));
           },
           [&] {
@@ -1052,7 +1061,10 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
       Shard& sh = shard_for(msg.device_id);
       return serve(
           sh, replay_key("ro/", msg.device_id, msg.device_nonce), request,
-          now, [&] { return Envelope::wrap(on_ro_request(sh, msg, now)); },
+          now, [&] {
+            sh.mu.assert_held();  // serve() holds it; TSA can't see through the seam
+            return Envelope::wrap(on_ro_request(sh, msg, now));
+          },
           [&] {
             // RO issuing persists nothing, but keep the refusal builder:
             // future stateful extensions (metered ROs) land here safely.
@@ -1069,7 +1081,10 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
       Shard& sh = shard_for(msg.device_id);
       return serve(
           sh, replay_key("jd/", msg.device_id, msg.device_nonce), request,
-          now, [&] { return Envelope::wrap(on_join_domain(sh, msg, now)); },
+          now, [&] {
+            sh.mu.assert_held();  // serve() holds it; TSA can't see through the seam
+            return Envelope::wrap(on_join_domain(sh, msg, now));
+          },
           [&] {
             roap::JoinDomainResponse out;
             out.status = Status::kStoreFailure;
@@ -1083,7 +1098,10 @@ roap::Envelope RightsIssuer::handle(const roap::Envelope& request,
       Shard& sh = shard_for(msg.device_id);
       return serve(
           sh, replay_key("ld/", msg.device_id, msg.device_nonce), request,
-          now, [&] { return Envelope::wrap(on_leave_domain(sh, msg, now)); },
+          now, [&] {
+            sh.mu.assert_held();  // serve() holds it; TSA can't see through the seam
+            return Envelope::wrap(on_leave_domain(sh, msg, now));
+          },
           [&] {
             roap::LeaveDomainResponse out;
             out.status = Status::kStoreFailure;

@@ -30,8 +30,10 @@
 //                         copy → persist → apply of a membership change
 //                         so concurrent joins to one domain never lose
 //                         an update. Lock order: device shard → domain
-//                         stripe → store — never two shards, never two
-//                         stripes;
+//                         stripe → meta lease → store — never two
+//                         shards, never two stripes (ranks in
+//                         common/ordered_mutex.h; the debug validator
+//                         aborts on any inversion);
 //   chain-verdict cache   ChainVerifier is internally reader-biased;
 //   rng                   draws go through a LockedRng;
 //   counters              atomics, read as snapshots.
@@ -51,13 +53,14 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "pki/authority.h"
 #include "pki/chain.h"
 #include "provider/provider.h"
@@ -275,7 +278,11 @@ class RightsIssuer {
   /// state it cannot keep). Config-time only (not safe against live
   /// handler traffic); the bound store is then committed to from every
   /// shard concurrently and must be thread-safe itself.
-  Result<> bind_store(store::StateStore& s);
+  // NO_THREAD_SAFETY_ANALYSIS: config-time single-threaded by the
+  // contract above — it reads/replaces every shard and stripe without
+  // their locks on purpose (there is no traffic to exclude yet), which
+  // the analysis cannot express per-call-site.
+  Result<> bind_store(store::StateStore& s) NO_THREAD_SAFETY_ANALYSIS;
   store::StateStore* bound_store() const { return store_; }
 
  private:
@@ -304,14 +311,19 @@ class RightsIssuer {
   /// guarded by one mutex the dispatcher holds across the whole
   /// replay-lookup → handler → replay-insert sequence.
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, PendingSession> sessions;   // by session id
-    std::map<std::string, pki::Certificate> devices;  // registered agents
-    std::map<std::string, ReplayEntry> replay;
-    std::list<std::string> replay_lru;  // front = most recently used
-    ReplayCacheStats replay_stats;
-    std::uint64_t exchanges = 0;
-    std::uint64_t contended = 0;
+    // Rank kRiShard: the OUTERMOST lock of every handler chain — domain
+    // stripes, the meta lease, the store, chain/Montgomery caches and
+    // the RNG all nest under it; shards are locked one at a time (the
+    // sweep included), which the validator's two-of-a-kind rule
+    // enforces.
+    mutable OrderedMutex mu{LockRank::kRiShard, "ri.shard"};
+    std::map<std::string, PendingSession> sessions GUARDED_BY(mu);
+    std::map<std::string, pki::Certificate> devices GUARDED_BY(mu);
+    std::map<std::string, ReplayEntry> replay GUARDED_BY(mu);
+    std::list<std::string> replay_lru GUARDED_BY(mu);  // front = MRU
+    ReplayCacheStats replay_stats GUARDED_BY(mu);
+    std::uint64_t exchanges GUARDED_BY(mu) = 0;
+    std::uint64_t contended GUARDED_BY(mu) = 0;
     /// Oldest pending-session timestamp (kNoSessions when empty),
     /// maintained under mu, read lock-free by the cross-shard TTL sweep
     /// so shards with nothing stale are skipped without locking.
@@ -319,8 +331,10 @@ class RightsIssuer {
   };
 
   struct DomainStripe {
-    mutable std::mutex mu;
-    std::map<std::string, Domain> domains;
+    // Rank kRiDomainStripe: taken under a shard lock (join/leave), one
+    // stripe at a time.
+    mutable OrderedMutex mu{LockRank::kRiDomainStripe, "ri.domain_stripe"};
+    std::map<std::string, Domain> domains GUARDED_BY(mu);
   };
 
   Shard& shard_for(std::string_view device_id) {
@@ -330,15 +344,18 @@ class RightsIssuer {
   const DomainStripe& stripe_for(std::string_view domain_id) const;
 
   roap::RiHello on_device_hello(Shard& sh, const roap::DeviceHello& hello,
-                                std::uint64_t now);
+                                std::uint64_t now) REQUIRES(sh.mu);
   roap::RegistrationResponse on_registration_request(
-      Shard& sh, const roap::RegistrationRequest& request, std::uint64_t now);
+      Shard& sh, const roap::RegistrationRequest& request, std::uint64_t now)
+      REQUIRES(sh.mu);
   roap::RoResponse on_ro_request(Shard& sh, const roap::RoRequest& request,
-                                 std::uint64_t now);
+                                 std::uint64_t now) REQUIRES(sh.mu);
   roap::JoinDomainResponse on_join_domain(
-      Shard& sh, const roap::JoinDomainRequest& request, std::uint64_t now);
+      Shard& sh, const roap::JoinDomainRequest& request, std::uint64_t now)
+      REQUIRES(sh.mu);
   roap::LeaveDomainResponse on_leave_domain(
-      Shard& sh, const roap::LeaveDomainRequest& request, std::uint64_t now);
+      Shard& sh, const roap::LeaveDomainRequest& request, std::uint64_t now)
+      REQUIRES(sh.mu);
 
   /// Pending sessions in `sh` past their TTL at `now` — and, when
   /// `superseded_device` is non-null, that device's sessions too (only
@@ -348,10 +365,10 @@ class RightsIssuer {
   /// RAM and store agreeing. Caller holds sh.mu.
   std::vector<std::string> stale_sessions(
       const Shard& sh, std::uint64_t now,
-      const std::string* superseded_device) const;
+      const std::string* superseded_device) const REQUIRES(sh.mu);
 
   /// Recomputes sh.oldest_session from sh.sessions (caller holds sh.mu).
-  void refresh_oldest(Shard& sh);
+  void refresh_oldest(Shard& sh) REQUIRES(sh.mu);
 
   /// Cross-shard TTL sweep: for every shard (except `skip`, whose
   /// sessions the in-handler sweep covers inside the handler's own
@@ -375,10 +392,12 @@ class RightsIssuer {
   std::optional<roap::Envelope> replay_lookup(Shard& sh,
                                               const std::string& key,
                                               const std::string& request_wire,
-                                              std::uint64_t now);
+                                              std::uint64_t now)
+      REQUIRES(sh.mu);
   void replay_insert(Shard& sh, const std::string& key,
                      const std::string& request_wire,
-                     std::string response_wire, std::uint64_t now);
+                     std::string response_wire, std::uint64_t now)
+      REQUIRES(sh.mu);
 
   /// handle() per-type skeleton: lock the shard (counting contention),
   /// replay-cache lookup → handler → cache the response; a refused store
@@ -418,8 +437,13 @@ class RightsIssuer {
   /// the extending hello's transaction). Ids skipped by a crash or a
   /// refused commit are simply never used — uniqueness, not density.
   std::atomic<std::uint64_t> next_session_{1};
-  std::uint64_t session_lease_ = 1;  // guarded by meta_mu_
-  std::mutex meta_mu_;
+  // Rank kRiMeta: taken under a shard lock; deliberately held ACROSS
+  // persist() when extending the lease, so lease extensions reach the
+  // journal in lease order — meta ranks BEFORE the store ranks. (ISSUE
+  // 10's prose table said store-then-meta; the code's order is the
+  // correct one and the validator + tests/test_lock_order.cpp pin it.)
+  OrderedMutex meta_mu_{LockRank::kRiMeta, "ri.meta"};
+  std::uint64_t session_lease_ GUARDED_BY(meta_mu_) = 1;
 
   store::StateStore* store_ = nullptr;
 

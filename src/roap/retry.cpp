@@ -31,6 +31,11 @@ std::uint64_t RetryPolicy::backoff_ms(std::size_t attempt, Rng& rng) const {
 }
 
 FaultClass RetryPolicy::classify(StatusCode code) {
+  // Deliberately NO default: every StatusCode enumerator must be
+  // classified here by hand. A new code added to status.h without a row
+  // in this table is a -Wswitch warning at compile time AND a
+  // lint_invariants.py failure (rule `classify-coverage`) in CI — the
+  // fault table can no longer drift silently.
   switch (code) {
     case StatusCode::kTransportFailure:  // envelope lost in transit
     case StatusCode::kTimeout:           // transport-level deadline
@@ -41,9 +46,37 @@ FaultClass RetryPolicy::classify(StatusCode code) {
     case StatusCode::kStoreFailure:      // peer store degraded; may recover
     case StatusCode::kServerBusy:        // peer shed under overload; backoff
       return FaultClass::kRetriable;
-    default:
+
+    // Terminal: success, authoritative RI refusals, local preconditions,
+    // certificate/RO verdicts, retry-budget outcomes, and store states a
+    // resend cannot heal. kSessionExpired is terminal for the PASS; the
+    // registration driver treats it as restart-from-DeviceHello instead.
+    case StatusCode::kOk:
+    case StatusCode::kNotProvisioned:
+    case StatusCode::kNoRiContext:
+    case StatusCode::kRiContextExpired:
+    case StatusCode::kRiAborted:
+    case StatusCode::kNotRegistered:
+    case StatusCode::kUnknownRoId:
+    case StatusCode::kAccessDenied:
+    case StatusCode::kCertificateInvalid:
+    case StatusCode::kOcspInvalid:
+    case StatusCode::kCertificateRevoked:
+    case StatusCode::kUnwrapFailed:
+    case StatusCode::kMacMismatch:
+    case StatusCode::kRoSignatureInvalid:
+    case StatusCode::kNoDomainKey:
+    case StatusCode::kNotInstalled:
+    case StatusCode::kDcfHashMismatch:
+    case StatusCode::kPermissionDenied:
+    case StatusCode::kRetriesExhausted:
+    case StatusCode::kSessionExpired:
+    case StatusCode::kStoreCorrupt:
+    case StatusCode::kStoreSealBroken:
+    case StatusCode::kStoreRollback:
       return FaultClass::kTerminal;
   }
+  return FaultClass::kTerminal;  // unreachable; keeps -Wreturn-type quiet
 }
 
 std::uint64_t SystemRetryClock::now_ms() {

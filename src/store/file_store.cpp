@@ -108,6 +108,8 @@ Result<> read_file(const std::string& file_path, bool& present, Bytes& out) {
 Result<> write_fully(int fd, ByteView data) {
   std::size_t off = 0;
   while (off < data.size()) {
+    // nofailpoint: shared raw-write helper; every caller gates it behind
+    // its own site (store.journal.write, *.replace.write).
     ssize_t n = ::write(fd, data.data() + off, data.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -121,6 +123,7 @@ Result<> write_fully(int fd, ByteView data) {
 Result<> pwrite_fully(int fd, ByteView data, off_t offset) {
   std::size_t off = 0;
   while (off < data.size()) {
+    // nofailpoint: gated by the caller's store.counter.pwrite site.
     ssize_t n = ::pwrite(fd, data.data() + off, data.size() - off,
                          offset + static_cast<off_t>(off));
     if (n < 0) {
@@ -163,6 +166,9 @@ Result<> atomic_replace(const std::string& directory,
   if (durable) {
     int dirfd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
     if (dirfd >= 0) {
+      // nofailpoint: best-effort directory-entry fsync after the rename
+      // already succeeded; a crash here replays as the (complete) new
+      // file or the (complete) old one — no torn state to inject into.
       ::fsync(dirfd);
       ::close(dirfd);
     }
@@ -490,6 +496,10 @@ Result<> FileStore::replay_journal(std::uint64_t snapshot_generation,
         return Result<>(StatusCode::kStoreCorrupt,
                         "file store: journal truncated mid-frame");
       }
+      // nofailpoint: torn-tail repair during load, before any traffic.
+      // Recovery is idempotent — a crash mid-repair leaves a (shorter)
+      // torn tail the next load repairs again; the crash matrix covers
+      // the append side that creates these tails via store.journal.write.
       int fd = ::open(path(kJournalFile).c_str(), O_WRONLY | O_CLOEXEC);
       if (fd < 0) return io_fail("open journal for tail repair");
       int rc = ::ftruncate(fd, static_cast<off_t>(frame_start));

@@ -11,7 +11,7 @@ Result<> GroupCommitStore::commit(const Transaction& tx) {
   Waiter self;
   self.tx = &tx;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   queue_.push_back(&self);
   if (leader_active_) {
     // A leader is already driving the backing store; it will pick this
@@ -74,7 +74,7 @@ Result<> GroupCommitStore::commit(const Transaction& tx) {
 }
 
 GroupCommitStore::Stats GroupCommitStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -26,9 +26,10 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "store/state_store.h"
 
 namespace omadrm::store {
@@ -57,11 +58,16 @@ class GroupCommitStore final : public StateStore {
   };
 
   StateStore& backing_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Waiter*> queue_;
-  bool leader_active_ = false;
-  Stats stats_;
+  // Rank kStoreFront: taken with shard/meta locks held; the leader
+  // RELEASES it before driving the backing store (rank kStoreBacking),
+  // so the two store ranks never actually nest — the ordering still
+  // holds if that ever changes. condition_variable_any because the
+  // rank-checked mutex is a custom Lockable.
+  mutable OrderedMutex mu_{LockRank::kStoreFront, "store.front"};
+  std::condition_variable_any cv_;
+  std::vector<Waiter*> queue_ GUARDED_BY(mu_);
+  bool leader_active_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace omadrm::store

@@ -3,7 +3,7 @@
 namespace omadrm::store {
 
 Result<> MemoryStore::commit(const Transaction& tx) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fail_commits_ > 0) {
     --fail_commits_;
     return Result<>(StatusCode::kStoreFailure,
@@ -28,7 +28,7 @@ Result<> MemoryStore::commit(const Transaction& tx) {
 }
 
 Result<std::vector<Record>> MemoryStore::load() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Record> out;
   out.reserve(records_.size());
   for (const auto& [key, value] : records_) {

@@ -13,8 +13,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 
+#include "common/ordered_mutex.h"
+#include "common/thread_annotations.h"
 #include "store/state_store.h"
 
 namespace omadrm::store {
@@ -26,7 +27,7 @@ class MemoryStore final : public StateStore {
   Result<> commit(const Transaction& tx) override;
   Result<std::vector<Record>> load() override;
   std::uint64_t generation() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return generation_;
   }
 
@@ -34,20 +35,23 @@ class MemoryStore final : public StateStore {
   /// anything — exercises callers' refuse-to-grant-on-commit-failure
   /// paths.
   void fail_next_commits(std::uint64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fail_commits_ = n;
   }
 
   std::size_t record_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return records_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Bytes, std::less<>> records_;
-  std::uint64_t generation_ = 0;
-  std::uint64_t fail_commits_ = 0;
+  // Rank kStoreBacking: the terminal store lock — commits arrive with a
+  // shard (and sometimes meta / store.front) lock already held, and the
+  // only thing ever taken under this is a failpoint registry lock.
+  mutable OrderedMutex mu_{LockRank::kStoreBacking, "store.backing"};
+  std::map<std::string, Bytes, std::less<>> records_ GUARDED_BY(mu_);
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
+  std::uint64_t fail_commits_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace omadrm::store

@@ -37,6 +37,8 @@ class Arena {
   T* create(Args&&... args) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "arena objects are never destroyed");
+    // pool: placement-new into the arena's bump allocation — this IS the
+    // pool seam the wire-alloc lint rule funnels everything through.
     return ::new (alloc(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
   }
 

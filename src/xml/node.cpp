@@ -115,6 +115,7 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
+    // coldpath: parse-abort diagnostics; the accept path never gets here.
     throw Error(ErrorKind::kFormat,
                 "xml: " + why + " at offset " + std::to_string(pos_));
   }
